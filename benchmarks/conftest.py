@@ -1,0 +1,33 @@
+"""Benchmark-harness helpers.
+
+Every bench regenerates one table/figure of the paper (or an ablation),
+prints the rendering so ``pytest benchmarks/ --benchmark-only -s`` shows the
+reproduced artifact, and asserts the paper's qualitative *shape* so the
+reproduction is a regression gate, not just a timer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(rendered: str) -> None:
+    """Print a regenerated artifact under the benchmark output."""
+    print()
+    print(rendered)
+    print()
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment driver under pytest-benchmark (one round — the
+    drivers are deterministic simulations; wall time is the build cost of
+    regenerating the artifact) and print the result."""
+
+    def _run(driver, render, *args, **kwargs):
+        result = benchmark.pedantic(driver, args=args, kwargs=kwargs,
+                                    iterations=1, rounds=1)
+        emit(render(result))
+        return result
+
+    return _run

@@ -1,0 +1,70 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.metrics import render_table
+
+
+class TestAblationFlowMemory:
+    def test_flow_memory_cuts_remiss_cost(self, regen):
+        table = regen(ablations.ablation_flow_memory, render_table)
+        on = table.row_for("flow_memory", "on")
+        off = table.row_for("flow_memory", "off")
+        assert on["remiss_median"] < off["remiss_median"]
+        # without memory, every re-miss is a fresh dispatch
+        assert off["dispatches"] > on["dispatches"]
+
+
+class TestAblationWaitingModes:
+    def test_waiting_modes(self, regen):
+        table = regen(ablations.ablation_waiting_modes, render_table)
+        with_waiting = table.row_for("mode", "with_waiting")
+        without = table.row_for("mode", "without_waiting")
+        # without-waiting answers the first request ~50x faster ...
+        assert without["first_request"] < with_waiting["first_request"] / 10
+        # ... and both end up serving later requests from the optimal edge
+        assert with_waiting["served_by_optimal_later"]
+        assert without["served_by_optimal_later"]
+
+
+class TestAblationHybrid:
+    def test_hybrid_docker_then_k8s(self, regen):
+        table = regen(ablations.ablation_hybrid_docker_then_k8s, render_table)
+        k8s_only = table.row_for("strategy", "k8s_only")
+        hybrid = table.row_for("strategy", "hybrid_docker_then_k8s")
+        # "we can have both fast initial response (Docker) and automated
+        # cluster management (Kubernetes)" — Discussion section
+        assert hybrid["first_request"] < 1.0 < k8s_only["first_request"]
+        assert hybrid["managed_by"] == "kubernetes"
+        assert hybrid["steady_request"] == pytest.approx(
+            k8s_only["steady_request"], rel=0.5)
+
+
+class TestAblationSchedulers:
+    def test_scheduler_policies(self, regen):
+        table = regen(ablations.ablation_schedulers, render_table)
+        proximity = table.row_for("scheduler", "proximity")
+        round_robin = table.row_for("scheduler", "round-robin")
+        load_aware = table.row_for("scheduler", "load-aware")
+        # proximity keeps everything at the near edge
+        assert proximity["far_deployments"] == 0
+        # round-robin and load-aware spread deployments
+        assert round_robin["far_deployments"] > 0
+        assert load_aware["far_deployments"] > 0
+        # spreading to the far edge costs latency vs. pure proximity
+        assert round_robin["median"] >= proximity["median"]
+
+
+class TestAblationRegistry:
+    def test_registry_and_cache_effects(self, regen):
+        table = regen(ablations.ablation_registry_cache, render_table)
+        rows = {row["scenario"]: row["pull_s"] for row in table.rows}
+        cold = rows["nginx, public, cold"]
+        private = rows["nginx, private, cold"]
+        warm = rows["nginx twice (warm cache)"]
+        shared = rows["nginx then nginx+py (shared base)"]
+        assert private < cold
+        assert warm == 0.0  # fully cached: free
+        # nginx+py after nginx only pulls the env-writer image
+        assert shared < cold

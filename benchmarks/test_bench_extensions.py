@@ -1,0 +1,86 @@
+"""Benches for the future-work extensions (serverless, mobility, prediction)."""
+
+import pytest
+
+from repro.experiments import extensions
+from repro.metrics import render_table
+
+
+class TestE1Serverless:
+    def test_e1_serverless_vs_containers(self, regen):
+        table = regen(extensions.e1_serverless_vs_containers, render_table)
+        for row in table.rows:
+            # WASM cold start beats both container paths on every service
+            assert row["wasm_s"] < row["docker_s"] < row["k8s_s"]
+        web = table.row_for("service", "nginx")
+        resnet = table.row_for("service", "resnet")
+        # tens-of-ms vs hundreds-of-ms for web services...
+        assert web["wasm_s"] < 0.05
+        assert web["docker_s"] > 0.3
+        # ... but model loading does not go away with the runtime
+        assert resnet["wasm_s"] > 1.0
+
+    def test_e1b_artifact_sizes(self, regen):
+        table = regen(extensions.e1_artifact_sizes, render_table)
+        nginx = table.row_for("service", "nginx")
+        assert nginx["module_bytes"] < nginx["image_bytes"] / 50
+        # the assembler server is the counter-example: its native binary is
+        # smaller than any WASM module
+        asm = table.row_for("service", "asm")
+        assert asm["image_bytes"] < asm["module_bytes"]
+
+
+class TestE2Mobility:
+    def test_e2_follow_me_handover(self, regen):
+        table = regen(extensions.e2_follow_me_handover, render_table)
+        rows = {row["phase"]: row for row in table.rows}
+        # before the move: served by edge A, warm path is ~1 ms
+        assert rows["at zone A (warm)"]["served_by"] == "docker-egs"
+        assert rows["at zone A (warm)"]["request_s"] < 0.01
+        # stale flows keep pointing at edge A after the move
+        assert rows["moved to B, no handover"]["served_by"] == "docker-egs"
+        # the handover re-dispatches to the now-nearest edge B
+        assert rows["moved to B, after handover"]["served_by"] == "docker-b"
+
+
+class TestE4Hierarchy:
+    def test_e4_hierarchical_escape(self, regen):
+        table = regen(extensions.e4_hierarchical_escape, render_table)
+        flat = table.row_for("scheduler", "proximity")
+        hier = table.row_for("scheduler", "hierarchical")
+        # flat proximity sends the tight-budget first request to the cloud
+        assert flat["first_served_by"] == "cloud"
+        # the hierarchy keeps it at the edge (locality/bandwidth argument)
+        assert hier["edge_local"] is True
+        assert hier["first_served_by"] == "docker-agg"
+        # both converge to the optimal access edge for later requests
+        assert flat["later_served_by"] == hier["later_served_by"] == "docker-egs"
+        # the price of locality: a pull-free cold start vs a cloud RTT
+        assert hier["first_request_s"] > flat["first_request_s"]
+        assert hier["first_request_s"] < 1.0
+
+
+class TestE5Autoscaling:
+    def test_e5_autoscaling_under_load(self, regen):
+        table = regen(extensions.e5_autoscaling_under_load, render_table)
+        off = table.row_for("autoscaler", "off")
+        on = table.row_for("autoscaler", "on")
+        # without the HPA the single pod's queue explodes under overload
+        assert off["median_s"] > 5.0
+        # with it, median stays near the 180 ms service time
+        assert on["median_s"] < 0.5
+        assert on["peak_replicas"] >= 2
+        assert on["scale_events"] >= 1
+
+
+class TestE3Prediction:
+    def test_e3_proactive_deployment(self, regen):
+        table = regen(extensions.e3_proactive_deployment, render_table)
+        reactive = table.row_for("mode", "reactive")
+        proactive = table.row_for("mode", "proactive")
+        # prediction converts cold waits into warm hits
+        assert proactive["cold_requests"] < reactive["cold_requests"]
+        assert proactive["median_s"] < reactive["median_s"] / 10
+        assert proactive["predeployments"] > 0
+        # reactive mode: every periodic request is a cold start
+        assert reactive["cold_requests"] >= 7

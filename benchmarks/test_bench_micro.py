@@ -1,0 +1,145 @@
+"""Microbenchmarks of the substrate's hot paths.
+
+These are genuine wall-clock benchmarks (pytest-benchmark with real
+iterations) of the code the experiment drivers stress: the event loop, the
+flow-table lookup, the packet rewrite pipeline, and a full warm request
+through the simulated data path. They are the profiling harness the
+hpc-parallel guides ask for ("no optimization without measuring").
+"""
+
+import pytest
+
+from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment, ip, mac
+from repro.netsim.packet import IP_PROTO_TCP
+from repro.openflow import FlowEntry, FlowTable, Match, OutputAction, SetFieldAction
+from repro.openflow.actions import apply_actions_multi
+from repro.openflow.match import extract_fields
+from repro.simcore import Simulator
+
+
+def tcp_frame(dst="1.2.3.4", dport=80):
+    seg = TCPSegment(src_port=40000, dst_port=dport)
+    pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip(dst), proto=IP_PROTO_TCP, payload=seg)
+    return EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP, payload=pkt)
+
+
+class TestEventLoop:
+    def test_bench_event_loop_throughput(self, benchmark):
+        """Schedule+execute 10k events."""
+
+        def run():
+            sim = Simulator()
+            for i in range(10_000):
+                sim.schedule(i * 1e-6, lambda: None)
+            sim.run()
+            return sim.events_executed
+
+        count = benchmark(run)
+        assert count == 10_000
+
+    def test_bench_process_switching(self, benchmark):
+        """1k generator processes doing 10 yields each."""
+
+        def run():
+            sim = Simulator()
+
+            def proc():
+                for _ in range(10):
+                    yield sim.timeout(0.001)
+
+            for _ in range(1_000):
+                sim.spawn(proc())
+            sim.run()
+            return sim.events_executed
+
+        benchmark(run)
+
+
+class TestFlowTable:
+    def _table(self, entries=256):
+        sim = Simulator()
+        table = FlowTable(sim)
+        for index in range(entries):
+            table.install(FlowEntry(
+                match=Match(eth_type=ETH_TYPE_IP, ip_proto=6, tcp_dst=1000 + index),
+                priority=10, actions=[OutputAction(1)]))
+        table.install(FlowEntry(match=Match(), priority=0, actions=[]))
+        return table
+
+    def test_bench_lookup_hit_first(self, benchmark):
+        table = self._table()
+        fields = extract_fields(tcp_frame(dport=1000), in_port=1)
+        entry = benchmark(table.lookup, fields)
+        assert entry is not None and entry.priority == 10
+
+    def test_bench_lookup_miss_to_table_miss(self, benchmark):
+        table = self._table()
+        fields = extract_fields(tcp_frame(dport=9), in_port=1)
+        entry = benchmark(table.lookup, fields)
+        assert entry is not None and entry.priority == 0
+
+    def test_bench_field_extraction(self, benchmark):
+        frame = tcp_frame()
+        fields = benchmark(extract_fields, frame, 1)
+        assert fields["tcp_dst"] == 80
+
+
+class TestRewritePipeline:
+    def test_bench_rewrite_actions(self, benchmark):
+        frame = tcp_frame()
+        actions = [
+            SetFieldAction("ipv4_dst", "10.0.0.99"),
+            SetFieldAction("tcp_dst", 32768),
+            SetFieldAction("eth_src", "02:ed:9e:00:00:01"),
+            SetFieldAction("eth_dst", "02:00:00:00:00:63"),
+            OutputAction(21),
+        ]
+        outputs = benchmark(apply_actions_multi, frame, actions)
+        assert outputs[0][0].tcp.dst_port == 32768
+
+
+class TestEndToEnd:
+    def test_bench_warm_request_simulation(self, benchmark):
+        """Wall cost of simulating one warm transparent request end-to-end."""
+        from repro.experiments import build_testbed
+
+        tb = build_testbed(seed=99, n_clients=1, cluster_types=("docker",),
+                           memory_idle_timeout_s=3600.0)
+        svc = tb.register_catalog_service("asm")
+        warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+        tb.run(until=tb.sim.now + 60.0)
+        assert warm.done
+
+        def one_request():
+            request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+            tb.run(until=tb.sim.now + 2.0)
+            assert request.done and request.result.ok
+            return request.result.time_total
+
+        time_total = benchmark(one_request)
+        assert time_total < 0.01
+
+    def test_bench_cold_docker_deployment_simulation(self, benchmark):
+        """Wall cost of simulating one full cold deployment."""
+        from repro.experiments import build_testbed
+
+        state = {}
+
+        def setup():
+            tb = build_testbed(seed=101, n_clients=1, cluster_types=("docker",))
+            svc = tb.register_catalog_service("asm")
+            pull = tb.clusters["docker-egs"].pull(svc.spec)
+            tb.run(until=tb.sim.now + 60.0)
+            state.update(tb=tb, svc=svc)
+            return (), {}
+
+        def cold_start():
+            tb, svc = state["tb"], state["svc"]
+            request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+            tb.run(until=tb.sim.now + 30.0)
+            assert request.done and request.result.ok
+            return request.result.time_total
+
+        time_total = benchmark.pedantic(cold_start, setup=setup,
+                                        iterations=1, rounds=5)
+        assert time_total < 1.5  # simulated seconds (docker cold start)

@@ -1,0 +1,113 @@
+"""Benches regenerating Part A: the target paper's reconstructed evaluation.
+
+Shape assertions encode the transparent-access value proposition:
+
+* A1 — the edge wins by roughly the cloud RTT; the gap grows with RTT;
+* A2 — the fast path adds ~0; the first packet pays dispatch + control
+  channel; FlowMemory makes re-misses almost as cheap as the fast path;
+* A3 — flow-setup latency grows with concurrent new flows (single-threaded
+  controller) but not with the number of registered services;
+* A4 — lower switch idle timeouts shrink the flow table at a modest
+  packet-in cost while FlowMemory keeps redirect decisions cached.
+"""
+
+import pytest
+
+from repro.experiments import parta
+from repro.metrics import render_table
+
+
+class TestA1EdgeVsCloud:
+    def test_a1_edge_vs_cloud(self, regen):
+        table = regen(parta.a1_edge_vs_cloud, render_table)
+        speedups = []
+        for row in table.rows:
+            assert row["edge_median"] < 0.005
+            rtt_s = float(row["cloud_rtt_ms"]) / 1e3
+            # cloud time ≈ handshake + request over the long path (≥ 2 RTT)
+            assert row["cloud_median"] >= 2 * rtt_s
+            speedups.append(row["cloud_median"] / row["edge_median"])
+        # the farther the cloud, the bigger the transparent-edge win
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 20
+
+
+class TestA2FirstPacket:
+    def test_a2_first_packet_overhead(self, regen):
+        table = regen(parta.a2_first_packet_overhead, render_table)
+        by_path = {row["path"]: row["median"] for row in table.rows}
+        assert by_path["fast_path"] < by_path["remiss_with_memory"]
+        assert by_path["remiss_with_memory"] < by_path["remiss_without_memory"]
+        assert by_path["first_packet"] >= by_path["remiss_without_memory"] * 0.9
+        # the fast path is pure data plane: ~1-2 ms
+        assert by_path["fast_path"] < 0.003
+        # first-packet overhead stays well under typical deploy times
+        assert by_path["first_packet"] < 0.05
+
+
+class TestA2bControlLatency:
+    def test_a2b_control_latency_sweep(self, regen):
+        table = regen(parta.a2b_control_latency_sweep, render_table)
+        overheads = [row["overhead"] for row in table.rows]
+        latencies = [float(row["channel_latency_ms"]) / 1e3
+                     for row in table.rows]
+        # overhead strictly grows with channel latency ...
+        assert overheads == sorted(overheads)
+        # ... and approaches 2 x RTT + const: the extra overhead between two
+        # latency settings is ~2 x the latency delta
+        delta_overhead = overheads[-1] - overheads[0]
+        delta_latency = latencies[-1] - latencies[0]
+        assert delta_overhead == pytest.approx(2 * delta_latency, rel=0.2)
+        # the fast path is latency-independent (pure data plane)
+        fast = [row["fast_path_median"] for row in table.rows]
+        assert max(fast) - min(fast) < 1e-4
+
+
+class TestA3ControllerScaling:
+    def test_a3_concurrency_scaling(self, regen):
+        table = regen(parta.a3_controller_scaling, render_table)
+        medians = [row["median"] for row in table.rows]
+        maxima = [row["max"] for row in table.rows]
+        # latency grows with concurrency (serialized controller)
+        assert maxima == sorted(maxima)
+        assert maxima[-1] > maxima[0]
+        # each new flow costs exactly 2 packet-ins (ARP handled once)
+        first = table.rows[0]
+        assert first["packet_ins"] >= first["concurrent"]
+
+    def test_a3b_service_count_flat(self, regen):
+        table = regen(parta.a3_service_count_scaling, render_table)
+        medians = [row["first_packet_median"] for row in table.rows]
+        # O(1) ServiceID lookup: latency flat in the registry size
+        assert max(medians) - min(medians) < 0.002
+
+
+class TestA5MultiSwitch:
+    def test_a5_multiswitch_overhead(self, regen):
+        table = regen(parta.a5_multiswitch_overhead, render_table)
+        single = table.row_for("fabric", "single-switch")
+        fabric = table.row_for("fabric", "access+core")
+        # rules land on every switch along the path
+        assert fabric["switches_programmed"] == 2
+        assert single["switches_programmed"] == 1
+        # the extra hop costs link+switch latency, nothing pathological
+        extra = fabric["warm_median"] - single["warm_median"]
+        assert 0 < extra < 0.005
+        # and the first-packet cost grows by roughly the same amount
+        first_extra = (fabric["first_packet_median"]
+                       - single["first_packet_median"])
+        assert 0 < first_extra < 0.01
+
+
+class TestA4FlowTable:
+    def test_a4_flowtable_occupancy(self, regen):
+        table = regen(parta.a4_flowtable_occupancy, render_table)
+        rows = sorted(table.rows, key=lambda r: r["idle_timeout_s"])
+        mean_flows = [r["mean_flows"] for r in rows]
+        packet_ins = [r["packet_ins"] for r in rows]
+        # smaller idle timeout -> smaller table
+        assert mean_flows == sorted(mean_flows)
+        # ... at the cost of more packet-ins (re-misses)
+        assert packet_ins == sorted(packet_ins, reverse=True)
+        # every service deployed exactly once regardless of the timeout
+        assert len({r["deployments"] for r in rows}) == 1

@@ -1,0 +1,140 @@
+"""Benches regenerating Part B: Table I and figs. 9–16 (see DESIGN.md §4).
+
+Each bench prints the regenerated artifact and asserts the paper's
+qualitative findings:
+
+* fig. 11/12: Docker scales a cached web container up in < 1 s, Kubernetes
+  in ≈ 3 s; Asm ≈ Nginx; ResNet far slower;
+* fig. 12: Create adds ≈ 100 ms on Docker;
+* fig. 13: the private registry saves ≈ 1.5–2 s;
+* fig. 14: ResNet's readiness wait is > ¼ of its total;
+* fig. 16: warm requests are ~1 ms with no notable cluster difference.
+"""
+
+import pytest
+
+from repro.experiments import partb
+from repro.metrics import render_series, render_table
+
+REPEATS = 5
+
+
+def _row(table, service):
+    row = table.row_for("service", service)
+    assert row is not None
+    return row
+
+
+class TestTableI:
+    def test_table1_catalog(self, regen):
+        table = regen(partb.table1_catalog, render_table)
+        assert len(table.rows) == 4
+        nginx = table.row_for("key", "nginx")
+        assert nginx["layers"] == 6 and nginx["containers"] == 1
+        resnet = table.row_for("key", "resnet")
+        assert resnet["http"] == "POST"
+
+
+class TestTraceFigures:
+    def test_fig9_request_distribution(self, regen):
+        series = regen(partb.fig9_request_distribution, render_series)
+        assert series.total == 1708
+        assert "services=42" in series.note
+
+    def test_fig10_deployment_distribution(self, regen):
+        series = regen(partb.fig10_deployment_distribution, render_series)
+        assert series.total == 42
+        # "up to eight deployments per second in the beginning"
+        assert 4 <= series.peak <= 8
+        # the burst is at the beginning: half the deployments in the first 10 s
+        early = sum(y for x, y in zip(series.x, series.y) if x < 10.0)
+        assert early >= 21
+
+    def test_fig10_measured_through_controller(self, regen):
+        series = regen(partb.fig10_measured_deployments, render_series)
+        assert series.total == 42  # every service deployed exactly once
+        assert "failed_requests=0" in series.note
+
+
+class TestDeploymentFigures:
+    def test_fig11_scale_up(self, regen):
+        table = regen(partb.fig11_scale_up, render_table, repeats=REPEATS)
+        nginx = _row(table, "nginx")
+        asm = _row(table, "asm")
+        resnet = _row(table, "resnet")
+        multi = _row(table, "nginx+py")
+        # Docker < 1 s, K8s ≈ 3 s (the headline result)
+        assert nginx["docker_median"] < 1.0
+        assert 2.0 < nginx["k8s_median"] < 4.0
+        # "no notable difference between the tiny Assembler web server and
+        # the far larger Nginx instance"
+        assert abs(asm["docker_median"] - nginx["docker_median"]) < 0.15
+        # "As expected, ResNet takes significantly longer to start"
+        assert resnet["docker_median"] > 3 * nginx["docker_median"]
+        # two containers cost more than one
+        assert multi["docker_median"] > nginx["docker_median"]
+
+    def test_fig12_create_scale_up(self, regen):
+        table = regen(partb.fig12_create_scale_up, render_table, repeats=REPEATS)
+        fig11 = partb.fig11_scale_up(repeats=REPEATS)
+        # "creating the containers adds around 100 ms"
+        for service in ("asm", "nginx"):
+            delta = (_row(table, service)["docker_median"]
+                     - _row(fig11, service)["docker_median"])
+            assert 0.05 < delta < 0.25
+        # for ResNet the create overhead is negligible relative to its total
+        resnet_delta = (_row(table, "resnet")["docker_median"]
+                        - _row(fig11, "resnet")["docker_median"])
+        assert resnet_delta / _row(table, "resnet")["docker_median"] < 0.05
+
+    def test_fig13_pull_times(self, regen):
+        table = regen(partb.fig13_pull_times, render_table)
+        asm = _row(table, "asm")
+        nginx = _row(table, "nginx")
+        resnet = _row(table, "resnet")
+        multi = _row(table, "nginx+py")
+        # "the Pull phase is where the minuscule Assembler image shines"
+        assert asm["public_s"] < 1.0
+        assert asm["public_s"] < nginx["public_s"] / 3
+        # ordering by size/layers
+        assert nginx["public_s"] < multi["public_s"] < resnet["public_s"] + 1.0
+        # "pull times improve by about 1.5 to 2 seconds" with the private
+        # registry (for the big images)
+        for row in (nginx, resnet, multi):
+            assert 1.0 < row["saving_s"] < 3.0
+
+    def test_fig14_wait_after_scale_up(self, regen):
+        table = regen(partb.fig14_wait_after_scale_up, render_table,
+                      repeats=REPEATS)
+        fig11 = partb.fig11_scale_up(repeats=REPEATS)
+        resnet_wait = _row(table, "resnet")["docker_median"]
+        resnet_total = _row(fig11, "resnet")["docker_median"]
+        # "the waiting time alone accounts for more than a fourth of the
+        # total time" (ResNet)
+        assert resnet_wait > resnet_total / 4
+        # web services wait far less than ResNet
+        assert _row(table, "nginx")["docker_median"] < resnet_wait / 10
+
+    def test_fig15_wait_after_create_scale_up(self, regen):
+        table = regen(partb.fig15_wait_after_create_scale_up, render_table,
+                      repeats=REPEATS)
+        # waits are a property of startup, not of the create phase:
+        fig14 = partb.fig14_wait_after_scale_up(repeats=REPEATS)
+        for service in ("asm", "nginx", "resnet"):
+            a = _row(table, service)["k8s_median"]
+            b = _row(fig14, service)["k8s_median"]
+            assert a == pytest.approx(b, rel=0.25)
+
+    def test_fig16_running_instance(self, regen):
+        table = regen(partb.fig16_running_instance, render_table)
+        nginx = _row(table, "nginx")
+        resnet = _row(table, "resnet")
+        # "serving a short response message is achieved in about a
+        # millisecond"
+        assert nginx["docker_median"] < 0.005
+        # "no notable difference between the two clusters"
+        assert nginx["docker_median"] == pytest.approx(nginx["k8s_median"],
+                                                       rel=0.2)
+        # "the heavyweight image classification service requires
+        # significantly longer"
+        assert resnet["docker_median"] > 50 * nginx["docker_median"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Transparent access across a multi-switch fabric.
+
+The evaluation testbed uses one virtual OVS switch (fig. 8), but the
+concept generalises: this example builds an access/core fabric —
+
+    UEs ── access-sw-0 ──┐
+                         ├── core-sw ── EGS (Docker cluster)
+    UEs ── access-sw-1 ──┘
+
+— and shows how the controller installs the redirection along the whole
+path: full header rewriting at the client's ingress switch, exact-match
+forwarding at the core, endpoint-MAC rewriting at the egress. Clients
+behind *either* access switch reach the same on-demand instance, still
+addressing only the cloud IP.
+
+Run:  python examples/multiswitch_fabric.py
+"""
+
+from repro.experiments.multiswitch import build_multiswitch_testbed
+from repro.metrics import format_seconds
+
+
+def main() -> None:
+    testbed = build_multiswitch_testbed(seed=5, n_access_switches=2,
+                                        clients_per_switch=2)
+    service = testbed.register_catalog_service("nginx")
+    print(f"fabric: {len(testbed.access_switches)} access switches "
+          f"+ 1 core; service {service.service_id} registered\n")
+
+    # Client behind access switch 0: cold start (pull + deploy on demand).
+    first = testbed.client(0).fetch(service.service_id.addr,
+                                    service.service_id.port)
+    testbed.run(until=testbed.sim.now + 30.0)
+    print(f"client ue-0-00 (access-sw-0), cold : "
+          f"{format_seconds(first.result.time_total)}")
+
+    # Same client again: pure data plane across two switches.
+    warm = testbed.client(0).fetch(service.service_id.addr,
+                                   service.service_id.port)
+    testbed.run(until=testbed.sim.now + 5.0)
+    print(f"client ue-0-00 (access-sw-0), warm : "
+          f"{format_seconds(warm.result.time_total)}")
+
+    # Client behind the OTHER access switch: new dispatch, same instance.
+    other = testbed.client(2).fetch(service.service_id.addr,
+                                    service.service_id.port)
+    testbed.run(until=testbed.sim.now + 5.0)
+    print(f"client ue-1-00 (access-sw-1)       : "
+          f"{format_seconds(other.result.time_total)}")
+
+    print()
+    deployments = testbed.engine.records_for(cold_only=True)
+    print(f"deployments: {len(deployments)} (one instance serves all clients)")
+    for switch in [testbed.switch] + list(testbed.access_switches):
+        rules = [e for e in switch.table.entries if e.priority == 20]
+        print(f"  {switch.name:<12} {len(rules)} redirection rule(s) installed")
+    print()
+    print("The rewrite happens once at each client's ingress switch; the")
+    print("core only forwards exact matches — the paper's 'picks up the")
+    print("request already at the network's ingress', generalised to a fabric.")
+
+
+if __name__ == "__main__":
+    main()

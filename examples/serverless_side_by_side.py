@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Serverless functions side-by-side with containers (paper §VIII).
+
+The paper's future work: "enabling the side-by-side operation of containers
+and serverless applications and evaluate how well the latter would perform."
+
+This example registers the same service address once per backend — a WASM
+function runtime, a Docker engine, and a Kubernetes cluster — and compares
+the *first* request (cold start through the full transparent-access data
+path) and a warm request on each.
+
+Run:  python examples/serverless_side_by_side.py
+"""
+
+from repro.experiments import build_testbed
+from repro.metrics import format_seconds
+
+
+def measure(cluster_type: str, cluster_name: str, service_key: str) -> tuple:
+    testbed = build_testbed(seed=31, n_clients=1, cluster_types=(cluster_type,))
+    service = testbed.register_catalog_service(service_key)
+    cluster = testbed.clusters[cluster_name]
+
+    # Cache the artifact (image layers / WASM module) but run nothing —
+    # the realistic steady state for a rarely-used edge service.
+    pre = cluster.pull(service.spec)
+    testbed.run(until=testbed.sim.now + 120.0)
+    assert pre.done and pre.exception is None
+
+    cold = testbed.client(0).fetch(service.service_id.addr,
+                                   service.service_id.port)
+    testbed.run(until=testbed.sim.now + 60.0)
+    warm = testbed.client(0).fetch(service.service_id.addr,
+                                   service.service_id.port)
+    testbed.run(until=testbed.sim.now + 5.0)
+    return cold.result.time_total, warm.result.time_total
+
+
+def main() -> None:
+    print(f"{'service':<10} {'backend':<12} {'cold first request':>20} {'warm request':>14}")
+    print("-" * 60)
+    for service_key in ("nginx", "resnet"):
+        for cluster_type, cluster_name in (("serverless", "wasm-egs"),
+                                           ("docker", "docker-egs"),
+                                           ("kubernetes", "k8s-egs")):
+            cold, warm = measure(cluster_type, cluster_name, service_key)
+            print(f"{service_key:<10} {cluster_type:<12} "
+                  f"{format_seconds(cold):>20} {format_seconds(warm):>14}")
+        print()
+    print("WASM functions cold-start in milliseconds — they make on-demand")
+    print("deployment viable even for latency-critical first requests. But")
+    print("the ResNet row shows the caveat: model loading dominates, and no")
+    print("runtime makes a 100 MiB weight file load instantly.")
+
+
+if __name__ == "__main__":
+    main()

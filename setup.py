@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+(PEP 660 editable wheels) cannot build; ``python setup.py develop`` below is
+the supported offline-editable install path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""transparent-edge — Transparent Access to 5G Edge Computing Services.
+
+A reproduction of the Transparent Edge system: SDN-based transparent
+redirection of cloud-addressed requests to edge services, with distributed
+on-demand deployment to Docker / Kubernetes (and, as the paper's future
+work, serverless WASM) clusters — all on a deterministic discrete-event
+simulation substrate built in this package.
+
+Typical entry points:
+
+>>> from repro.experiments import build_testbed
+>>> tb = build_testbed(seed=42, n_clients=2, cluster_types=("docker",))
+>>> svc = tb.register_catalog_service("nginx")
+>>> request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+>>> tb.run(until=30.0)
+
+Sub-packages
+------------
+``repro.simcore``
+    Deterministic event loop, processes, signals, RNG streams, tracing.
+``repro.netsim``
+    Ethernet/ARP/IPv4/TCP network simulation (links, host stacks).
+``repro.openflow``
+    OpenFlow 1.3-style switch, flow tables, control channel.
+``repro.ryuapp``
+    Ryu-style controller application framework.
+``repro.edge``
+    containerd / Docker / Kubernetes / registries / serverless substrate.
+``repro.core``
+    The paper's contribution: service registry, annotation, FlowMemory,
+    schedulers, deployment engine, dispatcher, and the SDN controller.
+``repro.workloads``
+    Timed clients (timecurl) and bigFlows-like trace synthesis.
+``repro.metrics``
+    Summary statistics and table/series renderers.
+``repro.experiments``
+    Testbed builders and one driver per paper table/figure/ablation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simcore",
+    "netsim",
+    "openflow",
+    "ryuapp",
+    "edge",
+    "core",
+    "workloads",
+    "metrics",
+    "experiments",
+    "__version__",
+]

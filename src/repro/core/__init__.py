@@ -1,0 +1,81 @@
+"""The paper's contribution: transparent access to edge services, with
+distributed on-demand deployment.
+
+Components (§IV–V of the paper):
+
+* :mod:`repro.core.serviceid` — services are identified by their *cloud*
+  address: IP + port (+ protocol);
+* :mod:`repro.core.annotate` — service definitions are plain Kubernetes
+  Deployment YAML; the platform auto-annotates them (unique worldwide name,
+  ``matchLabels``, the ``edge.service`` label, replicas = 0, optional
+  ``schedulerName``) and generates the Kubernetes Service definition;
+* :mod:`repro.core.registry` — the mobile-edge platform's service registry;
+* :mod:`repro.core.flowmemory` — memorized redirection flows with idle
+  timeouts (keeps switch timeouts low; drives auto scale-down);
+* :mod:`repro.core.scheduler` — Global/Local scheduler interfaces and
+  implementations (FAST / BEST placement);
+* :mod:`repro.core.deployment` — the three-phase deployment engine
+  (Pull / Create / Scale-Up, plus Scale-Down / Remove / Delete);
+* :mod:`repro.core.dispatcher` — the dispatching algorithm of fig. 7;
+* :mod:`repro.core.controller` — the Ryu-style SDN controller application
+  tying it all together (proxy-ARP, packet interception, rewrite flows,
+  on-demand deployment with and without waiting, cloud fallback).
+"""
+
+from repro.core.serviceid import ServiceID
+from repro.core.annotate import AnnotationConfig, annotate_service, load_service_yaml
+from repro.core.registry import EdgeService, ServiceRegistry
+from repro.core.flowmemory import FlowMemory, MemorizedFlow
+from repro.core.zones import ZoneMap
+from repro.core.scheduler import (
+    GlobalScheduler,
+    Placement,
+    ScheduleRequest,
+    ProximityScheduler,
+    RoundRobinScheduler,
+    LoadAwareScheduler,
+    estimate_time_to_ready,
+)
+from repro.core.deployment import DeploymentEngine, DeploymentRecord
+from repro.core.dispatcher import Dispatcher, DispatchResult
+from repro.core.controller import (
+    AttachmentPoint,
+    TransparentEdgeController,
+    ControllerConfig,
+)
+from repro.core.mobility import MobilityManager
+from repro.core.predictor import EwmaArrivalPredictor, ProactiveDeployer
+from repro.core.hierarchy import EdgeHierarchy, HierarchicalScheduler
+from repro.core.admin import EdgeAdmin
+
+__all__ = [
+    "ServiceID",
+    "AnnotationConfig",
+    "annotate_service",
+    "load_service_yaml",
+    "EdgeService",
+    "ServiceRegistry",
+    "FlowMemory",
+    "MemorizedFlow",
+    "ZoneMap",
+    "GlobalScheduler",
+    "Placement",
+    "ScheduleRequest",
+    "ProximityScheduler",
+    "RoundRobinScheduler",
+    "LoadAwareScheduler",
+    "estimate_time_to_ready",
+    "DeploymentEngine",
+    "DeploymentRecord",
+    "Dispatcher",
+    "DispatchResult",
+    "AttachmentPoint",
+    "TransparentEdgeController",
+    "ControllerConfig",
+    "MobilityManager",
+    "EwmaArrivalPredictor",
+    "ProactiveDeployer",
+    "EdgeHierarchy",
+    "HierarchicalScheduler",
+    "EdgeAdmin",
+]

@@ -1,0 +1,229 @@
+"""Automated annotation of service definition files (§V).
+
+Developers supply a plain *Kubernetes Deployment* YAML (the only mandatory
+datum is the image name); the platform annotates it so the same definition
+deploys to Docker and Kubernetes alike:
+
+1. a **unique worldwide name** derived from the registered service address;
+2. the ``matchLabels`` Kubernetes requires;
+3. an ``edge.service`` label so edge services can be addressed and queried
+   distinctly in the cluster;
+4. ``replicas: 0`` ("scale to zero") by default;
+5. ``schedulerName`` when a Local Scheduler is configured for the cluster;
+6. a generated *Kubernetes Service* definition (unless the developer already
+   included one): exposed port, target port, and TCP as the default protocol.
+
+The annotated YAML round-trips (``annotated_yaml``) and is also lowered to
+the cluster-neutral :class:`~repro.edge.cluster.DeploymentSpec` consumed by
+both cluster backends.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import yaml
+
+from repro.core.serviceid import ServiceID
+from repro.edge.cluster import DeploymentSpec, SpecContainer
+from repro.edge.kubernetes import DEFAULT_SCHEDULER
+from repro.edge.services import EDGE_SERVICE_CATALOG, ServiceBehavior
+
+EDGE_SERVICE_LABEL = "edge.service"
+
+
+class ServiceDefinitionError(ValueError):
+    """The YAML is not a usable service definition."""
+
+
+@dataclass
+class AnnotationConfig:
+    """Platform-side annotation knobs (from the controller configuration)."""
+
+    #: Local Scheduler name to inject as ``schedulerName`` (None: default)
+    scheduler_name: Optional[str] = None
+    #: default replica count ("scale to zero")
+    default_replicas: int = 0
+    name_prefix: str = "edge"
+
+
+def load_service_yaml(text: str) -> List[dict]:
+    """Parse a (possibly multi-document) service definition file."""
+    docs = [doc for doc in yaml.safe_load_all(text) if doc]
+    if not docs:
+        raise ServiceDefinitionError("empty service definition")
+    for doc in docs:
+        if not isinstance(doc, dict) or "kind" not in doc:
+            raise ServiceDefinitionError("every document needs a 'kind'")
+    return docs
+
+
+def _find_behavior(image: str) -> Optional[ServiceBehavior]:
+    """Resolve an image reference to a catalog behaviour (None: generic)."""
+    for entry in EDGE_SERVICE_CATALOG.values():
+        for img, behavior in zip(entry.images, entry.behaviors):
+            if str(img.ref) == image or img.ref.name == image:
+                return behavior
+    return None
+
+
+def _deployment_doc(docs: List[dict]) -> dict:
+    for doc in docs:
+        if doc.get("kind") == "Deployment":
+            return doc
+    raise ServiceDefinitionError("no Deployment document found")
+
+
+def _service_doc(docs: List[dict]) -> Optional[dict]:
+    for doc in docs:
+        if doc.get("kind") == "Service":
+            return doc
+    return None
+
+
+@dataclass
+class AnnotatedService:
+    """Result of the annotation pipeline."""
+
+    service_id: ServiceID
+    unique_name: str
+    deployment_doc: dict
+    service_doc: dict
+    spec: DeploymentSpec
+    service_doc_generated: bool
+
+    def annotated_yaml(self) -> str:
+        """The annotated multi-document YAML (what would be applied)."""
+        return yaml.safe_dump_all([self.deployment_doc, self.service_doc],
+                                  sort_keys=False)
+
+
+def annotate_service(
+    yaml_text: str,
+    service_id: ServiceID,
+    config: Optional[AnnotationConfig] = None,
+) -> AnnotatedService:
+    """Run the automated annotation pipeline on a developer's YAML."""
+    config = config or AnnotationConfig()
+    docs = [copy.deepcopy(d) for d in load_service_yaml(yaml_text)]
+    deployment = _deployment_doc(docs)
+
+    # ---- extract containers ------------------------------------------------
+    template = (deployment.setdefault("spec", {})
+                .setdefault("template", {}))
+    pod_spec = template.setdefault("spec", {})
+    containers = pod_spec.get("containers")
+    if not containers:
+        raise ServiceDefinitionError("Deployment has no containers")
+    for container in containers:
+        if "image" not in container:
+            raise ServiceDefinitionError("container without an image")
+        container.setdefault("name",
+                             container["image"].split("/")[-1].split(":")[0])
+
+    # ---- 1. unique worldwide name -----------------------------------------
+    unique_name = f"{config.name_prefix}-{service_id.slug}"
+    deployment.setdefault("metadata", {})["name"] = unique_name
+
+    # ---- 2.+3. labels ------------------------------------------------------
+    labels = {
+        "app": unique_name,
+        EDGE_SERVICE_LABEL: unique_name,
+    }
+    deployment["metadata"].setdefault("labels", {}).update(labels)
+    deployment["spec"].setdefault("selector", {})["matchLabels"] = dict(labels)
+    template.setdefault("metadata", {}).setdefault("labels", {}).update(labels)
+
+    # ---- 4. scale to zero --------------------------------------------------
+    deployment["spec"].setdefault("replicas", config.default_replicas)
+    if "replicas" not in deployment["spec"] or deployment["spec"]["replicas"] is None:
+        deployment["spec"]["replicas"] = config.default_replicas
+
+    # ---- 5. local scheduler ------------------------------------------------
+    if config.scheduler_name:
+        pod_spec["schedulerName"] = config.scheduler_name
+
+    # ---- resolve ports/behaviours ------------------------------------------
+    spec_containers: List[SpecContainer] = []
+    target_port: Optional[int] = None
+    for container in containers:
+        behavior = _find_behavior(container["image"])
+        declared_ports = container.get("ports") or []
+        if declared_ports and target_port is None:
+            target_port = int(declared_ports[0].get("containerPort", service_id.port))
+        if behavior is None:
+            # Generic behaviour for unknown images: serve on the declared
+            # containerPort (or the registered port).
+            port = (int(declared_ports[0]["containerPort"])
+                    if declared_ports else service_id.port)
+            behavior = ServiceBehavior(name=container["name"], port=port)
+        spec_containers.append(SpecContainer(
+            name=container["name"], image=container["image"], behavior=behavior))
+    if target_port is None:
+        serving = next((c for c in spec_containers
+                        if c.behavior is not None and c.behavior.port is not None),
+                       spec_containers[0])
+        target_port = serving.behavior.port if serving.behavior else service_id.port
+
+    # ---- 6. generated Service definition ------------------------------------
+    service_doc = _service_doc(docs)
+    generated = service_doc is None
+    if service_doc is None:
+        service_doc = {
+            "apiVersion": "v1",
+            "kind": "Service",
+            "metadata": {"name": unique_name, "labels": dict(labels)},
+            "spec": {
+                "selector": dict(labels),
+                "ports": [{
+                    "port": service_id.port,
+                    "targetPort": target_port,
+                    "protocol": service_id.protocol,
+                }],
+            },
+        }
+    else:
+        service_doc.setdefault("metadata", {})["name"] = unique_name
+        service_doc["metadata"].setdefault("labels", {}).update(labels)
+        service_doc.setdefault("spec", {}).setdefault("selector", dict(labels))
+        service_doc["spec"].setdefault("ports", [{
+            "port": service_id.port, "targetPort": target_port,
+            "protocol": service_id.protocol,
+        }])
+
+    port_spec = service_doc["spec"]["ports"][0]
+    spec = DeploymentSpec(
+        name=unique_name,
+        containers=tuple(spec_containers),
+        port=int(port_spec.get("port", service_id.port)),
+        target_port=int(port_spec.get("targetPort", target_port)),
+        protocol=str(port_spec.get("protocol", "TCP")),
+        labels={EDGE_SERVICE_LABEL: unique_name},
+        scheduler_name=config.scheduler_name or DEFAULT_SCHEDULER,
+    )
+    return AnnotatedService(
+        service_id=service_id,
+        unique_name=unique_name,
+        deployment_doc=deployment,
+        service_doc=service_doc,
+        spec=spec,
+        service_doc_generated=generated,
+    )
+
+
+def minimal_yaml(image: str, container_port: Optional[int] = None, name: str = "") -> str:
+    """Generate the *minimal* developer-side YAML ("the only mandatory data
+    is the name of the image")."""
+    container: dict = {"image": image}
+    if name:
+        container["name"] = name
+    if container_port is not None:
+        container["ports"] = [{"containerPort": container_port}]
+    doc = {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "spec": {"template": {"spec": {"containers": [container]}}},
+    }
+    return yaml.safe_dump(doc, sort_keys=False)

@@ -1,0 +1,488 @@
+"""The Transparent-Edge SDN controller (Ryu application).
+
+Implements the transparent-access data path of the paper:
+
+* **Proxy-ARP** for the fabric's virtual gateway — every host's default
+  gateway resolves to the controller-owned virtual MAC, so the ingress
+  switch sees all off-subnet traffic;
+* **Interception**: a table-miss TCP packet whose ``(ipv4_dst, tcp_dst)``
+  matches a registered service triggers the Dispatcher (fig. 7);
+* **Rewriting**: the chosen instance is wired in with a pair of OpenFlow
+  set-field flows — upstream rewrites ``(dst IP, dst port, MACs)`` to the
+  instance endpoint, downstream rewrites the source back to the original
+  cloud address, so the redirection stays invisible to the client (fig. 2);
+* **On-demand deployment**: when no instance runs in the chosen edge, the
+  client's packet stays buffered at the switch while the deployment engine
+  brings one up (*with waiting*, fig. 5), or the request is redirected to a
+  farther instance while the optimal edge deploys in the background
+  (*without waiting*, fig. 3);
+* **Cloud fallback**: unregistered destinations — and registered services
+  the scheduler sends cloudward — are routed toward the cloud uplink
+  unchanged, exactly as the perceived-cloud model requires (fig. 1);
+* **FlowMemory**: every installed redirection is memorized so switch idle
+  timeouts can stay low, and idle instances are scaled down when the last
+  memorized flow for them expires (§V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.dispatcher import Dispatcher, DispatchResult
+from repro.core.fabric import FabricTopology
+from repro.core.flowmemory import FlowMemory, MemorizedFlow
+from repro.core.registry import EdgeService, ServiceRegistry
+from repro.core.serviceid import ServiceID
+from repro.edge.cluster import EdgeCluster, Endpoint
+from repro.netsim.addresses import BROADCAST_MAC, IPv4, MAC
+from repro.netsim.packet import (
+    ArpOp,
+    ArpPacket,
+    ETH_TYPE_ARP,
+    ETH_TYPE_IP,
+    EthernetFrame,
+)
+from repro.ryuapp import (
+    EventOFPFlowRemoved,
+    EventOFPPacketIn,
+    EventOFPStateChange,
+    MAIN_DISPATCHER,
+    RyuApp,
+    set_ev_cls,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ryuapp.datapath import Datapath
+
+
+@dataclass(frozen=True)
+class AttachmentPoint:
+    """Where a host or cluster node attaches to the switch fabric."""
+
+    dpid: int
+    port_no: int
+    mac: MAC
+    ip: IPv4
+
+
+@dataclass
+class ControllerConfig:
+    """Deploy-time configuration of the controller."""
+
+    #: the fabric's virtual gateway (every host's default gateway)
+    vgw_ip: IPv4
+    vgw_mac: MAC
+    #: idle timeout of switch redirection flows — kept LOW thanks to FlowMemory
+    switch_idle_timeout_s: float = 10.0
+    #: idle timeout of plain L3 route flows
+    route_idle_timeout_s: float = 30.0
+    #: priority bands
+    service_flow_priority: int = 20
+    route_flow_priority: int = 10
+    #: automatically scale down instances whose last memorized flow expired
+    auto_scale_down: bool = True
+    #: after an auto scale-down, Remove the service's containers/objects if
+    #: it stayed unused this much longer (fig. 4's Remove phase; None: keep
+    #: the created containers around for fast re-scale-ups)
+    auto_remove_after_s: Optional[float] = None
+    #: ablation switch: with False, re-misses always run the full dispatch
+    use_flow_memory: bool = True
+    #: inter-switch topology for multi-switch deployments (None: single
+    #: switch, the fig. 8 testbed)
+    fabric: Optional["FabricTopology"] = None
+    #: statically known hosts (cloud servers, cluster nodes): ip -> attachment
+    static_hosts: Dict[IPv4, AttachmentPoint] = field(default_factory=dict)
+
+
+#: cookie tag for service redirection flows (upstream direction)
+SERVICE_FLOW_COOKIE_BASE = 1 << 16
+
+
+class TransparentEdgeController(RyuApp):
+    """The controller application.
+
+    Constructor config (via :meth:`AppManager.register` kwargs):
+
+    * ``registry`` — :class:`ServiceRegistry`;
+    * ``dispatcher`` — :class:`Dispatcher` (owns scheduler + engine);
+    * ``memory`` — :class:`FlowMemory`;
+    * ``config`` — :class:`ControllerConfig`;
+    * ``cluster_attachments`` — cluster name → :class:`AttachmentPoint`.
+    """
+
+    def __init__(self, manager, **config):
+        super().__init__(manager, **config)
+        self.registry: ServiceRegistry = config["registry"]
+        self.dispatcher: Dispatcher = config["dispatcher"]
+        self.memory: FlowMemory = config["memory"]
+        self.cfg: ControllerConfig = config["config"]
+        self.cluster_attachments: Dict[str, AttachmentPoint] = config["cluster_attachments"]
+        #: optional proactive deployer (repro.core.predictor) observing the
+        #: request stream
+        self.predeployer = config.get("predeployer")
+        self.memory.on_idle = self._on_memory_idle
+        #: learned host locations: ip -> (dpid, port_no, mac)
+        self.hosts: Dict[IPv4, Tuple[int, int, MAC]] = {}
+        for addr, attachment in self.cfg.static_hosts.items():
+            self.hosts[addr] = (attachment.dpid, attachment.port_no, attachment.mac)
+        #: pending dispatches: (client, service_id) -> buffered packet-ins
+        self._pending: Dict[Tuple[IPv4, ServiceID], List] = {}
+        #: cookie -> cluster name (for load bookkeeping on FlowRemoved)
+        self._cookie_cluster: Dict[int, str] = {}
+        self._next_cookie = SERVICE_FLOW_COOKIE_BASE
+        #: diagnostics
+        self.stats = {
+            "packet_ins": 0,
+            "arp_proxied": 0,
+            "service_hits_memory": 0,
+            "service_dispatches": 0,
+            "cloud_routed": 0,
+            "l3_routed": 0,
+            "dropped_unknown_dst": 0,
+            "pending_coalesced": 0,
+        }
+
+    # ------------------------------------------------------------- datapaths
+
+    @set_ev_cls(EventOFPStateChange, MAIN_DISPATCHER)
+    def on_state_change(self, ev) -> None:
+        datapath = ev.datapath
+        # Install the table-miss entry (send to controller).
+        parser, ofp = datapath.ofproto_parser, datapath.ofproto
+        datapath.send_msg(parser.OFPFlowMod(
+            datapath, match=parser.OFPMatch(), priority=0,
+            actions=[parser.OFPActionOutput(ofp.OFPP_CONTROLLER)]))
+        self.log("switch-connected", dpid=datapath.id)
+
+    # -------------------------------------------------------------- packet-in
+
+    @set_ev_cls(EventOFPPacketIn, MAIN_DISPATCHER)
+    def on_packet_in(self, ev) -> None:
+        msg = ev.msg
+        self.stats["packet_ins"] += 1
+        frame: EthernetFrame = msg.frame
+        datapath = msg.datapath
+        self._learn(datapath.id, msg.in_port, frame)
+
+        arp = frame.arp
+        if arp is not None:
+            self._handle_arp(datapath, msg, arp)
+            return
+
+        packet = frame.ipv4
+        if packet is None:
+            return  # non-IP, non-ARP: ignore
+
+        fields = msg.fields
+        dst_port = fields.get("tcp_dst")
+        if dst_port is not None:
+            service = self.registry.lookup(packet.dst, dst_port)
+            if service is not None:
+                self._handle_service_packet(datapath, msg, service)
+                return
+        self._handle_plain_routing(datapath, msg)
+
+    # ------------------------------------------------------------- learning
+
+    def _learn(self, dpid: int, in_port: int, frame: EthernetFrame) -> None:
+        fabric = self.cfg.fabric
+        if fabric is not None and fabric.is_interswitch_port(dpid, in_port):
+            return  # not a host-facing port: never a host location
+        src_ip: Optional[IPv4] = None
+        arp = frame.arp
+        if arp is not None:
+            src_ip = arp.sender_ip
+        elif frame.ipv4 is not None:
+            src_ip = frame.ipv4.src
+        if src_ip is not None and not self.registry.is_registered_address(src_ip):
+            self.hosts[src_ip] = (dpid, in_port, frame.src)
+
+    # ------------------------------------------------------------------ ARP
+
+    def _handle_arp(self, datapath: "Datapath", msg, arp: ArpPacket) -> None:
+        if arp.op != ArpOp.REQUEST:
+            return  # replies only interest the learning table (done above)
+        parser = datapath.ofproto_parser
+        target = arp.target_ip
+        reply_mac: Optional[MAC] = None
+        if target == self.cfg.vgw_ip or self.registry.is_registered_address(target):
+            # The fabric answers for the gateway and for every registered
+            # (perceived-cloud) service address.
+            reply_mac = self.cfg.vgw_mac
+        elif target in self.hosts:
+            reply_mac = self.hosts[target][2]
+        if reply_mac is None:
+            # Unknown target: flood the request (normal L2 behaviour).
+            datapath.send_msg(parser.OFPPacketOut(
+                datapath, buffer_id=msg.buffer_id, in_port=msg.in_port,
+                actions=[parser.OFPActionOutput(datapath.ofproto.OFPP_FLOOD)]))
+            return
+        self.stats["arp_proxied"] += 1
+        reply = EthernetFrame(
+            src=reply_mac, dst=arp.sender_mac, ethertype=ETH_TYPE_ARP,
+            payload=ArpPacket(op=ArpOp.REPLY,
+                              sender_mac=reply_mac, sender_ip=target,
+                              target_mac=arp.sender_mac, target_ip=arp.sender_ip))
+        datapath.send_msg(parser.OFPPacketOut(
+            datapath, in_port=msg.in_port,
+            actions=[parser.OFPActionOutput(msg.in_port)], data=reply))
+
+    # --------------------------------------------------------- service path
+
+    def _handle_service_packet(self, datapath: "Datapath", msg,
+                               service: EdgeService) -> None:
+        client = msg.frame.ipv4.src
+        key = (client, service.service_id)
+        if self.predeployer is not None:
+            ready_now = any(cluster.is_ready(service.spec)
+                            for cluster in self.dispatcher.clusters)
+            self.predeployer.observe(client, service, ready_now)
+        pending = self._pending.get(key)
+        if pending is not None:
+            # A dispatch for this client+service is already in flight
+            # (e.g. a retransmitted SYN while deploying): hold this one too.
+            pending.append((datapath, msg))
+            self.stats["pending_coalesced"] += 1
+            return
+
+        remembered = (self.memory.lookup(client, service.service_id)
+                      if self.cfg.use_flow_memory else None)
+        if remembered is not None and remembered.cluster.is_ready(service.spec):
+            # Fast re-miss path: switch flow idled out but FlowMemory knows
+            # the decision — reinstall without dispatching (§V).
+            self.stats["service_hits_memory"] += 1
+            self._install_and_release(service, [(datapath, msg)],
+                                      remembered.cluster, remembered.endpoint,
+                                      count_load=False)
+            return
+        if remembered is not None:
+            # Instance vanished (scaled down elsewhere); forget and re-dispatch.
+            self.memory.forget(client, service.service_id)
+
+        self.stats["service_dispatches"] += 1
+        self._pending[key] = [(datapath, msg)]
+        self.spawn(self._dispatch_and_install(client, service, key),
+                   name=f"edge-dispatch:{client}:{service.name}")
+
+    def _dispatch_and_install(self, client: IPv4, service: EdgeService, key):
+        try:
+            result: DispatchResult = yield self.dispatcher.dispatch(client, service)
+        except Exception as exc:  # noqa: BLE001 - deployment failure
+            self.log("dispatch-failed", client=str(client),
+                     service=service.name, error=repr(exc))
+            self._pending.pop(key, None)
+            return
+        pending = self._pending.pop(key, [])
+        if result.toward_cloud:
+            self.stats["cloud_routed"] += 1
+            for datapath, msg in pending:
+                self._route_toward(datapath, msg, msg.frame.ipv4.dst)
+            return
+        if self.cfg.use_flow_memory:
+            self.memory.remember(client, service.service_id,
+                                 result.cluster, result.endpoint)
+        self._install_and_release(service, pending, result.cluster, result.endpoint)
+
+    def _install_and_release(self, service: EdgeService, pending,
+                             cluster: EdgeCluster, endpoint: Endpoint,
+                             count_load: bool = True) -> None:
+        if not pending:
+            return
+        datapath, first_msg = pending[0]
+        client = first_msg.frame.ipv4.src
+        client_loc = self.hosts.get(client)
+        attachment = self.cluster_attachments.get(cluster.name)
+        if client_loc is None or attachment is None:
+            self.log("missing-topology-info", client=str(client),
+                     cluster=cluster.name)
+            return
+        client_dpid, client_port, client_mac = client_loc
+        parser, ofp = datapath.ofproto_parser, datapath.ofproto
+        service_id = service.service_id
+
+        cookie = self._next_cookie
+        self._next_cookie += 1
+        self._cookie_cluster[cookie] = cluster.name
+        if count_load:
+            self.dispatcher.note_flow_installed(cluster)
+
+        # The dpid path from the client's ingress switch to the switch in
+        # front of the instance (a single element for the fig. 8 testbed).
+        fabric = self.cfg.fabric
+        if fabric is not None and client_dpid != attachment.dpid:
+            path = fabric.path(client_dpid, attachment.dpid)
+        else:
+            path = [client_dpid]
+
+        def egress_port(dpid: int, index: int) -> int:
+            """Upstream output port of switch ``path[index]``."""
+            if index + 1 < len(path):
+                return fabric.port_toward(dpid, path[index + 1])
+            return attachment.port_no
+
+        def ingress_port(dpid: int, index: int) -> int:
+            """Downstream output port of switch ``path[index]``."""
+            if index > 0:
+                return fabric.port_toward(dpid, path[index - 1])
+            return client_port
+
+        upstream_match = parser.OFPMatch(
+            eth_type=ETH_TYPE_IP, ip_proto=6,
+            ipv4_src=client, ipv4_dst=service_id.addr, tcp_dst=service_id.port)
+        downstream_match = parser.OFPMatch(
+            eth_type=ETH_TYPE_IP, ip_proto=6,
+            ipv4_src=endpoint.ip, tcp_src=endpoint.port, ipv4_dst=client)
+        #: after the ingress rewrite, upstream packets carry the endpoint
+        #: address — transit/egress switches match on that
+        rewritten_match = parser.OFPMatch(
+            eth_type=ETH_TYPE_IP, ip_proto=6,
+            ipv4_src=client, ipv4_dst=endpoint.ip, tcp_dst=endpoint.port)
+
+        release_actions: Dict[int, list] = {}
+        # Install farthest-first and downstream-before-upstream: every
+        # control channel has the same latency, so by the time the released
+        # packet reaches any switch its rules are already there.
+        for index in range(len(path) - 1, -1, -1):
+            dpid = path[index]
+            hop_dp = self.manager.datapaths.get(dpid)
+            if hop_dp is None:
+                self.log("missing-datapath", dpid=dpid)
+                return
+            first = index == 0
+            last = index == len(path) - 1
+
+            down_actions = []
+            if first:
+                down_actions += [
+                    parser.OFPActionSetField(ipv4_src=service_id.addr),
+                    parser.OFPActionSetField(tcp_src=service_id.port),
+                    parser.OFPActionSetField(eth_src=self.cfg.vgw_mac),
+                    parser.OFPActionSetField(eth_dst=client_mac),
+                ]
+            down_actions.append(parser.OFPActionOutput(ingress_port(dpid, index)))
+            hop_dp.send_msg(parser.OFPFlowMod(
+                hop_dp, match=downstream_match, actions=down_actions,
+                priority=self.cfg.service_flow_priority,
+                idle_timeout=self.cfg.switch_idle_timeout_s, cookie=cookie))
+
+            up_actions = []
+            if first:
+                up_actions += [
+                    parser.OFPActionSetField(ipv4_dst=endpoint.ip),
+                    parser.OFPActionSetField(tcp_dst=endpoint.port),
+                ]
+            if last:
+                up_actions += [
+                    parser.OFPActionSetField(eth_src=self.cfg.vgw_mac),
+                    parser.OFPActionSetField(eth_dst=attachment.mac),
+                ]
+            up_actions.append(parser.OFPActionOutput(egress_port(dpid, index)))
+            hop_dp.send_msg(parser.OFPFlowMod(
+                hop_dp, match=upstream_match if first else rewritten_match,
+                actions=up_actions,
+                priority=self.cfg.service_flow_priority,
+                idle_timeout=self.cfg.switch_idle_timeout_s, cookie=cookie,
+                flags=ofp.OFPFF_SEND_FLOW_REM if first else 0))
+            release_actions[dpid] = up_actions
+
+        # Release every buffered packet through its switch's upstream rules.
+        for release_dp, release_msg in pending:
+            actions = release_actions.get(release_dp.id)
+            if actions is None:
+                continue  # buffered at a switch off the chosen path
+            release_dp.send_msg(parser.OFPPacketOut(
+                release_dp, buffer_id=release_msg.buffer_id,
+                in_port=release_msg.in_port, actions=list(actions),
+                data=release_msg.frame if release_msg.buffer_id == ofp.OFP_NO_BUFFER else None))
+        self.log("flows-installed", client=str(client), service=service.name,
+                 endpoint=str(endpoint), cluster=cluster.name,
+                 hops=len(path))
+
+    # --------------------------------------------------------- plain routing
+
+    def _handle_plain_routing(self, datapath: "Datapath", msg) -> None:
+        dst = msg.frame.ipv4.dst
+        self._route_toward(datapath, msg, dst)
+
+    def _route_toward(self, datapath: "Datapath", msg, dst: IPv4) -> None:
+        location = self.hosts.get(dst)
+        parser = datapath.ofproto_parser
+        if location is None:
+            self.stats["dropped_unknown_dst"] += 1
+            self.log("unknown-destination", dst=str(dst))
+            return
+        dst_dpid, dst_port, dst_mac = location
+        self.stats["l3_routed"] += 1
+        fabric = self.cfg.fabric
+        if fabric is not None and datapath.id != dst_dpid:
+            path = fabric.path(datapath.id, dst_dpid)
+        else:
+            path = [datapath.id]
+        match = parser.OFPMatch(eth_type=ETH_TYPE_IP, ipv4_dst=dst)
+        first_hop_actions = None
+        for index, dpid in enumerate(path):
+            hop_dp = self.manager.datapaths.get(dpid)
+            if hop_dp is None:
+                return
+            if index + 1 < len(path):
+                actions = [parser.OFPActionOutput(
+                    fabric.port_toward(dpid, path[index + 1]))]
+            else:
+                actions = [
+                    parser.OFPActionSetField(eth_src=self.cfg.vgw_mac),
+                    parser.OFPActionSetField(eth_dst=dst_mac),
+                    parser.OFPActionOutput(dst_port),
+                ]
+            hop_dp.send_msg(parser.OFPFlowMod(
+                hop_dp, match=match, actions=actions,
+                priority=self.cfg.route_flow_priority,
+                idle_timeout=self.cfg.route_idle_timeout_s))
+            if index == 0:
+                first_hop_actions = actions
+        datapath.send_msg(parser.OFPPacketOut(
+            datapath, buffer_id=msg.buffer_id, in_port=msg.in_port,
+            actions=list(first_hop_actions or []),
+            data=msg.frame if msg.buffer_id == datapath.ofproto.OFP_NO_BUFFER else None))
+
+    # ----------------------------------------------------------- flow events
+
+    @set_ev_cls(EventOFPFlowRemoved, MAIN_DISPATCHER)
+    def on_flow_removed(self, ev) -> None:
+        cookie = ev.msg.cookie
+        cluster_name = self._cookie_cluster.pop(cookie, None)
+        if cluster_name is not None:
+            for cluster in self.dispatcher.clusters:
+                if cluster.name == cluster_name:
+                    self.dispatcher.note_flow_removed(cluster)
+                    break
+
+    # -------------------------------------------------------- idle scaledown
+
+    def _on_memory_idle(self, flow: MemorizedFlow, still_referenced: bool) -> None:
+        if still_referenced or not self.cfg.auto_scale_down:
+            return
+        service = self.registry.lookup(flow.service_id.addr, flow.service_id.port,
+                                       flow.service_id.protocol)
+        if service is None:
+            return
+        self.log("auto-scale-down", service=service.name, cluster=flow.cluster.name)
+        self.dispatcher.engine.scale_down(flow.cluster, service)
+        if self.cfg.auto_remove_after_s is not None:
+            self.sim.schedule(self.cfg.auto_remove_after_s,
+                              self._auto_remove_check, flow.cluster, service)
+
+    def _auto_remove_check(self, cluster: EdgeCluster, service: EdgeService) -> None:
+        """Remove the (stopped) containers/objects of a service that stayed
+        unused through the grace period (fig. 4's Remove phase)."""
+        if self.memory.flows_for_service(service.service_id):
+            return  # came back into use
+        if cluster.is_ready(service.spec):
+            return  # re-deployed meanwhile
+        if not cluster.is_created(service.spec):
+            return  # already gone
+        if self.registry.lookup(service.service_id.addr, service.service_id.port,
+                                service.service_id.protocol) is None:
+            return  # deregistered; EdgeAdmin owns the cleanup
+        self.log("auto-remove", service=service.name, cluster=cluster.name)
+        self.dispatcher.engine.remove(cluster, service)

@@ -1,0 +1,146 @@
+"""The Dispatcher: the controller's decision loop (fig. 7).
+
+For a packet with no memorized flow, the Dispatcher
+
+1. gathers the list of existing and running instances of the requested
+   service across all clusters,
+2. passes it (with the client's location) to the Global Scheduler,
+3. receives the FAST choice (current request) and BEST choice (future
+   requests),
+4. ensures both chosen instances are created and scaled up — waiting for
+   FAST, running BEST in the background,
+5. returns where to redirect the client's request (or "toward the cloud").
+
+It also tracks clients' current locations and per-cluster load, and feeds
+the Scheduler with that system state (§IV-B: the Dispatcher "feeds the
+Scheduler with information about the current system state").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.deployment import DeploymentEngine
+from repro.core.flowmemory import FlowMemory
+from repro.core.registry import EdgeService
+from repro.core.scheduler import GlobalScheduler, Placement, ScheduleRequest
+from repro.core.zones import ZoneMap
+from repro.edge.cluster import EdgeCluster, Endpoint, InstanceInfo
+from repro.netsim.addresses import IPv4
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Process, Simulator
+
+
+@dataclass
+class DispatchResult:
+    """Where the current request goes."""
+
+    #: ready endpoint to redirect to; None → forward toward the cloud
+    endpoint: Optional[Endpoint]
+    cluster: Optional[EdgeCluster]
+    #: a BEST deployment was started in the background (without-waiting mode)
+    background_best: bool = False
+    #: the request waited for an on-demand deployment
+    waited: bool = False
+
+    @property
+    def toward_cloud(self) -> bool:
+        return self.endpoint is None
+
+
+class Dispatcher:
+    """Implements the fig. 7 flow chart against the cluster inventory."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        clusters: List[EdgeCluster],
+        scheduler: GlobalScheduler,
+        engine: DeploymentEngine,
+        memory: FlowMemory,
+        zones: Optional[ZoneMap] = None,
+    ):
+        self.sim = sim
+        self.clusters = list(clusters)
+        self.scheduler = scheduler
+        self.engine = engine
+        self.memory = memory
+        self.zones = zones if zones is not None else ZoneMap()
+        #: client ip -> zone (current location tracking)
+        self._client_locations: Dict[IPv4, str] = {}
+        #: cluster name -> active flow count (load signal for schedulers)
+        self.load: Dict[str, int] = {}
+        #: diagnostics
+        self.dispatches = 0
+        self.cloud_fallbacks = 0
+        self.without_waiting = 0
+
+    # ----------------------------------------------------------- locations
+
+    def observe_client(self, client: IPv4) -> str:
+        zone = self.zones.zone_of(client)
+        self._client_locations[client] = zone
+        return zone
+
+    def client_zone(self, client: IPv4) -> str:
+        return self._client_locations.get(client) or self.zones.zone_of(client)
+
+    # ------------------------------------------------------------ inventory
+
+    def gather_instances(self, service: EdgeService) -> List[InstanceInfo]:
+        """The "gather list of existing+running instances" box of fig. 7."""
+        instances: List[InstanceInfo] = []
+        for cluster in self.clusters:
+            instances.extend(cluster.instances(service.spec))
+        return instances
+
+    def note_flow_installed(self, cluster: EdgeCluster) -> None:
+        self.load[cluster.name] = self.load.get(cluster.name, 0) + 1
+
+    def note_flow_removed(self, cluster: EdgeCluster) -> None:
+        count = self.load.get(cluster.name, 0)
+        self.load[cluster.name] = max(0, count - 1)
+
+    # -------------------------------------------------------------- dispatch
+
+    def dispatch(self, client: IPv4, service: EdgeService) -> "Process":
+        """Run the full decision (a process yielding a DispatchResult)."""
+        return self.sim.spawn(self._dispatch_proc(client, service),
+                              name=f"dispatch:{client}:{service.name}")
+
+    def _dispatch_proc(self, client: IPv4, service: EdgeService):
+        self.dispatches += 1
+        zone = self.observe_client(client)
+        # Gathering existing+running instances costs real API round trips to
+        # every cluster (fig. 7's first box) — the cost FlowMemory avoids on
+        # re-misses. The queries run concurrently; the slowest one gates.
+        if self.clusters:
+            yield self.sim.timeout(max(c.inventory_query_s for c in self.clusters))
+        instances = self.gather_instances(service)
+        placement: Placement = self.scheduler.schedule(ScheduleRequest(
+            service=service,
+            client_zone=zone,
+            instances=instances,
+            clusters=self.clusters,
+            load=dict(self.load),
+        ))
+
+        # BEST: deploy in the background for future requests (fig. 3).
+        background_best = False
+        if placement.best is not None:
+            background_best = True
+            self.without_waiting += 1
+            self.engine.ensure_available(placement.best, service)
+
+        if placement.fast is None:
+            self.cloud_fallbacks += 1
+            return DispatchResult(endpoint=None, cluster=None,
+                                  background_best=background_best)
+
+        fast = placement.fast
+        waited = not fast.is_ready(service.spec)
+        endpoint = yield self.engine.ensure_available(fast, service)
+        return DispatchResult(endpoint=endpoint, cluster=fast,
+                              background_best=background_best, waited=waited)

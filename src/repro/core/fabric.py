@@ -1,0 +1,95 @@
+"""The switch fabric: topology knowledge for multi-switch deployments.
+
+The evaluation testbed has one virtual OVS switch (fig. 8), but the concept
+(fig. 1/2) is a 5G network where the ingress gNB switch, aggregation
+switches, and the switches in front of edge clusters are distinct datapaths.
+A :class:`FabricTopology` gives the controller what a real deployment learns
+via LLDP: which (dpid, port) pairs interconnect switches, and shortest paths
+between any two datapaths (networkx under the hood, weighted by link
+latency).
+
+The controller uses it to install the redirection flows *along the whole
+path*: full rewrite at the client's ingress switch and at the egress switch
+in front of the instance, plain 5-tuple forwarding entries at transit
+switches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+
+class FabricError(ValueError):
+    """Inconsistent fabric description or unroutable path."""
+
+
+class FabricTopology:
+    """Inter-switch connectivity + shortest-path routing."""
+
+    def __init__(self):
+        self._graph = nx.Graph()
+        #: (dpid_a, dpid_b) -> port on dpid_a toward dpid_b
+        self._ports: Dict[Tuple[int, int], int] = {}
+        self._paths_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------- building
+
+    def add_switch(self, dpid: int) -> None:
+        self._graph.add_node(dpid)
+
+    def add_link(self, dpid_a: int, port_a: int, dpid_b: int, port_b: int,
+                 weight: float = 1.0) -> None:
+        """Register an inter-switch link (both directions)."""
+        if dpid_a == dpid_b:
+            raise FabricError("self-links are not allowed")
+        for key in ((dpid_a, dpid_b), (dpid_b, dpid_a)):
+            if key in self._ports:
+                raise FabricError(f"link {dpid_a}<->{dpid_b} already present")
+        self._graph.add_edge(dpid_a, dpid_b, weight=weight)
+        self._ports[(dpid_a, dpid_b)] = port_a
+        self._ports[(dpid_b, dpid_a)] = port_b
+        self._paths_cache.clear()
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def switches(self) -> List[int]:
+        return sorted(self._graph.nodes)
+
+    def has_switch(self, dpid: int) -> bool:
+        return dpid in self._graph
+
+    def path(self, src_dpid: int, dst_dpid: int) -> List[int]:
+        """Shortest dpid path from ``src`` to ``dst`` (inclusive)."""
+        if src_dpid == dst_dpid:
+            return [src_dpid]
+        key = (src_dpid, dst_dpid)
+        cached = self._paths_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        try:
+            found = nx.shortest_path(self._graph, src_dpid, dst_dpid,
+                                     weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise FabricError(f"no path {src_dpid} -> {dst_dpid}") from exc
+        self._paths_cache[key] = found
+        return list(found)
+
+    def port_toward(self, src_dpid: int, next_dpid: int) -> int:
+        """Output port on ``src`` that reaches the adjacent ``next`` switch."""
+        port = self._ports.get((src_dpid, next_dpid))
+        if port is None:
+            raise FabricError(f"{src_dpid} and {next_dpid} are not adjacent")
+        return port
+
+    def hops(self, src_dpid: int, dst_dpid: int) -> int:
+        return len(self.path(src_dpid, dst_dpid)) - 1
+
+    def is_interswitch_port(self, dpid: int, port: int) -> bool:
+        """True when (dpid, port) faces another switch — host-location
+        learning must ignore packets arriving there (as LLDP-aware
+        controllers do)."""
+        return any(src == dpid and p == port
+                   for (src, _), p in self._ports.items())

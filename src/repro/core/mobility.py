@@ -1,0 +1,66 @@
+"""Client mobility: follow-me edge handover.
+
+The Dispatcher already "tracks the clients' current location" (§IV-B). This
+module adds what the related work calls *Follow Me Edge* (Taleb et al. [12],
+[13]): when a UE moves to a different access zone, its existing redirection
+decisions point at what is no longer the nearest edge. A handover
+
+1. updates the client's zone in the :class:`~repro.core.zones.ZoneMap`,
+2. forgets the client's FlowMemory entries,
+3. deletes the client's redirection flows on every switch,
+
+so the very next packet re-enters the dispatch path and lands on the edge
+cluster nearest to the *new* location — still fully transparent to the
+client, which keeps addressing the cloud IP throughout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.netsim.addresses import IPv4
+from repro.netsim.packet import ETH_TYPE_IP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller import TransparentEdgeController
+
+
+class MobilityManager:
+    """Performs handovers against a running controller."""
+
+    def __init__(self, controller: "TransparentEdgeController"):
+        self.controller = controller
+        #: diagnostics
+        self.handovers = 0
+
+    def handover(self, client: IPv4, new_zone: Optional[str] = None) -> int:
+        """Move ``client`` (optionally to ``new_zone``); returns the number
+        of memorized flows that were invalidated."""
+        controller = self.controller
+        dispatcher = controller.dispatcher
+        if new_zone is not None:
+            dispatcher.zones.assign_client(client, new_zone)
+            dispatcher._client_locations[client] = new_zone
+
+        # 2. forget the client's memorized decisions
+        invalidated = 0
+        for flow in list(dispatcher.memory._flows.values()):
+            if flow.client == client:
+                dispatcher.memory.forget(flow.client, flow.service_id)
+                invalidated += 1
+
+        # 3. remove the client's redirection flows from every switch
+        for datapath in controller.manager.datapaths.values():
+            parser, ofp = datapath.ofproto_parser, datapath.ofproto
+            upstream = parser.OFPMatch(eth_type=ETH_TYPE_IP, ip_proto=6,
+                                       ipv4_src=client)
+            downstream = parser.OFPMatch(eth_type=ETH_TYPE_IP, ip_proto=6,
+                                         ipv4_dst=client)
+            for match in (upstream, downstream):
+                datapath.send_msg(parser.OFPFlowMod(
+                    datapath, match=match, command=ofp.OFPFC_DELETE))
+        self.handovers += 1
+        controller.log("handover", client=str(client),
+                       zone=new_zone or dispatcher.client_zone(client),
+                       invalidated=invalidated)
+        return invalidated

@@ -1,0 +1,100 @@
+"""The mobile-edge platform's service registry (§II).
+
+Services are registered with the platform by their cloud address (IP +
+port); the network then intercepts any request from a client to a registered
+service. Registration runs the annotation pipeline once and stores the
+resulting cluster-neutral spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.annotate import AnnotatedService, AnnotationConfig, annotate_service, minimal_yaml
+from repro.core.serviceid import ServiceID
+from repro.edge.cluster import DeploymentSpec
+from repro.netsim.addresses import IPv4
+
+
+@dataclass
+class EdgeService:
+    """A registered edge service: identity + annotated deployment spec."""
+
+    service_id: ServiceID
+    annotated: AnnotatedService
+    #: latency budget for the *initial* request; when a cold deployment is
+    #: predicted to exceed it and an alternative instance exists, the
+    #: scheduler picks On-Demand Deployment *without* waiting (§IV-A2).
+    max_initial_delay_s: Optional[float] = None
+
+    @property
+    def spec(self) -> DeploymentSpec:
+        return self.annotated.spec
+
+    @property
+    def name(self) -> str:
+        return self.annotated.unique_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EdgeService {self.service_id} -> {self.name}>"
+
+
+class ServiceRegistry:
+    """ServiceID -> EdgeService lookup used by the controller's fast path."""
+
+    def __init__(self, annotation_config: Optional[AnnotationConfig] = None):
+        self.annotation_config = annotation_config or AnnotationConfig()
+        self._services: Dict[ServiceID, EdgeService] = {}
+        #: secondary index: registered addresses (for proxy-ARP decisions)
+        self._addresses: Dict[IPv4, int] = {}
+
+    def register(
+        self,
+        service_id: ServiceID,
+        yaml_text: Optional[str] = None,
+        image: Optional[str] = None,
+        container_port: Optional[int] = None,
+        max_initial_delay_s: Optional[float] = None,
+    ) -> EdgeService:
+        """Register a service from YAML (or from just an image name)."""
+        if service_id in self._services:
+            raise ValueError(f"service {service_id} already registered")
+        if yaml_text is None:
+            if image is None:
+                raise ValueError("register needs yaml_text or an image")
+            yaml_text = minimal_yaml(image, container_port)
+        annotated = annotate_service(yaml_text, service_id, self.annotation_config)
+        service = EdgeService(service_id=service_id, annotated=annotated,
+                              max_initial_delay_s=max_initial_delay_s)
+        self._services[service_id] = service
+        self._addresses[service_id.addr] = self._addresses.get(service_id.addr, 0) + 1
+        return service
+
+    def deregister(self, service_id: ServiceID) -> Optional[EdgeService]:
+        service = self._services.pop(service_id, None)
+        if service is not None:
+            remaining = self._addresses.get(service_id.addr, 1) - 1
+            if remaining <= 0:
+                self._addresses.pop(service_id.addr, None)
+            else:
+                self._addresses[service_id.addr] = remaining
+        return service
+
+    # ------------------------------------------------------------- lookups
+
+    def lookup(self, addr: IPv4, port: int, protocol: str = "TCP") -> Optional[EdgeService]:
+        return self._services.get(ServiceID(addr, port, protocol))
+
+    def is_registered_address(self, addr: IPv4) -> bool:
+        """Any service registered on this IP (for proxy-ARP)?"""
+        return addr in self._addresses
+
+    def services(self) -> List[EdgeService]:
+        return list(self._services.values())
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, service_id: ServiceID) -> bool:
+        return service_id in self._services

@@ -1,0 +1,193 @@
+"""Global schedulers: the FAST / BEST placement decision (§IV-B).
+
+The *Global Scheduler* chooses edge clusters; the *Local Scheduler* (a
+Kubernetes scheduler plug-in, see
+:meth:`repro.edge.kubernetes.KubernetesCluster.register_scheduler`) chooses
+an instance within a cluster.
+
+Contract (fig. 6 / §IV-B1): given the current system state the Global
+Scheduler returns
+
+* ``fast`` — where to serve the *current* request. May be a cluster without
+  a running instance (→ on-demand deployment **with waiting**) or ``None``
+  (→ forward toward the cloud).
+* ``best`` — where *future* requests should be served. Empty when equal to
+  the FAST choice; non-empty means on-demand deployment **without waiting**
+  (deploy at ``best`` in parallel while ``fast`` serves the request).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.registry import EdgeService
+from repro.core.zones import ZoneMap
+from repro.edge.cluster import DeploymentSpec, EdgeCluster, InstanceInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+@dataclass
+class ScheduleRequest:
+    """Everything the Dispatcher feeds the Global Scheduler (fig. 7)."""
+
+    service: EdgeService
+    client_zone: str
+    #: existing+running instances, across all clusters
+    instances: List[InstanceInfo]
+    #: all candidate clusters (running an instance or not)
+    clusters: List[EdgeCluster]
+    #: active flows per cluster name (for load-aware policies)
+    load: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Placement:
+    """The scheduler's two choices."""
+
+    fast: Optional[EdgeCluster]
+    best: Optional[EdgeCluster] = None
+
+    def __post_init__(self):
+        # Normalize: BEST empty if equal to FAST (§IV-B1).
+        if self.best is not None and self.fast is not None and self.best is self.fast:
+            self.best = None
+
+    @property
+    def without_waiting(self) -> bool:
+        return self.best is not None
+
+    @property
+    def toward_cloud(self) -> bool:
+        return self.fast is None
+
+
+def estimate_time_to_ready(cluster: EdgeCluster, spec: DeploymentSpec) -> float:
+    """Rough time until a (possibly cold) instance is ready on ``cluster``.
+
+    Used by schedulers to honour a service's ``max_initial_delay_s``.
+    Delegates to :meth:`EdgeCluster.estimate_cold_start_s`, whose estimates
+    derive from the same timing models the substrate charges.
+    """
+    if cluster.is_ready(spec):
+        return 0.0
+    return cluster.estimate_cold_start_s(spec)
+
+
+class GlobalScheduler:
+    """Base class: implement :meth:`schedule`."""
+
+    name = "abstract"
+
+    def schedule(self, request: ScheduleRequest) -> Placement:
+        raise NotImplementedError
+
+    # Shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def ready_instances(request: ScheduleRequest) -> List[InstanceInfo]:
+        return [inst for inst in request.instances if inst.ready]
+
+
+class ProximityScheduler(GlobalScheduler):
+    """The paper's default policy: redirect to the closest edge (§II), with
+    both on-demand deployment modes (§IV-A).
+
+    * optimal = nearest cluster to the client (by zone RTT);
+    * if optimal is ready → FAST = optimal;
+    * else if the service's latency budget tolerates deploying at optimal →
+      FAST = optimal (with waiting);
+    * else if some other cluster is ready → FAST = that cluster (nearest
+      ready), BEST = optimal (without waiting);
+    * else FAST = optimal anyway when allowed to deploy, or None → cloud.
+    """
+
+    name = "proximity"
+
+    def __init__(self, zones: ZoneMap, allow_deploy: bool = True):
+        self.zones = zones
+        self.allow_deploy = allow_deploy
+
+    def _rank(self, request: ScheduleRequest, clusters: Sequence[EdgeCluster],
+              ready_clusters: frozenset) -> List[EdgeCluster]:
+        # Proximity first; among equally-near clusters prefer one that is
+        # already ready (e.g. the hybrid Docker→K8s handover on one EGS).
+        return sorted(clusters,
+                      key=lambda c: (self.zones.rtt(request.client_zone, c.zone),
+                                     id(c) not in ready_clusters, c.name))
+
+    def schedule(self, request: ScheduleRequest) -> Placement:
+        if not request.clusters:
+            return Placement(fast=None)
+        ready_clusters = frozenset(id(inst.cluster)
+                                   for inst in self.ready_instances(request))
+        ranked = self._rank(request, request.clusters, ready_clusters)
+        optimal = ranked[0]
+        if id(optimal) in ready_clusters:
+            return Placement(fast=optimal)
+        if not self.allow_deploy:
+            ready_ranked = [c for c in ranked if id(c) in ready_clusters]
+            return Placement(fast=ready_ranked[0] if ready_ranked else None)
+        budget = request.service.max_initial_delay_s
+        if budget is not None:
+            eta = estimate_time_to_ready(optimal, request.service.spec)
+            if eta > budget:
+                ready_ranked = [c for c in ranked if id(c) in ready_clusters]
+                if ready_ranked:
+                    # On-demand deployment WITHOUT waiting (fig. 3).
+                    return Placement(fast=ready_ranked[0], best=optimal)
+                # No alternative: the scheduler may still prefer the cloud
+                # for the first request while the edge deploys.
+                return Placement(fast=None, best=optimal)
+        # On-demand deployment WITH waiting (fig. 2 / fig. 5).
+        return Placement(fast=optimal)
+
+
+class RoundRobinScheduler(GlobalScheduler):
+    """Spreads deployments across clusters in turn; prefers ready instances
+    for the FAST choice."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cycle = itertools.count()
+
+    def schedule(self, request: ScheduleRequest) -> Placement:
+        if not request.clusters:
+            return Placement(fast=None)
+        ready = self.ready_instances(request)
+        if ready:
+            return Placement(fast=ready[0].cluster)
+        index = next(self._cycle) % len(request.clusters)
+        return Placement(fast=request.clusters[index])
+
+
+class LoadAwareScheduler(GlobalScheduler):
+    """Chooses the least-loaded cluster (active flows), breaking ties by
+    proximity; deploys there when not ready."""
+
+    name = "load-aware"
+
+    def __init__(self, zones: ZoneMap):
+        self.zones = zones
+
+    def schedule(self, request: ScheduleRequest) -> Placement:
+        if not request.clusters:
+            return Placement(fast=None)
+
+        def key(cluster: EdgeCluster):
+            return (request.load.get(cluster.name, 0),
+                    self.zones.rtt(request.client_zone, cluster.zone),
+                    cluster.name)
+
+        ranked = sorted(request.clusters, key=key)
+        chosen = ranked[0]
+        ready_clusters = {id(inst.cluster) for inst in self.ready_instances(request)}
+        if id(chosen) in ready_clusters or not ready_clusters:
+            return Placement(fast=chosen)
+        ready_ranked = [c for c in ranked if id(c) in ready_clusters]
+        # Serve now from the best ready cluster; rebalance to `chosen` later.
+        return Placement(fast=ready_ranked[0], best=chosen)

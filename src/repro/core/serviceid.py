@@ -1,0 +1,53 @@
+"""Service identity: the unique combination of address and port (§II).
+
+Clients address edge services exactly as they would address the cloud
+original; the platform recognises registered services by ``(IP, port,
+protocol)``. Domain names resolve to IPs before registration (a static DNS
+table stands in for resolution here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.netsim.addresses import IPv4, ip
+
+
+@dataclass(frozen=True)
+class ServiceID:
+    """``(address, port, protocol)`` — how the platform identifies a service."""
+
+    addr: IPv4
+    port: int
+    protocol: str = "TCP"
+
+    def __post_init__(self):
+        if not 0 < self.port <= 65535:
+            raise ValueError(f"bad port {self.port}")
+        if self.protocol not in ("TCP", "UDP"):
+            raise ValueError(f"unsupported protocol {self.protocol!r}")
+
+    @classmethod
+    def parse(cls, text: str, dns: Optional[Dict[str, IPv4]] = None,
+              protocol: str = "TCP") -> "ServiceID":
+        """Parse ``"1.2.3.4:80"`` or ``"api.example.com:443"`` (the latter
+        needs a ``dns`` table)."""
+        host, sep, port_text = text.rpartition(":")
+        if not sep or not port_text.isdigit():
+            raise ValueError(f"malformed service address {text!r}")
+        try:
+            addr = ip(host)
+        except (ValueError, TypeError):
+            if dns is None or host not in dns:
+                raise ValueError(f"cannot resolve host {host!r}") from None
+            addr = dns[host]
+        return cls(addr=addr, port=int(port_text), protocol=protocol)
+
+    @property
+    def slug(self) -> str:
+        """Filesystem/label-safe identifier used in annotations."""
+        return f"{str(self.addr).replace('.', '-')}-{self.port}"
+
+    def __str__(self) -> str:
+        return f"{self.addr}:{self.port}"

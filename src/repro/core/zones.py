@@ -1,0 +1,76 @@
+"""Proximity model: zones and inter-zone RTTs.
+
+Edge clusters are organised hierarchically (§IV-A2): clusters close to the
+users are small, clusters on the route to the cloud are bigger and more
+likely to have images cached or instances running. A :class:`ZoneMap`
+captures that geometry as named zones with pairwise RTTs; the Global
+Scheduler uses it to rank clusters by proximity to the requesting client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.netsim.addresses import IPv4
+
+
+class ZoneMap:
+    """Named zones with symmetric pairwise RTTs and client-IP assignment."""
+
+    def __init__(self, default_rtt_s: float = 0.050):
+        self._rtt: Dict[Tuple[str, str], float] = {}
+        self._client_zone: Dict[IPv4, str] = {}
+        self._subnet_zone: list[tuple[IPv4, int, str]] = []
+        self.default_rtt_s = default_rtt_s
+        self._zones: set[str] = set()
+
+    # ------------------------------------------------------------ topology
+
+    def add_zone(self, name: str) -> None:
+        self._zones.add(name)
+
+    def set_rtt(self, a: str, b: str, rtt_s: float) -> None:
+        if rtt_s < 0:
+            raise ValueError("negative RTT")
+        self._zones.update((a, b))
+        self._rtt[(a, b)] = rtt_s
+        self._rtt[(b, a)] = rtt_s
+
+    def rtt(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        return self._rtt.get((a, b), self.default_rtt_s)
+
+    @property
+    def zones(self) -> set:
+        return set(self._zones)
+
+    # ------------------------------------------------------------- clients
+
+    def assign_client(self, addr: IPv4, zone: str) -> None:
+        self._zones.add(zone)
+        self._client_zone[addr] = zone
+
+    def assign_subnet(self, network: IPv4, prefix_len: int, zone: str) -> None:
+        self._zones.add(zone)
+        self._subnet_zone.append((network, prefix_len, zone))
+        # Longest prefix first for lookups.
+        self._subnet_zone.sort(key=lambda entry: -entry[1])
+
+    def zone_of(self, addr: IPv4, default: str = "default") -> str:
+        zone = self._client_zone.get(addr)
+        if zone is not None:
+            return zone
+        for network, prefix_len, zone in self._subnet_zone:
+            if addr.in_subnet(network, prefix_len):
+                return zone
+        return default
+
+    def nearest(self, client_zone: str, candidates: Iterable[str]) -> Optional[str]:
+        best: Optional[str] = None
+        best_rtt = float("inf")
+        for zone in candidates:
+            rtt = self.rtt(client_zone, zone)
+            if rtt < best_rtt:
+                best, best_rtt = zone, rtt
+        return best

@@ -1,0 +1,61 @@
+"""Edge-cluster substrate: container runtime, Docker, Kubernetes, registries.
+
+Everything the on-demand deployment engine talks to lives here:
+
+* :mod:`repro.edge.images` — layered container images (content-addressed);
+* :mod:`repro.edge.registry` — Docker-Hub / GCR / private-LAN registries
+  with a per-layer pull-time model;
+* :mod:`repro.edge.containerd` — the shared container runtime (both Docker
+  and Kubernetes on the paper's EGS sit on one containerd), with the
+  namespace-setup-dominated cold-start model of Mohan et al. [23];
+* :mod:`repro.edge.docker` — a docker-SDK-shaped engine;
+* :mod:`repro.edge.kubernetes` — API server, Deployment/ReplicaSet/Pod/
+  Service objects and the controller/scheduler/kubelet reconcile pipeline;
+* :mod:`repro.edge.services` — the paper's four edge services (Table I);
+* :mod:`repro.edge.cluster` — the uniform ``EdgeCluster`` façade the SDN
+  controller deploys through.
+"""
+
+from repro.edge.images import ImageLayer, ContainerImage, ImageRef, parse_image_ref
+from repro.edge.registry import Registry, RegistryTiming, RegistryHub
+from repro.edge.timing import ContainerdTiming, KubernetesTiming, DockerTiming
+from repro.edge.services import (
+    ServiceBehavior,
+    EDGE_SERVICE_CATALOG,
+    catalog_image,
+    catalog_behavior,
+    service_table,
+)
+from repro.edge.containerd import Containerd, Container, ContainerState
+from repro.edge.docker import DockerEngine, DockerContainerHandle
+from repro.edge.kubernetes import KubernetesCluster, HorizontalPodAutoscaler
+from repro.edge.cluster import EdgeCluster, DockerCluster, KubernetesEdgeCluster, Endpoint
+
+__all__ = [
+    "ImageLayer",
+    "ContainerImage",
+    "ImageRef",
+    "parse_image_ref",
+    "Registry",
+    "RegistryTiming",
+    "RegistryHub",
+    "ContainerdTiming",
+    "KubernetesTiming",
+    "DockerTiming",
+    "ServiceBehavior",
+    "EDGE_SERVICE_CATALOG",
+    "catalog_image",
+    "catalog_behavior",
+    "service_table",
+    "Containerd",
+    "Container",
+    "ContainerState",
+    "DockerEngine",
+    "DockerContainerHandle",
+    "KubernetesCluster",
+    "HorizontalPodAutoscaler",
+    "EdgeCluster",
+    "DockerCluster",
+    "KubernetesEdgeCluster",
+    "Endpoint",
+]

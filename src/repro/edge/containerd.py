@@ -1,0 +1,338 @@
+"""The shared container runtime (containerd) on an edge node.
+
+Both the Docker engine and the Kubernetes kubelet drive this runtime — on
+the paper's Edge Gateway Server they literally share one containerd, which
+is why the *Scale Up* difference between the two clusters (fig. 11) is pure
+orchestrator overhead.
+
+Operations are simulation processes charging the costs in
+:class:`~repro.edge.timing.ContainerdTiming`. Cold-start is dominated by
+network-namespace setup (per Mohan et al. [23]), which serializes in the
+kernel: concurrent starts queue, visible in the bursty fig. 10 trace runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.edge.images import ContainerImage, ImageRef, parse_image_ref
+from repro.edge.registry import ImageNotFound, RegistryHub
+from repro.edge.services import ServiceBehavior
+from repro.edge.timing import ContainerdTiming, DEFAULT_CONTAINERD
+from repro.edge.images import MIB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Process, Simulator
+    from repro.netsim.host import Host
+
+
+class ContainerState(enum.Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    REMOVED = "removed"
+
+
+class ContainerError(RuntimeError):
+    """Invalid lifecycle transition or missing image."""
+
+
+_container_ids = itertools.count(1)
+
+
+class Container:
+    """One container instance on a node."""
+
+    def __init__(self, name: str, image: ContainerImage,
+                 behavior: Optional[ServiceBehavior], host_port: Optional[int],
+                 labels: Optional[dict] = None):
+        self.id = f"ctr-{next(_container_ids):06d}"
+        self.name = name
+        self.image = image
+        self.behavior = behavior
+        #: host port the container port is published on (None: not published)
+        self.host_port = host_port
+        self.labels = dict(labels or {})
+        self.state = ContainerState.CREATED
+        self.created_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        #: when the app inside began listening (readiness as a probe sees it)
+        self.ready_at: Optional[float] = None
+        self._app_process: Optional["Process"] = None
+
+    @property
+    def listening(self) -> bool:
+        return self.ready_at is not None and self.state is ContainerState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Container {self.name} [{self.image.ref.name}] {self.state.value}>"
+
+
+class Containerd:
+    """Runtime instance bound to one node (:class:`~repro.netsim.host.Host`)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Host",
+        hub: RegistryHub,
+        timing: Optional[ContainerdTiming] = None,
+        disk_capacity_bytes: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.hub = hub
+        self.timing = timing if timing is not None else DEFAULT_CONTAINERD
+        #: image-store disk budget (None = unbounded). When a pull would
+        #: exceed it, least-recently-used unreferenced images are evicted —
+        #: the paper's "cached items may also be Deleted if disk space is
+        #: scarce" (§IV-C).
+        self.disk_capacity_bytes = disk_capacity_bytes
+        #: content-addressed layer store: digest -> size
+        self._layers: Dict[str, int] = {}
+        #: image manifests present locally: "repo:tag" -> image
+        self._manifests: Dict[str, ContainerImage] = {}
+        #: manifest name -> last time it was pulled or used by a container
+        self._manifest_last_used: Dict[str, float] = {}
+        self._containers: Dict[str, Container] = {}
+        self._pulls_inflight: Dict[str, "Process"] = {}
+        self._netns_busy_until = 0.0
+        #: diagnostics
+        self.pull_count = 0
+        self.bytes_pulled = 0
+        self.containers_started = 0
+        self.images_evicted = 0
+
+    # ---------------------------------------------------------------- images
+
+    def has_image(self, ref) -> bool:
+        ref = self._ref(ref)
+        return ref.name in self._manifests
+
+    def image(self, ref) -> Optional[ContainerImage]:
+        return self._manifests.get(self._ref(ref).name)
+
+    def cached_layer_bytes(self) -> int:
+        return sum(self._layers.values())
+
+    @staticmethod
+    def _ref(ref) -> ImageRef:
+        return ref if isinstance(ref, ImageRef) else parse_image_ref(str(ref))
+
+    def pull(self, ref) -> "Process":
+        """Pull an image (process). Returns immediately-complete work if the
+        manifest is local; coalesces with an in-flight pull of the same ref;
+        skips layers already in the store (dedup across images)."""
+        ref = self._ref(ref)
+        inflight = self._pulls_inflight.get(ref.name)
+        if inflight is not None and inflight.alive:
+            return inflight
+        process = self.sim.spawn(self._pull_proc(ref), name=f"pull:{ref.name}")
+        self._pulls_inflight[ref.name] = process
+        return process
+
+    def _pull_proc(self, ref: ImageRef):
+        try:
+            if ref.name in self._manifests:
+                self._manifest_last_used[ref.name] = self.sim.now
+                return self._manifests[ref.name]
+            registry = self.hub.resolve(ref)
+            image = registry.manifest(ref)  # raises ImageNotFound
+            self._make_room_for(image)
+            yield self.sim.timeout(registry.manifest_time())
+            pulled_bytes = 0
+            for layer in image.layers:
+                if layer.digest in self._layers:
+                    continue  # already on disk (shared base layer)
+                yield self.sim.timeout(registry.layer_time(layer.size_bytes))
+                yield self.sim.timeout(self.timing.unpack_s_per_mib * layer.size_bytes / MIB)
+                self._layers[layer.digest] = layer.size_bytes
+                pulled_bytes += layer.size_bytes
+            self._manifests[ref.name] = image
+            self._manifest_last_used[ref.name] = self.sim.now
+            registry.account_pull(pulled_bytes)
+            self.pull_count += 1
+            self.bytes_pulled += pulled_bytes
+            self.sim.trace.emit(self.sim.now, "containerd", "pulled",
+                                {"node": self.node.name, "image": ref.name,
+                                 "bytes": pulled_bytes})
+            return image
+        finally:
+            self._pulls_inflight.pop(ref.name, None)
+
+    def delete_image(self, ref) -> bool:
+        """Remove a manifest; layers still referenced by other manifests stay
+        (the paper's §IV-C note: re-pulling may skip shared layers)."""
+        ref = self._ref(ref)
+        image = self._manifests.pop(ref.name, None)
+        self._manifest_last_used.pop(ref.name, None)
+        if image is None:
+            return False
+        still_referenced = {layer.digest
+                            for other in self._manifests.values()
+                            for layer in other.layers}
+        for layer in image.layers:
+            if layer.digest not in still_referenced:
+                self._layers.pop(layer.digest, None)
+        return True
+
+    # ----------------------------------------------------------- disk budget
+
+    def _images_in_use(self) -> set:
+        """Manifest names referenced by existing (non-removed) containers."""
+        return {container.image.ref.name for container in self._containers.values()
+                if container.state is not ContainerState.REMOVED}
+
+    def _make_room_for(self, image: ContainerImage) -> None:
+        """Evict least-recently-used unreferenced images until ``image``
+        fits the disk budget. No-op when unbounded."""
+        if self.disk_capacity_bytes is None:
+            return
+        incoming = sum(layer.size_bytes for layer in image.layers
+                       if layer.digest not in self._layers)
+        if incoming > self.disk_capacity_bytes:
+            raise ContainerError(
+                f"{self.node.name}: image {image.ref.name!r} ({incoming} B) "
+                f"exceeds the disk budget ({self.disk_capacity_bytes} B)")
+        in_use = self._images_in_use()
+        candidates = sorted(
+            (name for name in self._manifests if name not in in_use),
+            key=lambda name: self._manifest_last_used.get(name, 0.0))
+        index = 0
+        while (self.cached_layer_bytes() + incoming > self.disk_capacity_bytes
+               and index < len(candidates)):
+            victim = candidates[index]
+            index += 1
+            if self.delete_image(victim):
+                self.images_evicted += 1
+                self.sim.trace.emit(self.sim.now, "containerd", "evicted",
+                                    {"node": self.node.name, "image": victim})
+            # Layer sharing may change what the incoming pull still needs.
+            incoming = sum(layer.size_bytes for layer in image.layers
+                           if layer.digest not in self._layers)
+        if self.cached_layer_bytes() + incoming > self.disk_capacity_bytes:
+            raise ContainerError(
+                f"{self.node.name}: cannot free enough disk for "
+                f"{image.ref.name!r} (in-use images pin the store)")
+
+    # ------------------------------------------------------------ containers
+
+    def create(self, name: str, image_ref, behavior: Optional[ServiceBehavior],
+               host_port: Optional[int] = None, labels: Optional[dict] = None) -> "Process":
+        """Create (but do not start) a container from a locally-present image."""
+        ref = self._ref(image_ref)
+
+        def proc():
+            image = self._manifests.get(ref.name)
+            if image is None:
+                raise ContainerError(f"{self.node.name}: image {ref.name!r} not pulled")
+            if name in self._containers:
+                raise ContainerError(f"{self.node.name}: container {name!r} exists")
+            yield self.sim.timeout(self.timing.api_call_s + self.timing.create_s)
+            container = Container(name, image, behavior, host_port, labels)
+            container.created_at = self.sim.now
+            self._manifest_last_used[ref.name] = self.sim.now
+            self._containers[name] = container
+            self.sim.trace.emit(self.sim.now, "containerd", "created",
+                                {"node": self.node.name, "container": name})
+            return container
+
+        return self.sim.spawn(proc(), name=f"create:{name}")
+
+    def start(self, container: Container) -> "Process":
+        """Start a created container: netns setup (serialized per node) +
+        runtime exec, then the app's own startup until it listens."""
+
+        def proc():
+            if container.state not in (ContainerState.CREATED, ContainerState.STOPPED):
+                raise ContainerError(
+                    f"cannot start container in state {container.state.value}")
+            yield self.sim.timeout(self.timing.api_call_s)
+            # Network-namespace creation: serialized in the kernel.
+            netns = self.timing.netns_setup_s
+            if self.timing.netns_serialized:
+                start_at = max(self.sim.now, self._netns_busy_until)
+                self._netns_busy_until = start_at + netns
+                yield self.sim.timeout(start_at + netns - self.sim.now)
+            else:
+                yield self.sim.timeout(netns)
+            yield self.sim.timeout(self.timing.start_exec_s)
+            container.state = ContainerState.RUNNING
+            container.started_at = self.sim.now
+            self.containers_started += 1
+            self.sim.trace.emit(self.sim.now, "containerd", "started",
+                                {"node": self.node.name, "container": container.name})
+            container._app_process = self.sim.spawn(
+                self._app_proc(container), name=f"app:{container.name}")
+            return container
+
+        return self.sim.spawn(proc(), name=f"start:{container.name}")
+
+    def _app_proc(self, container: Container):
+        behavior = container.behavior
+        if behavior is None:
+            return
+        yield self.sim.timeout(behavior.startup_s)
+        if container.state is not ContainerState.RUNNING:
+            return  # stopped during startup
+        if behavior.port is not None and container.host_port is not None:
+            if not self.node.listening_on(container.host_port):
+                self.node.listen(container.host_port, behavior.make_listener(self.sim))
+            container.ready_at = self.sim.now
+            self.sim.trace.emit(self.sim.now, "containerd", "listening",
+                                {"node": self.node.name, "container": container.name,
+                                 "port": container.host_port})
+        else:
+            container.ready_at = self.sim.now  # non-serving container "up"
+
+    def stop(self, container: Container) -> "Process":
+        def proc():
+            if container.state is not ContainerState.RUNNING:
+                raise ContainerError(
+                    f"cannot stop container in state {container.state.value}")
+            yield self.sim.timeout(self.timing.api_call_s + self.timing.stop_s)
+            self._teardown(container)
+            container.state = ContainerState.STOPPED
+            return container
+
+        return self.sim.spawn(proc(), name=f"stop:{container.name}")
+
+    def remove(self, container: Container) -> "Process":
+        def proc():
+            if container.state is ContainerState.RUNNING:
+                raise ContainerError("cannot remove a running container")
+            yield self.sim.timeout(self.timing.api_call_s + self.timing.remove_s)
+            self._teardown(container)
+            container.state = ContainerState.REMOVED
+            self._containers.pop(container.name, None)
+            return container
+
+        return self.sim.spawn(proc(), name=f"remove:{container.name}")
+
+    def _teardown(self, container: Container) -> None:
+        if container._app_process is not None and container._app_process.alive:
+            container._app_process.kill("container stopped")
+        if (container.ready_at is not None and container.host_port is not None
+                and container.behavior is not None and container.behavior.port is not None):
+            self.node.unlisten(container.host_port)
+        container.ready_at = None
+
+    # -------------------------------------------------------------- queries
+
+    def container(self, name: str) -> Optional[Container]:
+        return self._containers.get(name)
+
+    def containers(self, label_selector: Optional[dict] = None) -> list:
+        out = []
+        for container in self._containers.values():
+            if label_selector and any(container.labels.get(k) != v
+                                      for k, v in label_selector.items()):
+                continue
+            out.append(container)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Containerd node={self.node.name} images={len(self._manifests)} "
+                f"containers={len(self._containers)}>")

@@ -1,0 +1,212 @@
+"""A Docker engine with a docker-SDK-shaped API.
+
+The transparent-edge controller uses the Python docker SDK in the original
+implementation; this engine mirrors the surface it needs::
+
+    engine.images.pull("nginx:1.23.2")                  # -> waitable
+    handle = yield engine.containers.create("nginx:1.23.2", name=...,
+                                            labels={"edge.service": svc})
+    yield handle.start()
+    engine.containers.list(filters={"label": {"edge.service": svc}})
+
+All operations charge the dockerd API overhead on top of containerd's costs
+and return simulation processes (waitables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.edge.containerd import Container, Containerd, ContainerError, ContainerState
+from repro.edge.services import ServiceBehavior
+from repro.edge.timing import DEFAULT_DOCKER, DockerTiming
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Process, Simulator
+
+#: Host-port pool for published container ports (Docker's ephemeral range).
+DOCKER_PORT_BASE = 32768
+
+
+class DockerContainerHandle:
+    """SDK-style handle wrapping a runtime container."""
+
+    def __init__(self, engine: "DockerEngine", container: Container):
+        self._engine = engine
+        self._container = container
+
+    # --- SDK-ish surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._container.name
+
+    @property
+    def id(self) -> str:
+        return self._container.id
+
+    @property
+    def status(self) -> str:
+        return self._container.state.value
+
+    @property
+    def labels(self) -> dict:
+        return self._container.labels
+
+    @property
+    def host_port(self) -> Optional[int]:
+        return self._container.host_port
+
+    @property
+    def ready(self) -> bool:
+        return self._container.listening
+
+    @property
+    def raw(self) -> Container:
+        return self._container
+
+    def start(self) -> "Process":
+        return self._engine._start(self._container)
+
+    def stop(self) -> "Process":
+        return self._engine._stop(self._container)
+
+    def remove(self) -> "Process":
+        return self._engine._remove(self._container)
+
+
+class _ImagesAPI:
+    def __init__(self, engine: "DockerEngine"):
+        self._engine = engine
+
+    def pull(self, ref: str) -> "Process":
+        """``docker pull`` — returns a waitable process."""
+        engine = self._engine
+
+        def proc():
+            yield engine.sim.timeout(engine.timing.api_call_s)
+            image = yield engine.runtime.pull(ref)
+            return image
+
+        return engine.sim.spawn(proc(), name=f"docker-pull:{ref}")
+
+    def exists(self, ref: str) -> bool:
+        return self._engine.runtime.has_image(ref)
+
+    def remove(self, ref: str) -> bool:
+        return self._engine.runtime.delete_image(ref)
+
+    def list(self) -> list:
+        return list(self._engine.runtime._manifests.values())
+
+
+class _ContainersAPI:
+    def __init__(self, engine: "DockerEngine"):
+        self._engine = engine
+
+    def create(
+        self,
+        image: str,
+        name: str,
+        behavior: Optional[ServiceBehavior] = None,
+        labels: Optional[dict] = None,
+        publish_port: bool = True,
+    ) -> "Process":
+        """``docker create`` — resolves the behaviour from the image catalog
+        when not given, publishes the container port on a host port, and
+        returns a waitable yielding a :class:`DockerContainerHandle`."""
+        return self._engine._create(image, name, behavior, labels, publish_port)
+
+    def get(self, name: str) -> Optional[DockerContainerHandle]:
+        container = self._engine.runtime.container(name)
+        if container is None or container.state is ContainerState.REMOVED:
+            return None
+        return DockerContainerHandle(self._engine, container)
+
+    def list(self, all: bool = False,  # noqa: A002 - mirrors the SDK
+             filters: Optional[dict] = None) -> List[DockerContainerHandle]:
+        label_selector = (filters or {}).get("label")
+        out = []
+        for container in self._engine.runtime.containers(label_selector):
+            if not all and container.state is not ContainerState.RUNNING:
+                continue
+            out.append(DockerContainerHandle(self._engine, container))
+        return out
+
+
+class DockerEngine:
+    """dockerd on one node, backed by that node's containerd."""
+
+    def __init__(self, sim: "Simulator", runtime: Containerd,
+                 timing: Optional[DockerTiming] = None):
+        self.sim = sim
+        self.runtime = runtime
+        self.timing = timing if timing is not None else DEFAULT_DOCKER
+        self.images = _ImagesAPI(self)
+        self.containers = _ContainersAPI(self)
+        self._port_counter = itertools.count(DOCKER_PORT_BASE)
+
+    @property
+    def node(self):
+        return self.runtime.node
+
+    def alloc_host_port(self) -> int:
+        return next(self._port_counter)
+
+    # ------------------------------------------------------------- internals
+
+    def _resolve_behavior(self, image_ref: str,
+                          behavior: Optional[ServiceBehavior]) -> Optional[ServiceBehavior]:
+        if behavior is not None:
+            return behavior
+        image = self.runtime.image(image_ref)
+        if image is not None and image.app is not None:
+            from repro.edge.services import EDGE_SERVICE_CATALOG
+            for entry in EDGE_SERVICE_CATALOG.values():
+                for img, beh in zip(entry.images, entry.behaviors):
+                    if img.app == image.app:
+                        return beh
+        return None
+
+    def _create(self, image_ref: str, name: str, behavior, labels, publish_port) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            resolved = self._resolve_behavior(image_ref, behavior)
+            host_port = None
+            if publish_port and resolved is not None and resolved.port is not None:
+                host_port = self.alloc_host_port()
+            container = yield self.runtime.create(
+                name, image_ref, resolved, host_port=host_port, labels=labels)
+            return DockerContainerHandle(self, container)
+
+        return self.sim.spawn(proc(), name=f"docker-create:{name}")
+
+    def _start(self, container: Container) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s + self.timing.start_extra_s)
+            yield self.runtime.start(container)
+            return DockerContainerHandle(self, container)
+
+        return self.sim.spawn(proc(), name=f"docker-start:{container.name}")
+
+    def _stop(self, container: Container) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            yield self.runtime.stop(container)
+            return DockerContainerHandle(self, container)
+
+        return self.sim.spawn(proc(), name=f"docker-stop:{container.name}")
+
+    def _remove(self, container: Container) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            if container.state is ContainerState.RUNNING:
+                yield self.runtime.stop(container)
+            yield self.runtime.remove(container)
+            return None
+
+        return self.sim.spawn(proc(), name=f"docker-remove:{container.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DockerEngine on {self.node.name}>"

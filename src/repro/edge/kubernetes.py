@@ -1,0 +1,786 @@
+"""A behavioural Kubernetes cluster model.
+
+Implements the object model and reconcile pipeline that produce the ~3 s
+scale-up overhead the paper measures against Docker's < 1 s (fig. 11): an
+API server with watches, the deployment → replicaset → pod chain, a
+pluggable scheduler (the paper's *Local Scheduler* hook, §IV-B2), per-node
+kubelets driving the shared containerd, and a kube-proxy that programs a
+NodePort once a service has ready endpoints.
+
+Nothing here hard-codes the 3 s: it emerges from per-hop watch latencies,
+controller sync costs, CNI/sandbox setup, and status propagation — all
+declared in :class:`~repro.edge.timing.KubernetesTiming`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.edge.containerd import Container, Containerd, ContainerState
+from repro.edge.services import ServiceBehavior
+from repro.edge.timing import DEFAULT_KUBERNETES, KubernetesTiming
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Process, Simulator
+
+NODE_PORT_BASE = 31000
+DEFAULT_SCHEDULER = "default-scheduler"
+
+ADDED = "ADDED"
+MODIFIED = "MODIFIED"
+DELETED = "DELETED"
+
+
+class ApiError(RuntimeError):
+    """API-server request rejected (conflict / not found / invalid)."""
+
+
+# --------------------------------------------------------------------------
+# Object model
+# --------------------------------------------------------------------------
+
+_uid_counter = itertools.count(1)
+
+
+@dataclass
+class ContainerSpec:
+    """One container within a pod template."""
+
+    name: str
+    image: str
+    behavior: Optional[ServiceBehavior] = None
+
+
+@dataclass
+class PodTemplate:
+    """Pod template shared by Deployment → ReplicaSet → Pod."""
+
+    labels: Dict[str, str]
+    containers: List[ContainerSpec]
+    scheduler_name: str = DEFAULT_SCHEDULER
+
+    def signature(self) -> tuple:
+        return (tuple(sorted(self.labels.items())),
+                tuple((c.name, c.image) for c in self.containers),
+                self.scheduler_name)
+
+
+class K8sObject:
+    """Base API object: kind/name/labels/uid/resourceVersion."""
+
+    kind = "Object"
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.uid = f"uid-{next(_uid_counter):06d}"
+        self.resource_version = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.name}>"
+
+
+class Deployment(K8sObject):
+    kind = "Deployment"
+
+    def __init__(self, name: str, template: PodTemplate, replicas: int = 0,
+                 labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, labels)
+        self.template = template
+        self.spec_replicas = replicas
+        self.status_ready_replicas = 0
+
+
+class ReplicaSet(K8sObject):
+    kind = "ReplicaSet"
+
+    def __init__(self, name: str, owner: str, template: PodTemplate, replicas: int,
+                 labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, labels)
+        self.owner = owner  # deployment name
+        self.template = template
+        self.spec_replicas = replicas
+
+
+class Pod(K8sObject):
+    kind = "Pod"
+
+    def __init__(self, name: str, owner: str, template: PodTemplate):
+        super().__init__(name, dict(template.labels))
+        self.owner = owner  # replicaset name
+        self.template = template
+        self.scheduler_name = template.scheduler_name
+        self.node_name: Optional[str] = None
+        self.phase = "Pending"
+        self.ready = False
+        self.containers: List[Container] = []  # runtime containers once started
+        self.deletion_requested = False
+        #: requests this pod served via the service proxy (HPA input)
+        self.requests_served = 0
+
+
+class Service(K8sObject):
+    kind = "Service"
+
+    def __init__(self, name: str, selector: Dict[str, str], port: int,
+                 target_port: int, protocol: str = "TCP",
+                 labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, labels)
+        self.selector = dict(selector)
+        self.port = port
+        self.target_port = target_port
+        self.protocol = protocol
+        self.node_port: Optional[int] = None  # allocated by the API server
+        self.endpoints_ready = False
+
+
+# --------------------------------------------------------------------------
+# API server
+# --------------------------------------------------------------------------
+
+
+class APIServer:
+    """Object store + watch fan-out with per-request latency."""
+
+    def __init__(self, sim: "Simulator", timing: KubernetesTiming):
+        self.sim = sim
+        self.timing = timing
+        self._store: Dict[str, Dict[str, K8sObject]] = {}
+        self._watchers: Dict[str, List[Callable[[str, K8sObject], None]]] = {}
+        self._resource_version = itertools.count(1)
+        #: diagnostics
+        self.requests = 0
+
+    # -- reads are immediate (informer caches); writes charge latency -------
+
+    def get(self, kind: str, name: str) -> Optional[K8sObject]:
+        return self._store.get(kind, {}).get(name)
+
+    def list(self, kind: str, selector: Optional[Dict[str, str]] = None) -> List[K8sObject]:
+        out = []
+        for obj in self._store.get(kind, {}).values():
+            if selector and any(obj.labels.get(k) != v for k, v in selector.items()):
+                continue
+            out.append(obj)
+        return out
+
+    def watch(self, kind: str, callback: Callable[[str, K8sObject], None]) -> None:
+        self._watchers.setdefault(kind, []).append(callback)
+
+    def _notify(self, event: str, obj: K8sObject) -> None:
+        for callback in self._watchers.get(obj.kind, []):
+            self.sim.schedule(self.timing.watch_latency_s, callback, event, obj)
+
+    # -- writes --------------------------------------------------------------
+
+    def create(self, obj: K8sObject) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            self.requests += 1
+            bucket = self._store.setdefault(obj.kind, {})
+            if obj.name in bucket:
+                raise ApiError(f"{obj.kind} {obj.name!r} already exists")
+            obj.resource_version = next(self._resource_version)
+            bucket[obj.name] = obj
+            self._notify(ADDED, obj)
+            return obj
+
+        return self.sim.spawn(proc(), name=f"api-create:{obj.kind}/{obj.name}")
+
+    def patch(self, kind: str, name: str, mutator: Callable[[K8sObject], None]) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            self.requests += 1
+            obj = self.get(kind, name)
+            if obj is None:
+                raise ApiError(f"{kind} {name!r} not found")
+            mutator(obj)
+            obj.resource_version = next(self._resource_version)
+            self._notify(MODIFIED, obj)
+            return obj
+
+        return self.sim.spawn(proc(), name=f"api-patch:{kind}/{name}")
+
+    def delete(self, kind: str, name: str) -> "Process":
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            self.requests += 1
+            obj = self._store.get(kind, {}).pop(name, None)
+            if obj is None:
+                raise ApiError(f"{kind} {name!r} not found")
+            self._notify(DELETED, obj)
+            return obj
+
+        return self.sim.spawn(proc(), name=f"api-delete:{kind}/{name}")
+
+
+# --------------------------------------------------------------------------
+# Controllers
+# --------------------------------------------------------------------------
+
+
+class DeploymentController:
+    """deployment → replicaset reconciliation."""
+
+    def __init__(self, cluster: "KubernetesCluster"):
+        self.cluster = cluster
+        cluster.api.watch("Deployment", self._on_event)
+
+    def _on_event(self, event: str, obj: K8sObject) -> None:
+        if event == DELETED:
+            self.cluster.sim.schedule(self.cluster.timing.deployment_sync_s,
+                                      self._gc_replicasets, obj.name)
+            return
+        self.cluster.sim.schedule(self.cluster.timing.deployment_sync_s,
+                                  self._sync, obj.name)
+
+    def _sync(self, deployment_name: str) -> None:
+        api = self.cluster.api
+        deployment = api.get("Deployment", deployment_name)
+        if deployment is None:
+            return
+        rs_name = f"{deployment_name}-rs"
+        rs = api.get("ReplicaSet", rs_name)
+        if rs is None:
+            api.create(ReplicaSet(rs_name, owner=deployment_name,
+                                  template=deployment.template,
+                                  replicas=deployment.spec_replicas,
+                                  labels=dict(deployment.template.labels)))
+        elif (rs.spec_replicas != deployment.spec_replicas
+              or rs.template.signature() != deployment.template.signature()):
+            def mutate(obj, d=deployment):
+                obj.spec_replicas = d.spec_replicas
+                obj.template = d.template
+            api.patch("ReplicaSet", rs_name, mutate)
+
+    def _gc_replicasets(self, deployment_name: str) -> None:
+        api = self.cluster.api
+        for rs in list(api.list("ReplicaSet")):
+            if rs.owner == deployment_name:
+                api.delete("ReplicaSet", rs.name)
+
+
+class ReplicaSetController:
+    """replicaset → pods reconciliation (creates/deletes pods)."""
+
+    def __init__(self, cluster: "KubernetesCluster"):
+        self.cluster = cluster
+        self._pod_counter = itertools.count(1)
+        #: creations issued but not yet visible in the API store — the real
+        #: RS controller's "expectations", preventing double-creation when
+        #: two syncs race
+        self._pending_creates: Dict[str, int] = {}
+        cluster.api.watch("ReplicaSet", self._on_event)
+        cluster.api.watch("Pod", self._on_pod_event)
+
+    def _on_event(self, event: str, obj: K8sObject) -> None:
+        if event == DELETED:
+            self.cluster.sim.schedule(self.cluster.timing.replicaset_sync_s,
+                                      self._gc_pods, obj.name)
+            return
+        self.cluster.sim.schedule(self.cluster.timing.replicaset_sync_s,
+                                  self._sync, obj.name)
+
+    def _on_pod_event(self, event: str, obj: K8sObject) -> None:
+        # A deleted pod (e.g. its node failed) must be replaced to keep the
+        # owner ReplicaSet at spec.
+        if event == DELETED and isinstance(obj, Pod):
+            self.cluster.sim.schedule(self.cluster.timing.replicaset_sync_s,
+                                      self._sync, obj.owner)
+
+    def _pods_of(self, rs_name: str) -> List[Pod]:
+        return [pod for pod in self.cluster.api.list("Pod")
+                if pod.owner == rs_name and not pod.deletion_requested]
+
+    def _sync(self, rs_name: str) -> None:
+        api = self.cluster.api
+        rs = api.get("ReplicaSet", rs_name)
+        if rs is None:
+            return
+        pods = self._pods_of(rs_name)
+        pending = self._pending_creates.get(rs_name, 0)
+        diff = rs.spec_replicas - len(pods) - pending
+        if diff > 0:
+            for _ in range(diff):
+                pod = Pod(f"{rs_name}-{next(self._pod_counter):04d}",
+                          owner=rs_name, template=rs.template)
+                self._pending_creates[rs_name] = \
+                    self._pending_creates.get(rs_name, 0) + 1
+                process = api.create(pod)
+                process._wait_subscribe(
+                    lambda _p, rs_name=rs_name: self._create_landed(rs_name))
+        elif diff < 0:
+            # Scale down: prefer not-ready pods, then newest.
+            victims = sorted(pods, key=lambda p: (not p.ready, p.name),
+                             reverse=True)[:(-diff)]
+            for pod in victims:
+                pod.deletion_requested = True
+                self.cluster._teardown_pod(pod)
+                api.delete("Pod", pod.name)
+
+    def _create_landed(self, rs_name: str) -> None:
+        count = self._pending_creates.get(rs_name, 0)
+        if count <= 1:
+            self._pending_creates.pop(rs_name, None)
+        else:
+            self._pending_creates[rs_name] = count - 1
+
+    def _gc_pods(self, rs_name: str) -> None:
+        for pod in self._pods_of(rs_name):
+            pod.deletion_requested = True
+            self.cluster._teardown_pod(pod)
+            self.cluster.api.delete("Pod", pod.name)
+
+
+class KubeScheduler:
+    """The default scheduler; also the registration point for custom
+    ("Local") schedulers via ``select_node`` injection."""
+
+    def __init__(self, cluster: "KubernetesCluster", name: str = DEFAULT_SCHEDULER,
+                 select_node: Optional[Callable[[Pod, List[str]], str]] = None,
+                 latency_s: Optional[float] = None):
+        self.cluster = cluster
+        self.name = name
+        self.select_node = select_node or self._least_loaded
+        self.latency_s = latency_s if latency_s is not None else cluster.timing.scheduler_s
+        self.pods_scheduled = 0
+        #: bindings decided but not yet persisted through the API — the
+        #: real scheduler's "assume" cache, needed so two pods bound in the
+        #: same cycle spread instead of both seeing an empty node
+        self._assumed: Dict[str, str] = {}
+        cluster.api.watch("Pod", self._on_event)
+
+    def _least_loaded(self, pod: Pod, nodes: List[str]) -> str:
+        counts = {name: 0 for name in nodes}
+        for other in self.cluster.api.list("Pod"):
+            if other.node_name in counts:
+                counts[other.node_name] += 1
+        for assumed_node in self._assumed.values():
+            if assumed_node in counts:
+                counts[assumed_node] += 1
+        return min(nodes, key=lambda name: (counts[name], name))
+
+    def _on_event(self, event: str, pod: K8sObject) -> None:
+        if event != ADDED or not isinstance(pod, Pod):
+            return
+        if pod.node_name is not None or pod.scheduler_name != self.name:
+            return
+        self.cluster.sim.schedule(self.latency_s, self._bind, pod.name)
+
+    def _bind(self, pod_name: str) -> None:
+        pod = self.cluster.api.get("Pod", pod_name)
+        if pod is None or pod.node_name is not None:
+            return
+        nodes = list(self.cluster.kubelets)
+        if not nodes:
+            return
+        node_name = self.select_node(pod, nodes)
+        self.pods_scheduled += 1
+        self._assumed[pod_name] = node_name
+
+        def mutate(obj):
+            obj.node_name = node_name
+            self._assumed.pop(pod_name, None)
+
+        self.cluster.api.patch("Pod", pod_name, mutate)
+
+
+class Kubelet:
+    """Per-node pod lifecycle agent driving containerd."""
+
+    #: readiness-probe period (kubelet checks container readiness)
+    PROBE_PERIOD_S = 0.25
+
+    def __init__(self, cluster: "KubernetesCluster", node_name: str, runtime: Containerd):
+        self.cluster = cluster
+        self.node_name = node_name
+        self.runtime = runtime
+        self.pods_started = 0
+        cluster.api.watch("Pod", self._on_event)
+
+    def _on_event(self, event: str, pod: K8sObject) -> None:
+        if event == DELETED or not isinstance(pod, Pod):
+            return
+        if pod.node_name != self.node_name or pod.phase != "Pending":
+            return
+        if getattr(pod, "_kubelet_claimed", False):
+            return
+        pod._kubelet_claimed = True
+        self.cluster.sim.schedule(self.cluster.timing.kubelet_sync_s,
+                                  self._run_pod, pod.name)
+
+    def _run_pod(self, pod_name: str) -> None:
+        self.cluster.sim.spawn(self._run_pod_proc(pod_name), name=f"kubelet-run:{pod_name}")
+
+    def _run_pod_proc(self, pod_name: str):
+        sim = self.cluster.sim
+        timing = self.cluster.timing
+        api = self.cluster.api
+        pod = api.get("Pod", pod_name)
+        if pod is None or pod.deletion_requested:
+            return
+        # Sandbox (pause container) + CNI networking.
+        yield sim.timeout(timing.sandbox_s + timing.cni_setup_s)
+        containers: List[Container] = []
+        for spec in pod.template.containers:
+            if not self.runtime.has_image(spec.image):
+                yield self.runtime.pull(spec.image)
+            if pod.deletion_requested:
+                return
+            behavior = spec.behavior or self.cluster._behavior_for_image(spec.image)
+            container = yield self.runtime.create(
+                f"{pod_name}-{spec.name}", spec.image, behavior,
+                host_port=None, labels={"io.kubernetes.pod": pod_name})
+            containers.append(container)
+        for container in containers:
+            yield self.runtime.start(container)
+        if pod.deletion_requested:
+            for container in containers:
+                if container.state is ContainerState.RUNNING:
+                    yield self.runtime.stop(container)
+            return
+        pod.containers = containers
+        self.pods_started += 1
+
+        def to_running(obj):
+            obj.phase = "Running"
+
+        yield api.patch("Pod", pod_name, to_running)
+        # Readiness: probe until every container reports ready.
+        while not all(c.ready_at is not None for c in containers):
+            yield sim.timeout(self.PROBE_PERIOD_S)
+            if pod.deletion_requested:
+                return
+        yield sim.timeout(timing.status_propagation_s)
+
+        def to_ready(obj):
+            obj.ready = True
+
+        yield api.patch("Pod", pod_name, to_ready)
+
+
+class EndpointsProxy:
+    """Endpoints controller + kube-proxy: programs NodePorts.
+
+    A NodePort begins accepting only once the service has ≥ 1 ready pod —
+    before that, connection attempts are refused, which is why the SDN
+    controller port-probes before installing flows (§VI). With several
+    ready pods, connections are balanced round-robin across them (iptables
+    ``--mode random`` ≈ uniform; deterministic round-robin here), and each
+    pod's ``requests_served`` counter feeds the autoscaler.
+    """
+
+    def __init__(self, cluster: "KubernetesCluster"):
+        self.cluster = cluster
+        #: svc -> set of node names with the NodePort programmed
+        self._programmed: Dict[str, set] = {}
+        #: svc -> current ready endpoints (pods), kept in sync
+        self._endpoints: Dict[str, List[Pod]] = {}
+        self._rr: Dict[str, int] = {}
+        #: pod name -> its InstanceHandler (one CPU queue per pod)
+        self._pod_handlers: Dict[str, object] = {}
+        cluster.api.watch("Service", self._on_event)
+        cluster.api.watch("Pod", self._on_pod_event)
+
+    def _on_event(self, event: str, svc: K8sObject) -> None:
+        if not isinstance(svc, Service):
+            return
+        if event == DELETED:
+            self._unprogram(svc)
+            return
+        self.cluster.sim.schedule(self.cluster.timing.proxy_program_s, self._sync, svc.name)
+
+    def _on_pod_event(self, event: str, pod: K8sObject) -> None:
+        # Any pod transition may change some service's endpoints.
+        for svc in self.cluster.api.list("Service"):
+            self.cluster.sim.schedule(self.cluster.timing.proxy_program_s,
+                                      self._sync, svc.name)
+
+    def _ready_pods(self, svc: Service) -> List[Pod]:
+        pods = [pod for pod in self.cluster.api.list("Pod", selector=svc.selector)
+                if pod.ready and not pod.deletion_requested]
+        pods.sort(key=lambda p: p.name)
+        return pods
+
+    @staticmethod
+    def _serving_behavior(pod: Pod):
+        for container in pod.containers:
+            if container.behavior is not None and container.behavior.port is not None:
+                return container.behavior
+        return None
+
+    def _make_balancing_listener(self, svc_name: str):
+        """Connection-level balancing: each accepted connection is pinned to
+        one ready pod (kube-proxy DNATs per connection)."""
+
+        def on_connection(conn):
+            pods = self._endpoints.get(svc_name) or []
+            if not pods:
+                conn.abort()
+                return
+            index = self._rr.get(svc_name, 0)
+            self._rr[svc_name] = index + 1
+            pod = pods[index % len(pods)]
+            handler = self._pod_handlers.get(pod.name)
+            if handler is None:
+                behavior = self._serving_behavior(pod)
+                if behavior is None:
+                    conn.abort()
+                    return
+                handler = behavior.make_handler(self.cluster.sim)
+                self._pod_handlers[pod.name] = handler
+
+            def on_msg(c, msg, pod=pod, handler=handler):
+                pod.requests_served += 1
+                handler.handle(c, msg)
+
+            conn.on_message = on_msg
+
+        return on_connection
+
+    def _sync(self, svc_name: str) -> None:
+        svc = self.cluster.api.get("Service", svc_name)
+        if svc is None:
+            return
+        ready = self._ready_pods(svc)
+        self._endpoints[svc_name] = ready
+        if ready and svc.node_port is not None:
+            programmed = self._programmed.setdefault(svc.name, set())
+            if not programmed:
+                # Program the NodePort on every cluster node (kube-proxy
+                # runs everywhere); a single-node cluster programs one.
+                listener = self._make_balancing_listener(svc.name)
+                for node_name, kubelet in self.cluster.kubelets.items():
+                    node = kubelet.runtime.node
+                    if not node.listening_on(svc.node_port):
+                        node.listen(svc.node_port, listener)
+                        programmed.add(node_name)
+                svc.endpoints_ready = True
+                self.cluster.sim.trace.emit(
+                    self.cluster.sim.now, "k8s", "nodeport-open",
+                    {"service": svc.name, "port": svc.node_port,
+                     "endpoints": len(ready)})
+        elif not ready and self._programmed.get(svc.name):
+            self._unprogram(svc)
+
+    def _unprogram(self, svc: Service) -> None:
+        programmed = self._programmed.pop(svc.name, None)
+        self._endpoints.pop(svc.name, None)
+        if not programmed:
+            return
+        for node_name in programmed:
+            kubelet = self.cluster.kubelets.get(node_name)
+            if kubelet is not None and svc.node_port is not None:
+                node = kubelet.runtime.node
+                if node.listening_on(svc.node_port):
+                    node.unlisten(svc.node_port)
+        svc.endpoints_ready = False
+
+
+class HorizontalPodAutoscaler:
+    """Request-rate-driven autoscaling (the Discussion's K8s benefit:
+    "automated management and scaling of container instances").
+
+    Every ``sync_period_s`` the HPA samples the per-pod served-request rate
+    of one deployment's pods and reconciles replicas toward
+    ``ceil(total_rate / target_rps_per_pod)``, clamped to
+    ``[min_replicas, max_replicas]``. Scale-down is damped by requiring the
+    low rate to persist for ``scale_down_stabilization_s`` (as in real HPA).
+    """
+
+    def __init__(self, cluster: "KubernetesCluster", deployment_name: str,
+                 target_rps_per_pod: float,
+                 min_replicas: int = 1, max_replicas: int = 8,
+                 sync_period_s: float = 5.0,
+                 scale_down_stabilization_s: float = 30.0):
+        if target_rps_per_pod <= 0:
+            raise ValueError("target rate must be positive")
+        if not 0 < min_replicas <= max_replicas:
+            raise ValueError("bad replica bounds")
+        self.cluster = cluster
+        self.deployment_name = deployment_name
+        self.target_rps_per_pod = target_rps_per_pod
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.sync_period_s = sync_period_s
+        self.scale_down_stabilization_s = scale_down_stabilization_s
+        self._last_counts: Dict[str, int] = {}
+        self._low_since: Optional[float] = None
+        self.scale_events: List[Tuple[float, int, int]] = []  # (t, from, to)
+        self.enabled = True
+        cluster.sim.schedule(sync_period_s, self._tick)
+
+    # ------------------------------------------------------------- sampling
+
+    def _pods(self) -> List[Pod]:
+        rs_name = f"{self.deployment_name}-rs"
+        return [pod for pod in self.cluster.api.list("Pod")
+                if pod.owner == rs_name and not pod.deletion_requested]
+
+    def _observed_rate(self) -> float:
+        """Requests/second across the deployment's pods since last tick."""
+        total_delta = 0
+        current: Dict[str, int] = {}
+        for pod in self._pods():
+            current[pod.name] = pod.requests_served
+            total_delta += pod.requests_served - self._last_counts.get(pod.name, 0)
+        self._last_counts = current
+        return total_delta / self.sync_period_s
+
+    # ------------------------------------------------------------ reconcile
+
+    def _tick(self) -> None:
+        if not self.enabled:
+            return
+        deployment = self.cluster.api.get("Deployment", self.deployment_name)
+        if deployment is not None:
+            rate = self._observed_rate()
+            desired = self._desired_replicas(deployment.spec_replicas, rate)
+            if desired != deployment.spec_replicas:
+                self.scale_events.append(
+                    (self.cluster.sim.now, deployment.spec_replicas, desired))
+                self.cluster.sim.trace.emit(
+                    self.cluster.sim.now, "k8s", "hpa-scale",
+                    {"deployment": self.deployment_name,
+                     "from": deployment.spec_replicas, "to": desired,
+                     "rate": round(rate, 2)})
+                self.cluster.scale(self.deployment_name, desired)
+        self.cluster.sim.schedule(self.sync_period_s, self._tick)
+
+    def _desired_replicas(self, current: int, rate: float) -> int:
+        import math
+
+        raw = max(self.min_replicas,
+                  min(self.max_replicas,
+                      math.ceil(rate / self.target_rps_per_pod)))
+        if raw >= current:
+            self._low_since = None
+            return raw
+        # Scale-down: only after the low rate persisted (stabilization).
+        now = self.cluster.sim.now
+        if self._low_since is None:
+            self._low_since = now
+            return current
+        if now - self._low_since >= self.scale_down_stabilization_s:
+            self._low_since = None
+            return raw
+        return current
+
+    def stop(self) -> None:
+        self.enabled = False
+
+
+# --------------------------------------------------------------------------
+# Cluster façade
+# --------------------------------------------------------------------------
+
+
+class KubernetesCluster:
+    """A whole (single- or multi-node) Kubernetes cluster."""
+
+    def __init__(self, sim: "Simulator", timing: Optional[KubernetesTiming] = None):
+        self.sim = sim
+        self.timing = timing if timing is not None else DEFAULT_KUBERNETES
+        self.api = APIServer(sim, self.timing)
+        self.kubelets: Dict[str, Kubelet] = {}
+        self.deployment_controller = DeploymentController(self)
+        self.replicaset_controller = ReplicaSetController(self)
+        self.schedulers: Dict[str, KubeScheduler] = {}
+        self.register_scheduler(DEFAULT_SCHEDULER)
+        self.proxy = EndpointsProxy(self)
+        self._node_port_counter = itertools.count(NODE_PORT_BASE)
+
+    # ---------------------------------------------------------------- nodes
+
+    def add_node(self, runtime: Containerd) -> Kubelet:
+        name = runtime.node.name
+        if name in self.kubelets:
+            raise ValueError(f"node {name!r} already joined")
+        kubelet = Kubelet(self, name, runtime)
+        self.kubelets[name] = kubelet
+        return kubelet
+
+    def fail_node(self, name: str) -> int:
+        """Node failure: the kubelet vanishes, its pods are lost.
+
+        The node controller (modelled synchronously here; real K8s notices
+        after the node-lease timeout) deletes the lost pods, which makes the
+        ReplicaSet controller recreate them on the surviving nodes. Returns
+        the number of pods lost.
+        """
+        kubelet = self.kubelets.pop(name, None)
+        if kubelet is None:
+            raise ValueError(f"unknown node {name!r}")
+        lost = 0
+        for pod in list(self.api.list("Pod")):
+            if pod.node_name != name:
+                continue
+            lost += 1
+            pod.deletion_requested = True
+            # The node is gone: containers die with it (no graceful stop).
+            for container in pod.containers:
+                if container.state is ContainerState.RUNNING:
+                    kubelet.runtime._teardown(container)
+                    container.state = ContainerState.STOPPED
+            self.api.delete("Pod", pod.name)
+        self.sim.trace.emit(self.sim.now, "k8s", "node-failed",
+                            {"node": name, "pods_lost": lost})
+        return lost
+
+    def register_scheduler(self, name: str,
+                           select_node: Optional[Callable] = None,
+                           latency_s: Optional[float] = None) -> KubeScheduler:
+        """Register a scheduler (the paper's Local Scheduler hook)."""
+        scheduler = KubeScheduler(self, name, select_node, latency_s)
+        self.schedulers[name] = scheduler
+        return scheduler
+
+    def _behavior_for_image(self, image_ref: str) -> Optional[ServiceBehavior]:
+        from repro.edge.services import EDGE_SERVICE_CATALOG
+        for kubelet in self.kubelets.values():
+            image = kubelet.runtime.image(image_ref)
+            if image is not None and image.app is not None:
+                for entry in EDGE_SERVICE_CATALOG.values():
+                    for img, beh in zip(entry.images, entry.behaviors):
+                        if img.app == image.app:
+                            return beh
+        return None
+
+    def _teardown_pod(self, pod: Pod) -> None:
+        for container in pod.containers:
+            if container.state is ContainerState.RUNNING:
+                kubelet = self.kubelets.get(pod.node_name or "")
+                if kubelet is not None:
+                    kubelet.runtime.stop(container)
+
+    # ---------------------------------------------------------- conveniences
+
+    def alloc_node_port(self) -> int:
+        return next(self._node_port_counter)
+
+    def create_deployment(self, deployment: Deployment) -> "Process":
+        return self.api.create(deployment)
+
+    def create_service(self, service: Service) -> "Process":
+        if service.node_port is None:
+            service.node_port = self.alloc_node_port()
+        return self.api.create(service)
+
+    def scale(self, deployment_name: str, replicas: int) -> "Process":
+        def mutate(obj):
+            obj.spec_replicas = replicas
+
+        return self.api.patch("Deployment", deployment_name, mutate)
+
+    def delete_deployment(self, name: str) -> "Process":
+        return self.api.delete("Deployment", name)
+
+    def ready_pods(self, selector: Dict[str, str]) -> List[Pod]:
+        return [pod for pod in self.api.list("Pod", selector=selector)
+                if pod.ready and not pod.deletion_requested]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<KubernetesCluster nodes={len(self.kubelets)} "
+                f"objects={sum(len(v) for v in self.api._store.values())}>")

@@ -1,0 +1,309 @@
+"""Serverless (WebAssembly) runtime — the paper's future work (§VIII).
+
+"In future work, we plan to extend our solution for transparent access by
+enabling the side-by-side operation of containers and serverless
+applications and evaluate how well the latter would perform."
+
+This module provides that substrate, modelled after the WASM edge runtimes
+the paper cites (Gackstatter et al. [7], Faasm [25], aWsm [24]):
+
+* functions ship as small WASM modules (KiBs–MiBs, one artifact, no layers);
+* a *cold start* is module fetch (if uncached) + AoT/JIT instantiation —
+  milliseconds, not the hundreds of milliseconds of a container netns setup;
+* instances are cheap enough to start per-demand and tear down aggressively.
+
+:class:`ServerlessCluster` plugs the runtime into the same
+:class:`~repro.edge.cluster.EdgeCluster` façade the SDN controller already
+drives, so containers and functions are *transparently interchangeable*
+behind a registered service address.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.edge.cluster import DeploymentSpec, EdgeCluster, Endpoint
+from repro.edge.registry import Registry, RegistryTiming
+from repro.edge.services import ServiceBehavior
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Process, Simulator
+    from repro.netsim.host import Host
+
+#: Host-port pool for serverless function endpoints.
+FUNCTION_PORT_BASE = 35000
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One deployable WASM function."""
+
+    name: str
+    module_size_bytes: int
+    behavior: ServiceBehavior
+    #: AoT-compiled module instantiation time (cold start body). WASM edge
+    #: runtimes report single-digit milliseconds [7].
+    instantiate_s: float = 0.004
+    #: per-invocation overhead of the runtime's sandbox trampoline
+    invoke_overhead_s: float = 0.00005
+
+
+@dataclass
+class WasmTiming:
+    """Runtime-level costs."""
+
+    #: runtime API call (local unix socket)
+    api_call_s: float = 0.002
+    #: module validation + linking per MiB on fetch
+    compile_s_per_mib: float = 0.020
+
+
+class FunctionInstance:
+    """A live function instance bound to a host port."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, spec: FunctionSpec, host_port: int):
+        self.id = f"fn-{next(self._ids):06d}"
+        self.spec = spec
+        self.host_port = host_port
+        self.started_at: Optional[float] = None
+        self.ready_at: Optional[float] = None
+        self.invocations = 0
+
+
+class WasmRuntime:
+    """A per-node serverless runtime with a module cache."""
+
+    def __init__(self, sim: "Simulator", node: "Host",
+                 module_registry: Registry,
+                 timing: Optional[WasmTiming] = None):
+        self.sim = sim
+        self.node = node
+        self.registry = module_registry
+        self.timing = timing if timing is not None else WasmTiming()
+        #: cached (fetched + compiled) modules by function name
+        self._modules: Dict[str, FunctionSpec] = {}
+        self._instances: Dict[str, FunctionInstance] = {}
+        self._port_counter = itertools.count(FUNCTION_PORT_BASE)
+        #: diagnostics
+        self.cold_starts = 0
+        self.fetches = 0
+
+    # ----------------------------------------------------------------- fetch
+
+    def has_module(self, name: str) -> bool:
+        return name in self._modules
+
+    def fetch_module(self, spec: FunctionSpec) -> "Process":
+        """Download (if uncached) + compile the module — the Pull phase."""
+
+        def proc():
+            if spec.name in self._modules:
+                return spec
+            yield self.sim.timeout(self.registry.manifest_time())
+            yield self.sim.timeout(self.registry.layer_time(spec.module_size_bytes))
+            yield self.sim.timeout(
+                self.timing.compile_s_per_mib * spec.module_size_bytes / (1024 * 1024))
+            self._modules[spec.name] = spec
+            self.fetches += 1
+            self.registry.account_pull(spec.module_size_bytes)
+            self.sim.trace.emit(self.sim.now, "wasm", "fetched",
+                                {"node": self.node.name, "fn": spec.name})
+            return spec
+
+        return self.sim.spawn(proc(), name=f"wasm-fetch:{spec.name}")
+
+    def drop_module(self, name: str) -> bool:
+        return self._modules.pop(name, None) is not None
+
+    # ------------------------------------------------------------- instances
+
+    def instantiate(self, name: str) -> "Process":
+        """Cold-start an instance — the Scale-Up phase (milliseconds)."""
+
+        def proc():
+            spec = self._modules.get(name)
+            if spec is None:
+                raise KeyError(f"{self.node.name}: module {name!r} not fetched")
+            if name in self._instances:
+                return self._instances[name]
+            yield self.sim.timeout(self.timing.api_call_s)
+            instance = FunctionInstance(spec, next(self._port_counter))
+            instance.started_at = self.sim.now
+            yield self.sim.timeout(spec.instantiate_s)
+            self.node.listen(instance.host_port,
+                             self._make_listener(instance))
+            instance.ready_at = self.sim.now
+            self._instances[name] = instance
+            self.cold_starts += 1
+            self.sim.trace.emit(self.sim.now, "wasm", "instantiated",
+                                {"node": self.node.name, "fn": name,
+                                 "port": instance.host_port})
+            return instance
+
+        return self.sim.spawn(proc(), name=f"wasm-instantiate:{name}")
+
+    def _make_listener(self, instance: FunctionInstance):
+        behavior = instance.spec.behavior
+        overhead = instance.spec.invoke_overhead_s
+        # One sandbox = one worker: concurrent invocations serialize on the
+        # instance's CPU (same busy-until idiom as container instances).
+        state = {"busy_until": 0.0}
+
+        def on_connection(conn):
+            def on_msg(c, msg):
+                instance.invocations += 1
+                start = max(self.sim.now, state["busy_until"])
+                done = start + overhead + behavior.request_cpu_s
+                state["busy_until"] = done
+
+                def respond():
+                    yield self.sim.timeout(done - self.sim.now)
+                    from repro.netsim.packet import HTTPResponse
+                    response = HTTPResponse(status=200,
+                                            body_bytes=behavior.response_bytes,
+                                            body={"served_by": instance.spec.name,
+                                                  "runtime": "wasm"})
+                    c.send(response, response.wire_bytes)
+
+                self.sim.spawn(respond(), name=f"wasm-invoke:{instance.spec.name}")
+
+            conn.on_message = on_msg
+
+        return on_connection
+
+    def instance(self, name: str) -> Optional[FunctionInstance]:
+        return self._instances.get(name)
+
+    def terminate(self, name: str) -> "Process":
+        """Tear an instance down — scale-down is practically free."""
+
+        def proc():
+            yield self.sim.timeout(self.timing.api_call_s)
+            instance = self._instances.pop(name, None)
+            if instance is not None and self.node.listening_on(instance.host_port):
+                self.node.unlisten(instance.host_port)
+            return instance
+
+        return self.sim.spawn(proc(), name=f"wasm-terminate:{name}")
+
+
+class ServerlessCluster(EdgeCluster):
+    """An :class:`EdgeCluster` backed by the WASM runtime.
+
+    Phase mapping (fig. 4): Pull = fetch+compile module; Create = register
+    the function (bookkeeping only); Scale Up = instantiate; Scale Down =
+    terminate; Remove = unregister; Delete = drop the cached module.
+    """
+
+    cluster_type = "serverless"
+
+    def __init__(self, sim: "Simulator", name: str, runtime: WasmRuntime,
+                 functions: Dict[str, FunctionSpec], zone: str = "default"):
+        # Serverless clusters have no containerd; EdgeCluster's image-based
+        # helpers are overridden below.
+        super().__init__(sim, name, runtime.node, runtime=None, zone=zone)  # type: ignore[arg-type]
+        self.wasm = runtime
+        #: service name -> function spec (the serverless "catalog")
+        self.functions = dict(functions)
+        self._created: Dict[str, bool] = {}
+        self.inventory_query_s = 0.002  # a local runtime query is cheap
+
+    def register_function(self, service_name: str, spec: FunctionSpec) -> None:
+        self.functions[service_name] = spec
+
+    def _function(self, spec: DeploymentSpec) -> FunctionSpec:
+        function = self.functions.get(spec.name)
+        if function is None:
+            raise KeyError(f"{self.name}: no function registered for {spec.name!r}")
+        return function
+
+    # ---- façade implementation ------------------------------------------
+
+    def has_images(self, spec: DeploymentSpec) -> bool:
+        return self.wasm.has_module(self._function(spec).name)
+
+    def pull(self, spec: DeploymentSpec) -> "Process":
+        self.ops["pull"] += 1
+        return self.wasm.fetch_module(self._function(spec))
+
+    def delete_images(self, spec: DeploymentSpec) -> None:
+        self.wasm.drop_module(self._function(spec).name)
+
+    def is_created(self, spec: DeploymentSpec) -> bool:
+        return self._created.get(spec.name, False)
+
+    def create(self, spec: DeploymentSpec) -> "Process":
+        self.ops["create"] += 1
+
+        def proc():
+            yield self.sim.timeout(self.wasm.timing.api_call_s)
+            self._created[spec.name] = True
+
+        return self.sim.spawn(proc(), name=f"{self.name}:create:{spec.name}")
+
+    def scale_up(self, spec: DeploymentSpec) -> "Process":
+        self.ops["scale_up"] += 1
+        return self.wasm.instantiate(self._function(spec).name)
+
+    def scale_down(self, spec: DeploymentSpec) -> "Process":
+        self.ops["scale_down"] += 1
+        return self.wasm.terminate(self._function(spec).name)
+
+    def remove(self, spec: DeploymentSpec) -> "Process":
+        self.ops["remove"] += 1
+
+        def proc():
+            yield self.wasm.terminate(self._function(spec).name)
+            self._created.pop(spec.name, None)
+
+        return self.sim.spawn(proc(), name=f"{self.name}:remove:{spec.name}")
+
+    def endpoint(self, spec: DeploymentSpec) -> Optional[Endpoint]:
+        instance = self.wasm.instance(self._function(spec).name)
+        if instance is None:
+            return None
+        return Endpoint(ip=self.node.ip, port=instance.host_port)
+
+    def estimate_cold_start_s(self, spec: DeploymentSpec) -> float:
+        function = self._function(spec)
+        total = self.wasm.timing.api_call_s + function.instantiate_s
+        if not self.wasm.has_module(function.name):
+            registry = self.wasm.registry
+            total += (registry.manifest_time()
+                      + registry.layer_time(function.module_size_bytes)
+                      + self.wasm.timing.compile_s_per_mib
+                      * function.module_size_bytes / (1024 * 1024))
+        return total
+
+
+def wasm_function_for_catalog(key: str) -> FunctionSpec:
+    """A WASM port of one of the Table-I services: same request behaviour,
+    module-sized artifact instead of a container image."""
+    from repro.edge.services import EDGE_SERVICE_CATALOG
+
+    entry = EDGE_SERVICE_CATALOG[key]
+    behavior = entry.serving_behavior
+    # WASM modules are far smaller than container images: the web servers
+    # compile to ~1 MiB; the ResNet model still dominates its artifact.
+    module_sizes = {
+        "asm": 64 * 1024,
+        "nginx": 1 * 1024 * 1024,
+        "resnet": 110 * 1024 * 1024,  # weights dominate
+        "nginx+py": 2 * 1024 * 1024,
+    }
+    instantiate = {
+        "asm": 0.002,
+        "nginx": 0.004,
+        "resnet": 1.9,   # weight loading does not go away
+        "nginx+py": 0.006,
+    }
+    return FunctionSpec(
+        name=f"wasm-{key}",
+        module_size_bytes=module_sizes[key],
+        behavior=behavior,
+        instantiate_s=instantiate[key],
+    )

@@ -1,0 +1,253 @@
+"""The paper's edge services (Table I) as behavioural models.
+
+Each catalog entry couples a synthetic :class:`ContainerImage` (with the
+paper's exact size and layer count) to a :class:`ServiceBehavior` describing
+what the containerised process does: how long it takes to come up after the
+container starts (model loading for ResNet, near-zero for the Assembler
+server), how long a request takes, and how big requests/responses are.
+
+============  =========================================  =============  ==========  ====
+Service       Image(s)                                   Size / Layers  Containers  HTTP
+============  =========================================  =============  ==========  ====
+Asm           josefhammer/web-asm:amd64                  6.18 KiB / 1   1           GET
+Nginx         nginx:1.23.2                               135 MiB / 6    1           GET
+ResNet        gcr.io/tensorflow-serving/resnet           308 MiB / 9    1           POST
+Nginx+Py      nginx:1.23.2 + josefhammer/env-writer-py   181 MiB / 7    2           GET
+============  =========================================  =============  ==========  ====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.edge.images import ContainerImage, KIB, MIB, make_image
+from repro.netsim.packet import HTTPRequest, HTTPResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Simulator
+
+
+@dataclass(frozen=True)
+class ServiceBehavior:
+    """What the process inside a container does.
+
+    ``startup_s`` is the time between the container's PID 1 exec and the
+    process listening on its port (nginx parses config in tens of ms; the
+    TensorFlow model server loads ResNet50 for seconds; asmttpd is
+    effectively instant).
+    """
+
+    name: str
+    #: container port the process listens on (None: no server, e.g. the
+    #: env-writer sidecar that only writes files)
+    port: Optional[int] = 80
+    startup_s: float = 0.05
+    #: CPU time per request
+    request_cpu_s: float = 0.0002
+    #: typical request/response body sizes
+    request_bytes: int = 62
+    response_bytes: int = 615
+    http_method: str = "GET"
+
+    def handle(self, sim: "Simulator", conn, message) -> None:
+        """Stateless one-shot handling (no instance queueing): charge CPU
+        time, then respond. Prefer :meth:`make_handler` for real instances."""
+        InstanceHandler(self, sim).handle(conn, message)
+
+    def make_handler(self, sim: "Simulator") -> "InstanceHandler":
+        """A stateful per-instance handler with a single-threaded CPU queue
+        (one worker process per instance: concurrent requests serialize,
+        which is what makes horizontal scaling observable in latency)."""
+        return InstanceHandler(self, sim)
+
+    def make_listener(self, sim: "Simulator") -> Callable:
+        """Connection-accept callback for :meth:`Host.listen` — one handler
+        (one CPU queue) per listening instance."""
+        handler = self.make_handler(sim)
+
+        def on_connection(conn):
+            conn.on_message = handler.handle
+
+        return on_connection
+
+    def make_request(self) -> Tuple[HTTPRequest, int]:
+        """A representative client request (message, wire size)."""
+        body = self.request_bytes if self.http_method == "POST" else 0
+        request = HTTPRequest(method=self.http_method, path="/",
+                              body_bytes=body, headers_bytes=120)
+        return request, request.wire_bytes
+
+
+class InstanceHandler:
+    """Per-instance request handler with a serialized CPU budget.
+
+    Models a single-worker service process: each request occupies the
+    instance's CPU for ``request_cpu_s``; simultaneous requests queue FIFO
+    (the same busy-until idiom links use for serialization). The number of
+    requests served is tracked for autoscaler metrics.
+    """
+
+    __slots__ = ("behavior", "sim", "_busy_until", "requests_served")
+
+    def __init__(self, behavior: ServiceBehavior, sim: "Simulator"):
+        self.behavior = behavior
+        self.sim = sim
+        self._busy_until = 0.0
+        self.requests_served = 0
+
+    def handle(self, conn, message) -> None:
+        behavior = self.behavior
+        start = max(self.sim.now, self._busy_until)
+        done = start + behavior.request_cpu_s
+        self._busy_until = done
+        self.requests_served += 1
+
+        def respond():
+            yield self.sim.timeout(done - self.sim.now)
+            response = HTTPResponse(
+                status=200,
+                body_bytes=behavior.response_bytes,
+                body={"served_by": behavior.name},
+            )
+            conn.send(response, response.wire_bytes)
+
+        self.sim.spawn(respond(), name=f"{behavior.name}.respond")
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One Table-I row: images + per-container behaviours."""
+
+    key: str
+    description: str
+    images: Tuple[ContainerImage, ...]
+    behaviors: Tuple[ServiceBehavior, ...]  # parallel to images
+    http_method: str
+
+    @property
+    def total_size_bytes(self) -> int:
+        # Shared layers counted once, as the paper's size column does.
+        seen = set()
+        total = 0
+        for image in self.images:
+            for layer in image.layers:
+                if layer.digest not in seen:
+                    seen.add(layer.digest)
+                    total += layer.size_bytes
+        return total
+
+    @property
+    def total_layers(self) -> int:
+        return len({layer.digest for image in self.images for layer in image.layers})
+
+    @property
+    def container_count(self) -> int:
+        return len(self.images)
+
+    @property
+    def serving_behavior(self) -> ServiceBehavior:
+        """The behaviour that owns the service port (first listening one)."""
+        for behavior in self.behaviors:
+            if behavior.port is not None:
+                return behavior
+        raise ValueError(f"{self.key}: no listening container")
+
+
+def _build_catalog() -> Dict[str, CatalogEntry]:
+    asm_image = make_image("josefhammer/web-asm:amd64",
+                           size_bytes=int(6.18 * KIB), layer_count=1, app="asm")
+    nginx_image = make_image("nginx:1.23.2",
+                             size_bytes=135 * MIB, layer_count=6, app="nginx")
+    resnet_image = make_image("gcr.io/tensorflow-serving/resnet:latest",
+                              size_bytes=308 * MIB, layer_count=9, app="resnet")
+    envwriter_image = make_image("josefhammer/env-writer-py:latest",
+                                 size_bytes=46 * MIB, layer_count=1, app="env-writer-py")
+
+    asm = ServiceBehavior(
+        name="asm", port=80,
+        startup_s=0.004,       # a 6 KiB static binary: effectively instant
+        request_cpu_s=0.0001,
+        request_bytes=62, response_bytes=52, http_method="GET",
+    )
+    nginx = ServiceBehavior(
+        name="nginx", port=80,
+        startup_s=0.055,       # master+worker spawn, config parse
+        request_cpu_s=0.0002,
+        request_bytes=62, response_bytes=615, http_method="GET",
+    )
+    resnet = ServiceBehavior(
+        name="resnet", port=8501,
+        startup_s=2.60,        # TensorFlow Serving loads the ResNet50 model
+        request_cpu_s=0.180,   # one CPU inference
+        request_bytes=83 * KIB, response_bytes=280, http_method="POST",
+    )
+    env_writer = ServiceBehavior(
+        name="env-writer-py", port=None,  # writes index.html, serves nothing
+        startup_s=0.45,        # CPython start + imports + config read
+        request_cpu_s=0.0,
+        request_bytes=0, response_bytes=0, http_method="GET",
+    )
+
+    return {
+        "asm": CatalogEntry(
+            key="asm",
+            description="Assembler Web Server (asmttpd)",
+            images=(asm_image,), behaviors=(asm,), http_method="GET",
+        ),
+        "nginx": CatalogEntry(
+            key="nginx",
+            description="Nginx Web Server",
+            images=(nginx_image,), behaviors=(nginx,), http_method="GET",
+        ),
+        "resnet": CatalogEntry(
+            key="resnet",
+            description="TensorFlow Serving with pre-trained ResNet50 model",
+            images=(resnet_image,), behaviors=(resnet,), http_method="POST",
+        ),
+        "nginx+py": CatalogEntry(
+            key="nginx+py",
+            description="Nginx Web Server + Python Application",
+            images=(nginx_image, envwriter_image),
+            behaviors=(nginx, env_writer), http_method="GET",
+        ),
+    }
+
+
+#: The four services of Table I, keyed as in the figures.
+EDGE_SERVICE_CATALOG: Dict[str, CatalogEntry] = _build_catalog()
+
+
+def catalog_image(key: str, index: int = 0) -> ContainerImage:
+    return EDGE_SERVICE_CATALOG[key].images[index]
+
+
+def catalog_behavior(key: str, index: int = 0) -> ServiceBehavior:
+    return EDGE_SERVICE_CATALOG[key].behaviors[index]
+
+
+def all_catalog_images() -> List[ContainerImage]:
+    out: List[ContainerImage] = []
+    seen = set()
+    for entry in EDGE_SERVICE_CATALOG.values():
+        for image in entry.images:
+            if str(image.ref) not in seen:
+                seen.add(str(image.ref))
+                out.append(image)
+    return out
+
+
+def service_table() -> List[dict]:
+    """Regenerate Table I as structured rows (benchmark B-T1)."""
+    rows = []
+    for entry in EDGE_SERVICE_CATALOG.values():
+        rows.append({
+            "key": entry.key,
+            "service": entry.description,
+            "images": " + ".join(str(i.ref) for i in entry.images),
+            "size_bytes": entry.total_size_bytes,
+            "layers": entry.total_layers,
+            "containers": entry.container_count,
+            "http": entry.http_method,
+        })
+    return rows

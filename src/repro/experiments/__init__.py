@@ -1,0 +1,15 @@
+"""Experiment drivers regenerating every table and figure (see DESIGN.md §4).
+
+* :mod:`repro.experiments.topologies` — canonical testbed builders (fig. 8);
+* :mod:`repro.experiments.parta` — reconstructed evaluation of the target
+  IPDPSW'19 paper (edge-vs-cloud latency, first-packet overhead, controller
+  scaling, flow-table occupancy);
+* :mod:`repro.experiments.partb` — the follow-up text's evaluation
+  (Table I, figs. 9–16);
+* :mod:`repro.experiments.ablations` — design-choice ablations
+  (FlowMemory, waiting modes, hybrid Docker→K8s, schedulers, registries).
+"""
+
+from repro.experiments.topologies import Testbed, build_testbed
+
+__all__ = ["Testbed", "build_testbed"]

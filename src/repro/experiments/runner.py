@@ -1,0 +1,139 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.experiments                # everything (quick repeats)
+    python -m repro.experiments --part b       # only Table I + figs. 9-16
+    python -m repro.experiments --part a       # only A1-A4
+    python -m repro.experiments --part ablations
+    python -m repro.experiments --part ext     # future-work extensions
+    python -m repro.experiments --full         # paper-faithful 42 repeats
+    python -m repro.experiments --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments import ablations, extensions, parta, partb
+from repro.metrics import Series, Table, render_series, render_table
+
+
+def _render(artifact) -> str:
+    if isinstance(artifact, Table):
+        return render_table(artifact)
+    if isinstance(artifact, Series):
+        return render_series(artifact)
+    return str(artifact)
+
+
+def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
+    """(part, name, driver) for every regenerable artifact."""
+    repeats = 42 if full else 7
+    return [
+        ("b", "Table I", partb.table1_catalog),
+        ("b", "Fig. 9", partb.fig9_request_distribution),
+        ("b", "Fig. 10 (trace)", partb.fig10_deployment_distribution),
+        ("b", "Fig. 10 (measured)", partb.fig10_measured_deployments),
+        ("b", "Fig. 11", lambda: partb.fig11_scale_up(repeats=repeats)),
+        ("b", "Fig. 12", lambda: partb.fig12_create_scale_up(repeats=repeats)),
+        ("b", "Fig. 13", partb.fig13_pull_times),
+        ("b", "Fig. 14", lambda: partb.fig14_wait_after_scale_up(repeats=repeats)),
+        ("b", "Fig. 15", lambda: partb.fig15_wait_after_create_scale_up(repeats=repeats)),
+        ("b", "Fig. 16", partb.fig16_running_instance),
+        ("a", "A1", parta.a1_edge_vs_cloud),
+        ("a", "A2", parta.a2_first_packet_overhead),
+        ("a", "A2b", parta.a2b_control_latency_sweep),
+        ("a", "A3", parta.a3_controller_scaling),
+        ("a", "A3b", parta.a3_service_count_scaling),
+        ("a", "A4", parta.a4_flowtable_occupancy),
+        ("a", "A5", parta.a5_multiswitch_overhead),
+        ("ablations", "FlowMemory", ablations.ablation_flow_memory),
+        ("ablations", "Waiting modes", ablations.ablation_waiting_modes),
+        ("ablations", "Hybrid Docker→K8s", ablations.ablation_hybrid_docker_then_k8s),
+        ("ablations", "Schedulers", ablations.ablation_schedulers),
+        ("ablations", "Registry/cache", ablations.ablation_registry_cache),
+        ("ext", "E1 serverless", extensions.e1_serverless_vs_containers),
+        ("ext", "E1b artifact sizes", extensions.e1_artifact_sizes),
+        ("ext", "E2 follow-me", extensions.e2_follow_me_handover),
+        ("ext", "E3 proactive", extensions.e3_proactive_deployment),
+        ("ext", "E4 hierarchy", extensions.e4_hierarchical_escape),
+        ("ext", "E5 autoscaling", extensions.e5_autoscaling_under_load),
+    ]
+
+
+def _csv_name(name: str) -> str:
+    out = "".join(ch.lower() if ch.isalnum() else "_" for ch in name)
+    while "__" in out:
+        out = out.replace("__", "_")
+    return out.strip("_") + ".csv"
+
+
+def run(parts: Optional[List[str]] = None, full: bool = False,
+        out=None, csv_dir: Optional[str] = None) -> int:
+    """Regenerate the selected artifacts; returns the number regenerated.
+
+    With ``csv_dir``, every Table/Series is also written as raw CSV for
+    downstream plotting.
+    """
+    from repro.metrics import series_to_csv, table_to_csv
+
+    stream = out if out is not None else sys.stdout
+    if csv_dir is not None:
+        import os
+
+        os.makedirs(csv_dir, exist_ok=True)
+    count = 0
+    for part, name, driver in artifact_registry(full):
+        if parts and part not in parts:
+            continue
+        started = time.perf_counter()
+        artifact = driver()
+        elapsed = time.perf_counter() - started
+        print(f"\n### [{part}] {name}  (regenerated in {elapsed:.1f}s wall)\n",
+              file=stream)
+        print(_render(artifact), file=stream)
+        if csv_dir is not None:
+            import os
+
+            path = os.path.join(csv_dir, _csv_name(f"{part}_{name}"))
+            if isinstance(artifact, Table):
+                payload = table_to_csv(artifact)
+            elif isinstance(artifact, Series):
+                payload = series_to_csv(artifact)
+            else:  # pragma: no cover - future artifact kinds
+                payload = str(artifact)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        count += 1
+    return count
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("--part", choices=["a", "b", "ablations", "ext"],
+                        action="append", dest="parts",
+                        help="restrict to one part (repeatable)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-faithful 42 repeats per cell (slower)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write to a file instead of stdout")
+    parser.add_argument("--csv-dir", type=str, default=None,
+                        help="also dump every artifact as raw CSV here")
+    args = parser.parse_args(argv)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            count = run(args.parts, args.full, out=handle, csv_dir=args.csv_dir)
+        print(f"wrote {count} artifacts to {args.out}")
+    else:
+        count = run(args.parts, args.full, csv_dir=args.csv_dir)
+    return 0 if count else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

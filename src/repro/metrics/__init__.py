@@ -1,0 +1,24 @@
+"""Measurement: summary statistics and figure/table renderers."""
+
+from repro.metrics.stats import Summary, summarize
+from repro.metrics.report import (
+    Table,
+    Series,
+    render_table,
+    render_series,
+    format_seconds,
+    table_to_csv,
+    series_to_csv,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "Table",
+    "Series",
+    "render_table",
+    "render_series",
+    "format_seconds",
+    "table_to_csv",
+    "series_to_csv",
+]

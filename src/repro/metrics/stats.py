@@ -1,0 +1,49 @@
+"""Summary statistics over timing samples.
+
+The paper reports medians (figs. 11–16); :class:`Summary` carries the median
+plus the spread statistics a careful reproduction should look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    median: float
+    mean: float
+    p25: float
+    p75: float
+    p95: float
+    minimum: float
+    maximum: float
+    std: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} median={self.median:.6f} mean={self.mean:.6f} "
+                f"p95={self.p95:.6f} min={self.minimum:.6f} max={self.maximum:.6f}")
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    """Summarize a non-empty sample (raises ValueError on empty input)."""
+    array = np.asarray(list(samples), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(array.size),
+        median=float(np.median(array)),
+        mean=float(array.mean()),
+        p25=float(np.percentile(array, 25)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        std=float(array.std()),
+    )

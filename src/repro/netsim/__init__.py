@@ -1,0 +1,60 @@
+"""Simulated layer-2/3/4 network substrate.
+
+Provides everything beneath the SDN layer: addressing, a typed packet model
+(Ethernet / ARP / IPv4 / TCP / UDP with HTTP-style application payloads),
+full-duplex links with latency + serialization delay, and end hosts with an
+ARP cache, a gateway-routed IP stack, and a TCP-like reliable stream with a
+3-way handshake (the interval curl's ``time_total`` measures starts at the
+first SYN).
+
+The OpenFlow switch lives in :mod:`repro.openflow`; it is just another
+:class:`~repro.netsim.device.Device` on these links.
+"""
+
+from repro.netsim.addresses import MAC, IPv4, BROADCAST_MAC, ZERO_MAC, mac, ip
+from repro.netsim.packet import (
+    EthernetFrame,
+    ArpPacket,
+    IPv4Packet,
+    TCPSegment,
+    UDPDatagram,
+    HTTPRequest,
+    HTTPResponse,
+    ETH_TYPE_IP,
+    ETH_TYPE_ARP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    TCPFlags,
+)
+from repro.netsim.link import Link
+from repro.netsim.device import Device
+from repro.netsim.host import Host, Connection, ConnectionRefused, ConnectTimeout
+from repro.netsim.topology import Network
+
+__all__ = [
+    "MAC",
+    "IPv4",
+    "mac",
+    "ip",
+    "BROADCAST_MAC",
+    "ZERO_MAC",
+    "EthernetFrame",
+    "ArpPacket",
+    "IPv4Packet",
+    "TCPSegment",
+    "UDPDatagram",
+    "HTTPRequest",
+    "HTTPResponse",
+    "ETH_TYPE_IP",
+    "ETH_TYPE_ARP",
+    "IP_PROTO_TCP",
+    "IP_PROTO_UDP",
+    "TCPFlags",
+    "Link",
+    "Device",
+    "Host",
+    "Connection",
+    "ConnectionRefused",
+    "ConnectTimeout",
+    "Network",
+]

@@ -1,0 +1,228 @@
+"""Typed packet model: Ethernet / ARP / IPv4 / TCP / UDP + HTTP payloads.
+
+Packets are plain frozen-ish dataclasses, layered by composition
+(``EthernetFrame.payload`` is an :class:`ArpPacket` or :class:`IPv4Packet`,
+and so on). The OpenFlow rewrite actions produce *copies* via
+:func:`dataclasses.replace`, never mutate in place — a frame in flight may be
+referenced from several queues (switch buffer, controller, trace log).
+
+Application payloads are Python objects carried by value with an explicit
+byte size; the size (plus per-layer header overhead) drives link
+serialization delay, which is what makes e.g. the 83 KiB ResNet POST body
+slower than a 62-byte GET.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.netsim.addresses import IPv4, MAC
+
+ETH_TYPE_IP = 0x0800
+ETH_TYPE_ARP = 0x0806
+
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+ETH_HEADER_BYTES = 18  # header + FCS
+ARP_BODY_BYTES = 28
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+
+#: Maximum TCP payload per segment (standard Ethernet MSS).
+TCP_MSS = 1460
+
+
+class TCPFlags(enum.IntFlag):
+    """The TCP flag bits the simulation models."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """An HTTP request as carried by the application layer.
+
+    ``body_bytes`` is the payload size used for serialization delay (e.g. the
+    83 KiB cat picture POSTed to the ResNet service); ``body`` may carry an
+    arbitrary Python object for the server handler to inspect.
+    """
+
+    method: str = "GET"
+    path: str = "/"
+    host: str = ""
+    body_bytes: int = 0
+    body: Any = None
+    headers_bytes: int = 120  # typical curl request header size
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.headers_bytes + self.body_bytes
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    """An HTTP response."""
+
+    status: int = 200
+    body_bytes: int = 0
+    body: Any = None
+    headers_bytes: int = 160
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.headers_bytes + self.body_bytes
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """One TCP segment.
+
+    ``payload`` is an application message (or a reassembly fragment marker),
+    ``payload_bytes`` its on-wire size contribution for this segment.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: TCPFlags = TCPFlags.NONE
+    payload: Any = None
+    payload_bytes: int = 0
+    #: Marks the final fragment of a multi-segment application message.
+    last_fragment: bool = True
+
+    @property
+    def wire_bytes(self) -> int:
+        return TCP_HEADER_BYTES + self.payload_bytes
+
+    def has(self, flag: TCPFlags) -> bool:
+        return bool(self.flags & flag)
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """One UDP datagram."""
+
+    src_port: int
+    dst_port: int
+    payload: Any = None
+    payload_bytes: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        return UDP_HEADER_BYTES + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """An IPv4 packet carrying TCP or UDP."""
+
+    src: IPv4
+    dst: IPv4
+    proto: int
+    payload: Union[TCPSegment, UDPDatagram]
+    ttl: int = 64
+
+    @property
+    def wire_bytes(self) -> int:
+        return IP_HEADER_BYTES + self.payload.wire_bytes
+
+    def decrement_ttl(self) -> "IPv4Packet":
+        return dataclasses.replace(self, ttl=self.ttl - 1)
+
+
+class ArpOp(enum.IntEnum):
+    REQUEST = 1
+    REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpPacket:
+    """An ARP request or reply."""
+
+    op: ArpOp
+    sender_mac: MAC
+    sender_ip: IPv4
+    target_mac: MAC
+    target_ip: IPv4
+
+    @property
+    def wire_bytes(self) -> int:
+        return ARP_BODY_BYTES
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """The layer-2 frame that actually traverses links."""
+
+    src: MAC
+    dst: MAC
+    ethertype: int
+    payload: Union[ArpPacket, IPv4Packet]
+    #: Monotonic id assigned by the sender's stack; used for tracing and for
+    #: OpenFlow packet buffering (buffer_id derivation).
+    frame_id: int = field(default=0, compare=False)
+
+    @property
+    def wire_bytes(self) -> int:
+        return ETH_HEADER_BYTES + self.payload.wire_bytes
+
+    # ------------------------------------------------------- layer accessors
+
+    @property
+    def ipv4(self) -> Optional[IPv4Packet]:
+        return self.payload if isinstance(self.payload, IPv4Packet) else None
+
+    @property
+    def arp(self) -> Optional[ArpPacket]:
+        return self.payload if isinstance(self.payload, ArpPacket) else None
+
+    @property
+    def tcp(self) -> Optional[TCPSegment]:
+        ipv4 = self.ipv4
+        if ipv4 is not None and isinstance(ipv4.payload, TCPSegment):
+            return ipv4.payload
+        return None
+
+    @property
+    def udp(self) -> Optional[UDPDatagram]:
+        ipv4 = self.ipv4
+        if ipv4 is not None and isinstance(ipv4.payload, UDPDatagram):
+            return ipv4.payload
+        return None
+
+    def describe(self) -> str:
+        """Compact single-line rendering for traces and debugging."""
+        if self.arp is not None:
+            a = self.arp
+            kind = "who-has" if a.op == ArpOp.REQUEST else "is-at"
+            return f"ARP {kind} {a.target_ip} tell {a.sender_ip}"
+        tcp = self.tcp
+        if tcp is not None:
+            ipv4 = self.ipv4
+            assert ipv4 is not None
+            flags = (tcp.flags.name or str(int(tcp.flags))) if tcp.flags else "-"
+            return (
+                f"TCP {ipv4.src}:{tcp.src_port} > {ipv4.dst}:{tcp.dst_port}"
+                f" [{flags}] seq={tcp.seq} ack={tcp.ack} len={tcp.payload_bytes}"
+            )
+        udp = self.udp
+        if udp is not None:
+            ipv4 = self.ipv4
+            assert ipv4 is not None
+            return f"UDP {ipv4.src}:{udp.src_port} > {ipv4.dst}:{udp.dst_port} len={udp.payload_bytes}"
+        return f"ETH {self.src} > {self.dst} type={self.ethertype:#06x}"

@@ -1,0 +1,86 @@
+"""OpenFlow 1.3-style SDN substrate.
+
+Implements the subset of OpenFlow the transparent-edge controller uses, with
+faithful semantics:
+
+* priority flow tables with (optionally masked) matches, idle/hard timeouts,
+  per-entry packet/byte counters, and ``FlowRemoved`` notifications;
+* set-field rewrite actions (the mechanism behind transparent redirection),
+  output/flood/controller actions;
+* packet buffering at the switch with ``buffer_id`` handoff to the
+  controller (``PacketIn`` / ``PacketOut`` / ``FlowMod`` with buffer);
+* a control channel with configurable latency — the first-packet overhead
+  measured in experiment A2 is exactly two traversals of this channel plus
+  controller processing.
+"""
+
+from repro.openflow.constants import (
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    OFPP_IN_PORT,
+    OFP_NO_BUFFER,
+    OFPR_NO_MATCH,
+    OFPR_ACTION,
+    OFPRR_IDLE_TIMEOUT,
+    OFPRR_HARD_TIMEOUT,
+    OFPRR_DELETE,
+    OFPFF_SEND_FLOW_REM,
+)
+from repro.openflow.match import Match, extract_fields
+from repro.openflow.actions import (
+    Action,
+    OutputAction,
+    SetFieldAction,
+    apply_actions,
+)
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.messages import (
+    Message,
+    PacketIn,
+    PacketOut,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsRequest,
+    FlowStatsReply,
+    EchoRequest,
+    EchoReply,
+    BarrierRequest,
+    BarrierReply,
+)
+from repro.openflow.switch import OpenFlowSwitch
+from repro.openflow.channel import ControlChannel, ControllerEndpoint
+
+__all__ = [
+    "OFPP_CONTROLLER",
+    "OFPP_FLOOD",
+    "OFPP_IN_PORT",
+    "OFP_NO_BUFFER",
+    "OFPR_NO_MATCH",
+    "OFPR_ACTION",
+    "OFPRR_IDLE_TIMEOUT",
+    "OFPRR_HARD_TIMEOUT",
+    "OFPRR_DELETE",
+    "OFPFF_SEND_FLOW_REM",
+    "Match",
+    "extract_fields",
+    "Action",
+    "OutputAction",
+    "SetFieldAction",
+    "apply_actions",
+    "FlowEntry",
+    "FlowTable",
+    "Message",
+    "PacketIn",
+    "PacketOut",
+    "FlowMod",
+    "FlowRemoved",
+    "FlowStatsRequest",
+    "FlowStatsReply",
+    "EchoRequest",
+    "EchoReply",
+    "BarrierRequest",
+    "BarrierReply",
+    "OpenFlowSwitch",
+    "ControlChannel",
+    "ControllerEndpoint",
+]

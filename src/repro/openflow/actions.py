@@ -1,0 +1,143 @@
+"""OpenFlow actions: output and set-field (the rewrite primitive).
+
+``apply_actions`` executes an action list against a frame, returning the
+(possibly rewritten) frame and the list of output ports — the switch then
+performs the actual transmissions. Set-field produces copies; frames are
+never mutated in place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Sequence, Tuple
+
+from repro.netsim.addresses import IPv4, MAC
+from repro.netsim.packet import EthernetFrame, IPv4Packet, TCPSegment, UDPDatagram
+from repro.openflow.constants import REWRITABLE_FIELDS
+
+
+class Action:
+    """Marker base class."""
+
+    __slots__ = ()
+
+
+class OutputAction(Action):
+    """Emit the frame (as rewritten so far) out of ``port`` — may be a real
+    port number or one of the reserved OFPP_* ports."""
+
+    __slots__ = ("port",)
+
+    def __init__(self, port: int):
+        self.port = port
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OutputAction) and self.port == other.port
+
+    def __hash__(self) -> int:
+        return hash(("out", self.port))
+
+    def __repr__(self) -> str:
+        return f"Output({self.port:#x})" if self.port > 0xFF else f"Output({self.port})"
+
+
+class SetFieldAction(Action):
+    """Rewrite one header field (``eth_src/dst``, ``ipv4_src/dst``,
+    ``tcp_src/dst``, ``udp_src/dst``)."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: str, value: Any):
+        if field not in REWRITABLE_FIELDS:
+            raise ValueError(f"field {field!r} is not rewritable")
+        if field.startswith("ipv4") and not isinstance(value, IPv4):
+            value = IPv4(value)
+        if field.startswith("eth") and not isinstance(value, MAC):
+            value = MAC(value)
+        if field.startswith(("tcp", "udp")):
+            value = int(value)
+        self.field = field
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, SetFieldAction)
+                and self.field == other.field and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return hash(("set", self.field, self.value))
+
+    def __repr__(self) -> str:
+        return f"SetField({self.field}={self.value})"
+
+
+def _rewrite(frame: EthernetFrame, field: str, value: Any) -> EthernetFrame:
+    if field == "eth_src":
+        return dataclasses.replace(frame, src=value)
+    if field == "eth_dst":
+        return dataclasses.replace(frame, dst=value)
+
+    packet = frame.ipv4
+    if packet is None:
+        # Set-field on a non-IP frame: no-op (matches OF behaviour where the
+        # prerequisite fields are absent).
+        return frame
+
+    if field == "ipv4_src":
+        return dataclasses.replace(frame, payload=dataclasses.replace(packet, src=value))
+    if field == "ipv4_dst":
+        return dataclasses.replace(frame, payload=dataclasses.replace(packet, dst=value))
+
+    l4 = packet.payload
+    if field in ("tcp_src", "tcp_dst") and isinstance(l4, TCPSegment):
+        kwargs = {"src_port": value} if field == "tcp_src" else {"dst_port": value}
+        new_l4 = dataclasses.replace(l4, **kwargs)
+    elif field in ("udp_src", "udp_dst") and isinstance(l4, UDPDatagram):
+        kwargs = {"src_port": value} if field == "udp_src" else {"dst_port": value}
+        new_l4 = dataclasses.replace(l4, **kwargs)
+    else:
+        return frame
+    return dataclasses.replace(frame, payload=dataclasses.replace(packet, payload=new_l4))
+
+
+def apply_actions(
+    frame: EthernetFrame, actions: Sequence[Action]
+) -> Tuple[EthernetFrame, List[int]]:
+    """Run an action list; return the final frame and output port list.
+
+    OpenFlow apply-actions semantics: actions execute in order, so a
+    set-field *after* an output does not affect that output. We return the
+    frame state at each output; for simplicity all outputs receive the frame
+    as rewritten up to that output action — achieved by snapshotting.
+    """
+    outputs: List[Tuple[EthernetFrame, int]] = []
+    current = frame
+    for action in actions:
+        if isinstance(action, SetFieldAction):
+            current = _rewrite(current, action.field, action.value)
+        elif isinstance(action, OutputAction):
+            outputs.append((current, action.port))
+        else:  # pragma: no cover - future action types
+            raise TypeError(f"unsupported action {action!r}")
+    if not outputs:
+        return current, []
+    # The common case is a single output; return that frame and port list.
+    # Multiple outputs with interleaved rewrites are handled by the switch
+    # calling apply_actions_multi instead.
+    return outputs[-1][0], [port for _, port in outputs]
+
+
+def apply_actions_multi(
+    frame: EthernetFrame, actions: Sequence[Action]
+) -> List[Tuple[EthernetFrame, int]]:
+    """Like :func:`apply_actions` but yields the exact (frame, port) pairs,
+    preserving per-output rewrite state."""
+    outputs: List[Tuple[EthernetFrame, int]] = []
+    current = frame
+    for action in actions:
+        if isinstance(action, SetFieldAction):
+            current = _rewrite(current, action.field, action.value)
+        elif isinstance(action, OutputAction):
+            outputs.append((current, action.port))
+        else:  # pragma: no cover
+            raise TypeError(f"unsupported action {action!r}")
+    return outputs

@@ -1,0 +1,99 @@
+"""The control channel between a switch and its controller.
+
+A :class:`ControlChannel` models the TCP session a real OpenFlow switch keeps
+to its controller as a FIFO pipe with fixed one-way latency (and optional
+bandwidth). Experiment A2's "first-packet overhead" is two traversals of
+this channel plus controller processing time, so its latency is a first-class
+experiment parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, TYPE_CHECKING, runtime_checkable
+
+from repro.openflow.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Simulator
+    from repro.openflow.switch import OpenFlowSwitch
+
+
+@runtime_checkable
+class ControllerEndpoint(Protocol):
+    """What the channel needs from a controller implementation."""
+
+    def on_switch_message(self, switch: "OpenFlowSwitch", message: Message) -> None: ...
+
+
+class ControlChannel:
+    """FIFO, latency-delayed, bidirectional control pipe.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way latency. The paper's controller runs on the same edge
+        gateway server as OVS, so the canonical topology uses ~0.2 ms.
+    bandwidth_bps:
+        Optional serialization rate for control messages (None = infinite).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency_s: float = 0.0002,
+        bandwidth_bps: Optional[float] = None,
+    ):
+        self.sim = sim
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.switch: Optional["OpenFlowSwitch"] = None
+        self.controller: Optional[ControllerEndpoint] = None
+        self.connected = True
+        self._busy_until_up = 0.0
+        self._busy_until_down = 0.0
+        #: diagnostics
+        self.messages_up = 0  # switch -> controller
+        self.messages_down = 0  # controller -> switch
+
+    def bind(self, switch: "OpenFlowSwitch", controller: ControllerEndpoint) -> None:
+        self.switch = switch
+        self.controller = controller
+
+    def _delay(self, message: Message, busy_attr: str) -> float:
+        start = max(self.sim.now, getattr(self, busy_attr))
+        tx = 0.0
+        if self.bandwidth_bps is not None:
+            tx = message.wire_bytes * 8.0 / self.bandwidth_bps
+        setattr(self, busy_attr, start + tx)
+        return (start + tx - self.sim.now) + self.latency_s
+
+    def to_controller(self, message: Message) -> None:
+        """Deliver ``message`` from the switch to the controller."""
+        if not self.connected or self.controller is None:
+            return
+        self.messages_up += 1
+        delay = self._delay(message, "_busy_until_up")
+        self.sim.schedule(delay, self._deliver_up, message)
+
+    def _deliver_up(self, message: Message) -> None:
+        if self.connected and self.controller is not None and self.switch is not None:
+            self.controller.on_switch_message(self.switch, message)
+
+    def to_switch(self, message: Message) -> None:
+        """Deliver ``message`` from the controller to the switch."""
+        if not self.connected or self.switch is None:
+            return
+        self.messages_down += 1
+        delay = self._delay(message, "_busy_until_down")
+        self.sim.schedule(delay, self._deliver_down, message)
+
+    def _deliver_down(self, message: Message) -> None:
+        if self.connected and self.switch is not None:
+            self.switch.on_controller_message(message)
+
+    def disconnect(self) -> None:
+        """Sever the channel (failure injection: packets in flight are lost)."""
+        self.connected = False
+
+    def reconnect(self) -> None:
+        self.connected = True

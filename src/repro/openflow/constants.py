@@ -1,0 +1,56 @@
+"""OpenFlow protocol constants (OF 1.3 values where they exist)."""
+
+# Reserved output "ports"
+OFPP_IN_PORT = 0xFFFFFFF8
+OFPP_FLOOD = 0xFFFFFFFB
+OFPP_ALL = 0xFFFFFFFC
+OFPP_CONTROLLER = 0xFFFFFFFD
+OFPP_ANY = 0xFFFFFFFF
+
+#: PacketIn without switch-side buffering (full frame travels to controller)
+OFP_NO_BUFFER = 0xFFFFFFFF
+
+# PacketIn reasons
+OFPR_NO_MATCH = 0  # table miss
+OFPR_ACTION = 1  # explicit output:CONTROLLER action
+
+# FlowRemoved reasons
+OFPRR_IDLE_TIMEOUT = 0
+OFPRR_HARD_TIMEOUT = 1
+OFPRR_DELETE = 2
+
+# FlowMod flags
+OFPFF_SEND_FLOW_REM = 1 << 0
+
+# FlowMod commands
+OFPFC_ADD = 0
+OFPFC_MODIFY = 1
+OFPFC_DELETE = 3
+OFPFC_DELETE_STRICT = 4
+
+#: Default controller max_len: bytes of the frame included in a PacketIn when
+#: the packet is buffered on the switch.
+OFP_DEFAULT_MISS_SEND_LEN = 128
+
+#: All match field names the switch can extract / rewrite.
+FIELDS = (
+    "in_port",
+    "eth_src",
+    "eth_dst",
+    "eth_type",
+    "ip_proto",
+    "ipv4_src",
+    "ipv4_dst",
+    "tcp_src",
+    "tcp_dst",
+    "udp_src",
+    "udp_dst",
+    "arp_op",
+    "arp_spa",
+    "arp_tpa",
+)
+
+#: Fields a SetFieldAction may rewrite.
+REWRITABLE_FIELDS = frozenset(
+    {"eth_src", "eth_dst", "ipv4_src", "ipv4_dst", "tcp_src", "tcp_dst", "udp_src", "udp_dst"}
+)

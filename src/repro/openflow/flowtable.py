@@ -1,0 +1,237 @@
+"""Flow table with priorities, timeouts, and counters.
+
+Lookup semantics follow OpenFlow: highest priority wins; among equal
+priorities the result is unspecified in the spec — here it is
+insertion order, deterministically. Idle timeouts are refreshed by every
+matched packet; expiry is implemented with lazily re-armed timers so that a
+busy flow costs O(1) per packet (no timer churn).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.openflow.constants import (
+    OFPFF_SEND_FLOW_REM,
+    OFPRR_DELETE,
+    OFPRR_HARD_TIMEOUT,
+    OFPRR_IDLE_TIMEOUT,
+)
+from repro.openflow.match import FieldDict, Match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Simulator
+    from repro.openflow.actions import Action
+
+
+class FlowEntry:
+    """One installed flow rule."""
+
+    __slots__ = (
+        "match", "priority", "actions", "idle_timeout", "hard_timeout",
+        "cookie", "flags", "installed_at", "last_used", "packet_count",
+        "byte_count", "_idle_timer", "_hard_timer", "removed",
+        "_fast_dst", "_fast_src",
+    )
+
+    def __init__(
+        self,
+        match: Match,
+        priority: int,
+        actions: List["Action"],
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: int = 0,
+        flags: int = 0,
+        now: float = 0.0,
+    ):
+        self.match = match
+        # Cached exact conditions for the lookup fast path: comparing these
+        # two values rejects almost every non-matching entry in O(1).
+        self._fast_dst = match.exact_value("ipv4_dst")
+        self._fast_src = match.exact_value("ipv4_src")
+        self.priority = priority
+        self.actions = list(actions)
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.cookie = cookie
+        self.flags = flags
+        self.installed_at = now
+        self.last_used = now
+        self.packet_count = 0
+        self.byte_count = 0
+        self._idle_timer = None
+        self._hard_timer = None
+        self.removed = False
+
+    @property
+    def duration(self) -> float:
+        return self.last_used - self.installed_at
+
+    def touch(self, now: float, nbytes: int) -> None:
+        self.packet_count += 1
+        self.byte_count += nbytes
+        self.last_used = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FlowEntry prio={self.priority} {self.match!r} "
+                f"pkts={self.packet_count} idle={self.idle_timeout}>")
+
+
+class FlowTable:
+    """A single OpenFlow table (table 0).
+
+    ``on_removed(entry, reason)`` is invoked for entries that carried
+    ``OFPFF_SEND_FLOW_REM`` — the switch turns this into a ``FlowRemoved``
+    message to the controller.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "table0",
+                 on_removed: Optional[Callable[[FlowEntry, int], None]] = None):
+        self.sim = sim
+        self.name = name
+        self.on_removed = on_removed
+        # Kept sorted by (-priority, insertion_seq) for deterministic lookup.
+        self._entries: List[FlowEntry] = []
+        self._insert_seq = 0
+        self._seq_of: Dict[int, int] = {}  # id(entry) -> insertion seq
+        #: cumulative diagnostics
+        self.lookups = 0
+        self.hits = 0
+
+    # -------------------------------------------------------------- install
+
+    def install(self, entry: FlowEntry) -> None:
+        """Add ``entry``; an existing entry with identical match+priority is
+        replaced (OFPFC_ADD overlap semantics with reset counters)."""
+        for existing in self._entries:
+            if existing.priority == entry.priority and existing.match == entry.match:
+                self._remove_entry(existing, OFPRR_DELETE, notify=False)
+                break
+        self._insert_seq += 1
+        self._seq_of[id(entry)] = self._insert_seq
+        # Binary-search-free insertion keeping sort order (tables are small
+        # relative to packet counts; installs are rare vs lookups).
+        key = (-entry.priority, self._insert_seq)
+        index = len(self._entries)
+        for i, existing in enumerate(self._entries):
+            if (-existing.priority, self._seq_of[id(existing)]) > key:
+                index = i
+                break
+        self._entries.insert(index, entry)
+        entry.installed_at = self.sim.now
+        entry.last_used = self.sim.now
+        if entry.hard_timeout > 0:
+            entry._hard_timer = self.sim.schedule(entry.hard_timeout, self._hard_expire, entry)
+        if entry.idle_timeout > 0:
+            entry._idle_timer = self.sim.schedule(entry.idle_timeout, self._idle_check, entry)
+
+    # --------------------------------------------------------------- lookup
+
+    def lookup(self, fields: FieldDict) -> Optional[FlowEntry]:
+        """Return the highest-priority matching entry, touching nothing.
+
+        The loop prefilters on the cached exact ipv4_src/ipv4_dst values —
+        profiling the trace replay showed the full ``Match.matches`` walk
+        dominating simulation wall time; two identity-ish compares reject
+        ~95 % of entries first.
+        """
+        self.lookups += 1
+        pkt_dst = fields.get("ipv4_dst")
+        pkt_src = fields.get("ipv4_src")
+        for entry in self._entries:
+            fast_dst = entry._fast_dst
+            if fast_dst is not None and fast_dst != pkt_dst:
+                continue
+            fast_src = entry._fast_src
+            if fast_src is not None and fast_src != pkt_src:
+                continue
+            if entry.match.matches(fields):
+                self.hits += 1
+                return entry
+        return None
+
+    def match_packet(self, fields: FieldDict, nbytes: int) -> Optional[FlowEntry]:
+        """Lookup + counter/idle-refresh side effects for a forwarded packet."""
+        entry = self.lookup(fields)
+        if entry is not None:
+            entry.touch(self.sim.now, nbytes)
+        return entry
+
+    # -------------------------------------------------------------- timeouts
+
+    def _idle_check(self, entry: FlowEntry) -> None:
+        if entry.removed:
+            return
+        deadline = entry.last_used + entry.idle_timeout
+        if self.sim.now >= deadline - 1e-12:
+            self._remove_entry(entry, OFPRR_IDLE_TIMEOUT)
+        else:
+            # Re-arm for the remaining time (lazy refresh).
+            entry._idle_timer = self.sim.schedule(deadline - self.sim.now, self._idle_check, entry)
+
+    def _hard_expire(self, entry: FlowEntry) -> None:
+        if not entry.removed:
+            self._remove_entry(entry, OFPRR_HARD_TIMEOUT)
+
+    # --------------------------------------------------------------- delete
+
+    def delete(self, match: Match, strict: bool = False,
+               priority: Optional[int] = None, cookie: Optional[int] = None) -> int:
+        """OFPFC_DELETE(_STRICT): remove matching entries, return count."""
+        victims = []
+        for entry in self._entries:
+            if cookie is not None and entry.cookie != cookie:
+                continue
+            if strict:
+                if entry.match == match and (priority is None or entry.priority == priority):
+                    victims.append(entry)
+            else:
+                if match.covers(entry.match):
+                    victims.append(entry)
+        for entry in victims:
+            self._remove_entry(entry, OFPRR_DELETE)
+        return len(victims)
+
+    def _remove_entry(self, entry: FlowEntry, reason: int, notify: bool = True) -> None:
+        entry.removed = True
+        if entry._idle_timer is not None:
+            entry._idle_timer.cancel()
+        if entry._hard_timer is not None:
+            entry._hard_timer.cancel()
+        try:
+            self._entries.remove(entry)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._seq_of.pop(id(entry), None)
+        if notify and self.on_removed is not None and (entry.flags & OFPFF_SEND_FLOW_REM):
+            self.on_removed(entry, reason)
+
+    def clear(self) -> None:
+        for entry in list(self._entries):
+            self._remove_entry(entry, OFPRR_DELETE, notify=False)
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> List[dict]:
+        """Flow-stats snapshot (what a FlowStatsReply carries)."""
+        return [
+            {
+                "match": entry.match,
+                "priority": entry.priority,
+                "cookie": entry.cookie,
+                "packet_count": entry.packet_count,
+                "byte_count": entry.byte_count,
+                "duration": self.sim.now - entry.installed_at,
+                "idle_timeout": entry.idle_timeout,
+                "hard_timeout": entry.hard_timeout,
+            }
+            for entry in self._entries
+        ]

@@ -1,0 +1,136 @@
+"""Controller ↔ switch protocol messages.
+
+These are simulation-level message objects, not wire encodings; sizes are
+attached so the control channel can model serialization if given a finite
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, TYPE_CHECKING
+
+from repro.netsim.packet import EthernetFrame
+from repro.openflow.constants import OFP_NO_BUFFER, OFPFC_ADD
+from repro.openflow.match import FieldDict, Match
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.openflow.actions import Action
+
+
+@dataclass
+class Message:
+    """Base class; ``xid`` pairs requests with replies."""
+
+    xid: int = field(default=0, kw_only=True)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 64  # nominal control-message size
+
+
+@dataclass
+class PacketIn(Message):
+    """Switch → controller: a packet needing a decision.
+
+    When the switch buffered the packet, ``buffer_id`` identifies it and the
+    controller may answer with a buffer-referencing FlowMod/PacketOut; with
+    ``OFP_NO_BUFFER`` the full frame travels in the message.
+    """
+
+    buffer_id: int = OFP_NO_BUFFER
+    reason: int = 0
+    in_port: int = 0
+    frame: Optional[EthernetFrame] = None
+    fields: FieldDict = field(default_factory=dict)
+    table_miss: bool = True
+
+    @property
+    def wire_bytes(self) -> int:
+        if self.buffer_id != OFP_NO_BUFFER:
+            return 64 + 128  # truncated packet copy (miss_send_len)
+        return 64 + (self.frame.wire_bytes if self.frame is not None else 0)
+
+
+@dataclass
+class PacketOut(Message):
+    """Controller → switch: release/emit a packet with given actions."""
+
+    buffer_id: int = OFP_NO_BUFFER
+    in_port: int = 0
+    actions: List["Action"] = field(default_factory=list)
+    frame: Optional[EthernetFrame] = None  # used when buffer_id == NO_BUFFER
+
+    @property
+    def wire_bytes(self) -> int:
+        base = 64 + 8 * len(self.actions)
+        if self.buffer_id == OFP_NO_BUFFER and self.frame is not None:
+            base += self.frame.wire_bytes
+        return base
+
+
+@dataclass
+class FlowMod(Message):
+    """Controller → switch: install/modify/delete a flow entry."""
+
+    match: Match = field(default_factory=Match)
+    priority: int = 1
+    actions: List["Action"] = field(default_factory=list)
+    command: int = OFPFC_ADD
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: int = 0
+    flags: int = 0
+    buffer_id: int = OFP_NO_BUFFER
+
+    @property
+    def wire_bytes(self) -> int:
+        return 96 + 8 * len(self.actions)
+
+
+@dataclass
+class FlowRemoved(Message):
+    """Switch → controller: a SEND_FLOW_REM entry expired / was deleted."""
+
+    match: Match = field(default_factory=Match)
+    priority: int = 0
+    reason: int = 0
+    cookie: int = 0
+    duration: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    idle_timeout: float = 0.0
+
+
+@dataclass
+class FlowStatsRequest(Message):
+    match: Match = field(default_factory=Match)
+
+
+@dataclass
+class FlowStatsReply(Message):
+    stats: List[dict] = field(default_factory=list)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 64 + 56 * len(self.stats)
+
+
+@dataclass
+class EchoRequest(Message):
+    payload: Any = None
+
+
+@dataclass
+class EchoReply(Message):
+    payload: Any = None
+
+
+@dataclass
+class BarrierRequest(Message):
+    pass
+
+
+@dataclass
+class BarrierReply(Message):
+    pass

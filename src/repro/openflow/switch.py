@@ -1,0 +1,259 @@
+"""The OpenFlow switch (datapath).
+
+Models an OVS-style software switch: a single flow table, a packet buffer
+for table misses, reserved-port handling (FLOOD / CONTROLLER / IN_PORT), and
+the controller protocol (PacketIn/PacketOut/FlowMod/FlowRemoved/stats/echo/
+barrier). Per-packet datapath latency is a small constant (``forwarding
+-delay``), matching a kernel fast path; the slow path's cost is dominated by
+the control-channel round trip, which is modelled in
+:class:`~repro.openflow.channel.ControlChannel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.netsim.device import Device
+from repro.netsim.packet import EthernetFrame
+from repro.openflow.actions import OutputAction, apply_actions_multi
+from repro.openflow.channel import ControlChannel
+from repro.openflow.constants import (
+    OFP_NO_BUFFER,
+    OFPFC_ADD,
+    OFPFC_DELETE,
+    OFPFC_DELETE_STRICT,
+    OFPFC_MODIFY,
+    OFPP_ALL,
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    OFPP_IN_PORT,
+    OFPR_ACTION,
+    OFPR_NO_MATCH,
+)
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import extract_fields
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
+    Message,
+    PacketIn,
+    PacketOut,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Simulator
+
+
+class OpenFlowSwitch(Device):
+    """An OpenFlow 1.3-style datapath.
+
+    Parameters
+    ----------
+    dpid:
+        Datapath id (unique per switch).
+    forwarding_delay_s:
+        Fast-path per-packet latency (lookup + action execution).
+    buffer_capacity:
+        Max packets buffered awaiting controller decisions; overflow falls
+        back to NO_BUFFER packet-ins carrying the full frame.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        dpid: int,
+        channel: Optional[ControlChannel] = None,
+        forwarding_delay_s: float = 5e-6,
+        buffer_capacity: int = 1024,
+    ):
+        super().__init__(sim, name)
+        self.dpid = dpid
+        self.channel = channel
+        self.forwarding_delay_s = forwarding_delay_s
+        self.buffer_capacity = buffer_capacity
+        self.table = FlowTable(sim, name=f"{name}.table0", on_removed=self._flow_removed)
+        self._buffer: Dict[int, Tuple[EthernetFrame, int]] = {}
+        self._next_buffer_id = 1
+        self._next_xid = 1
+        #: diagnostics
+        self.packet_ins = 0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.buffer_overflows = 0
+
+    # -------------------------------------------------------------- control
+
+    def connect_controller(self, channel: ControlChannel, controller) -> None:
+        """Bind this switch to a controller through ``channel``."""
+        self.channel = channel
+        channel.bind(self, controller)
+
+    def _alloc_xid(self) -> int:
+        xid = self._next_xid
+        self._next_xid += 1
+        return xid
+
+    # ------------------------------------------------------------ data path
+
+    def on_frame(self, in_port: int, frame: EthernetFrame) -> None:
+        fields = extract_fields(frame, in_port)
+        entry = self.table.match_packet(fields, frame.wire_bytes)
+        if entry is None:
+            # No table-miss entry installed: OF 1.3 default-drops.
+            self.packets_dropped += 1
+            self.sim.trace.emit(self.sim.now, "of", "drop-no-match",
+                                {"switch": self.name, "pkt": frame.describe()})
+            return
+        self._execute(entry, frame, in_port, fields)
+
+    def _execute(self, entry: FlowEntry, frame: EthernetFrame, in_port: int, fields) -> None:
+        outputs = apply_actions_multi(frame, entry.actions)
+        if not outputs:
+            self.packets_dropped += 1  # empty action list == drop
+            return
+        for out_frame, port in outputs:
+            self._output(out_frame, port, in_port, reason=OFPR_ACTION)
+
+    def _output(self, frame: EthernetFrame, port: int, in_port: int, reason: int) -> None:
+        if port == OFPP_CONTROLLER:
+            self._send_packet_in(frame, in_port, reason)
+            return
+        if port in (OFPP_FLOOD, OFPP_ALL):
+            for port_no in self.port_numbers:
+                if port_no != in_port or port == OFPP_ALL:
+                    self.sim.schedule(self.forwarding_delay_s, self.transmit, port_no, frame)
+            self.packets_forwarded += 1
+            return
+        if port == OFPP_IN_PORT:
+            port = in_port
+        self.packets_forwarded += 1
+        self.sim.schedule(self.forwarding_delay_s, self.transmit, port, frame)
+
+    # ------------------------------------------------------------ packet-in
+
+    def _send_packet_in(self, frame: EthernetFrame, in_port: int, reason: int) -> None:
+        if self.channel is None:
+            self.packets_dropped += 1
+            return
+        self.packet_ins += 1
+        fields = extract_fields(frame, in_port)
+        if len(self._buffer) < self.buffer_capacity:
+            buffer_id = self._next_buffer_id
+            self._next_buffer_id += 1
+            self._buffer[buffer_id] = (frame, in_port)
+            message = PacketIn(buffer_id=buffer_id, reason=reason, in_port=in_port,
+                               frame=frame, fields=fields, xid=self._alloc_xid())
+        else:
+            self.buffer_overflows += 1
+            message = PacketIn(buffer_id=OFP_NO_BUFFER, reason=reason, in_port=in_port,
+                               frame=frame, fields=fields, xid=self._alloc_xid())
+        self.sim.trace.emit(self.sim.now, "of", "packet-in",
+                            {"switch": self.name, "buffer": message.buffer_id,
+                             "pkt": frame.describe()})
+        self.channel.to_controller(message)
+
+    def buffered_frame(self, buffer_id: int) -> Optional[Tuple[EthernetFrame, int]]:
+        return self._buffer.get(buffer_id)
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffer)
+
+    # --------------------------------------------------- controller messages
+
+    def on_controller_message(self, message: Message) -> None:
+        if isinstance(message, FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, PacketOut):
+            self._handle_packet_out(message)
+        elif isinstance(message, FlowStatsRequest):
+            reply = FlowStatsReply(stats=[s for s in self.table.stats()
+                                          if message.match.covers(s["match"])],
+                                   xid=message.xid)
+            self.channel.to_controller(reply)  # type: ignore[union-attr]
+        elif isinstance(message, EchoRequest):
+            self.channel.to_controller(EchoReply(payload=message.payload, xid=message.xid))  # type: ignore[union-attr]
+        elif isinstance(message, BarrierRequest):
+            self.channel.to_controller(BarrierReply(xid=message.xid))  # type: ignore[union-attr]
+        else:  # pragma: no cover - unknown message types ignored like OVS
+            self.sim.trace.emit(self.sim.now, "of", "unknown-message",
+                                {"switch": self.name, "type": type(message).__name__})
+
+    def _handle_flow_mod(self, message: FlowMod) -> None:
+        if message.command in (OFPFC_DELETE, OFPFC_DELETE_STRICT):
+            self.table.delete(message.match, strict=message.command == OFPFC_DELETE_STRICT,
+                              priority=message.priority if message.command == OFPFC_DELETE_STRICT else None,
+                              cookie=message.cookie or None)
+            return
+        if message.command not in (OFPFC_ADD, OFPFC_MODIFY):
+            return
+        entry = FlowEntry(
+            match=message.match,
+            priority=message.priority,
+            actions=message.actions,
+            idle_timeout=message.idle_timeout,
+            hard_timeout=message.hard_timeout,
+            cookie=message.cookie,
+            flags=message.flags,
+            now=self.sim.now,
+        )
+        self.table.install(entry)
+        self.sim.trace.emit(self.sim.now, "of", "flow-mod",
+                            {"switch": self.name, "match": repr(message.match),
+                             "priority": message.priority})
+        if message.buffer_id != OFP_NO_BUFFER:
+            buffered = self._buffer.pop(message.buffer_id, None)
+            if buffered is not None:
+                frame, in_port = buffered
+                # Spec: apply the new entry's actions to the buffered packet.
+                fields = extract_fields(frame, in_port)
+                entry.touch(self.sim.now, frame.wire_bytes)
+                self._execute(entry, frame, in_port, fields)
+
+    def _handle_packet_out(self, message: PacketOut) -> None:
+        if message.buffer_id != OFP_NO_BUFFER:
+            buffered = self._buffer.pop(message.buffer_id, None)
+            if buffered is None:
+                return  # stale buffer id (already released)
+            frame, in_port = buffered
+        else:
+            if message.frame is None:
+                return
+            frame, in_port = message.frame, message.in_port
+        for out_frame, port in apply_actions_multi(frame, message.actions):
+            self._output(out_frame, port, in_port, reason=OFPR_ACTION)
+
+    def _flow_removed(self, entry: FlowEntry, reason: int) -> None:
+        if self.channel is None:
+            return
+        self.channel.to_controller(FlowRemoved(
+            match=entry.match,
+            priority=entry.priority,
+            reason=reason,
+            cookie=entry.cookie,
+            duration=self.sim.now - entry.installed_at,
+            packet_count=entry.packet_count,
+            byte_count=entry.byte_count,
+            idle_timeout=entry.idle_timeout,
+            xid=self._alloc_xid(),
+        ))
+
+    # -------------------------------------------------------------- helpers
+
+    def install_table_miss(self) -> None:
+        """Install the standard priority-0 send-to-controller entry."""
+        from repro.openflow.match import Match
+
+        entry = FlowEntry(match=Match(), priority=0,
+                          actions=[OutputAction(OFPP_CONTROLLER)], now=self.sim.now)
+        self.table.install(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OpenFlowSwitch {self.name} dpid={self.dpid} flows={len(self.table)}>"

@@ -1,0 +1,50 @@
+"""Ryu-style controller application framework.
+
+The paper's open-source controller is built on the Ryu SDN framework. This
+package reproduces the Ryu programming model against the simulated OpenFlow
+substrate so the transparent-edge controller code reads like the original:
+
+* :class:`RyuApp` subclasses declare handlers with ``@set_ev_cls``;
+* handlers receive ``ev`` objects with ``ev.msg`` / ``ev.msg.datapath``;
+* ``datapath.ofproto`` / ``datapath.ofproto_parser`` expose the familiar
+  ``OFPMatch`` / ``OFPActionSetField`` / ``OFPFlowMod`` constructors;
+* the :class:`AppManager` runs apps on a single-threaded event loop with a
+  configurable per-event service time — Ryu itself is single-threaded
+  (eventlet), and this serialization is what experiment A3 stresses.
+"""
+
+from repro.ryuapp.events import (
+    EventBase,
+    EventOFPPacketIn,
+    EventOFPFlowRemoved,
+    EventOFPFlowStatsReply,
+    EventOFPEchoReply,
+    EventOFPBarrierReply,
+    EventOFPStateChange,
+    MAIN_DISPATCHER,
+    CONFIG_DISPATCHER,
+    DEAD_DISPATCHER,
+)
+from repro.ryuapp.datapath import Datapath
+from repro.ryuapp.parser import ofproto_v1_3, ofproto_v1_3_parser
+from repro.ryuapp.base import RyuApp, set_ev_cls
+from repro.ryuapp.manager import AppManager
+
+__all__ = [
+    "RyuApp",
+    "set_ev_cls",
+    "AppManager",
+    "Datapath",
+    "ofproto_v1_3",
+    "ofproto_v1_3_parser",
+    "EventBase",
+    "EventOFPPacketIn",
+    "EventOFPFlowRemoved",
+    "EventOFPFlowStatsReply",
+    "EventOFPEchoReply",
+    "EventOFPBarrierReply",
+    "EventOFPStateChange",
+    "MAIN_DISPATCHER",
+    "CONFIG_DISPATCHER",
+    "DEAD_DISPATCHER",
+]

@@ -1,0 +1,41 @@
+"""Controller-side handle for a connected switch (Ryu's ``Datapath``)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.openflow.messages import Message
+from repro.ryuapp.parser import ofproto_v1_3, ofproto_v1_3_parser
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.openflow.channel import ControlChannel
+    from repro.openflow.switch import OpenFlowSwitch
+
+
+class Datapath:
+    """What a handler sees as ``ev.msg.datapath``.
+
+    ``send_msg`` pushes messages down the control channel; ``ofproto`` /
+    ``ofproto_parser`` expose the protocol façade. ``id`` is the dpid, as in
+    Ryu.
+    """
+
+    def __init__(self, switch: "OpenFlowSwitch", channel: "ControlChannel"):
+        self.switch = switch
+        self.channel = channel
+        self.id = switch.dpid
+        self.ofproto = ofproto_v1_3
+        self.ofproto_parser = ofproto_v1_3_parser
+        #: diagnostics
+        self.msgs_sent = 0
+
+    def send_msg(self, message: Message) -> None:
+        self.msgs_sent += 1
+        self.channel.to_switch(message)
+
+    @property
+    def name(self) -> str:
+        return self.switch.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Datapath dpid={self.id} ({self.switch.name})>"

@@ -1,0 +1,65 @@
+"""Event classes mirroring ``ryu.controller.ofp_event``."""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ryuapp.datapath import Datapath
+
+# Dispatcher phases (API fidelity with ryu.controller.handler).
+CONFIG_DISPATCHER = "config"
+MAIN_DISPATCHER = "main"
+DEAD_DISPATCHER = "dead"
+
+
+class EventBase:
+    """Base event; ``msg`` is the protocol message with ``.datapath`` set."""
+
+    def __init__(self, msg: Any):
+        self.msg = msg
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.msg!r}>"
+
+
+class EventOFPPacketIn(EventBase):
+    """A PacketIn arrived from a datapath."""
+
+
+class EventOFPFlowRemoved(EventBase):
+    """A flow entry with SEND_FLOW_REM expired or was deleted."""
+
+
+class EventOFPFlowStatsReply(EventBase):
+    """Reply to an OFPFlowStatsRequest."""
+
+
+class EventOFPEchoReply(EventBase):
+    """Echo round-trip completed (used to measure control-channel RTT)."""
+
+
+class EventOFPBarrierReply(EventBase):
+    """Barrier completed."""
+
+
+class EventOFPStateChange(EventBase):
+    """Datapath entered/left MAIN_DISPATCHER (connect/disconnect).
+
+    ``msg`` is the :class:`Datapath`; ``state`` the new dispatcher phase.
+    """
+
+    def __init__(self, datapath: "Datapath", state: str):
+        super().__init__(datapath)
+        self.datapath = datapath
+        self.state = state
+
+
+#: message-class name -> event class (AppManager routing table)
+MESSAGE_EVENTS = {
+    "PacketIn": EventOFPPacketIn,
+    "FlowRemoved": EventOFPFlowRemoved,
+    "FlowStatsReply": EventOFPFlowStatsReply,
+    "EchoReply": EventOFPEchoReply,
+    "BarrierReply": EventOFPBarrierReply,
+}

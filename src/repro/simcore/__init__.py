@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate every other subsystem runs on: a single
+event loop ordered by (time, sequence-number), generator-based processes,
+waitable signals/timeouts, seeded random-number streams, and a structured
+trace log.
+
+Determinism contract
+--------------------
+* All state changes happen inside callbacks executed by :class:`Simulator`.
+* Events scheduled for the same simulated time fire in scheduling order.
+* All randomness must come from :class:`RandomStreams` children so that a
+  single root seed reproduces an entire run bit-for-bit.
+"""
+
+from repro.simcore.errors import (
+    SimulationError,
+    DeadlockError,
+    ProcessKilled,
+    WaitTimeout,
+)
+from repro.simcore.loop import Simulator, EventHandle
+from repro.simcore.signal import Signal
+from repro.simcore.process import Process, Timeout, AllOf, AnyOf, Waitable
+from repro.simcore.rng import RandomStreams
+from repro.simcore.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "Signal",
+    "Process",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Waitable",
+    "RandomStreams",
+    "TraceLog",
+    "TraceRecord",
+    "SimulationError",
+    "DeadlockError",
+    "ProcessKilled",
+    "WaitTimeout",
+]

@@ -1,0 +1,87 @@
+"""Structured trace log shared by all subsystems.
+
+A :class:`TraceLog` is an append-only list of :class:`TraceRecord`\\ s. It is
+cheap when disabled (one attribute check per emit) and filterable by category
+when enabled. Integration tests use it to assert *message sequences* — e.g.
+the fig. 5 with-waiting deployment sequence of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    category: str
+    event: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.time:10.6f}] {self.category}/{self.event} {kv}"
+
+
+class TraceLog:
+    """Append-only, optionally-filtered event log.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`emit` is a no-op (the hot-path fast exit).
+    categories:
+        When given, only these categories are recorded.
+    """
+
+    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        self.categories = frozenset(categories) if categories is not None else None
+        self.records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, category: str, event: str, data: Optional[dict] = None) -> None:
+        """Record one event (no-op when disabled or category filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        record = TraceRecord(time, category, event, data or {})
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def listen(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` on every future record (live tailing)."""
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------- queries
+
+    def filter(self, category: Optional[str] = None, event: Optional[str] = None) -> list[TraceRecord]:
+        """All records matching the given category and/or event name."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if event is not None:
+            out = [r for r in out if r.event == event]
+        return list(out)
+
+    def events(self, category: Optional[str] = None) -> list[str]:
+        """Just the event names, in order — convenient for sequence asserts."""
+        return [r.event for r in self.filter(category=category)]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def dump(self) -> str:
+        """Human-readable multi-line rendering of the whole log."""
+        return "\n".join(str(r) for r in self.records)

@@ -1,0 +1,26 @@
+"""Workloads: timed clients (timecurl) and the bigFlows-style trace."""
+
+from repro.workloads.clients import RequestTiming, TimedHTTPClient
+from repro.workloads.loadgen import (
+    LoadResult,
+    OpenLoopGenerator,
+    ClosedLoopGenerator,
+)
+from repro.workloads.trace import (
+    TraceRequest,
+    ConversationTrace,
+    synthesize_bigflows_trace,
+    bigflows_like_trace,
+)
+
+__all__ = [
+    "RequestTiming",
+    "TimedHTTPClient",
+    "LoadResult",
+    "OpenLoopGenerator",
+    "ClosedLoopGenerator",
+    "TraceRequest",
+    "ConversationTrace",
+    "synthesize_bigflows_trace",
+    "bigflows_like_trace",
+]

@@ -1,0 +1,175 @@
+"""Synthetic stand-in for the ``bigFlows.pcap`` trace (§VI).
+
+The paper extracts all TCP conversations to public addresses from a real
+five-minute capture, filters for port 80, and keeps destinations receiving
+at least 20 requests — yielding **42 services and 1708 requests** (fig. 9),
+whose cold starts produce **up to eight deployments per second** in the
+beginning (fig. 10).
+
+Since the capture itself is not shippable, :func:`synthesize_bigflows_trace`
+builds a trace with matched marginals: a Zipf-like popularity distribution
+over exactly 42 kept services totalling exactly 1708 requests (plus noise
+conversations that the ≥ 20-requests extraction filter drops, so the
+methodology pipeline is exercised too), with service first-appearance times
+concentrated in the first seconds — which is what drives the deployment
+burst. Everything is seed-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.addresses import IPv4
+from repro.simcore.rng import RandomStreams
+
+#: Paper constants (fig. 9)
+BIGFLOWS_DURATION_S = 300.0
+BIGFLOWS_SERVICES = 42
+BIGFLOWS_REQUESTS = 1708
+BIGFLOWS_MIN_REQUESTS = 20
+BIGFLOWS_PORT = 80
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request in the trace."""
+
+    time: float
+    dst: IPv4
+    port: int
+
+
+@dataclass
+class ConversationTrace:
+    """A (possibly filtered) conversation trace."""
+
+    requests: List[TraceRequest]
+    duration_s: float
+
+    def __post_init__(self):
+        self.requests.sort(key=lambda r: (r.time, int(r.dst)))
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def services(self) -> List[Tuple[IPv4, int]]:
+        seen: Dict[Tuple[IPv4, int], None] = {}
+        for request in self.requests:
+            seen.setdefault((request.dst, request.port))
+        return list(seen)
+
+    def request_counts(self) -> Dict[Tuple[IPv4, int], int]:
+        counts: Dict[Tuple[IPv4, int], int] = {}
+        for request in self.requests:
+            key = (request.dst, request.port)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def first_seen(self) -> Dict[Tuple[IPv4, int], float]:
+        """First request time per service — fig. 10's deployment times."""
+        first: Dict[Tuple[IPv4, int], float] = {}
+        for request in self.requests:
+            key = (request.dst, request.port)
+            if key not in first:
+                first[key] = request.time
+        return first
+
+    def histogram(self, bin_s: float = 1.0,
+                  times: Optional[List[float]] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin_edges, counts) over the trace window (fig. 9 / fig. 10)."""
+        if times is None:
+            times = [r.time for r in self.requests]
+        edges = np.arange(0.0, self.duration_s + bin_s, bin_s)
+        counts, _ = np.histogram(times, bins=edges)
+        return edges, counts
+
+    def filtered(self, port: int = BIGFLOWS_PORT,
+                 min_requests: int = BIGFLOWS_MIN_REQUESTS) -> "ConversationTrace":
+        """The paper's extraction: keep port-`port` conversations whose
+        destination received at least ``min_requests`` requests."""
+        on_port = [r for r in self.requests if r.port == port]
+        counts: Dict[IPv4, int] = {}
+        for request in on_port:
+            counts[request.dst] = counts.get(request.dst, 0) + 1
+        kept = {dst for dst, n in counts.items() if n >= min_requests}
+        return ConversationTrace(
+            requests=[r for r in on_port if r.dst in kept],
+            duration_s=self.duration_s)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def _popularity_counts(rng: np.random.Generator, n_services: int, total: int,
+                       minimum: int) -> np.ndarray:
+    """Zipf-like per-service request counts: each ≥ minimum, summing to total."""
+    if total < n_services * minimum:
+        raise ValueError("total too small for the per-service minimum")
+    ranks = np.arange(1, n_services + 1, dtype=float)
+    weights = 1.0 / ranks ** 1.1
+    weights = rng.permutation(weights)
+    extra = total - n_services * minimum
+    raw = weights / weights.sum() * extra
+    counts = np.floor(raw).astype(int)
+    # Distribute the rounding remainder deterministically to the largest
+    # fractional parts.
+    remainder = extra - counts.sum()
+    order = np.argsort(-(raw - counts), kind="stable")
+    counts[order[:remainder]] += 1
+    return counts + minimum
+
+
+def synthesize_bigflows_trace(
+    seed: int = 2019,
+    duration_s: float = BIGFLOWS_DURATION_S,
+    n_services: int = BIGFLOWS_SERVICES,
+    total_requests: int = BIGFLOWS_REQUESTS,
+    min_requests: int = BIGFLOWS_MIN_REQUESTS,
+    port: int = BIGFLOWS_PORT,
+    noise_services: int = 30,
+    base_address: str = "198.51.100.1",
+    first_seen_scale_s: float = 4.0,
+) -> ConversationTrace:
+    """Build the raw synthetic capture (kept services + filtered-out noise).
+
+    ``first_seen_scale_s`` is the exponential scale of service first-
+    appearance times; ~4 s concentrates the cold starts early enough to
+    produce the ≤ 8 deployments/s burst of fig. 10.
+    """
+    streams = RandomStreams(seed)
+    rng = streams.stream("workload.bigflows")
+    base = IPv4(base_address)
+
+    counts = _popularity_counts(rng, n_services, total_requests, min_requests)
+    requests: List[TraceRequest] = []
+    for index in range(n_services):
+        dst = IPv4(base.value + index)
+        n = int(counts[index])
+        first = float(rng.exponential(first_seen_scale_s))
+        first = min(first, duration_s * 0.5)
+        rest = rng.uniform(first, duration_s, size=n - 1)
+        times = np.concatenate(([first], rest))
+        for t in times:
+            requests.append(TraceRequest(time=float(t), dst=dst, port=port))
+
+    # Noise: destinations with < min_requests requests, and some on other
+    # ports — both dropped by the paper's extraction filter.
+    for index in range(noise_services):
+        dst = IPv4(base.value + n_services + index)
+        n = int(rng.integers(1, min_requests))
+        noise_port = port if index % 3 else 443
+        for t in rng.uniform(0.0, duration_s, size=n):
+            requests.append(TraceRequest(time=float(t), dst=dst, port=int(noise_port)))
+
+    return ConversationTrace(requests=requests, duration_s=duration_s)
+
+
+def bigflows_like_trace(seed: int = 2019) -> ConversationTrace:
+    """The canonical filtered trace: exactly 42 services / 1708 requests."""
+    trace = synthesize_bigflows_trace(seed=seed).filtered()
+    assert len(trace.services) == BIGFLOWS_SERVICES
+    assert len(trace) == BIGFLOWS_REQUESTS
+    return trace

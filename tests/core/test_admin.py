@@ -1,0 +1,147 @@
+"""Tests for the EdgeAdmin management surface."""
+
+import pytest
+
+from repro.core.admin import EdgeAdmin
+from repro.core.serviceid import ServiceID
+from repro.experiments import build_testbed
+from repro.experiments.topologies import add_docker_cluster
+from repro.netsim.addresses import ip
+
+
+@pytest.fixture
+def rig():
+    tb = build_testbed(seed=8, n_clients=2, cluster_types=("docker",),
+                       memory_idle_timeout_s=3600.0)
+    admin = EdgeAdmin(tb.controller)
+    return tb, admin
+
+
+def warm_request(tb, svc, client_index=0, window=30.0):
+    request = tb.client(client_index).fetch(svc.service_id.addr,
+                                            svc.service_id.port)
+    tb.run(until=tb.sim.now + window)
+    assert request.done
+    return request.result
+
+
+class TestInspection:
+    def test_list_services_empty(self, rig):
+        tb, admin = rig
+        assert admin.list_services() == []
+
+    def test_list_services_with_instances(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc)
+        [row] = admin.list_services()
+        assert row["service_id"] == str(svc.service_id)
+        assert row["memorized_flows"] == 1
+        assert row["instances"][0]["ready"] is True
+
+    def test_service_status_details(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc)
+        status = admin.service_status(svc.service_id)
+        assert status["name"] == svc.name
+        assert status["deployments"][0]["cold"] is True
+        assert status["instances"][0]["cluster"] == "docker-egs"
+
+    def test_service_status_unknown(self, rig):
+        tb, admin = rig
+        assert admin.service_status(ServiceID(ip("1.2.3.4"), 80)) is None
+
+    def test_cluster_status(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc)
+        [status] = admin.cluster_status()
+        assert status["name"] == "docker-egs"
+        assert status["type"] == "docker"
+        assert status["ops"]["scale_up"] == 1
+        assert status["cached_bytes"] > 0
+        assert not status["drained"]
+
+    def test_flow_table_snapshot(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc, window=8.0)
+        snapshot = admin.flow_table_snapshot()
+        assert any(entry["priority"] == 20 for entry in snapshot)  # service
+        assert any(entry["priority"] == 0 for entry in snapshot)  # table-miss
+
+
+class TestServiceLifecycle:
+    def test_register_via_admin(self, rig):
+        tb, admin = rig
+        sid = tb.alloc_service_id(80)
+        service = admin.register_service(sid, image="nginx:1.23.2",
+                                         container_port=80)
+        assert tb.registry.lookup(sid.addr, 80) is service
+
+    def test_deregister_removes_everything(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc, window=8.0)
+        assert len(tb.memory) == 1
+        admin.deregister_service(svc.service_id, undeploy=True)
+        tb.run(until=tb.sim.now + 10.0)
+        assert tb.registry.lookup(svc.service_id.addr, svc.service_id.port) is None
+        assert len(tb.memory) == 0
+        cluster = tb.clusters["docker-egs"]
+        assert not cluster.is_created(svc.spec)
+
+    def test_deregister_without_undeploy_keeps_instances(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc, window=8.0)
+        admin.deregister_service(svc.service_id, undeploy=False)
+        tb.run(until=tb.sim.now + 5.0)
+        assert tb.clusters["docker-egs"].is_ready(svc.spec)
+
+    def test_deregister_unknown_is_none(self, rig):
+        tb, admin = rig
+        assert admin.deregister_service(ServiceID(ip("9.9.9.9"), 80)) is None
+
+
+class TestDrain:
+    def test_drain_scales_down_and_stops_scheduling(self, rig):
+        tb, admin = rig
+        far = add_docker_cluster(tb, "docker-far", zone="far",
+                                 access_rtt_s=0.010)
+        svc = tb.register_catalog_service("nginx")
+        warm_request(tb, svc, window=8.0)  # lands on the near cluster
+        near = tb.clusters["docker-egs"]
+        assert near.is_ready(svc.spec)
+
+        admin.drain_cluster("docker-egs")
+        tb.run(until=tb.sim.now + 10.0)
+        assert not near.is_ready(svc.spec)          # scaled down
+        assert len(tb.memory) == 0                  # decisions invalidated
+        assert near not in tb.dispatcher.clusters   # not schedulable
+
+        # the next request lands on the remaining (far) cluster
+        timing = warm_request(tb, svc, client_index=1)
+        assert timing.ok
+        remembered = tb.memory.peek(tb.clients[1].ip, svc.service_id)
+        assert remembered.cluster is far
+
+        # drained cluster still visible to inspection
+        status = {c["name"]: c for c in admin.cluster_status()}
+        assert status["docker-egs"]["drained"] is True
+
+    def test_undrain_restores_scheduling(self, rig):
+        tb, admin = rig
+        svc = tb.register_catalog_service("nginx")
+        admin.drain_cluster("docker-egs")
+        tb.run(until=tb.sim.now + 5.0)
+        assert admin.undrain_cluster("docker-egs")
+        assert tb.clusters["docker-egs"] in tb.dispatcher.clusters
+        timing = warm_request(tb, svc)
+        assert timing.ok
+
+    def test_drain_unknown_cluster(self, rig):
+        tb, admin = rig
+        assert admin.drain_cluster("nope") is None
+        assert not admin.undrain_cluster("nope")

@@ -1,0 +1,70 @@
+"""Tests for the full idle lifecycle: scale-down then Remove (fig. 4)."""
+
+import pytest
+
+from repro.experiments import build_testbed
+
+
+def make(auto_remove_after_s):
+    return build_testbed(seed=6, n_clients=1, cluster_types=("docker",),
+                         memory_idle_timeout_s=20.0, auto_scale_down=True,
+                         auto_remove_after_s=auto_remove_after_s)
+
+
+def first_request(tb, svc):
+    request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+    tb.run(until=tb.sim.now + 8.0)
+    assert request.done and request.result.ok
+    return request.result
+
+
+class TestAutoRemove:
+    def test_removed_after_grace_period(self):
+        tb = make(auto_remove_after_s=30.0)
+        svc = tb.register_catalog_service("nginx")
+        first_request(tb, svc)
+        cluster = tb.clusters["docker-egs"]
+        # memory expires at +20 s -> scale-down; +30 s more -> Remove
+        tb.run(until=tb.sim.now + 25.0)
+        assert not cluster.is_ready(svc.spec)
+        assert cluster.is_created(svc.spec)  # grace period running
+        tb.run(until=tb.sim.now + 40.0)
+        assert not cluster.is_created(svc.spec)  # removed
+        # the image cache is untouched (Delete is a separate, rare phase)
+        assert cluster.has_images(svc.spec)
+
+    def test_no_remove_without_config(self):
+        tb = make(auto_remove_after_s=None)
+        svc = tb.register_catalog_service("nginx")
+        first_request(tb, svc)
+        tb.run(until=tb.sim.now + 120.0)
+        cluster = tb.clusters["docker-egs"]
+        assert not cluster.is_ready(svc.spec)  # scaled down
+        assert cluster.is_created(svc.spec)   # but kept
+
+    def test_reuse_during_grace_cancels_remove(self):
+        tb = make(auto_remove_after_s=30.0)
+        svc = tb.register_catalog_service("nginx")
+        first_request(tb, svc)
+        tb.run(until=tb.sim.now + 25.0)  # scaled down, grace running
+        # new request re-deploys (scale-up only: containers still exist)
+        second = first_request(tb, svc)
+        cluster = tb.clusters["docker-egs"]
+        assert set(tb.engine.records[-1].phases) == {"scale_up"}
+        # run past the original remove checkpoint (but not past the second
+        # idle cycle): must NOT remove while the service is in use again
+        tb.run(until=tb.sim.now + 10.0)
+        assert cluster.is_created(svc.spec)
+        assert cluster.is_ready(svc.spec)
+
+    def test_full_cold_cycle_after_remove(self):
+        tb = make(auto_remove_after_s=10.0)
+        svc = tb.register_catalog_service("nginx")
+        first_request(tb, svc)
+        tb.run(until=tb.sim.now + 60.0)  # scale-down + remove done
+        cluster = tb.clusters["docker-egs"]
+        assert not cluster.is_created(svc.spec)
+        timing = first_request(tb, svc)
+        assert timing.ok
+        # re-deploy needed create + scale-up (image still cached)
+        assert set(tb.engine.records[-1].phases) == {"create", "scale_up"}

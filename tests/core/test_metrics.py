@@ -1,0 +1,161 @@
+"""Unit tests for metrics: summaries and renderers."""
+
+import pytest
+
+from repro.metrics import (
+    Series,
+    Table,
+    format_seconds,
+    render_series,
+    render_table,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.median == 3.0
+        assert s.mean == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_percentiles(self):
+        s = summarize(range(101))
+        assert s.p25 == 25.0
+        assert s.p75 == 75.0
+        assert s.p95 == 95.0
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.median == s.mean == s.minimum == s.maximum == 7.0
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_median(self):
+        assert "median=3.000000" in str(summarize([3.0]))
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0000005, "0 µs"),
+        (0.00065, "650 µs"),
+        (0.0125, "12.5 ms"),
+        (0.5, "500.0 ms"),
+        (3.14159, "3.14 s"),
+        (42.0, "42.00 s"),
+    ])
+    def test_scales(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_negative(self):
+        assert format_seconds(-0.5) == "-500.0 ms"
+
+
+class TestTable:
+    def make(self):
+        table = Table(title="T", columns=["name", "median", "count"])
+        table.add(name="a", median=0.5, count=3)
+        table.add(name="b", median=1.5, count=4)
+        return table
+
+    def test_add_and_column(self):
+        table = self.make()
+        assert table.column("name") == ["a", "b"]
+        assert table.column("median") == [0.5, 1.5]
+
+    def test_row_for(self):
+        table = self.make()
+        assert table.row_for("name", "b")["count"] == 4
+        assert table.row_for("name", "zzz") is None
+
+    def test_render_contains_values(self):
+        text = render_table(self.make())
+        assert "T" in text
+        assert "500.0 ms" in text  # median formatted as time
+        assert "1.50 s" in text
+        assert "a" in text and "b" in text
+
+    def test_time_column_heuristic(self):
+        table = Table(title="x", columns=["mean_flows", "wait_s"])
+        assert not table.is_time_column("mean_flows")
+        assert table.is_time_column("wait_s")
+        assert table.is_time_column("median")
+
+    def test_explicit_time_columns(self):
+        table = Table(title="x", columns=["a", "b"], time_columns={"a"})
+        assert table.is_time_column("a")
+        assert not table.is_time_column("b")
+
+    def test_non_time_float_rendered_plain(self):
+        table = Table(title="x", columns=["ratio"], time_columns=set())
+        table.add(ratio=2.5)
+        assert "2.5" in render_table(table)
+
+    def test_note_rendered(self):
+        table = Table(title="x", columns=["a"], note="hello")
+        table.add(a=1)
+        assert "note: hello" in render_table(table)
+
+
+class TestCsvExport:
+    def test_table_to_csv(self):
+        from repro.metrics import table_to_csv
+
+        table = Table(title="T", columns=["name", "median"])
+        table.add(name="a", median=0.5)
+        table.add(name="b", median=1.5)
+        lines = table_to_csv(table).strip().splitlines()
+        assert lines[0] == "name,median"
+        assert lines[1] == "a,0.5"  # raw values, no unit formatting
+        assert lines[2] == "b,1.5"
+
+    def test_table_to_csv_missing_cells_empty(self):
+        from repro.metrics import table_to_csv
+
+        table = Table(title="T", columns=["a", "b"])
+        table.add(a=1)
+        assert table_to_csv(table).strip().splitlines()[1] == "1,"
+
+    def test_series_to_csv(self):
+        from repro.metrics import series_to_csv
+
+        series = Series(title="S", x_label="t", y_label="n")
+        series.add(0.0, 3.0)
+        series.add(1.0, 4.0)
+        lines = series_to_csv(series).strip().splitlines()
+        assert lines == ["t,n", "0.0,3.0", "1.0,4.0"]
+
+
+class TestSeries:
+    def make(self):
+        series = Series(title="S", x_label="t", y_label="n")
+        for i in range(10):
+            series.add(float(i), float(i % 4))
+        return series
+
+    def test_total_and_peak(self):
+        series = self.make()
+        assert series.total == sum(i % 4 for i in range(10))
+        assert series.peak == 3.0
+
+    def test_render(self):
+        text = render_series(self.make())
+        assert "S" in text
+        assert "t -> n" in text
+        assert "#" in text
+
+    def test_render_empty(self):
+        series = Series(title="E", x_label="x", y_label="y")
+        assert "(empty)" in render_series(series)
+
+    def test_render_downsamples_wide_series(self):
+        series = Series(title="W", x_label="x", y_label="y")
+        for i in range(300):
+            series.add(float(i), 1.0)
+        text = render_series(series, width=30)
+        assert text.count("\n") < 50

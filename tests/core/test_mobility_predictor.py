@@ -1,0 +1,127 @@
+"""Unit tests for the mobility (handover) and prediction extensions."""
+
+import pytest
+
+from repro.core.predictor import EwmaArrivalPredictor, ProactiveDeployer
+from repro.core.serviceid import ServiceID
+from repro.experiments import build_testbed
+from repro.netsim.addresses import ip
+
+
+SID = ServiceID(ip("198.51.100.1"), 80)
+
+
+class TestEwmaArrivalPredictor:
+    def test_needs_two_observations(self):
+        predictor = EwmaArrivalPredictor()
+        assert predictor.observe(SID, 10.0) is None
+        assert predictor.observe(SID, 15.0) == pytest.approx(20.0)
+
+    def test_ewma_smooths_gaps(self):
+        predictor = EwmaArrivalPredictor(alpha=0.5)
+        predictor.observe(SID, 0.0)
+        predictor.observe(SID, 10.0)   # gap 10 -> ewma 10
+        predicted = predictor.observe(SID, 14.0)  # gap 4 -> ewma 7
+        assert predictor.predicted_gap(SID) == pytest.approx(7.0)
+        assert predicted == pytest.approx(21.0)
+
+    def test_services_independent(self):
+        predictor = EwmaArrivalPredictor()
+        other = ServiceID(ip("198.51.100.2"), 80)
+        predictor.observe(SID, 0.0)
+        predictor.observe(SID, 5.0)
+        assert predictor.predicted_gap(other) is None
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EwmaArrivalPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaArrivalPredictor(alpha=1.5)
+
+
+class TestProactiveDeployer:
+    def make(self, **kwargs):
+        tb = build_testbed(seed=5, n_clients=1, cluster_types=("docker",),
+                           memory_idle_timeout_s=30.0, auto_scale_down=True)
+        deployer = tb.attach_predeployer(**kwargs)
+        svc = tb.register_catalog_service("nginx")
+        tb.clusters["docker-egs"].pull(svc.spec)
+        tb.run(until=tb.sim.now + 30.0)
+        return tb, deployer, svc
+
+    def _request(self, tb, svc):
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 20.0)
+        assert request.done and request.result.ok
+        return request.result
+
+    def test_observes_requests(self):
+        tb, deployer, svc = self.make()
+        self._request(tb, svc)
+        assert deployer.stats.observed >= 1
+
+    def test_short_gaps_not_predicted(self):
+        tb, deployer, svc = self.make(min_gap_s=100.0)
+        self._request(tb, svc)
+        tb.run(until=tb.sim.now + 1.0)
+        self._request(tb, svc)
+        tb.run(until=tb.sim.now + 5.0)
+        assert deployer.stats.scheduled == 0
+
+    def test_predeploys_before_periodic_request(self):
+        tb, deployer, svc = self.make(lead_time_s=2.0)
+        period = 45.0  # > 30 s scale-down
+        self._request(tb, svc)
+        tb.run(until=tb.sim.now + period - 20.0)
+        self._request(tb, svc)  # cold again (scaled down) but trains EWMA
+        tb.run(until=tb.sim.now + period - 20.0)
+        # by now the predictor should have re-deployed just in time
+        timing = self._request(tb, svc)
+        assert timing.time_total < 0.1
+        assert deployer.stats.predeployed >= 1
+
+    def test_no_predeploy_when_still_ready(self):
+        tb, deployer, svc = self.make(lead_time_s=2.0, min_gap_s=2.0)
+        # short period: instance never scaled down, predictor finds it ready
+        for _ in range(4):
+            self._request(tb, svc)
+            tb.run(until=tb.sim.now + 5.0)
+        assert deployer.stats.predeployed == 0
+        assert deployer.stats.already_ready >= 1
+
+
+class TestMobilityManager:
+    def test_handover_invalidates_memory_and_flows(self):
+        tb = build_testbed(seed=7, n_clients=1, cluster_types=("docker",),
+                           memory_idle_timeout_s=3600.0,
+                           switch_idle_timeout_s=3600.0)
+        svc = tb.register_catalog_service("nginx")
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert request.done and request.result.ok
+        assert len(tb.memory) == 1
+        flows_before = len(tb.switch.table)
+        invalidated = tb.move_client(0, "new-zone")
+        tb.run(until=tb.sim.now + 1.0)
+        assert invalidated == 1
+        assert len(tb.memory) == 0
+        assert len(tb.switch.table) < flows_before
+        assert tb.dispatcher.client_zone(tb.clients[0].ip) == "new-zone"
+
+    def test_handover_without_state_is_noop(self):
+        tb = build_testbed(seed=7, n_clients=1, cluster_types=("docker",))
+        invalidated = tb.move_client(0, "elsewhere")
+        tb.run(until=tb.sim.now + 1.0)
+        assert invalidated == 0
+
+    def test_requests_still_work_after_handover(self):
+        tb = build_testbed(seed=7, n_clients=1, cluster_types=("docker",))
+        svc = tb.register_catalog_service("nginx")
+        first = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert first.result.ok
+        tb.move_client(0, "roamed")
+        tb.run(until=tb.sim.now + 1.0)
+        second = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert second.result.ok

@@ -1,0 +1,266 @@
+"""Unit tests for Global Schedulers and the zone model."""
+
+import pytest
+
+from repro.core.registry import ServiceRegistry
+from repro.core.scheduler import (
+    LoadAwareScheduler,
+    Placement,
+    ProximityScheduler,
+    RoundRobinScheduler,
+    ScheduleRequest,
+    estimate_time_to_ready,
+)
+from repro.core.serviceid import ServiceID
+from repro.core.zones import ZoneMap
+from repro.edge.cluster import DeploymentSpec, DockerCluster, Endpoint, InstanceInfo
+from repro.edge.containerd import Containerd
+from repro.edge.docker import DockerEngine
+from repro.edge.kubernetes import KubernetesCluster
+from repro.edge.cluster import KubernetesEdgeCluster
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import all_catalog_images
+from repro.netsim import Network
+from repro.netsim.addresses import ip
+
+
+SID = ServiceID(ip("198.51.100.1"), 80)
+
+
+def make_env(zones_cfg=(("access", "near", 0.001), ("access", "far", 0.010))):
+    net = Network(seed=0)
+    registry = Registry("hub", RegistryTiming(manifest_s=0.05, layer_rtt_s=0.005,
+                                              bandwidth_bps=1e9))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    hub.add("gcr.io", registry)
+    zones = ZoneMap()
+    clusters = []
+    for _, zone, rtt in zones_cfg:
+        zones.set_rtt("access", zone, rtt)
+        node = net.add_host(f"node-{zone}")
+        runtime = Containerd(net.sim, node, hub)
+        clusters.append(DockerCluster(net.sim, f"docker-{zone}",
+                                      DockerEngine(net.sim, runtime), zone=zone))
+    service_registry = ServiceRegistry()
+    service = service_registry.register(SID, image="nginx:1.23.2", container_port=80)
+    return net, zones, clusters, service
+
+
+def deploy_ready(net, cluster, spec):
+    def proc():
+        yield cluster.pull(spec)
+        yield cluster.create(spec)
+        yield cluster.scale_up(spec)
+        yield cluster.wait_ready(spec)
+
+    p = net.sim.spawn(proc())
+    net.run()
+    assert p.exception is None
+
+
+def request_for(service, zones, clusters, instances=None, load=None):
+    return ScheduleRequest(service=service, client_zone="access",
+                           instances=instances if instances is not None else [],
+                           clusters=clusters, load=load or {})
+
+
+class TestZoneMap:
+    def test_rtt_symmetric_and_self_zero(self):
+        zones = ZoneMap()
+        zones.set_rtt("a", "b", 0.005)
+        assert zones.rtt("a", "b") == zones.rtt("b", "a") == 0.005
+        assert zones.rtt("a", "a") == 0.0
+
+    def test_default_rtt_for_unknown_pairs(self):
+        zones = ZoneMap(default_rtt_s=0.07)
+        assert zones.rtt("x", "y") == 0.07
+
+    def test_client_and_subnet_assignment(self):
+        zones = ZoneMap()
+        zones.assign_client(ip("10.0.0.1"), "access-a")
+        zones.assign_subnet(ip("10.1.0.0"), 16, "access-b")
+        assert zones.zone_of(ip("10.0.0.1")) == "access-a"
+        assert zones.zone_of(ip("10.1.2.3")) == "access-b"
+        assert zones.zone_of(ip("172.16.0.1"), default="elsewhere") == "elsewhere"
+
+    def test_longest_prefix_wins(self):
+        zones = ZoneMap()
+        zones.assign_subnet(ip("10.0.0.0"), 8, "wide")
+        zones.assign_subnet(ip("10.9.0.0"), 16, "narrow")
+        assert zones.zone_of(ip("10.9.1.1")) == "narrow"
+        assert zones.zone_of(ip("10.8.1.1")) == "wide"
+
+    def test_nearest(self):
+        zones = ZoneMap()
+        zones.set_rtt("c", "a", 0.010)
+        zones.set_rtt("c", "b", 0.002)
+        assert zones.nearest("c", ["a", "b"]) == "b"
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneMap().set_rtt("a", "b", -1)
+
+
+class TestProximityScheduler:
+    def test_prefers_nearest_ready_instance(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        deploy_ready(net, near, service.spec)
+        scheduler = ProximityScheduler(zones)
+        instances = near.instances(service.spec)
+        placement = scheduler.schedule(request_for(service, zones, clusters, instances))
+        assert placement.fast is near
+        assert placement.best is None
+
+    def test_with_waiting_when_nothing_ready(self):
+        """No instance anywhere -> deploy at the optimal edge and wait."""
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        scheduler = ProximityScheduler(zones)
+        placement = scheduler.schedule(request_for(service, zones, clusters))
+        assert placement.fast is near
+        assert placement.best is None  # with waiting: FAST == BEST
+        assert not placement.without_waiting
+
+    def test_without_waiting_when_budget_exceeded(self):
+        """Tight latency budget + ready instance farther away ->
+        FAST = far instance, BEST = optimal edge (fig. 3)."""
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        deploy_ready(net, far, service.spec)
+        service.max_initial_delay_s = 0.050  # cold start takes ~0.5 s >> 50 ms
+        scheduler = ProximityScheduler(zones)
+        instances = far.instances(service.spec)
+        placement = scheduler.schedule(request_for(service, zones, clusters, instances))
+        assert placement.fast is far
+        assert placement.best is near
+        assert placement.without_waiting
+
+    def test_budget_but_no_alternative_goes_cloudward(self):
+        net, zones, clusters, service = make_env()
+        near, _ = clusters
+        service.max_initial_delay_s = 0.010
+        scheduler = ProximityScheduler(zones)
+        placement = scheduler.schedule(request_for(service, zones, clusters))
+        assert placement.fast is None  # first request toward the cloud
+        assert placement.best is near  # while the optimal edge deploys
+
+    def test_generous_budget_waits_at_optimal(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        deploy_ready(net, far, service.spec)
+        service.max_initial_delay_s = 30.0
+        scheduler = ProximityScheduler(zones)
+        instances = far.instances(service.spec)
+        placement = scheduler.schedule(request_for(service, zones, clusters, instances))
+        assert placement.fast is near  # waiting tolerated at the optimal edge
+
+    def test_allow_deploy_false_only_uses_ready(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        scheduler = ProximityScheduler(zones, allow_deploy=False)
+        placement = scheduler.schedule(request_for(service, zones, clusters))
+        assert placement.fast is None  # nothing ready, nothing deployable
+        deploy_ready(net, far, service.spec)
+        placement = scheduler.schedule(request_for(
+            service, zones, clusters, far.instances(service.spec)))
+        assert placement.fast is far
+
+    def test_no_clusters_goes_to_cloud(self):
+        net, zones, clusters, service = make_env()
+        scheduler = ProximityScheduler(zones)
+        placement = scheduler.schedule(request_for(service, zones, []))
+        assert placement.toward_cloud
+
+
+class TestPlacementContract:
+    def test_best_normalized_to_none_when_equal(self):
+        net, zones, clusters, service = make_env()
+        near = clusters[0]
+        placement = Placement(fast=near, best=near)
+        assert placement.best is None  # "returned empty if equal to FAST"
+
+
+class TestRoundRobinScheduler:
+    def test_cycles_through_clusters(self):
+        net, zones, clusters, service = make_env()
+        scheduler = RoundRobinScheduler()
+        chosen = [scheduler.schedule(request_for(service, zones, clusters)).fast
+                  for _ in range(4)]
+        assert chosen == [clusters[0], clusters[1], clusters[0], clusters[1]]
+
+    def test_prefers_ready_instance(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        deploy_ready(net, far, service.spec)
+        scheduler = RoundRobinScheduler()
+        placement = scheduler.schedule(request_for(
+            service, zones, clusters, far.instances(service.spec)))
+        assert placement.fast is far
+
+
+class TestLoadAwareScheduler:
+    def test_prefers_least_loaded(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        scheduler = LoadAwareScheduler(zones)
+        placement = scheduler.schedule(request_for(
+            service, zones, clusters, load={near.name: 10, far.name: 1}))
+        assert placement.fast is far
+
+    def test_ties_broken_by_proximity(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        scheduler = LoadAwareScheduler(zones)
+        placement = scheduler.schedule(request_for(
+            service, zones, clusters, load={near.name: 2, far.name: 2}))
+        assert placement.fast is near
+
+    def test_serves_from_ready_rebalances_to_chosen(self):
+        net, zones, clusters, service = make_env()
+        near, far = clusters
+        deploy_ready(net, far, service.spec)
+        scheduler = LoadAwareScheduler(zones)
+        placement = scheduler.schedule(request_for(
+            service, zones, clusters, instances=far.instances(service.spec),
+            load={near.name: 0, far.name: 5}))
+        assert placement.fast is far  # ready now
+        assert placement.best is near  # rebalance target
+
+
+class TestEstimateTimeToReady:
+    def test_zero_when_ready(self):
+        net, zones, clusters, service = make_env()
+        near = clusters[0]
+        deploy_ready(net, near, service.spec)
+        assert estimate_time_to_ready(near, service.spec) == 0.0
+
+    def test_cached_image_docker_sub_second_plus_startup(self):
+        net, zones, clusters, service = make_env()
+        near = clusters[0]
+        p = near.pull(service.spec)
+        net.run()
+        eta = estimate_time_to_ready(near, service.spec)
+        assert 0.3 < eta < 1.0
+
+    def test_uncached_adds_pull_estimate(self):
+        net, zones, clusters, service = make_env()
+        near = clusters[0]
+        cold = estimate_time_to_ready(near, service.spec)
+        near.pull(service.spec)
+        net.run()
+        warm = estimate_time_to_ready(near, service.spec)
+        assert cold > warm + 0.5
+
+    def test_kubernetes_estimate_higher_than_docker(self):
+        net, zones, clusters, service = make_env()
+        docker = clusters[0]
+        node = net.add_host("k8s-node")
+        runtime = Containerd(net.sim, node, docker.runtime.hub)
+        k8s = KubernetesCluster(net.sim)
+        k8s.add_node(runtime)
+        kc = KubernetesEdgeCluster(net.sim, "k8s", k8s, node, runtime, zone="near")
+        assert (estimate_time_to_ready(kc, service.spec)
+                > estimate_time_to_ready(docker, service.spec))

@@ -1,0 +1,186 @@
+"""Unit tests for ServiceID and the YAML annotation pipeline."""
+
+import pytest
+import yaml
+
+from repro.core.annotate import (
+    AnnotationConfig,
+    EDGE_SERVICE_LABEL,
+    ServiceDefinitionError,
+    annotate_service,
+    load_service_yaml,
+    minimal_yaml,
+)
+from repro.core.serviceid import ServiceID
+from repro.netsim.addresses import ip
+
+
+SID = ServiceID(ip("198.51.100.7"), 80)
+
+
+class TestServiceID:
+    def test_parse_ip_port(self):
+        sid = ServiceID.parse("1.2.3.4:8080")
+        assert sid.addr == ip("1.2.3.4")
+        assert sid.port == 8080
+
+    def test_parse_domain_with_dns(self):
+        sid = ServiceID.parse("api.example.com:443",
+                              dns={"api.example.com": ip("9.9.9.9")})
+        assert sid.addr == ip("9.9.9.9")
+
+    def test_parse_domain_without_dns_fails(self):
+        with pytest.raises(ValueError):
+            ServiceID.parse("api.example.com:443")
+
+    def test_parse_malformed(self):
+        for bad in ["1.2.3.4", "1.2.3.4:", "1.2.3.4:abc"]:
+            with pytest.raises(ValueError):
+                ServiceID.parse(bad)
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            ServiceID(ip("1.1.1.1"), 0)
+        with pytest.raises(ValueError):
+            ServiceID(ip("1.1.1.1"), 70000)
+
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            ServiceID(ip("1.1.1.1"), 80, "SCTP")
+
+    def test_slug_and_str(self):
+        assert SID.slug == "198-51-100-7-80"
+        assert str(SID) == "198.51.100.7:80"
+
+    def test_identity_semantics(self):
+        assert ServiceID(ip("1.1.1.1"), 80) == ServiceID(ip("1.1.1.1"), 80)
+        assert ServiceID(ip("1.1.1.1"), 80) != ServiceID(ip("1.1.1.1"), 81)
+
+
+class TestLoadYaml:
+    def test_multi_document(self):
+        docs = load_service_yaml("kind: Deployment\n---\nkind: Service\n")
+        assert [d["kind"] for d in docs] == ["Deployment", "Service"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServiceDefinitionError):
+            load_service_yaml("")
+
+    def test_kindless_rejected(self):
+        with pytest.raises(ServiceDefinitionError):
+            load_service_yaml("foo: bar\n")
+
+
+class TestAnnotation:
+    def test_minimal_yaml_only_needs_image(self):
+        """'The only mandatory data is the name of the image.'"""
+        text = minimal_yaml("nginx:1.23.2", container_port=80)
+        annotated = annotate_service(text, SID)
+        assert annotated.unique_name == "edge-198-51-100-7-80"
+        assert len(annotated.spec.containers) == 1
+        assert annotated.spec.containers[0].image == "nginx:1.23.2"
+
+    def test_unique_worldwide_name_set(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2"), SID)
+        assert annotated.deployment_doc["metadata"]["name"] == annotated.unique_name
+
+    def test_match_labels_and_edge_service_label(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2"), SID)
+        match_labels = annotated.deployment_doc["spec"]["selector"]["matchLabels"]
+        assert EDGE_SERVICE_LABEL in match_labels
+        template_labels = (annotated.deployment_doc["spec"]["template"]
+                           ["metadata"]["labels"])
+        assert template_labels[EDGE_SERVICE_LABEL] == annotated.unique_name
+
+    def test_replicas_default_zero(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2"), SID)
+        assert annotated.deployment_doc["spec"]["replicas"] == 0
+
+    def test_existing_replicas_preserved(self):
+        doc = yaml.safe_load(minimal_yaml("nginx:1.23.2"))
+        doc["spec"]["replicas"] = 3
+        annotated = annotate_service(yaml.safe_dump(doc), SID)
+        assert annotated.deployment_doc["spec"]["replicas"] == 3
+
+    def test_scheduler_name_injected_when_configured(self):
+        annotated = annotate_service(
+            minimal_yaml("nginx:1.23.2"), SID,
+            AnnotationConfig(scheduler_name="edge-local"))
+        pod_spec = annotated.deployment_doc["spec"]["template"]["spec"]
+        assert pod_spec["schedulerName"] == "edge-local"
+        assert annotated.spec.scheduler_name == "edge-local"
+
+    def test_no_scheduler_name_by_default(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2"), SID)
+        pod_spec = annotated.deployment_doc["spec"]["template"]["spec"]
+        assert "schedulerName" not in pod_spec
+
+    def test_service_generated_with_port_target_protocol(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2", 8080), SID)
+        assert annotated.service_doc_generated
+        port_spec = annotated.service_doc["spec"]["ports"][0]
+        assert port_spec["port"] == 80          # registered (exposed) port
+        assert port_spec["targetPort"] == 8080  # container port
+        assert port_spec["protocol"] == "TCP"   # default protocol
+
+    def test_developer_service_doc_respected(self):
+        text = minimal_yaml("nginx:1.23.2") + "---\n" + yaml.safe_dump({
+            "apiVersion": "v1", "kind": "Service",
+            "spec": {"ports": [{"port": 80, "targetPort": 9090,
+                                "protocol": "TCP"}]},
+        })
+        annotated = annotate_service(text, SID)
+        assert not annotated.service_doc_generated
+        assert annotated.spec.target_port == 9090
+
+    def test_behavior_resolved_from_catalog(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2"), SID)
+        behavior = annotated.spec.containers[0].behavior
+        assert behavior is not None and behavior.name == "nginx"
+
+    def test_unknown_image_gets_generic_behavior(self):
+        annotated = annotate_service(minimal_yaml("acme/widget:2", 7070), SID)
+        behavior = annotated.spec.containers[0].behavior
+        assert behavior is not None
+        assert behavior.port == 7070
+
+    def test_container_name_defaulted_from_image(self):
+        annotated = annotate_service(minimal_yaml("acme/widget:2"), SID)
+        assert annotated.spec.containers[0].name == "widget"
+
+    def test_multi_container_deployment(self):
+        doc = {
+            "apiVersion": "apps/v1", "kind": "Deployment",
+            "spec": {"template": {"spec": {"containers": [
+                {"name": "nginx", "image": "nginx:1.23.2",
+                 "ports": [{"containerPort": 80}]},
+                {"name": "writer", "image": "josefhammer/env-writer-py:latest"},
+            ]}}},
+        }
+        annotated = annotate_service(yaml.safe_dump(doc), SID)
+        assert len(annotated.spec.containers) == 2
+        assert annotated.spec.serving_container.name == "nginx"
+
+    def test_no_containers_rejected(self):
+        doc = {"apiVersion": "apps/v1", "kind": "Deployment",
+               "spec": {"template": {"spec": {"containers": []}}}}
+        with pytest.raises(ServiceDefinitionError):
+            annotate_service(yaml.safe_dump(doc), SID)
+
+    def test_container_without_image_rejected(self):
+        doc = {"apiVersion": "apps/v1", "kind": "Deployment",
+               "spec": {"template": {"spec": {"containers": [{"name": "x"}]}}}}
+        with pytest.raises(ServiceDefinitionError):
+            annotate_service(yaml.safe_dump(doc), SID)
+
+    def test_annotated_yaml_roundtrips(self):
+        annotated = annotate_service(minimal_yaml("nginx:1.23.2", 80), SID)
+        docs = list(yaml.safe_load_all(annotated.annotated_yaml()))
+        assert [d["kind"] for d in docs] == ["Deployment", "Service"]
+        assert docs[0]["metadata"]["name"] == annotated.unique_name
+
+    def test_original_yaml_not_mutated(self):
+        text = minimal_yaml("nginx:1.23.2")
+        before = yaml.safe_load(text)
+        annotate_service(text, SID)
+        assert yaml.safe_load(text) == before

@@ -1,0 +1,155 @@
+"""Tests for multi-replica services, proxy load balancing, and the HPA."""
+
+import pytest
+
+from repro.edge.containerd import Containerd
+from repro.edge.kubernetes import (
+    ContainerSpec,
+    Deployment,
+    HorizontalPodAutoscaler,
+    KubernetesCluster,
+    PodTemplate,
+    Service,
+)
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import all_catalog_images, catalog_behavior
+from repro.netsim import HTTPRequest, Network
+
+
+LABELS = {"app": "web", "edge.service": "web"}
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    node = net.add_host("egs")
+    registry = Registry("hub", RegistryTiming(manifest_s=0.05, layer_rtt_s=0.005,
+                                              bandwidth_bps=1e9))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    hub.add("gcr.io", registry)
+    runtime = Containerd(net.sim, node, hub)
+    runtime.pull("nginx:1.23.2")
+    net.run()
+    cluster = KubernetesCluster(net.sim)
+    cluster.add_node(runtime)
+    client = net.add_host("client")
+    net.connect(client, 0, node, 1, latency_s=0.0002)
+    return net, node, runtime, cluster, client
+
+
+def deploy(net, cluster, replicas):
+    template = PodTemplate(labels=LABELS, containers=[
+        ContainerSpec("nginx", "nginx:1.23.2", catalog_behavior("nginx"))])
+    cluster.api.create(Deployment("web", template, replicas=replicas,
+                                  labels=LABELS))
+    svc = Service("web", selector=LABELS, port=80, target_port=80)
+    cluster.create_service(svc)
+    net.run(until=net.now + 30.0)
+    return svc
+
+
+def fire_requests(net, node, client, svc, count, gap_s=0.05):
+    done = []
+
+    def one():
+        conn = yield client.connect(node.ip, svc.node_port)
+        response = yield conn.request(HTTPRequest(), 120)
+        done.append(response)
+        conn.close()
+
+    for index in range(count):
+        net.sim.schedule(index * gap_s, lambda: net.sim.spawn(one()))
+    net.run(until=net.now + count * gap_s + 5.0)
+    return done
+
+
+class TestMultiReplica:
+    def test_replicas_all_become_ready(self, rig):
+        net, node, runtime, cluster, client = rig
+        deploy(net, cluster, replicas=3)
+        pods = cluster.api.list("Pod")
+        assert len(pods) == 3
+        assert all(pod.ready for pod in pods)
+
+    def test_connections_balanced_round_robin(self, rig):
+        net, node, runtime, cluster, client = rig
+        svc = deploy(net, cluster, replicas=3)
+        responses = fire_requests(net, node, client, svc, count=9)
+        assert len(responses) == 9
+        served = sorted(pod.requests_served for pod in cluster.api.list("Pod"))
+        assert served == [3, 3, 3]
+
+    def test_single_replica_gets_everything(self, rig):
+        net, node, runtime, cluster, client = rig
+        svc = deploy(net, cluster, replicas=1)
+        fire_requests(net, node, client, svc, count=4)
+        [pod] = cluster.api.list("Pod")
+        assert pod.requests_served == 4
+
+    def test_scale_down_prefers_not_ready_then_newest(self, rig):
+        net, node, runtime, cluster, client = rig
+        deploy(net, cluster, replicas=3)
+        names_before = sorted(pod.name for pod in cluster.api.list("Pod"))
+        cluster.scale("web", 2)
+        net.run(until=net.now + 10.0)
+        names_after = sorted(pod.name for pod in cluster.api.list("Pod"))
+        assert len(names_after) == 2
+        assert names_after == names_before[:2]  # newest victim removed
+
+
+class TestHorizontalPodAutoscaler:
+    def test_validation(self, rig):
+        net, node, runtime, cluster, client = rig
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(cluster, "web", target_rps_per_pod=0)
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(cluster, "web", target_rps_per_pod=1,
+                                    min_replicas=3, max_replicas=2)
+
+    def test_scales_up_under_load(self, rig):
+        net, node, runtime, cluster, client = rig
+        svc = deploy(net, cluster, replicas=1)
+        hpa = HorizontalPodAutoscaler(cluster, "web", target_rps_per_pod=2.0,
+                                      min_replicas=1, max_replicas=4,
+                                      sync_period_s=5.0)
+        # ~10 rps for 15 s: desired = ceil(10/2) = 5 -> clamped to 4
+        fire_requests(net, node, client, svc, count=150, gap_s=0.1)
+        deployment = cluster.api.get("Deployment", "web")
+        assert deployment.spec_replicas == 4
+        assert hpa.scale_events
+        assert hpa.scale_events[0][1] == 1  # scaled up from 1
+
+    def test_scales_down_after_stabilization(self, rig):
+        net, node, runtime, cluster, client = rig
+        svc = deploy(net, cluster, replicas=1)
+        hpa = HorizontalPodAutoscaler(cluster, "web", target_rps_per_pod=2.0,
+                                      min_replicas=1, max_replicas=4,
+                                      sync_period_s=5.0,
+                                      scale_down_stabilization_s=20.0)
+        fire_requests(net, node, client, svc, count=100, gap_s=0.1)
+        assert cluster.api.get("Deployment", "web").spec_replicas > 1
+        # silence: rate drops to zero; after stabilization it shrinks back
+        net.run(until=net.now + 60.0)
+        assert cluster.api.get("Deployment", "web").spec_replicas == 1
+        hpa.stop()
+
+    def test_never_below_min_or_above_max(self, rig):
+        net, node, runtime, cluster, client = rig
+        svc = deploy(net, cluster, replicas=2)
+        hpa = HorizontalPodAutoscaler(cluster, "web", target_rps_per_pod=1000.0,
+                                      min_replicas=2, max_replicas=3,
+                                      sync_period_s=5.0,
+                                      scale_down_stabilization_s=5.0)
+        net.run(until=net.now + 60.0)
+        assert cluster.api.get("Deployment", "web").spec_replicas == 2
+
+    def test_stop_freezes_scaling(self, rig):
+        net, node, runtime, cluster, client = rig
+        svc = deploy(net, cluster, replicas=1)
+        hpa = HorizontalPodAutoscaler(cluster, "web", target_rps_per_pod=0.01,
+                                      sync_period_s=5.0)
+        hpa.stop()
+        fire_requests(net, node, client, svc, count=20, gap_s=0.05)
+        assert cluster.api.get("Deployment", "web").spec_replicas == 1

@@ -1,0 +1,192 @@
+"""Unit tests for the uniform EdgeCluster façade (Docker + K8s backends)."""
+
+import pytest
+
+from repro.edge.cluster import (
+    DeploymentSpec,
+    DockerCluster,
+    Endpoint,
+    KubernetesEdgeCluster,
+    PROBE_INTERVAL_S,
+    SpecContainer,
+)
+from repro.edge.containerd import Containerd
+from repro.edge.docker import DockerEngine
+from repro.edge.kubernetes import KubernetesCluster
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import all_catalog_images, catalog_behavior
+from repro.netsim import Network
+
+
+def make_spec(key="nginx", name="edge-svc"):
+    behavior = catalog_behavior(key)
+    image = {"nginx": "nginx:1.23.2", "asm": "josefhammer/web-asm:amd64",
+             "resnet": "gcr.io/tensorflow-serving/resnet:latest"}[key]
+    return DeploymentSpec(
+        name=name,
+        containers=(SpecContainer(behavior.name, image, behavior),),
+        port=behavior.port, target_port=behavior.port)
+
+
+def multi_spec(name="edge-multi"):
+    nginx = catalog_behavior("nginx")
+    sidecar = catalog_behavior("nginx+py", 1)
+    return DeploymentSpec(
+        name=name,
+        containers=(SpecContainer("nginx", "nginx:1.23.2", nginx),
+                    SpecContainer("env-writer", "josefhammer/env-writer-py:latest",
+                                  sidecar)),
+        port=80, target_port=80)
+
+
+@pytest.fixture(params=["docker", "kubernetes"])
+def rig(request):
+    net = Network(seed=0)
+    node = net.add_host("egs")
+    registry = Registry("hub", RegistryTiming(manifest_s=0.05, layer_rtt_s=0.005,
+                                              bandwidth_bps=1e9))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    hub.add("gcr.io", registry)
+    runtime = Containerd(net.sim, node, hub)
+    if request.param == "docker":
+        cluster = DockerCluster(net.sim, "docker-egs", DockerEngine(net.sim, runtime))
+    else:
+        k8s = KubernetesCluster(net.sim)
+        k8s.add_node(runtime)
+        cluster = KubernetesEdgeCluster(net.sim, "k8s-egs", k8s, node, runtime)
+    return net, node, cluster
+
+
+def drive(net, process):
+    net.run()
+    if process.exception:
+        raise process.exception
+    return process.result
+
+
+def test_full_phase_sequence(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    assert not cluster.has_images(spec)
+    drive(net, cluster.pull(spec))
+    assert cluster.has_images(spec)
+    assert not cluster.is_created(spec)
+    drive(net, cluster.create(spec))
+    assert cluster.is_created(spec)
+    assert not cluster.is_ready(spec)
+    drive(net, cluster.scale_up(spec))
+    endpoint = drive(net, cluster.wait_ready(spec))
+    assert isinstance(endpoint, Endpoint)
+    assert endpoint.ip == node.ip
+    assert cluster.is_ready(spec)
+    assert node.listening_on(endpoint.port)
+
+
+def test_instances_reflect_readiness(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    assert cluster.instances(spec) == []
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    instances = cluster.instances(spec)
+    if instances:  # endpoint may exist pre-scale-up; must not be ready
+        assert not instances[0].ready
+    drive(net, cluster.scale_up(spec))
+    drive(net, cluster.wait_ready(spec))
+    instances = cluster.instances(spec)
+    assert len(instances) == 1 and instances[0].ready
+
+
+def test_scale_down_closes_endpoint(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    drive(net, cluster.scale_up(spec))
+    drive(net, cluster.wait_ready(spec))
+    drive(net, cluster.scale_down(spec))
+    net.run()
+    assert not cluster.is_ready(spec)
+
+
+def test_remove_forgets_service(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    drive(net, cluster.remove(spec))
+    assert not cluster.is_created(spec)
+
+
+def test_scale_up_again_after_scale_down(rig):
+    """Scale-to-zero then scale-up again must work (idle scale-down loop)."""
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    drive(net, cluster.scale_up(spec))
+    drive(net, cluster.wait_ready(spec))
+    drive(net, cluster.scale_down(spec))
+    net.run()
+    drive(net, cluster.scale_up(spec))
+    endpoint = drive(net, cluster.wait_ready(spec))
+    assert cluster.port_open(endpoint)
+
+
+def test_multi_container_service(rig):
+    net, node, cluster = rig
+    spec = multi_spec()
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    drive(net, cluster.scale_up(spec))
+    endpoint = drive(net, cluster.wait_ready(spec))
+    assert endpoint.port != 0
+    assert spec.serving_container.name == "nginx"
+
+
+def test_pull_skips_cached(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    t0 = net.now
+    drive(net, cluster.pull(spec))
+    assert net.now == t0
+
+
+def test_delete_images(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    cluster.delete_images(spec)
+    assert not cluster.has_images(spec)
+
+
+def test_wait_ready_quantized_by_probe_interval(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    t0 = net.now
+    cluster.scale_up(spec)
+    waiter = cluster.wait_ready(spec)
+    net.run()
+    # the wait loop polls every PROBE_INTERVAL_S; the result cannot be more
+    # than one interval + rtt after actual readiness
+    endpoint = waiter.result
+    assert cluster.port_open(endpoint)
+
+
+def test_ops_counters(rig):
+    net, node, cluster = rig
+    spec = make_spec()
+    drive(net, cluster.pull(spec))
+    drive(net, cluster.create(spec))
+    drive(net, cluster.scale_up(spec))
+    drive(net, cluster.wait_ready(spec))
+    drive(net, cluster.scale_down(spec))
+    assert cluster.ops["pull"] == 1
+    assert cluster.ops["create"] == 1
+    assert cluster.ops["scale_up"] == 1
+    assert cluster.ops["scale_down"] == 1

@@ -1,0 +1,224 @@
+"""Unit tests for the containerd runtime model."""
+
+import pytest
+
+from repro.edge.containerd import Containerd, ContainerError, ContainerState
+from repro.edge.images import MIB, make_image
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import ServiceBehavior
+from repro.netsim import Network
+
+
+TIMING = RegistryTiming(manifest_s=0.1, layer_rtt_s=0.01, bandwidth_bps=1e9)
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    node = net.add_host("node")
+    registry = Registry("reg", TIMING)
+    nginx = make_image("nginx:1.23.2", 100 * MIB, 4, app="nginx")
+    shared = make_image("derived:1", 120 * MIB, 5, shared_base_of=nginx)
+    registry.push(nginx)
+    registry.push(shared)
+    hub = RegistryHub(registry)
+    runtime = Containerd(net.sim, node, hub)
+    return net, node, runtime, nginx, shared
+
+
+BEHAVIOR = ServiceBehavior(name="web", port=80, startup_s=0.05)
+
+
+def run_proc(net, gen):
+    p = net.sim.spawn(gen)
+    net.run()
+    if p.exception:
+        raise p.exception
+    return p.result
+
+
+class TestPull:
+    def test_pull_stores_manifest_and_layers(self, rig):
+        net, node, runtime, nginx, _ = rig
+        p = runtime.pull("nginx:1.23.2")
+        net.run()
+        assert runtime.has_image("nginx:1.23.2")
+        assert runtime.cached_layer_bytes() == 100 * MIB
+        assert p.result.ref.name == "nginx:1.23.2"
+
+    def test_pull_time_scales_with_size_and_layers(self, rig):
+        net, node, runtime, nginx, _ = rig
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        # manifest + 4 layer RTTs + 100MiB/1Gbps + unpack (0.004/MiB)
+        expected = 0.1 + 4 * 0.01 + 100 * MIB * 8 / 1e9 + 0.004 * 100
+        assert net.now == pytest.approx(expected, rel=0.01)
+
+    def test_second_pull_is_instant(self, rig):
+        net, node, runtime, nginx, _ = rig
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        t0 = net.now
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        assert net.now == t0  # zero additional time
+
+    def test_shared_layers_not_repulled(self, rig):
+        net, node, runtime, nginx, shared = rig
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        bytes_before = runtime.bytes_pulled
+        runtime.pull("derived:1")
+        net.run()
+        # only the non-shared layers transferred (base layer reused)
+        shared_base = nginx.layers[0].size_bytes
+        assert runtime.bytes_pulled - bytes_before == 120 * MIB - shared_base
+
+    def test_concurrent_pulls_coalesce(self, rig):
+        net, node, runtime, nginx, _ = rig
+        p1 = runtime.pull("nginx:1.23.2")
+        p2 = runtime.pull("nginx:1.23.2")
+        assert p1 is p2
+        net.run()
+        assert runtime.pull_count == 1
+
+    def test_pull_unknown_image_fails(self, rig):
+        net, node, runtime, _, _ = rig
+        p = runtime.pull("ghost:1")
+        net.run()
+        assert p.exception is not None
+
+    def test_delete_image_keeps_shared_layers(self, rig):
+        net, node, runtime, nginx, shared = rig
+        runtime.pull("nginx:1.23.2")
+        runtime.pull("derived:1")
+        net.run()
+        assert runtime.delete_image("nginx:1.23.2")
+        assert not runtime.has_image("nginx:1.23.2")
+        # derived still references the shared base layer
+        assert runtime.cached_layer_bytes() == 120 * MIB
+        # re-pull of nginx only fetches the non-shared layers
+        before = runtime.bytes_pulled
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        assert runtime.bytes_pulled - before == 100 * MIB - shared.layers[0].size_bytes
+
+    def test_delete_missing_image_returns_false(self, rig):
+        _, _, runtime, _, _ = rig
+        assert runtime.delete_image("nope:1") is False
+
+
+class TestLifecycle:
+    def _pulled(self, rig):
+        net, node, runtime, nginx, _ = rig
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        return net, node, runtime
+
+    def test_create_then_start_serves(self, rig):
+        net, node, runtime = self._pulled(rig)
+        container = run_proc(net, self._create(runtime))
+        assert container.state is ContainerState.CREATED
+        assert not node.listening_on(8080)
+        runtime.start(container)
+        net.run()
+        assert container.state is ContainerState.RUNNING
+        assert container.ready_at is not None
+        assert node.listening_on(8080)
+
+    @staticmethod
+    def _create(runtime, name="web-1"):
+        def proc():
+            container = yield runtime.create(name, "nginx:1.23.2", BEHAVIOR, host_port=8080)
+            return container
+        return proc()
+
+    def test_create_without_image_fails(self, rig):
+        net, node, runtime, _, _ = rig
+        p = runtime.create("web-1", "nginx:1.23.2", BEHAVIOR, host_port=8080)
+        net.run()
+        assert isinstance(p.exception, ContainerError)
+
+    def test_duplicate_name_rejected(self, rig):
+        net, node, runtime = self._pulled(rig)
+        run_proc(net, self._create(runtime))
+        p = runtime.create("web-1", "nginx:1.23.2", BEHAVIOR, host_port=8081)
+        net.run()
+        assert isinstance(p.exception, ContainerError)
+
+    def test_start_requires_created_state(self, rig):
+        net, node, runtime = self._pulled(rig)
+        container = run_proc(net, self._create(runtime))
+        runtime.start(container)
+        net.run()
+        p = runtime.start(container)  # already running
+        net.run()
+        assert isinstance(p.exception, ContainerError)
+
+    def test_readiness_lags_start_by_app_startup(self, rig):
+        net, node, runtime = self._pulled(rig)
+        container = run_proc(net, self._create(runtime))
+        runtime.start(container)
+        net.run()
+        assert container.ready_at - container.started_at == pytest.approx(BEHAVIOR.startup_s)
+
+    def test_netns_serialization_queues_concurrent_starts(self, rig):
+        net, node, runtime = self._pulled(rig)
+        c1 = run_proc(net, self._create(runtime, "web-1"))
+        c2 = run_proc(net, self._create(runtime, "web-2"))
+        # patch host_port clash: create used 8080 twice -> c2 different port
+        c2.host_port = 8081
+        runtime.start(c1)
+        runtime.start(c2)
+        net.run()
+        # second start waited for the first's netns slot
+        assert c2.started_at - c1.started_at == pytest.approx(
+            runtime.timing.netns_setup_s)
+
+    def test_stop_unlistens_and_allows_remove(self, rig):
+        net, node, runtime = self._pulled(rig)
+        container = run_proc(net, self._create(runtime))
+        runtime.start(container)
+        net.run()
+        runtime.stop(container)
+        net.run()
+        assert container.state is ContainerState.STOPPED
+        assert not node.listening_on(8080)
+        runtime.remove(container)
+        net.run()
+        assert container.state is ContainerState.REMOVED
+        assert runtime.container("web-1") is None
+
+    def test_remove_running_rejected(self, rig):
+        net, node, runtime = self._pulled(rig)
+        container = run_proc(net, self._create(runtime))
+        runtime.start(container)
+        net.run()
+        p = runtime.remove(container)
+        net.run()
+        assert isinstance(p.exception, ContainerError)
+
+    def test_stop_during_startup_prevents_listen(self, rig):
+        net, node, runtime = self._pulled(rig)
+        container = run_proc(net, self._create(runtime))
+        runtime.start(container)
+        # Stop before app startup completes: schedule stop right after start
+        # completes (netns+exec ~0.38s) but before startup (0.05s later).
+        def stopper():
+            while container.state is not ContainerState.RUNNING:
+                yield net.sim.timeout(0.001)
+            yield runtime.stop(container)
+        net.sim.spawn(stopper())
+        net.run()
+        assert not node.listening_on(8080)
+
+    def test_label_filtering(self, rig):
+        net, node, runtime = self._pulled(rig)
+        def proc():
+            yield runtime.create("a", "nginx:1.23.2", BEHAVIOR, 8080,
+                                 labels={"edge.service": "svc-a"})
+            yield runtime.create("b", "nginx:1.23.2", BEHAVIOR, 8081,
+                                 labels={"edge.service": "svc-b"})
+        run_proc(net, proc())
+        assert [c.name for c in runtime.containers({"edge.service": "svc-a"})] == ["a"]
+        assert len(runtime.containers()) == 2

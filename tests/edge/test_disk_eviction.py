@@ -1,0 +1,130 @@
+"""Tests for image-store disk pressure (§IV-C: "the cached items may also be
+Deleted if disk space is scarce")."""
+
+import pytest
+
+from repro.edge.containerd import Containerd, ContainerError
+from repro.edge.images import MIB, make_image
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import ServiceBehavior
+from repro.netsim import Network
+
+
+TIMING = RegistryTiming(manifest_s=0.01, layer_rtt_s=0.001, bandwidth_bps=1e10)
+BEHAVIOR = ServiceBehavior(name="web", port=80, startup_s=0.01)
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    node = net.add_host("node")
+    registry = Registry("reg", TIMING)
+    images = {}
+    for name, size in (("alpha", 100), ("beta", 100), ("gamma", 100),
+                       ("big", 260)):
+        images[name] = make_image(f"{name}:1", size * MIB, 2)
+        registry.push(images[name])
+    hub = RegistryHub(registry)
+    runtime = Containerd(net.sim, node, hub, disk_capacity_bytes=300 * MIB)
+    return net, runtime, images
+
+
+def pull(net, runtime, name):
+    p = runtime.pull(f"{name}:1")
+    net.run()
+    if p.exception:
+        raise p.exception
+    return p.result
+
+
+class TestDiskEviction:
+    def test_within_budget_no_eviction(self, rig):
+        net, runtime, images = rig
+        pull(net, runtime, "alpha")
+        pull(net, runtime, "beta")
+        assert runtime.images_evicted == 0
+        assert runtime.cached_layer_bytes() == 200 * MIB
+
+    def test_lru_image_evicted_under_pressure(self, rig):
+        net, runtime, images = rig
+        pull(net, runtime, "alpha")
+        net.run(until=net.now + 1.0)
+        pull(net, runtime, "beta")
+        net.run(until=net.now + 1.0)
+        pull(net, runtime, "gamma")
+        net.run(until=net.now + 1.0)
+        # store full (300 MiB); pulling another 100 MiB evicts ALPHA (LRU)
+        pull(net, runtime, "big")  # 260 MiB: needs to evict several
+        assert runtime.images_evicted >= 2
+        assert not runtime.has_image("alpha:1")
+        assert not runtime.has_image("beta:1")
+        assert runtime.has_image("big:1")
+        assert runtime.cached_layer_bytes() <= 300 * MIB
+
+    def test_recently_used_survives(self, rig):
+        net, runtime, images = rig
+        pull(net, runtime, "alpha")
+        net.run(until=net.now + 1.0)
+        pull(net, runtime, "beta")
+        net.run(until=net.now + 1.0)
+        pull(net, runtime, "alpha")  # refresh alpha's recency
+        net.run(until=net.now + 1.0)
+        pull(net, runtime, "gamma")  # 300 MiB total: fits exactly
+        pull(net, runtime, "big")    # evicts beta (LRU) first
+        assert not runtime.has_image("beta:1")
+
+    def test_images_in_use_are_pinned(self, rig):
+        net, runtime, images = rig
+        runtime.disk_capacity_bytes = 250 * MIB
+        pull(net, runtime, "alpha")
+        create = runtime.create("c1", "alpha:1", BEHAVIOR, host_port=8080)
+        net.run()
+        pull(net, runtime, "beta")   # 200 MiB total
+        pull(net, runtime, "gamma")  # would be 300: must evict beta, NOT alpha
+        assert runtime.has_image("alpha:1")
+        assert not runtime.has_image("beta:1")
+        assert runtime.has_image("gamma:1")
+
+    def test_impossible_request_raises(self, rig):
+        net, runtime, images = rig
+        p = runtime.pull("big:1")
+        net.run()
+        assert p.exception is None
+        # now pin everything and ask for more than can ever fit
+        create = runtime.create("c1", "big:1", BEHAVIOR, host_port=8080)
+        net.run()
+        p = runtime.pull("alpha:1")  # 260 pinned + 100 > 300
+        net.run()
+        assert isinstance(p.exception, ContainerError)
+
+    def test_single_image_larger_than_disk_rejected(self, rig):
+        net, runtime, images = rig
+        runtime.disk_capacity_bytes = 50 * MIB
+        p = runtime.pull("alpha:1")
+        net.run()
+        assert isinstance(p.exception, ContainerError)
+
+    def test_unbounded_by_default(self):
+        net = Network(seed=0)
+        node = net.add_host("n")
+        registry = Registry("reg", TIMING)
+        for index in range(5):
+            registry.push(make_image(f"img{index}:1", 500 * MIB, 2))
+        runtime = Containerd(net.sim, node, RegistryHub(registry))
+        for index in range(5):
+            runtime.pull(f"img{index}:1")
+            net.run()
+        assert runtime.images_evicted == 0
+        assert runtime.cached_layer_bytes() == 2500 * MIB
+
+    def test_eviction_then_repull_works(self, rig):
+        net, runtime, images = rig
+        pull(net, runtime, "alpha")
+        pull(net, runtime, "beta")
+        pull(net, runtime, "gamma")
+        pull(net, runtime, "big")
+        # alpha was evicted; pulling it again re-downloads and evicts others
+        evicted_before = runtime.images_evicted
+        pull(net, runtime, "alpha")
+        assert runtime.has_image("alpha:1")
+        assert runtime.images_evicted > evicted_before

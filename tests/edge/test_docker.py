@@ -1,0 +1,128 @@
+"""Unit tests for the Docker engine (SDK-shaped API)."""
+
+import pytest
+
+from repro.edge.containerd import Containerd
+from repro.edge.docker import DOCKER_PORT_BASE, DockerEngine
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import EDGE_SERVICE_CATALOG, ServiceBehavior, all_catalog_images
+from repro.netsim import Network
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    node = net.add_host("egs")
+    registry = Registry("hub", RegistryTiming(manifest_s=0.05, layer_rtt_s=0.005,
+                                              bandwidth_bps=1e9))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    hub.add("gcr.io", registry)
+    runtime = Containerd(net.sim, node, hub)
+    engine = DockerEngine(net.sim, runtime)
+    return net, node, engine
+
+
+def wait(net, process):
+    net.run()
+    if process.exception:
+        raise process.exception
+    return process.result
+
+
+def test_pull_create_start_roundtrip(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    assert engine.images.exists("nginx:1.23.2")
+    handle = wait(net, engine.containers.create(
+        "nginx:1.23.2", name="svc-nginx", labels={"edge.service": "svc"}))
+    assert handle.status == "created"
+    assert handle.host_port == DOCKER_PORT_BASE
+    wait(net, handle.start())
+    assert handle.status == "running"
+    assert handle.ready
+    assert node.listening_on(handle.host_port)
+
+
+def test_behavior_resolved_from_catalog(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    handle = wait(net, engine.containers.create("nginx:1.23.2", name="c1"))
+    assert handle.raw.behavior is not None
+    assert handle.raw.behavior.name == "nginx"
+
+
+def test_unique_host_ports_per_container(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    h1 = wait(net, engine.containers.create("nginx:1.23.2", name="c1"))
+    h2 = wait(net, engine.containers.create("nginx:1.23.2", name="c2"))
+    assert h1.host_port != h2.host_port
+
+
+def test_no_publish_for_portless_behavior(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("josefhammer/env-writer-py:latest"))
+    handle = wait(net, engine.containers.create(
+        "josefhammer/env-writer-py:latest", name="sidecar"))
+    assert handle.host_port is None
+
+
+def test_list_with_label_filter(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    h1 = wait(net, engine.containers.create("nginx:1.23.2", name="c1",
+                                            labels={"edge.service": "a"}))
+    wait(net, engine.containers.create("nginx:1.23.2", name="c2",
+                                       labels={"edge.service": "b"}))
+    wait(net, h1.start())
+    running = engine.containers.list(filters={"label": {"edge.service": "a"}})
+    assert [h.name for h in running] == ["c1"]
+    # non-running need all=True
+    assert engine.containers.list(filters={"label": {"edge.service": "b"}}) == []
+    both = engine.containers.list(all=True)
+    assert {h.name for h in both} == {"c1", "c2"}
+
+
+def test_get_returns_none_for_removed(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    handle = wait(net, engine.containers.create("nginx:1.23.2", name="c1"))
+    wait(net, handle.remove())
+    assert engine.containers.get("c1") is None
+
+
+def test_remove_running_container_stops_first(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    handle = wait(net, engine.containers.create("nginx:1.23.2", name="c1"))
+    wait(net, handle.start())
+    port = handle.host_port
+    wait(net, handle.remove())
+    assert not node.listening_on(port)
+    assert engine.containers.get("c1") is None
+
+
+def test_stop_keeps_container_but_closes_port(rig):
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    handle = wait(net, engine.containers.create("nginx:1.23.2", name="c1"))
+    wait(net, handle.start())
+    wait(net, handle.stop())
+    assert handle.status == "stopped"
+    assert not node.listening_on(handle.host_port)
+    assert engine.containers.get("c1") is not None
+
+
+def test_docker_start_latency_under_a_second(rig):
+    """The headline Docker property: cached image, created container,
+    start-to-ready well under a second (fig. 11)."""
+    net, node, engine = rig
+    wait(net, engine.images.pull("nginx:1.23.2"))
+    handle = wait(net, engine.containers.create("nginx:1.23.2", name="c1"))
+    t0 = net.now
+    wait(net, handle.start())
+    started = net.now - t0
+    assert started < 1.0
+    assert started > 0.2  # netns dominates; it is not free either

@@ -1,0 +1,109 @@
+"""Kubernetes node-failure recovery tests (multi-node cluster)."""
+
+import pytest
+
+from repro.edge.containerd import Containerd
+from repro.edge.kubernetes import (
+    ContainerSpec,
+    Deployment,
+    KubernetesCluster,
+    PodTemplate,
+    Service,
+)
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import all_catalog_images, catalog_behavior
+from repro.netsim import HTTPRequest, Network
+
+
+LABELS = {"app": "web", "edge.service": "web"}
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    registry = Registry("hub", RegistryTiming(manifest_s=0.05, layer_rtt_s=0.005,
+                                              bandwidth_bps=1e9))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    hub.add("gcr.io", registry)
+    cluster = KubernetesCluster(net.sim)
+    nodes = []
+    for index in range(2):
+        node = net.add_host(f"node-{index}")
+        runtime = Containerd(net.sim, node, hub)
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        cluster.add_node(runtime)
+        nodes.append(node)
+    return net, cluster, nodes
+
+
+def deploy(net, cluster, replicas=2):
+    template = PodTemplate(labels=LABELS, containers=[
+        ContainerSpec("nginx", "nginx:1.23.2", catalog_behavior("nginx"))])
+    cluster.api.create(Deployment("web", template, replicas=replicas,
+                                  labels=LABELS))
+    svc = Service("web", selector=LABELS, port=80, target_port=80)
+    cluster.create_service(svc)
+    net.run(until=net.now + 30.0)
+    return svc
+
+
+class TestNodeFailure:
+    def test_default_scheduler_spreads_replicas(self, rig):
+        net, cluster, nodes = rig
+        deploy(net, cluster, replicas=2)
+        pods = cluster.api.list("Pod")
+        assert {pod.node_name for pod in pods} == {"node-0", "node-1"}
+
+    def test_failed_node_pods_recreated_on_survivor(self, rig):
+        net, cluster, nodes = rig
+        deploy(net, cluster, replicas=2)
+        lost = cluster.fail_node("node-0")
+        assert lost == 1
+        net.run(until=net.now + 30.0)
+        pods = cluster.api.list("Pod")
+        assert len(pods) == 2
+        assert all(pod.node_name == "node-1" for pod in pods)
+        assert all(pod.ready for pod in pods)
+
+    def test_service_keeps_answering_after_failover(self, rig):
+        net, cluster, nodes = rig
+        svc = deploy(net, cluster, replicas=2)
+        cluster.fail_node("node-0")
+        net.run(until=net.now + 30.0)
+        client = net.add_host("client")
+        net.connect(client, 0, nodes[1], 1, latency_s=0.0002)
+        done = []
+
+        def flow():
+            conn = yield client.connect(nodes[1].ip, svc.node_port)
+            response = yield conn.request(HTTPRequest(), 120)
+            done.append(response.status)
+            conn.close()
+
+        net.sim.spawn(flow())
+        net.run(until=net.now + 5.0)
+        assert done == [200]
+
+    def test_unknown_node_rejected(self, rig):
+        net, cluster, nodes = rig
+        with pytest.raises(ValueError):
+            cluster.fail_node("ghost")
+
+    def test_failing_empty_node_loses_nothing(self, rig):
+        net, cluster, nodes = rig
+        assert cluster.fail_node("node-0") == 0
+
+    def test_total_cluster_failure_leaves_pods_pending(self, rig):
+        net, cluster, nodes = rig
+        deploy(net, cluster, replicas=2)
+        cluster.fail_node("node-0")
+        cluster.fail_node("node-1")
+        net.run(until=net.now + 30.0)
+        pods = cluster.api.list("Pod")
+        # replacements exist but cannot be scheduled anywhere
+        assert len(pods) == 2
+        assert all(pod.node_name is None for pod in pods)
+        assert all(not pod.ready for pod in pods)

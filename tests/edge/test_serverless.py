@@ -1,0 +1,190 @@
+"""Unit tests for the serverless (WASM) runtime and cluster backend."""
+
+import pytest
+
+from repro.edge.cluster import DeploymentSpec, SpecContainer
+from repro.edge.registry import PRIVATE_LAN_TIMING, Registry
+from repro.edge.serverless import (
+    FunctionSpec,
+    ServerlessCluster,
+    WasmRuntime,
+    wasm_function_for_catalog,
+)
+from repro.edge.services import ServiceBehavior, catalog_behavior
+from repro.netsim import Network
+
+
+BEHAVIOR = ServiceBehavior(name="fn", port=80, startup_s=0.0,
+                           request_cpu_s=0.001, response_bytes=128)
+
+
+def make_function(name="hello", size=256 * 1024, instantiate=0.005):
+    return FunctionSpec(name=name, module_size_bytes=size, behavior=BEHAVIOR,
+                        instantiate_s=instantiate)
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    node = net.add_host("edge")
+    registry = Registry("fn-store", PRIVATE_LAN_TIMING)
+    runtime = WasmRuntime(net.sim, node, registry)
+    return net, node, runtime
+
+
+class TestWasmRuntime:
+    def test_fetch_then_instantiate_serves(self, rig):
+        net, node, runtime = rig
+        function = make_function()
+        runtime.fetch_module(function)
+        net.run()
+        assert runtime.has_module("hello")
+        p = runtime.instantiate("hello")
+        net.run()
+        instance = p.result
+        assert node.listening_on(instance.host_port)
+        assert instance.ready_at is not None
+
+    def test_instantiate_without_fetch_fails(self, rig):
+        net, node, runtime = rig
+        p = runtime.instantiate("ghost")
+        net.run()
+        assert isinstance(p.exception, KeyError)
+
+    def test_cold_start_is_milliseconds(self, rig):
+        net, node, runtime = rig
+        function = make_function()
+        runtime.fetch_module(function)
+        net.run()
+        t0 = net.now
+        runtime.instantiate("hello")
+        net.run()
+        assert net.now - t0 < 0.02
+
+    def test_second_fetch_free(self, rig):
+        net, node, runtime = rig
+        function = make_function()
+        runtime.fetch_module(function)
+        net.run()
+        t0 = net.now
+        runtime.fetch_module(function)
+        net.run()
+        assert net.now == t0
+        assert runtime.fetches == 1
+
+    def test_instantiate_idempotent(self, rig):
+        net, node, runtime = rig
+        runtime.fetch_module(make_function())
+        net.run()
+        p1 = runtime.instantiate("hello")
+        net.run()
+        p2 = runtime.instantiate("hello")
+        net.run()
+        assert p1.result is p2.result
+        assert runtime.cold_starts == 1
+
+    def test_terminate_closes_port(self, rig):
+        net, node, runtime = rig
+        runtime.fetch_module(make_function())
+        net.run()
+        p = runtime.instantiate("hello")
+        net.run()
+        port = p.result.host_port
+        runtime.terminate("hello")
+        net.run()
+        assert not node.listening_on(port)
+        assert runtime.instance("hello") is None
+
+    def test_invocation_serves_requests(self, rig):
+        net, node, runtime = rig
+        runtime.fetch_module(make_function())
+        net.run()
+        p = runtime.instantiate("hello")
+        net.run()
+        port = p.result.host_port
+        client = net.add_host("client")
+        net.connect(client, 0, node, 1, latency_s=0.0001)
+        results = {}
+
+        def flow():
+            conn = yield client.connect(node.ip, port)
+            from repro.netsim.packet import HTTPRequest
+            response = yield conn.request(HTTPRequest(), 120)
+            results["response"] = response
+            conn.close()
+
+        net.sim.spawn(flow())
+        net.run()
+        assert results["response"].body["runtime"] == "wasm"
+        assert p.result.invocations == 1
+
+
+class TestServerlessCluster:
+    def make_cluster(self, rig):
+        net, node, runtime = rig
+        function = make_function("wasm-svc")
+        cluster = ServerlessCluster(net.sim, "wasm-edge", runtime,
+                                    functions={"edge-svc": function})
+        spec = DeploymentSpec(name="edge-svc",
+                              containers=(SpecContainer("fn", "n/a", BEHAVIOR),),
+                              port=80, target_port=80)
+        return net, node, cluster, spec
+
+    def test_full_phase_sequence(self, rig):
+        net, node, cluster, spec = self.make_cluster(rig)
+        assert not cluster.has_images(spec)
+        p = cluster.pull(spec)
+        net.run()
+        assert cluster.has_images(spec)
+        p = cluster.create(spec)
+        net.run()
+        assert cluster.is_created(spec)
+        p = cluster.scale_up(spec)
+        net.run()
+        endpoint = cluster.endpoint(spec)
+        assert endpoint is not None and cluster.port_open(endpoint)
+        p = cluster.scale_down(spec)
+        net.run()
+        assert not cluster.is_ready(spec)
+
+    def test_unregistered_service_raises(self, rig):
+        net, node, cluster, spec = self.make_cluster(rig)
+        bad = DeploymentSpec(name="unknown",
+                             containers=(SpecContainer("x", "n/a", BEHAVIOR),),
+                             port=80, target_port=80)
+        with pytest.raises(KeyError):
+            cluster.has_images(bad)
+
+    def test_cold_start_estimate_reflects_cache(self, rig):
+        net, node, cluster, spec = self.make_cluster(rig)
+        cold = cluster.estimate_cold_start_s(spec)
+        cluster.pull(spec)
+        net.run()
+        warm = cluster.estimate_cold_start_s(spec)
+        assert warm < cold
+        assert warm < 0.05
+
+    def test_remove_and_delete(self, rig):
+        net, node, cluster, spec = self.make_cluster(rig)
+        for op in (cluster.pull, cluster.create, cluster.scale_up):
+            op(spec)
+            net.run()
+        cluster.remove(spec)
+        net.run()
+        assert not cluster.is_created(spec)
+        cluster.delete_images(spec)
+        assert not cluster.has_images(spec)
+
+
+class TestCatalogFunctions:
+    def test_all_four_services_have_wasm_ports(self):
+        for key in ("asm", "nginx", "resnet", "nginx+py"):
+            function = wasm_function_for_catalog(key)
+            assert function.behavior is catalog_behavior(key) or \
+                function.behavior.port is not None
+
+    def test_resnet_module_dominated_by_weights(self):
+        resnet = wasm_function_for_catalog("resnet")
+        nginx = wasm_function_for_catalog("nginx")
+        assert resnet.module_size_bytes > 50 * nginx.module_size_bytes
+        assert resnet.instantiate_s > 1.0  # the model still loads

@@ -1,0 +1,100 @@
+"""Unit tests for the service catalog (Table I fidelity)."""
+
+import pytest
+
+from repro.edge.images import KIB, MIB
+from repro.edge.services import (
+    EDGE_SERVICE_CATALOG,
+    ServiceBehavior,
+    all_catalog_images,
+    catalog_behavior,
+    catalog_image,
+    service_table,
+)
+from repro.netsim import HTTPRequest, Network
+
+
+class TestTableI:
+    """The catalog must reproduce Table I exactly."""
+
+    def test_four_services(self):
+        assert set(EDGE_SERVICE_CATALOG) == {"asm", "nginx", "resnet", "nginx+py"}
+
+    @pytest.mark.parametrize("key,size,layers,containers,http", [
+        ("asm", int(6.18 * KIB), 1, 1, "GET"),
+        ("nginx", 135 * MIB, 6, 1, "GET"),
+        ("resnet", 308 * MIB, 9, 1, "POST"),
+        ("nginx+py", 181 * MIB, 7, 2, "GET"),
+    ])
+    def test_row(self, key, size, layers, containers, http):
+        entry = EDGE_SERVICE_CATALOG[key]
+        assert entry.total_size_bytes == size
+        assert entry.total_layers == layers
+        assert entry.container_count == containers
+        assert entry.http_method == http
+
+    def test_image_references(self):
+        assert str(catalog_image("asm").ref) == "josefhammer/web-asm:amd64"
+        assert str(catalog_image("nginx").ref) == "nginx:1.23.2"
+        assert catalog_image("resnet").ref.registry == "gcr.io"
+        assert str(catalog_image("nginx+py", 1).ref) == "josefhammer/env-writer-py:latest"
+
+    def test_nginx_py_shares_nginx_image(self):
+        assert catalog_image("nginx+py", 0) is catalog_image("nginx")
+
+    def test_resnet_posts_large_payload(self):
+        behavior = catalog_behavior("resnet")
+        request, nbytes = behavior.make_request()
+        assert request.method == "POST"
+        assert request.body_bytes == 83 * KIB
+
+    def test_startup_ordering(self):
+        """asm ≈ instant < nginx < env-writer < resnet (model load)."""
+        asm = catalog_behavior("asm").startup_s
+        nginx = catalog_behavior("nginx").startup_s
+        envw = catalog_behavior("nginx+py", 1).startup_s
+        resnet = catalog_behavior("resnet").startup_s
+        assert asm < nginx < envw < resnet
+        assert resnet > 1.0  # "loading a model takes time"
+
+    def test_env_writer_serves_nothing(self):
+        assert catalog_behavior("nginx+py", 1).port is None
+
+    def test_serving_behavior_selection(self):
+        assert EDGE_SERVICE_CATALOG["nginx+py"].serving_behavior.name == "nginx"
+
+    def test_service_table_rows(self):
+        rows = service_table()
+        assert len(rows) == 4
+        nginx_row = next(r for r in rows if r["key"] == "nginx")
+        assert nginx_row["images"] == "nginx:1.23.2"
+        assert nginx_row["layers"] == 6
+
+    def test_all_catalog_images_deduped(self):
+        images = all_catalog_images()
+        assert len(images) == 4  # asm, nginx, resnet, env-writer (nginx shared)
+
+
+class TestBehaviorHandling:
+    def test_handler_charges_cpu_and_responds(self):
+        net = Network(seed=0)
+        server = net.add_host("s")
+        client = net.add_host("c")
+        net.connect(client, 0, server, 0, latency_s=0.0001)
+        behavior = ServiceBehavior(name="slow", port=80, request_cpu_s=0.5,
+                                   response_bytes=100)
+        server.listen(80, behavior.make_listener(net.sim))
+        result = {}
+
+        def flow():
+            conn = yield client.connect(server.ip, 80)
+            t0 = net.now
+            response = yield conn.request(HTTPRequest(), 120)
+            result["elapsed"] = net.now - t0
+            result["body"] = response.body
+            conn.close()
+
+        net.sim.spawn(flow())
+        net.run()
+        assert result["elapsed"] >= 0.5
+        assert result["body"]["served_by"] == "slow"

@@ -1,0 +1,57 @@
+"""Shape tests for the multi-switch testbed builder."""
+
+import pytest
+
+from repro.experiments.multiswitch import CORE_DPID, build_multiswitch_testbed
+
+
+class TestBuilder:
+    def test_default_shape(self):
+        tb = build_multiswitch_testbed(seed=0)
+        assert tb.switch.dpid == CORE_DPID
+        assert len(tb.access_switches) == 2
+        assert len(tb.clients) == 6  # 2 switches x 3 clients
+        assert tb.controller.cfg.fabric is not None
+
+    def test_every_switch_has_its_own_channel(self):
+        tb = build_multiswitch_testbed(seed=0)
+        dpids = set(tb.manager.datapaths)
+        assert dpids == {CORE_DPID, 1, 2}
+        channels = {dp.channel for dp in tb.manager.datapaths.values()}
+        assert len(channels) == 3
+
+    def test_fabric_paths(self):
+        tb = build_multiswitch_testbed(seed=0)
+        fabric = tb.fabric
+        assert fabric.path(1, CORE_DPID) == [1, CORE_DPID]
+        assert fabric.path(1, 2) == [1, CORE_DPID, 2]
+
+    def test_clients_zoned_per_access_switch(self):
+        tb = build_multiswitch_testbed(seed=0, clients_per_switch=2)
+        assert tb.zones.zone_of(tb.clients[0].ip) == "access-0"
+        assert tb.zones.zone_of(tb.clients[2].ip) == "access-1"
+
+    def test_parametrized_sizes(self):
+        tb = build_multiswitch_testbed(seed=0, n_access_switches=3,
+                                       clients_per_switch=1)
+        assert len(tb.access_switches) == 3
+        assert len(tb.clients) == 3
+
+    def test_kubernetes_variant(self):
+        tb = build_multiswitch_testbed(seed=0, cluster_types=("kubernetes",))
+        assert set(tb.clusters) == {"k8s-egs"}
+        svc = tb.register_catalog_service("asm")
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert request.done and request.result.ok
+
+    def test_determinism(self):
+        totals = []
+        for _ in range(2):
+            tb = build_multiswitch_testbed(seed=99)
+            svc = tb.register_catalog_service("asm")
+            request = tb.client(0).fetch(svc.service_id.addr,
+                                         svc.service_id.port)
+            tb.run(until=tb.sim.now + 30.0)
+            totals.append(request.result.time_total)
+        assert totals[0] == totals[1]

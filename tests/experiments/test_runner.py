@@ -1,0 +1,73 @@
+"""Tests for the artifact runner CLI and quick driver sanity checks."""
+
+import io
+
+import pytest
+
+from repro.experiments import parta, partb
+from repro.experiments.runner import artifact_registry, main, run
+from repro.metrics import Series, Table
+
+
+class TestRegistry:
+    def test_covers_all_parts(self):
+        parts = {part for part, _, _ in artifact_registry(full=False)}
+        assert parts == {"a", "b", "ablations", "ext"}
+
+    def test_part_b_covers_every_figure(self):
+        names = [name for part, name, _ in artifact_registry(full=False)
+                 if part == "b"]
+        for figure in ("Table I", "Fig. 9", "Fig. 10 (trace)", "Fig. 11",
+                       "Fig. 12", "Fig. 13", "Fig. 14", "Fig. 15", "Fig. 16"):
+            assert any(figure in name for name in names), figure
+
+    def test_full_flag_changes_repeats(self):
+        quick = artifact_registry(full=False)
+        full = artifact_registry(full=True)
+        assert len(quick) == len(full)
+
+
+class TestRun:
+    def test_run_subset_writes_renderings(self):
+        stream = io.StringIO()
+        count = run(parts=["b"], full=False, out=stream)
+        text = stream.getvalue()
+        assert count == 10
+        assert "Table I" in text
+        assert "Fig. 16" in text
+        assert "#" in text  # series bars rendered
+
+    def test_main_with_out_file(self, tmp_path):
+        out = tmp_path / "artifacts.txt"
+        code = main(["--part", "b", "--out", str(out)])
+        assert code == 0
+        assert "Fig. 11" in out.read_text()
+
+    def test_main_invalid_part_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--part", "zzz"])
+
+
+class TestDriverContracts:
+    """Every driver returns a well-formed Table/Series (fast params)."""
+
+    def test_fig11_table_shape(self):
+        table = partb.fig11_scale_up(repeats=2)
+        assert isinstance(table, Table)
+        assert [row["service"] for row in table.rows] == \
+            ["asm", "nginx", "resnet", "nginx+py"]
+        assert all(row["docker_median"] > 0 for row in table.rows)
+
+    def test_fig9_series_shape(self):
+        series = partb.fig9_request_distribution()
+        assert isinstance(series, Series)
+        assert len(series.x) == len(series.y) == 300
+
+    def test_a1_rows_per_rtt(self):
+        table = parta.a1_edge_vs_cloud(cloud_rtts_s=(0.010, 0.020), requests=3)
+        assert len(table.rows) == 2
+
+    def test_a3_concurrency_levels(self):
+        table = parta.a3_controller_scaling(concurrency_levels=(1, 2),
+                                            n_services=2)
+        assert [row["concurrent"] for row in table.rows] == [1, 2]

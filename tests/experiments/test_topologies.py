@@ -1,0 +1,85 @@
+"""Unit tests for the testbed builder (fig. 8 in code)."""
+
+import pytest
+
+from repro.experiments import build_testbed
+from repro.experiments.topologies import SERVICE_NET, VGW_IP
+
+
+class TestBuildTestbed:
+    def test_default_shape(self):
+        tb = build_testbed(seed=0)
+        assert len(tb.clients) == 20
+        assert set(tb.clusters) == {"docker-egs", "k8s-egs"}
+        assert tb.switch.dpid == 1
+        # every client wired to the switch with the gateway configured
+        for client in tb.clients:
+            assert client.gateway == VGW_IP
+            assert client.port_numbers == [0]
+
+    def test_shared_egs_single_containerd(self):
+        tb = build_testbed(seed=0, shared_egs=True)
+        docker = tb.clusters["docker-egs"]
+        k8s = tb.clusters["k8s-egs"]
+        assert docker.runtime is k8s.runtime  # the paper's shared containerd
+        assert docker.node is k8s.node is tb.egs
+
+    def test_separate_egs_nodes(self):
+        tb = build_testbed(seed=0, shared_egs=False)
+        docker = tb.clusters["docker-egs"]
+        k8s = tb.clusters["k8s-egs"]
+        assert docker.runtime is not k8s.runtime
+        assert docker.node is not k8s.node
+
+    def test_cluster_selection(self):
+        tb = build_testbed(seed=0, cluster_types=("docker",))
+        assert set(tb.clusters) == {"docker-egs"}
+        tb = build_testbed(seed=0, cluster_types=("serverless",))
+        assert set(tb.clusters) == {"wasm-egs"}
+
+    def test_unknown_cluster_type_rejected(self):
+        with pytest.raises(ValueError):
+            build_testbed(seed=0, cluster_types=("mesos",))
+
+    def test_service_id_allocation_in_test_net(self):
+        tb = build_testbed(seed=0, n_clients=1)
+        sid_a = tb.alloc_service_id()
+        sid_b = tb.alloc_service_id(8080)
+        assert sid_a.addr != sid_b.addr
+        assert sid_a.addr.in_subnet(SERVICE_NET, 24)
+
+    def test_register_catalog_service_annotates(self):
+        tb = build_testbed(seed=0, n_clients=1)
+        svc = tb.register_catalog_service("nginx+py")
+        assert len(svc.spec.containers) == 2
+        assert svc.spec.port == 80
+        assert svc.name.startswith("edge-")
+
+    def test_cloud_origin_listens_and_is_static(self):
+        tb = build_testbed(seed=0, n_clients=1, cluster_types=("docker",))
+        svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+        host = tb.cloud_hosts[svc.service_id.addr]
+        assert host.ip == svc.service_id.addr
+        assert host.listening_on(svc.service_id.port)
+        assert svc.service_id.addr in tb.controller.cfg.static_hosts
+
+    def test_private_registry_flag_sets_mirror(self):
+        tb = build_testbed(seed=0, n_clients=1, use_private_registry=True)
+        assert tb.hub.mirror is tb.private_registry
+        tb = build_testbed(seed=0, n_clients=1)
+        assert tb.hub.mirror is None
+
+    def test_determinism_same_seed_same_timings(self):
+        results = []
+        for _ in range(2):
+            tb = build_testbed(seed=123, n_clients=1, cluster_types=("docker",))
+            svc = tb.register_catalog_service("nginx")
+            request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+            tb.run(until=tb.sim.now + 30.0)
+            results.append(request.result.time_total)
+        assert results[0] == results[1]
+
+    def test_scheduler_name_threaded_to_annotation(self):
+        tb = build_testbed(seed=0, n_clients=1, scheduler_name="edge-local")
+        svc = tb.register_catalog_service("nginx")
+        assert svc.spec.scheduler_name == "edge-local"

@@ -1,0 +1,111 @@
+"""Message-sequence tests against the paper's sequence diagrams.
+
+Fig. 5 (on-demand deployment *with waiting*) numbers the steps:
+
+1. user sends a request to a new service;
+2. the switch forwards it to the SDN controller (packet-in);
+3. the controller triggers a deployment;
+4. the edge cluster pulls the service image from the cloud (if uncached);
+5. (the instance starts);
+6. the controller instructs the switch to redirect (flow-mod/packet-out);
+7. the user's request gets sent to the new instance;
+8. the instance processes it;
+9. and answers the client.
+
+These tests replay that flow with the TraceLog enabled and assert the order
+of the observable events.
+"""
+
+import pytest
+
+from repro.experiments import build_testbed
+from repro.simcore import TraceLog
+
+
+def build_traced(**kwargs):
+    trace = TraceLog(enabled=True)
+    tb = build_testbed(trace=trace, **kwargs)
+    return tb, trace
+
+
+class TestFig5WithWaitingSequence:
+    def test_event_order_cold_start_with_pull(self):
+        tb, trace = build_traced(seed=3, n_clients=1, cluster_types=("docker",))
+        svc = tb.register_catalog_service("nginx")
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert request.done and request.result.ok
+
+        def first_time(category, event, predicate=lambda r: True):
+            for record in trace.records:
+                if (record.category == category and record.event == event
+                        and predicate(record)):
+                    return record.time
+            raise AssertionError(f"no {category}/{event} in trace")
+
+        t_packet_in = first_time("of", "packet-in",
+                                 lambda r: "TCP" in r.data.get("pkt", ""))
+        t_pulled = first_time("containerd", "pulled")
+        t_created = first_time("containerd", "created")
+        t_started = first_time("containerd", "started")
+        t_listening = first_time("containerd", "listening")
+        t_ready = first_time("deploy", "ready")
+        t_flows = first_time("app.TransparentEdgeController", "flows-installed")
+
+        # Steps 2 → 4 → (create/start) → ready → 6, strictly ordered.
+        assert (t_packet_in < t_pulled < t_created < t_started
+                < t_listening <= t_ready <= t_flows)
+        # Step 7-9: the client's response arrived after the flows existed.
+        assert request.result.t_start < t_packet_in
+        assert request.result.t_start + request.result.time_total > t_flows
+
+    def test_no_pull_when_cached(self):
+        tb, trace = build_traced(seed=3, n_clients=1, cluster_types=("docker",))
+        svc = tb.register_catalog_service("nginx")
+        pre = tb.clusters["docker-egs"].pull(svc.spec)
+        tb.run(until=tb.sim.now + 30.0)
+        trace.clear()
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 10.0)
+        assert request.done and request.result.ok
+        assert trace.filter(category="containerd", event="pulled") == []
+        assert trace.filter(category="containerd", event="started") != []
+
+    def test_flow_mod_precedes_packet_release(self):
+        """Step 6 before step 7: the redirect rule must exist before the
+        buffered packet is released (and the downstream rule before the
+        upstream one, so the response path exists first)."""
+        tb, trace = build_traced(seed=3, n_clients=1, cluster_types=("docker",))
+        svc = tb.register_catalog_service("asm")
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert request.done and request.result.ok
+        flow_mods = trace.filter(category="of", event="flow-mod")
+        # table-miss + downstream + upstream at minimum
+        service_mods = [r for r in flow_mods if "priority': 20" in str(r.data)
+                        or r.data.get("priority") == 20]
+        assert len(service_mods) >= 2
+        # the forwarded request reaches the instance only after both mods
+        t_last_mod = max(r.time for r in service_mods)
+        t_response_done = request.result.t_start + request.result.time_total
+        assert t_last_mod < t_response_done
+
+
+class TestKubernetesSequence:
+    def test_k8s_chain_order(self):
+        """deployment scale → pod → schedule → kubelet → containerd →
+        nodeport, all strictly ordered."""
+        tb, trace = build_traced(seed=3, n_clients=1,
+                                 cluster_types=("kubernetes",))
+        svc = tb.register_catalog_service("nginx")
+        pre = tb.clusters["k8s-egs"].pull(svc.spec)
+        tb.run(until=tb.sim.now + 60.0)
+        trace.clear()
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert request.done and request.result.ok
+
+        t_started = trace.filter("containerd", "started")[0].time
+        t_nodeport = trace.filter("k8s", "nodeport-open")[0].time
+        t_ready = trace.filter("deploy", "ready")[0].time
+        assert t_started < t_nodeport <= t_ready

@@ -1,0 +1,105 @@
+"""Unit tests for MAC/IPv4 address types."""
+
+import pytest
+
+from repro.netsim import BROADCAST_MAC, IPv4, MAC, ip, mac
+
+
+class TestMAC:
+    def test_parse_and_format(self):
+        m = MAC("02:00:00:00:00:2a")
+        assert str(m) == "02:00:00:00:00:2a"
+        assert int(m) == 0x02_00_00_00_00_2A
+
+    def test_parse_dash_separated(self):
+        assert MAC("02-00-00-00-00-01") == MAC("02:00:00:00:00:01")
+
+    def test_from_int_roundtrip(self):
+        m = MAC(0xA1B2C3D4E5F6)
+        assert MAC(str(m)) == m
+
+    def test_copy_constructor(self):
+        m = MAC("02:00:00:00:00:01")
+        assert MAC(m) == m
+
+    def test_equality_and_hash(self):
+        a, b = MAC(5), MAC(5)
+        assert a == b and hash(a) == hash(b)
+        assert a != MAC(6)
+        assert a != 5  # not equal to raw ints
+
+    def test_ordering(self):
+        assert MAC(1) < MAC(2)
+
+    def test_broadcast_detection(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert not MAC(1).is_broadcast
+
+    def test_multicast_bit(self):
+        assert MAC("01:00:5e:00:00:01").is_multicast
+        assert not MAC("02:00:00:00:00:01").is_multicast
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MAC(1 << 48)
+        with pytest.raises(ValueError):
+            MAC(-1)
+
+    def test_malformed_strings_rejected(self):
+        for bad in ["1:2:3", "zz:00:00:00:00:00", "02:00:00:00:00:100"]:
+            with pytest.raises(ValueError):
+                MAC(bad)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            MAC(1.5)
+
+
+class TestIPv4:
+    def test_parse_and_format(self):
+        a = IPv4("10.0.0.42")
+        assert str(a) == "10.0.0.42"
+        assert int(a) == (10 << 24) + 42
+
+    def test_from_int_roundtrip(self):
+        a = IPv4(0xC0A80101)
+        assert str(a) == "192.168.1.1"
+
+    def test_equality_and_hash(self):
+        assert IPv4("1.2.3.4") == IPv4("1.2.3.4")
+        assert hash(IPv4("1.2.3.4")) == hash(IPv4("1.2.3.4"))
+        assert IPv4("1.2.3.4") != IPv4("1.2.3.5")
+
+    def test_ordering(self):
+        assert IPv4("10.0.0.1") < IPv4("10.0.0.2")
+
+    def test_add_offset(self):
+        assert IPv4("10.0.0.1") + 9 == IPv4("10.0.0.10")
+
+    def test_in_subnet(self):
+        net = IPv4("10.1.0.0")
+        assert IPv4("10.1.2.3").in_subnet(net, 16)
+        assert not IPv4("10.2.0.1").in_subnet(net, 16)
+        assert IPv4("1.2.3.4").in_subnet(net, 0)  # /0 matches all
+        assert IPv4("10.1.0.0").in_subnet(net, 32)
+        assert not IPv4("10.1.0.1").in_subnet(net, 32)
+
+    def test_in_subnet_bad_prefix(self):
+        with pytest.raises(ValueError):
+            IPv4("1.1.1.1").in_subnet(IPv4("1.1.1.0"), 40)
+
+    def test_malformed_rejected(self):
+        for bad in ["1.2.3", "1.2.3.256", "a.b.c.d"]:
+            with pytest.raises(ValueError):
+                IPv4(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4(1 << 32)
+
+
+def test_convenience_constructors_idempotent():
+    m = mac("02:00:00:00:00:01")
+    assert mac(m) is m
+    a = ip("10.0.0.1")
+    assert ip(a) is a

@@ -1,0 +1,133 @@
+"""Unit tests for links: latency, serialization, FIFO queuing, failure."""
+
+import pytest
+
+from repro.netsim import EthernetFrame, Network
+from repro.netsim.device import Device
+from repro.netsim.packet import ETH_HEADER_BYTES, ETH_TYPE_IP, IPv4Packet, UDPDatagram
+from repro.netsim.addresses import MAC
+
+
+class Sink(Device):
+    """Records (time, frame) arrivals."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_frame(self, port_no, frame):
+        self.received.append((self.sim.now, port_no, frame))
+
+
+def make_frame(nbytes_payload=100):
+    dg = UDPDatagram(src_port=1, dst_port=2, payload_bytes=nbytes_payload)
+    pkt = IPv4Packet(src=__import__("repro.netsim", fromlist=["ip"]).ip("1.1.1.1"),
+                     dst=__import__("repro.netsim", fromlist=["ip"]).ip("2.2.2.2"),
+                     proto=17, payload=dg)
+    return EthernetFrame(src=MAC(1), dst=MAC(2), ethertype=ETH_TYPE_IP, payload=pkt)
+
+
+@pytest.fixture
+def net():
+    return Network(seed=0)
+
+
+def test_latency_only_delivery(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    net.connect(a, 0, b, 0, latency_s=0.010, bandwidth_bps=None)
+    frame = make_frame()
+    a.transmit(0, frame)
+    net.run()
+    assert len(b.received) == 1
+    t, port, received = b.received[0]
+    assert t == pytest.approx(0.010)
+    assert received is frame
+
+
+def test_serialization_delay_added(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    net.connect(a, 0, b, 0, latency_s=0.0, bandwidth_bps=1e6)  # 1 Mbps
+    frame = make_frame(nbytes_payload=1000 - 28 - ETH_HEADER_BYTES)
+    a.transmit(0, frame)
+    net.run()
+    t, _, _ = b.received[0]
+    assert t == pytest.approx(1000 * 8 / 1e6)  # 8 ms
+
+
+def test_fifo_queuing_backs_up(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    net.connect(a, 0, b, 0, latency_s=0.0, bandwidth_bps=8e3)  # 1 byte/ms
+    f = make_frame(100 - 28 - ETH_HEADER_BYTES)  # 100 bytes on the wire
+    a.transmit(0, f)
+    a.transmit(0, f)
+    a.transmit(0, f)
+    net.run()
+    times = [t for t, _, _ in b.received]
+    assert times == pytest.approx([0.1, 0.2, 0.3])
+
+
+def test_full_duplex_directions_independent(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    net.connect(a, 0, b, 0, latency_s=0.0, bandwidth_bps=8e3)
+    f = make_frame(100 - 28 - ETH_HEADER_BYTES)
+    a.transmit(0, f)
+    b.transmit(0, f)
+    net.run()
+    # Each direction serializes independently: both arrive at 0.1, not 0.2.
+    assert a.received[0][0] == pytest.approx(0.1)
+    assert b.received[0][0] == pytest.approx(0.1)
+
+
+def test_down_link_drops(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    link = net.connect(a, 0, b, 0, latency_s=0.001)
+    link.set_up(False)
+    a.transmit(0, make_frame())
+    net.run()
+    assert b.received == []
+    link.set_up(True)
+    a.transmit(0, make_frame())
+    net.run()
+    assert len(b.received) == 1
+
+
+def test_link_down_mid_flight_drops(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    link = net.connect(a, 0, b, 0, latency_s=0.010)
+    a.transmit(0, make_frame())
+    net.sim.schedule(0.005, link.set_up, False)
+    net.run()
+    assert b.received == []
+
+
+def test_transmit_unwired_port_is_noop(net):
+    a = Sink(net.sim, "a")
+    a.transmit(3, make_frame())  # no link on port 3
+    net.run()  # nothing scheduled, nothing crashes
+
+
+def test_link_counters(net):
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    link = net.connect(a, 0, b, 0)
+    frame = make_frame()
+    a.transmit(0, frame)
+    a.transmit(0, frame)
+    net.run()
+    assert link.frames_delivered == 2
+    assert link.bytes_delivered == 2 * frame.wire_bytes
+
+
+def test_invalid_link_parameters():
+    net = Network(seed=0)
+    a, b = Sink(net.sim, "a"), Sink(net.sim, "b")
+    with pytest.raises(ValueError):
+        net.connect(a, 0, b, 0, latency_s=-1)
+    with pytest.raises(ValueError):
+        net.connect(a, 1, b, 1, bandwidth_bps=0)
+
+
+def test_double_wiring_port_rejected(net):
+    a, b, c = Sink(net.sim, "a"), Sink(net.sim, "b"), Sink(net.sim, "c")
+    net.connect(a, 0, b, 0)
+    with pytest.raises(ValueError):
+        net.connect(a, 0, c, 0)

@@ -1,0 +1,133 @@
+"""Unit tests for the packet model: sizes, accessors, rendering."""
+
+import dataclasses
+
+import pytest
+
+from repro.netsim import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IP,
+    EthernetFrame,
+    HTTPRequest,
+    HTTPResponse,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    IPv4Packet,
+    TCPFlags,
+    TCPSegment,
+    UDPDatagram,
+    ip,
+    mac,
+)
+from repro.netsim.packet import (
+    ARP_BODY_BYTES,
+    ArpOp,
+    ArpPacket,
+    ETH_HEADER_BYTES,
+    IP_HEADER_BYTES,
+    TCP_HEADER_BYTES,
+    TCP_MSS,
+    UDP_HEADER_BYTES,
+)
+
+
+def tcp_frame(payload_bytes=100, flags=TCPFlags.ACK):
+    seg = TCPSegment(src_port=1234, dst_port=80, seq=7, ack=9, flags=flags,
+                     payload_bytes=payload_bytes)
+    pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip("10.0.0.2"),
+                     proto=IP_PROTO_TCP, payload=seg)
+    return EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP,
+                         payload=pkt)
+
+
+class TestWireSizes:
+    def test_tcp_frame_size_composition(self):
+        frame = tcp_frame(payload_bytes=100)
+        assert frame.wire_bytes == (ETH_HEADER_BYTES + IP_HEADER_BYTES
+                                    + TCP_HEADER_BYTES + 100)
+
+    def test_udp_frame_size(self):
+        dg = UDPDatagram(src_port=1, dst_port=53, payload_bytes=48)
+        pkt = IPv4Packet(src=ip("1.1.1.1"), dst=ip("2.2.2.2"),
+                         proto=IP_PROTO_UDP, payload=dg)
+        frame = EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP,
+                              payload=pkt)
+        assert frame.wire_bytes == (ETH_HEADER_BYTES + IP_HEADER_BYTES
+                                    + UDP_HEADER_BYTES + 48)
+
+    def test_arp_frame_size(self):
+        arp = ArpPacket(op=ArpOp.REQUEST, sender_mac=mac(1),
+                        sender_ip=ip("1.1.1.1"), target_mac=mac(0),
+                        target_ip=ip("1.1.1.2"))
+        frame = EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_ARP,
+                              payload=arp)
+        assert frame.wire_bytes == ETH_HEADER_BYTES + ARP_BODY_BYTES
+
+    def test_http_wire_bytes(self):
+        request = HTTPRequest(method="POST", body_bytes=1000, headers_bytes=120)
+        assert request.wire_bytes == 1120
+        response = HTTPResponse(status=200, body_bytes=500, headers_bytes=160)
+        assert response.wire_bytes == 660
+        assert response.ok
+        assert not HTTPResponse(status=503).ok
+
+    def test_mss_value(self):
+        assert TCP_MSS == 1460
+
+
+class TestAccessors:
+    def test_layer_accessors_tcp(self):
+        frame = tcp_frame()
+        assert frame.ipv4 is not None
+        assert frame.tcp is not None
+        assert frame.udp is None
+        assert frame.arp is None
+        assert frame.tcp.src_port == 1234
+
+    def test_tcp_flag_helpers(self):
+        seg = TCPSegment(src_port=1, dst_port=2,
+                         flags=TCPFlags.SYN | TCPFlags.ACK)
+        assert seg.has(TCPFlags.SYN)
+        assert seg.has(TCPFlags.ACK)
+        assert not seg.has(TCPFlags.FIN)
+
+    def test_ttl_decrement_returns_copy(self):
+        frame = tcp_frame()
+        packet = frame.ipv4
+        decremented = packet.decrement_ttl()
+        assert decremented.ttl == packet.ttl - 1
+        assert packet.ttl == 64  # original untouched
+
+    def test_frames_are_value_like(self):
+        a = tcp_frame()
+        b = dataclasses.replace(a)
+        assert a == b  # frame_id excluded from comparison
+
+
+class TestDescribe:
+    def test_tcp_describe(self):
+        text = tcp_frame(flags=TCPFlags.SYN).describe()
+        assert "TCP 10.0.0.1:1234 > 10.0.0.2:80" in text
+        assert "SYN" in text
+
+    def test_udp_describe(self):
+        dg = UDPDatagram(src_port=5, dst_port=53, payload_bytes=10)
+        pkt = IPv4Packet(src=ip("1.1.1.1"), dst=ip("2.2.2.2"),
+                         proto=IP_PROTO_UDP, payload=dg)
+        frame = EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP,
+                              payload=pkt)
+        assert "UDP 1.1.1.1:5 > 2.2.2.2:53" in frame.describe()
+
+    def test_arp_describe(self):
+        arp = ArpPacket(op=ArpOp.REQUEST, sender_mac=mac(1),
+                        sender_ip=ip("1.1.1.1"), target_mac=mac(0),
+                        target_ip=ip("1.1.1.9"))
+        frame = EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_ARP,
+                              payload=arp)
+        assert "who-has 1.1.1.9" in frame.describe()
+        reply = ArpPacket(op=ArpOp.REPLY, sender_mac=mac(1),
+                          sender_ip=ip("1.1.1.9"), target_mac=mac(2),
+                          target_ip=ip("1.1.1.1"))
+        frame = EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_ARP,
+                              payload=reply)
+        assert "is-at" in frame.describe()

@@ -1,0 +1,91 @@
+"""Property-based eventual-consistency test for the Kubernetes model.
+
+For ANY sequence of scale operations (with arbitrary interleaving and
+arbitrary settle gaps), once the system quiesces the number of ready pods
+must equal the last requested replica count — the core promise of the
+reconcile architecture.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.edge.containerd import Containerd
+from repro.edge.kubernetes import (
+    ContainerSpec,
+    Deployment,
+    KubernetesCluster,
+    PodTemplate,
+    Service,
+)
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
+from repro.edge.services import all_catalog_images, catalog_behavior
+from repro.netsim import Network
+
+
+LABELS = {"edge.service": "web"}
+
+
+def build_cluster(n_nodes=2):
+    net = Network(seed=0)
+    registry = Registry("hub", RegistryTiming(manifest_s=0.01, layer_rtt_s=0.001,
+                                              bandwidth_bps=1e10))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    cluster = KubernetesCluster(net.sim)
+    for index in range(n_nodes):
+        node = net.add_host(f"node-{index}")
+        runtime = Containerd(net.sim, node, hub)
+        runtime.pull("nginx:1.23.2")
+        net.run()
+        cluster.add_node(runtime)
+    template = PodTemplate(labels=LABELS, containers=[
+        ContainerSpec("nginx", "nginx:1.23.2", catalog_behavior("nginx"))])
+    cluster.api.create(Deployment("web", template, replicas=0, labels=LABELS))
+    cluster.create_service(Service("web", selector=LABELS, port=80,
+                                   target_port=80))
+    net.run(until=net.now + 5.0)
+    return net, cluster
+
+
+class TestEventualConsistency:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),
+                              st.floats(min_value=0.0, max_value=8.0)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_ready_pods_converge_to_last_spec(self, operations):
+        net, cluster = build_cluster()
+        last = 0
+        for replicas, gap in operations:
+            cluster.scale("web", replicas)
+            last = replicas
+            net.run(until=net.now + gap)
+        # quiesce: give the reconcile chain ample time
+        net.run(until=net.now + 60.0)
+        ready = cluster.ready_pods(LABELS)
+        assert len(ready) == last
+        all_pods = cluster.api.list("Pod")
+        assert len(all_pods) == last  # no orphans, no over-provisioning
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_scale_up_then_down_leaves_exactly_n(self, first, second):
+        net, cluster = build_cluster()
+        cluster.scale("web", first)
+        net.run(until=net.now + 60.0)
+        assert len(cluster.ready_pods(LABELS)) == first
+        cluster.scale("web", second)
+        net.run(until=net.now + 60.0)
+        assert len(cluster.ready_pods(LABELS)) == second
+
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_node_failure_mid_scale_still_converges(self, replicas):
+        net, cluster = build_cluster(n_nodes=2)
+        cluster.scale("web", replicas)
+        net.run(until=net.now + 2.0)  # mid-reconcile
+        cluster.fail_node("node-0")
+        net.run(until=net.now + 90.0)
+        ready = cluster.ready_pods(LABELS)
+        assert len(ready) == replicas
+        assert all(pod.node_name == "node-1" for pod in ready)

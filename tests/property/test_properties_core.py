@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for kernel and substrate invariants."""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import summarize
+from repro.netsim.addresses import IPv4, MAC
+from repro.simcore import Simulator
+
+
+mac_ints = st.integers(min_value=0, max_value=(1 << 48) - 1)
+ip_ints = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestAddressProperties:
+    @given(mac_ints)
+    def test_mac_string_roundtrip(self, value):
+        m = MAC(value)
+        assert MAC(str(m)) == m
+        assert int(MAC(str(m))) == value
+
+    @given(ip_ints)
+    def test_ipv4_string_roundtrip(self, value):
+        a = IPv4(value)
+        assert IPv4(str(a)) == a
+
+    @given(ip_ints, ip_ints, st.integers(min_value=0, max_value=32))
+    def test_in_subnet_matches_mask_arithmetic(self, addr, network, prefix):
+        a, n = IPv4(addr), IPv4(network)
+        mask = ((1 << prefix) - 1) << (32 - prefix) if prefix else 0
+        assert a.in_subnet(n, prefix) == ((addr & mask) == (network & mask))
+
+    @given(ip_ints, st.integers(min_value=0, max_value=32))
+    def test_every_address_in_its_own_subnet(self, addr, prefix):
+        a = IPv4(addr)
+        assert a.in_subnet(a, prefix)
+
+    @given(st.lists(ip_ints, min_size=1, max_size=20))
+    def test_ordering_consistent_with_ints(self, values):
+        addrs = sorted(IPv4(v) for v in values)
+        assert [int(a) for a in addrs] == sorted(values)
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=60))
+    def test_execution_order_is_time_then_fifo(self, delays):
+        sim = Simulator()
+        executed = []
+        for index, delay in enumerate(delays):
+            sim.schedule(delay, executed.append, (delay, index))
+        sim.run()
+        # stable sort by (time, insertion index) == execution order
+        assert executed == sorted(executed, key=lambda pair: (pair[0], pair[1]))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=40),
+           st.sets(st.integers(min_value=0, max_value=39)))
+    def test_cancelled_events_never_run(self, delays, to_cancel):
+        sim = Simulator()
+        executed = []
+        handles = [sim.schedule(delay, executed.append, index)
+                   for index, delay in enumerate(delays)]
+        for index in to_cancel:
+            if index < len(handles):
+                handles[index].cancel()
+        sim.run()
+        assert set(executed).isdisjoint(i for i in to_cancel if i < len(delays))
+        assert len(executed) == len(delays) - len(
+            {i for i in to_cancel if i < len(delays)})
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_clock_is_monotone(self, delays):
+        sim = Simulator()
+        stamps = []
+
+        def proc():
+            for delay in delays:
+                yield sim.timeout(delay)
+                stamps.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert stamps == sorted(stamps)
+        assert stamps[-1] == sum(delays) or abs(stamps[-1] - sum(delays)) < 1e-9
+
+
+class TestSummaryProperties:
+    samples = st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                                 allow_nan=False), min_size=1, max_size=200)
+
+    @given(samples)
+    def test_bounds(self, values):
+        s = summarize(values)
+        tol = 1e-9 * max(1.0, abs(s.maximum), abs(s.minimum))  # fp round-off
+        assert s.minimum - tol <= s.median <= s.maximum + tol
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+
+    @given(samples)
+    def test_quantiles_ordered(self, values):
+        s = summarize(values)
+        assert s.p25 <= s.p75 <= s.p95 + 1e-12
+        assert s.minimum <= s.p25 and s.p95 <= s.maximum + 1e-12
+
+    @given(samples, st.floats(min_value=-1e3, max_value=1e3, allow_nan=False))
+    def test_shift_invariance_of_spread(self, values, shift):
+        a = summarize(values)
+        b = summarize([v + shift for v in values])
+        assert abs((b.maximum - b.minimum) - (a.maximum - a.minimum)) < 1e-6

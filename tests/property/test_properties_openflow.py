@@ -1,0 +1,145 @@
+"""Property-based tests for OpenFlow semantics (match/cover/priority/rewrite)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment, ip, mac
+from repro.netsim.packet import IP_PROTO_TCP
+from repro.openflow import FlowEntry, FlowTable, Match, OutputAction, SetFieldAction
+from repro.openflow.actions import apply_actions_multi
+from repro.openflow.match import extract_fields
+from repro.simcore import Simulator
+
+
+ports = st.integers(min_value=1, max_value=65535)
+small_ips = st.integers(min_value=0, max_value=255).map(
+    lambda v: ip(f"10.0.0.{v}"))
+
+
+def frame_strategy():
+    return st.builds(
+        lambda src, dst, sport, dport: EthernetFrame(
+            src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP,
+            payload=IPv4Packet(src=src, dst=dst, proto=IP_PROTO_TCP,
+                               payload=TCPSegment(src_port=sport, dst_port=dport))),
+        small_ips, small_ips, ports, ports)
+
+
+def match_strategy():
+    """Random matches over a small field universe."""
+    return st.builds(
+        lambda use_dst, dst, use_port, port, use_src, src: Match(**{
+            **({"ipv4_dst": dst} if use_dst else {}),
+            **({"tcp_dst": port} if use_port else {}),
+            **({"ipv4_src": src} if use_src else {}),
+        }),
+        st.booleans(), small_ips, st.booleans(), ports, st.booleans(), small_ips)
+
+
+class TestMatchProperties:
+    @given(frame_strategy())
+    def test_wildcard_matches_everything(self, frame):
+        assert Match().matches(extract_fields(frame, 1))
+
+    @given(match_strategy(), frame_strategy())
+    def test_covers_implies_matches(self, broad, frame):
+        """For exact (unmasked) matches: if `broad` covers the exact match
+        built from the packet itself, then `broad` matches the packet."""
+        fields = extract_fields(frame, 1)
+        exact = Match(ipv4_src=fields["ipv4_src"], ipv4_dst=fields["ipv4_dst"],
+                      tcp_dst=fields["tcp_dst"])
+        if broad.covers(exact):
+            assert broad.matches(fields)
+
+    @given(match_strategy())
+    def test_covers_is_reflexive(self, m):
+        assert m.covers(m)
+
+    @given(match_strategy(), match_strategy(), match_strategy())
+    def test_covers_is_transitive(self, a, b, c):
+        if a.covers(b) and b.covers(c):
+            assert a.covers(c)
+
+    @given(match_strategy(), match_strategy())
+    def test_equal_matches_hash_equal(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+
+class TestFlowTableProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10), ports),
+                    min_size=1, max_size=30),
+           frame_strategy())
+    @settings(max_examples=60)
+    def test_lookup_matches_brute_force(self, entries, frame):
+        """Table lookup == highest-priority (then earliest-installed) among
+        all matching entries, checked against a brute-force model."""
+        sim = Simulator()
+        table = FlowTable(sim)
+        installed = []
+        for priority, port in entries:
+            entry = FlowEntry(match=Match(tcp_dst=port), priority=priority,
+                              actions=[OutputAction(1)])
+            table.install(entry)
+            # model OFPFC_ADD replace semantics
+            installed = [(p, e) for p, e in installed
+                         if not (p == priority and e.match == entry.match)]
+            installed.append((priority, entry))
+        fields = extract_fields(frame, 1)
+        expected = None
+        best = (-1, -1)
+        for index, (priority, entry) in enumerate(installed):
+            if entry.match.matches(fields):
+                if priority > best[0]:
+                    best = (priority, index)
+                    expected = entry
+        assert table.lookup(fields) is expected
+
+    @given(st.lists(ports, min_size=1, max_size=20, unique=True))
+    def test_delete_wildcard_empties_table(self, port_list):
+        sim = Simulator()
+        table = FlowTable(sim)
+        for port in port_list:
+            table.install(FlowEntry(match=Match(tcp_dst=port), priority=5,
+                                    actions=[OutputAction(1)]))
+        assert table.delete(Match()) == len(port_list)
+        assert len(table) == 0
+
+
+class TestRewriteProperties:
+    @given(frame_strategy(), small_ips, ports)
+    def test_rewrite_changes_only_target_fields(self, frame, new_dst, new_port):
+        actions = [SetFieldAction("ipv4_dst", new_dst),
+                   SetFieldAction("tcp_dst", new_port),
+                   OutputAction(3)]
+        [(out, port)] = apply_actions_multi(frame, actions)
+        assert port == 3
+        assert out.ipv4.dst == new_dst
+        assert out.tcp.dst_port == new_port
+        # untouched fields preserved
+        assert out.ipv4.src == frame.ipv4.src
+        assert out.tcp.src_port == frame.tcp.src_port
+        assert out.src == frame.src
+        assert out.wire_bytes == frame.wire_bytes
+
+    @given(frame_strategy(), small_ips, ports, small_ips, ports)
+    def test_rewrite_then_reverse_restores(self, frame, dst1, port1, dst2, port2):
+        """The controller's upstream+downstream rewrite pair is an inverse:
+        rewriting A->B then B->A yields the original header fields."""
+        forward = [SetFieldAction("ipv4_dst", dst1), SetFieldAction("tcp_dst", port1),
+                   OutputAction(1)]
+        [(rewritten, _)] = apply_actions_multi(frame, forward)
+        back = [SetFieldAction("ipv4_dst", frame.ipv4.dst),
+                SetFieldAction("tcp_dst", frame.tcp.dst_port), OutputAction(1)]
+        [(restored, _)] = apply_actions_multi(rewritten, back)
+        assert restored.ipv4.dst == frame.ipv4.dst
+        assert restored.tcp.dst_port == frame.tcp.dst_port
+
+    @given(frame_strategy())
+    def test_original_frame_never_mutated(self, frame):
+        snapshot = (frame.ipv4.src, frame.ipv4.dst,
+                    frame.tcp.src_port, frame.tcp.dst_port)
+        apply_actions_multi(frame, [SetFieldAction("ipv4_dst", ip("9.9.9.9")),
+                                    SetFieldAction("tcp_dst", 1),
+                                    OutputAction(1)])
+        assert snapshot == (frame.ipv4.src, frame.ipv4.dst,
+                            frame.tcp.src_port, frame.tcp.dst_port)

@@ -1,0 +1,150 @@
+"""Property-based tests for system-level invariants: TCP segmentation,
+image construction, trace synthesis, and the transparency invariant."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.edge.images import MIB, make_image
+from repro.netsim import HTTPResponse, Network
+from repro.netsim.packet import TCP_MSS
+from repro.workloads.trace import synthesize_bigflows_trace
+
+
+class TestTCPSegmentation:
+    @given(st.integers(min_value=0, max_value=50 * TCP_MSS + 123))
+    @settings(max_examples=25, deadline=None)
+    def test_any_message_size_reassembles(self, size):
+        net = Network(seed=0)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, 0, b, 0, latency_s=0.0001, bandwidth_bps=1e9)
+        received = {}
+
+        def on_conn(conn):
+            def on_msg(c, msg):
+                received["msg"] = msg
+                c.send(HTTPResponse(200), 160)
+            conn.on_message = on_msg
+
+        b.listen(80, on_conn)
+
+        def client():
+            conn = yield a.connect(b.ip, 80)
+            yield conn.request(("payload", size), size)
+            conn.close()
+
+        net.sim.spawn(client())
+        net.run()
+        assert received["msg"] == ("payload", size)
+
+    @given(st.integers(min_value=1, max_value=20 * TCP_MSS))
+    @settings(max_examples=25, deadline=None)
+    def test_segment_count_is_ceil_size_over_mss(self, size):
+        net = Network(seed=0)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        link = net.connect(a, 0, b, 0, latency_s=0.0001, bandwidth_bps=1e9)
+
+        def on_conn(conn):
+            conn.on_message = lambda c, m: None
+
+        b.listen(80, on_conn)
+        data_frames = []
+        original = b.on_frame
+
+        def spy(port_no, frame):
+            if frame.tcp is not None and frame.tcp.payload_bytes > 0:
+                data_frames.append(frame.tcp.payload_bytes)
+            original(port_no, frame)
+
+        b.on_frame = spy
+
+        def client():
+            conn = yield a.connect(b.ip, 80)
+            conn.send("data", size)
+
+        net.sim.spawn(client())
+        net.run()
+        assert len(data_frames) == math.ceil(size / TCP_MSS)
+        assert sum(data_frames) == size
+        assert all(nbytes <= TCP_MSS for nbytes in data_frames)
+
+
+class TestImageProperties:
+    sizes = st.integers(min_value=1024, max_value=500 * MIB)
+    layer_counts = st.integers(min_value=1, max_value=12)
+
+    @given(sizes, layer_counts)
+    def test_layers_sum_to_size(self, size, layers):
+        image = make_image("prop/test:1", size, layers)
+        assert image.size_bytes == size
+        assert image.layer_count == layers
+        assert all(layer.size_bytes >= 0 for layer in image.layers)
+
+    @given(sizes, layer_counts)
+    def test_deterministic_digests(self, size, layers):
+        a = make_image("prop/test:1", size, layers)
+        b = make_image("prop/test:1", size, layers)
+        assert [l.digest for l in a.layers] == [l.digest for l in b.layers]
+
+    @given(sizes, layer_counts, sizes, layer_counts)
+    def test_different_refs_share_no_layers(self, size_a, layers_a, size_b, layers_b):
+        a = make_image("prop/a:1", size_a, layers_a)
+        b = make_image("prop/b:1", size_b, layers_b)
+        assert not ({l.digest for l in a.layers} & {l.digest for l in b.layers})
+
+
+class TestTraceProperties:
+    @given(st.integers(min_value=2, max_value=30),
+           st.integers(min_value=2, max_value=20),
+           st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=30, deadline=None)
+    def test_filtered_trace_has_exact_marginals(self, n_services, min_requests, seed):
+        total = n_services * min_requests * 3
+        trace = synthesize_bigflows_trace(
+            seed=seed, n_services=n_services, total_requests=total,
+            min_requests=min_requests, noise_services=5,
+            duration_s=120.0).filtered(min_requests=min_requests)
+        assert len(trace.services) == n_services
+        assert len(trace) == total
+        assert all(count >= min_requests
+                   for count in trace.request_counts().values())
+
+    @given(st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=15, deadline=None)
+    def test_first_seen_before_every_other_request(self, seed):
+        trace = synthesize_bigflows_trace(
+            seed=seed, n_services=5, total_requests=100, min_requests=5,
+            noise_services=0, duration_s=60.0).filtered(min_requests=5)
+        first = trace.first_seen()
+        for request in trace.requests:
+            assert first[(request.dst, request.port)] <= request.time
+
+
+class TestTransparencyInvariant:
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=5, deadline=None)
+    def test_client_only_ever_sees_cloud_address(self, seed):
+        """For any seed, all TCP traffic a client receives comes from the
+        registered (cloud) service address — never the edge endpoint."""
+        from repro.experiments import build_testbed
+
+        tb = build_testbed(seed=seed, n_clients=1, cluster_types=("docker",))
+        svc = tb.register_catalog_service("asm")
+        client_host = tb.clients[0]
+        sources = []
+        original = client_host.on_frame
+
+        def spy(port_no, frame):
+            if frame.tcp is not None:
+                sources.append((frame.ipv4.src, frame.tcp.src_port))
+            original(port_no, frame)
+
+        client_host.on_frame = spy
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 30.0)
+        assert request.done and request.result.ok
+        assert sources
+        assert all(src == (svc.service_id.addr, svc.service_id.port)
+                   for src in sources)

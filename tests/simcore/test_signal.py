@@ -1,0 +1,117 @@
+"""Unit tests for Signal (one-shot futures)."""
+
+import pytest
+
+from repro.simcore import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_signal_set_and_result(sim):
+    sig = sim.signal("s")
+    assert not sig.done
+    sig.set(7)
+    assert sig.done and sig.ok
+    assert sig.result == 7
+
+
+def test_signal_result_before_done_raises(sim):
+    sig = sim.signal("s")
+    with pytest.raises(RuntimeError):
+        _ = sig.result
+
+
+def test_signal_double_set_raises(sim):
+    sig = sim.signal("s")
+    sig.set(1)
+    with pytest.raises(RuntimeError):
+        sig.set(2)
+
+
+def test_signal_fail_reraises_on_result(sim):
+    sig = sim.signal("s")
+    sig.fail(ValueError("nope"))
+    assert sig.done and not sig.ok
+    with pytest.raises(ValueError):
+        _ = sig.result
+    assert isinstance(sig.exception, ValueError)
+
+
+def test_set_if_unset(sim):
+    sig = sim.signal("s")
+    assert sig.set_if_unset(1) is True
+    assert sig.set_if_unset(2) is False
+    assert sig.result == 1
+
+
+def test_process_waits_on_signal(sim):
+    sig = sim.signal("s")
+    got = []
+
+    def waiter():
+        value = yield sig
+        got.append((value, sim.now))
+
+    sim.spawn(waiter())
+    sim.schedule(3.0, sig.set, "ready")
+    sim.run()
+    assert got == [("ready", 3.0)]
+
+
+def test_waiting_on_already_set_signal_resumes_immediately(sim):
+    sig = sim.signal("s")
+    sig.set("early")
+    got = []
+
+    def waiter():
+        yield sim.timeout(2.0)
+        value = yield sig
+        got.append((value, sim.now))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [("early", 2.0)]
+
+
+def test_multiple_waiters_all_wake(sim):
+    sig = sim.signal("s")
+    got = []
+
+    def waiter(tag):
+        value = yield sig
+        got.append((tag, value))
+
+    for tag in range(3):
+        sim.spawn(waiter(tag))
+    sim.schedule(1.0, sig.set, "x")
+    sim.run()
+    assert sorted(got) == [(0, "x"), (1, "x"), (2, "x")]
+
+
+def test_failed_signal_raises_in_waiter(sim):
+    sig = sim.signal("s")
+    caught = []
+
+    def waiter():
+        try:
+            yield sig
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.schedule(1.0, sig.fail, RuntimeError("deploy failed"))
+    sim.run()
+    assert caught == ["deploy failed"]
+
+
+def test_subscribe_callback_fires_via_loop(sim):
+    sig = sim.signal("s")
+    order = []
+    sig.subscribe(lambda s: order.append("cb"))
+    sig.set(None)
+    order.append("after-set")  # callback must NOT have run synchronously
+    sim.run()
+    assert order == ["after-set", "cb"]

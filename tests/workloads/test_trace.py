@@ -1,0 +1,130 @@
+"""Unit tests for the bigFlows-like trace synthesis and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import (
+    BIGFLOWS_MIN_REQUESTS,
+    BIGFLOWS_PORT,
+    BIGFLOWS_REQUESTS,
+    BIGFLOWS_SERVICES,
+    ConversationTrace,
+    TraceRequest,
+    bigflows_like_trace,
+    synthesize_bigflows_trace,
+)
+from repro.netsim.addresses import ip
+
+
+class TestCanonicalTrace:
+    def test_matches_paper_marginals(self):
+        trace = bigflows_like_trace()
+        assert len(trace.services) == BIGFLOWS_SERVICES == 42
+        assert len(trace) == BIGFLOWS_REQUESTS == 1708
+
+    def test_every_service_has_min_requests(self):
+        trace = bigflows_like_trace()
+        for key, count in trace.request_counts().items():
+            assert count >= BIGFLOWS_MIN_REQUESTS
+
+    def test_all_requests_on_port_80(self):
+        trace = bigflows_like_trace()
+        assert all(r.port == BIGFLOWS_PORT for r in trace.requests)
+
+    def test_within_duration(self):
+        trace = bigflows_like_trace()
+        assert all(0 <= r.time <= trace.duration_s for r in trace.requests)
+
+    def test_deterministic_per_seed(self):
+        a = bigflows_like_trace(seed=2019)
+        b = bigflows_like_trace(seed=2019)
+        assert [(r.time, int(r.dst)) for r in a.requests] == \
+               [(r.time, int(r.dst)) for r in b.requests]
+
+    def test_different_seeds_differ(self):
+        a = bigflows_like_trace(seed=2019)
+        b = bigflows_like_trace(seed=2020)
+        assert [(r.time, int(r.dst)) for r in a.requests] != \
+               [(r.time, int(r.dst)) for r in b.requests]
+
+    def test_popularity_is_skewed(self):
+        counts = sorted(bigflows_like_trace().request_counts().values())
+        # Zipf-ish: the most popular service dwarfs the least popular
+        assert counts[-1] > 4 * counts[0]
+
+    def test_first_seen_burst_early(self):
+        trace = bigflows_like_trace()
+        first = sorted(trace.first_seen().values())
+        assert len(first) == 42
+        # half the services appear within the first ~5 s
+        assert first[20] < 10.0
+        edges = np.arange(0.0, 301.0, 1.0)
+        counts, _ = np.histogram(first, bins=edges)
+        assert 4 <= counts.max() <= 8  # "up to eight deployments per second"
+
+
+class TestExtractionPipeline:
+    def test_raw_trace_contains_noise(self):
+        raw = synthesize_bigflows_trace()
+        filtered = raw.filtered()
+        assert len(raw.services) > len(filtered.services)
+        assert len(raw) > len(filtered)
+
+    def test_filter_drops_non_port_80(self):
+        raw = synthesize_bigflows_trace()
+        assert any(r.port != 80 for r in raw.requests)
+        assert all(r.port == 80 for r in raw.filtered().requests)
+
+    def test_filter_drops_below_minimum(self):
+        raw = synthesize_bigflows_trace()
+        counts = raw.filtered().request_counts()
+        assert all(c >= 20 for c in counts.values())
+
+    def test_custom_filter_threshold(self):
+        raw = synthesize_bigflows_trace()
+        loose = raw.filtered(min_requests=1)
+        assert len(loose.services) >= 42
+
+    def test_total_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_bigflows_trace(n_services=50, total_requests=100,
+                                      min_requests=20)
+
+
+class TestConversationTrace:
+    def make(self):
+        return ConversationTrace(
+            requests=[
+                TraceRequest(5.0, ip("1.1.1.1"), 80),
+                TraceRequest(1.0, ip("1.1.1.1"), 80),
+                TraceRequest(3.0, ip("2.2.2.2"), 80),
+            ],
+            duration_s=10.0,
+        )
+
+    def test_requests_sorted_by_time(self):
+        trace = self.make()
+        assert [r.time for r in trace.requests] == [1.0, 3.0, 5.0]
+
+    def test_first_seen(self):
+        trace = self.make()
+        first = trace.first_seen()
+        assert first[(ip("1.1.1.1"), 80)] == 1.0
+        assert first[(ip("2.2.2.2"), 80)] == 3.0
+
+    def test_request_counts(self):
+        trace = self.make()
+        assert trace.request_counts()[(ip("1.1.1.1"), 80)] == 2
+
+    def test_histogram_bins(self):
+        trace = self.make()
+        edges, counts = trace.histogram(bin_s=5.0)
+        assert counts.tolist() == [2, 1]
+
+    def test_parametrized_sizes(self):
+        trace = synthesize_bigflows_trace(
+            n_services=10, total_requests=200, min_requests=5,
+            duration_s=60.0, noise_services=0).filtered(min_requests=5)
+        assert len(trace.services) == 10
+        assert len(trace) == 200
+        assert trace.duration_s == 60.0
