@@ -1,6 +1,5 @@
 """Benches for the future-work extensions (serverless, mobility, prediction)."""
 
-import pytest
 
 from repro.experiments import extensions
 from repro.metrics import render_table

@@ -7,7 +7,6 @@ through the simulated data path. They are the profiling harness the
 hpc-parallel guides ask for ("no optimization without measuring").
 """
 
-import pytest
 
 from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment, ip, mac
 from repro.netsim.packet import IP_PROTO_TCP

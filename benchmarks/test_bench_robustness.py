@@ -1,0 +1,56 @@
+"""Benches regenerating the robustness artifacts (R1/R2, docs/faults.md).
+
+Shape assertions encode the resilience contract:
+
+* R1 — under injected pull failures every request is still answered (by the
+  edge after retries, or by the cloud origin after the engine gives up) and
+  no client ever hangs; the retry count grows with the injected rate while
+  availability stays ≥ 99%.
+* R2 — during a cluster outage the circuit breaker cuts the p99 tail: with
+  it, only the tripping failures and probation probes pay the retry/backoff
+  latency; without it, every outage request does.
+"""
+
+from repro.experiments import robustness
+from repro.metrics import render_table
+
+
+class TestR1Availability:
+    def test_r1_availability_under_pull_failures(self, regen):
+        table = regen(robustness.r1_availability_vs_pull_failures, render_table)
+        by_rate = {row["pull_fail_rate"]: row for row in table.rows}
+
+        for row in table.rows:
+            # guaranteed disposition: nobody hangs, ≥99% answered
+            assert row["hung"] == 0
+            assert row["availability"] >= 0.99
+            assert row["p99_s"] >= row["p50_s"]
+        # the fault plane really fires: retries grow with the injected rate
+        retries = [row["retries"] for row in table.rows]
+        assert retries == sorted(retries)
+        assert by_rate["0.00"]["retries"] == 0
+        assert by_rate["0.00"]["gave_up"] == 0
+        assert by_rate["0.10"]["retries"] > 0
+        # and retrying costs tail latency, not availability
+        assert by_rate["0.10"]["availability"] >= 0.99
+        assert by_rate["0.20"]["p99_s"] > by_rate["0.00"]["p99_s"]
+
+
+class TestR2CircuitBreaker:
+    def test_r2_breaker_beats_no_breaker_on_p99(self, regen):
+        table = regen(robustness.r2_breaker_outage_ablation, render_table)
+        by = {row["breaker"]: row for row in table.rows}
+
+        # every request answered either way — the breaker trades *where*
+        # requests go during the outage, never whether they are answered
+        for row in table.rows:
+            assert row["hung"] == 0
+        assert by["on"]["answered"] == by["off"]["answered"]
+        # the breaker actually tripped (and only exists when enabled)
+        assert by["on"]["breaker_opens"] >= 1
+        assert by["off"]["breaker_opens"] == 0
+        # without it, the engine burns retries for the whole outage
+        assert by["off"]["retries"] > by["on"]["retries"]
+        assert by["off"]["gave_up"] > by["on"]["gave_up"]
+        # the headline: the breaker wins the tail
+        assert by["on"]["p99_s"] < by["off"]["p99_s"]

@@ -15,7 +15,10 @@ Components (§IV–V of the paper):
 * :mod:`repro.core.scheduler` — Global/Local scheduler interfaces and
   implementations (FAST / BEST placement);
 * :mod:`repro.core.deployment` — the three-phase deployment engine
-  (Pull / Create / Scale-Up, plus Scale-Down / Remove / Delete);
+  (Pull / Create / Scale-Up, plus Scale-Down / Remove / Delete) with
+  per-phase deadlines and retry/backoff;
+* :mod:`repro.core.resilience` — retry policies and the per-cluster
+  circuit breaker guarding dispatch against failing edges;
 * :mod:`repro.core.dispatcher` — the dispatching algorithm of fig. 7;
 * :mod:`repro.core.controller` — the Ryu-style SDN controller application
   tying it all together (proxy-ARP, packet interception, rewrite flows,
@@ -36,7 +39,20 @@ from repro.core.scheduler import (
     LoadAwareScheduler,
     estimate_time_to_ready,
 )
-from repro.core.deployment import DeploymentEngine, DeploymentRecord
+from repro.core.resilience import (
+    RetryPolicy,
+    NO_RETRY,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.core.deployment import (
+    DeploymentEngine,
+    DeploymentRecord,
+    DeploymentError,
+    DeploymentPhaseError,
+    DeploymentTimeout,
+    DeploymentRetriesExhausted,
+)
 from repro.core.dispatcher import Dispatcher, DispatchResult
 from repro.core.controller import (
     AttachmentPoint,
@@ -65,8 +81,16 @@ __all__ = [
     "RoundRobinScheduler",
     "LoadAwareScheduler",
     "estimate_time_to_ready",
+    "RetryPolicy",
+    "NO_RETRY",
+    "BreakerConfig",
+    "CircuitBreaker",
     "DeploymentEngine",
     "DeploymentRecord",
+    "DeploymentError",
+    "DeploymentPhaseError",
+    "DeploymentTimeout",
+    "DeploymentRetriesExhausted",
     "Dispatcher",
     "DispatchResult",
     "AttachmentPoint",

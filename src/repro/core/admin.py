@@ -92,6 +92,15 @@ class EdgeAdmin:
             })
         return out
 
+    def failure_counters(self) -> Dict[str, int]:
+        """Platform-wide failure/resilience counters (docs/faults.md):
+        dispatch failures, deployment retries, breaker opens, cloud
+        fallbacks, evictions, injected pull failures/crashes, outages."""
+        from repro.metrics.failures import snapshot_failures
+        return snapshot_failures(
+            controller=self.controller,
+            clusters=self._all_clusters()).as_dict()
+
     def flow_table_snapshot(self) -> List[dict]:
         """Flows currently installed across all switches."""
         out = []

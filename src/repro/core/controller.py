@@ -35,7 +35,7 @@ from repro.core.flowmemory import FlowMemory, MemorizedFlow
 from repro.core.registry import EdgeService, ServiceRegistry
 from repro.core.serviceid import ServiceID
 from repro.edge.cluster import EdgeCluster, Endpoint
-from repro.netsim.addresses import BROADCAST_MAC, IPv4, MAC
+from repro.netsim.addresses import IPv4, MAC
 from repro.netsim.packet import (
     ArpOp,
     ArpPacket,
@@ -68,7 +68,26 @@ class AttachmentPoint:
 
 @dataclass
 class ControllerConfig:
-    """Deploy-time configuration of the controller."""
+    """Deploy-time configuration of the controller.
+
+    Resilience knobs (see docs/faults.md):
+
+    * ``evict_dead_instances`` — when a memorized instance turns out to be
+      gone (crashed container, cluster outage, scale-down elsewhere), forget
+      **every** client's memorized flow to that endpoint and delete the
+      matching switch flows, instead of only dropping the one triggering
+      entry. Keeps other clients from being switched into a dead endpoint
+      until their own idle timeout.
+    * The dispatcher's circuit breaker and the deployment engine's
+      retry/deadline policy are configured on those objects directly
+      (:class:`~repro.core.resilience.BreakerConfig`,
+      :class:`~repro.core.resilience.RetryPolicy`).
+
+    Failure accounting lands in :attr:`TransparentEdgeController.stats`
+    (``dispatch_failures``, ``instances_evicted``) — a dispatch failure
+    never drops the buffered packets; they are released toward the cloud
+    origin instead.
+    """
 
     #: the fabric's virtual gateway (every host's default gateway)
     vgw_ip: IPv4
@@ -93,6 +112,9 @@ class ControllerConfig:
     fabric: Optional["FabricTopology"] = None
     #: statically known hosts (cloud servers, cluster nodes): ip -> attachment
     static_hosts: Dict[IPv4, AttachmentPoint] = field(default_factory=dict)
+    #: evict a vanished instance from FlowMemory for ALL clients and delete
+    #: its switch flows (see class docstring)
+    evict_dead_instances: bool = True
 
 
 #: cookie tag for service redirection flows (upstream direction)
@@ -141,6 +163,8 @@ class TransparentEdgeController(RyuApp):
             "l3_routed": 0,
             "dropped_unknown_dst": 0,
             "pending_coalesced": 0,
+            "dispatch_failures": 0,
+            "instances_evicted": 0,
         }
 
     # ------------------------------------------------------------- datapaths
@@ -257,8 +281,14 @@ class TransparentEdgeController(RyuApp):
                                       count_load=False)
             return
         if remembered is not None:
-            # Instance vanished (scaled down elsewhere); forget and re-dispatch.
-            self.memory.forget(client, service.service_id)
+            # Instance vanished (crashed, cluster outage, or scaled down
+            # elsewhere); forget and re-dispatch. With eviction enabled this
+            # also drops every OTHER client's memory/flows to the dead
+            # endpoint — they would otherwise keep being switched into it.
+            if self.cfg.evict_dead_instances:
+                self._evict_dead_instance(remembered.cluster, remembered.endpoint)
+            else:
+                self.memory.forget(client, service.service_id)
 
         self.stats["service_dispatches"] += 1
         self._pending[key] = [(datapath, msg)]
@@ -268,21 +298,33 @@ class TransparentEdgeController(RyuApp):
     def _dispatch_and_install(self, client: IPv4, service: EdgeService, key):
         try:
             result: DispatchResult = yield self.dispatcher.dispatch(client, service)
-        except Exception as exc:  # noqa: BLE001 - deployment failure
+        except Exception as exc:  # noqa: BLE001 - unexpected dispatch error
+            # Guaranteed disposition: buffered packets are NEVER dropped on
+            # a failed dispatch — they continue toward the cloud origin,
+            # which is where the client thinks it is talking to anyway.
             self.log("dispatch-failed", client=str(client),
                      service=service.name, error=repr(exc))
-            self._pending.pop(key, None)
+            self.stats["dispatch_failures"] += 1
+            self._release_toward_cloud(self._pending.pop(key, []))
             return
         pending = self._pending.pop(key, [])
+        if result.deploy_failed:
+            self.stats["dispatch_failures"] += 1
         if result.toward_cloud:
-            self.stats["cloud_routed"] += 1
-            for datapath, msg in pending:
-                self._route_toward(datapath, msg, msg.frame.ipv4.dst)
+            self._release_toward_cloud(pending)
             return
         if self.cfg.use_flow_memory:
             self.memory.remember(client, service.service_id,
                                  result.cluster, result.endpoint)
         self._install_and_release(service, pending, result.cluster, result.endpoint)
+
+    def _release_toward_cloud(self, pending) -> None:
+        """Send buffered packet-ins on toward their original (cloud) dst."""
+        if not pending:
+            return
+        self.stats["cloud_routed"] += 1
+        for datapath, msg in pending:
+            self._route_toward(datapath, msg, msg.frame.ipv4.dst)
 
     def _install_and_release(self, service: EdgeService, pending,
                              cluster: EdgeCluster, endpoint: Endpoint,
@@ -294,8 +336,12 @@ class TransparentEdgeController(RyuApp):
         client_loc = self.hosts.get(client)
         attachment = self.cluster_attachments.get(cluster.name)
         if client_loc is None or attachment is None:
+            # Cannot wire the redirection — degrade to the cloud path rather
+            # than silently dropping the buffered packets.
             self.log("missing-topology-info", client=str(client),
                      cluster=cluster.name)
+            self.stats["dispatch_failures"] += 1
+            self._release_toward_cloud(pending)
             return
         client_dpid, client_port, client_mac = client_loc
         parser, ofp = datapath.ofproto_parser, datapath.ofproto
@@ -347,7 +393,15 @@ class TransparentEdgeController(RyuApp):
             dpid = path[index]
             hop_dp = self.manager.datapaths.get(dpid)
             if hop_dp is None:
+                # A switch on the chosen path is gone (e.g. mid-outage):
+                # abandon the redirection, release the packets cloudward.
+                # Flows already sent to other hops idle out on their own.
                 self.log("missing-datapath", dpid=dpid)
+                self.stats["dispatch_failures"] += 1
+                self._cookie_cluster.pop(cookie, None)
+                if count_load:
+                    self.dispatcher.note_flow_removed(cluster)
+                self._release_toward_cloud(pending)
                 return
             first = index == 0
             last = index == len(path) - 1
@@ -398,6 +452,41 @@ class TransparentEdgeController(RyuApp):
         self.log("flows-installed", client=str(client), service=service.name,
                  endpoint=str(endpoint), cluster=cluster.name,
                  hops=len(path))
+
+    # ------------------------------------------------------ dead instance GC
+
+    def _evict_dead_instance(self, cluster: EdgeCluster, endpoint: Endpoint) -> None:
+        """An instance endpoint turned out dead: purge every client's
+        FlowMemory entry to it and delete the matching switch flows.
+
+        Without this, every other client with a memorized flow to the dead
+        endpoint keeps getting switched into it until their own re-miss —
+        with a still-live switch flow, until the idle timeout."""
+        flows = self.memory.flows_for_endpoint(endpoint)
+        self.memory.forget_endpoint(endpoint)
+        self.stats["instances_evicted"] += 1
+        for datapath in self.manager.datapaths.values():
+            parser, ofp = datapath.ofproto_parser, datapath.ofproto
+            for flow in flows:
+                sid = flow.service_id
+                # The exact matches _install_and_release installed: first-hop
+                # upstream, rewritten transit/egress upstream, downstream.
+                for match in (
+                    parser.OFPMatch(eth_type=ETH_TYPE_IP, ip_proto=6,
+                                    ipv4_src=flow.client, ipv4_dst=sid.addr,
+                                    tcp_dst=sid.port),
+                    parser.OFPMatch(eth_type=ETH_TYPE_IP, ip_proto=6,
+                                    ipv4_src=flow.client, ipv4_dst=endpoint.ip,
+                                    tcp_dst=endpoint.port),
+                    parser.OFPMatch(eth_type=ETH_TYPE_IP, ip_proto=6,
+                                    ipv4_src=endpoint.ip, tcp_src=endpoint.port,
+                                    ipv4_dst=flow.client),
+                ):
+                    datapath.send_msg(parser.OFPFlowMod(
+                        datapath, match=match, command=ofp.OFPFC_DELETE,
+                        priority=self.cfg.service_flow_priority))
+        self.log("evicted-dead-instance", endpoint=str(endpoint),
+                 cluster=cluster.name, flows=len(flows))
 
     # --------------------------------------------------------- plain routing
 

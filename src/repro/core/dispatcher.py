@@ -14,20 +14,30 @@ For a packet with no memorized flow, the Dispatcher
 It also tracks clients' current locations and per-cluster load, and feeds
 the Scheduler with that system state (§IV-B: the Dispatcher "feeds the
 Scheduler with information about the current system state").
+
+Resilience: each cluster sits behind a :class:`~repro.core.resilience.
+CircuitBreaker`. Deployment failures (typed ``DeploymentError`` from the
+engine) feed the breaker; after ``failure_threshold`` consecutive failures
+the cluster is excluded from scheduling until its probation probe succeeds.
+A failed FAST deployment never raises out of the dispatch — the result
+degrades to "toward the cloud", which is the transparent fallback the paper's
+architecture gets for free (the client addressed the cloud all along).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.core.deployment import DeploymentEngine
+from repro.core.deployment import DeploymentEngine, DeploymentError
 from repro.core.flowmemory import FlowMemory
 from repro.core.registry import EdgeService
+from repro.core.resilience import BreakerConfig, CircuitBreaker
 from repro.core.scheduler import GlobalScheduler, Placement, ScheduleRequest
 from repro.core.zones import ZoneMap
 from repro.edge.cluster import EdgeCluster, Endpoint, InstanceInfo
 from repro.netsim.addresses import IPv4
+from repro.simcore.errors import ProcessKilled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore import Process, Simulator
@@ -44,6 +54,8 @@ class DispatchResult:
     background_best: bool = False
     #: the request waited for an on-demand deployment
     waited: bool = False
+    #: the FAST deployment failed and the request degraded toward the cloud
+    deploy_failed: bool = False
 
     @property
     def toward_cloud(self) -> bool:
@@ -61,6 +73,8 @@ class Dispatcher:
         engine: DeploymentEngine,
         memory: FlowMemory,
         zones: Optional[ZoneMap] = None,
+        breaker_config: Optional[BreakerConfig] = None,
+        use_breaker: bool = True,
     ):
         self.sim = sim
         self.clusters = list(clusters)
@@ -68,6 +82,14 @@ class Dispatcher:
         self.engine = engine
         self.memory = memory
         self.zones = zones if zones is not None else ZoneMap()
+        #: circuit-breaker health tracking (one breaker per cluster)
+        self.use_breaker = use_breaker
+        self.breaker_config = (breaker_config if breaker_config is not None
+                               else BreakerConfig())
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        #: ensure-processes already feeding a breaker (avoid double counting
+        #: when coalesced dispatches share one deployment)
+        self._watched: Dict[int, None] = {}
         #: client ip -> zone (current location tracking)
         self._client_locations: Dict[IPv4, str] = {}
         #: cluster name -> active flow count (load signal for schedulers)
@@ -76,6 +98,8 @@ class Dispatcher:
         self.dispatches = 0
         self.cloud_fallbacks = 0
         self.without_waiting = 0
+        #: FAST deployments that failed and degraded toward the cloud
+        self.deploy_failures = 0
 
     # ----------------------------------------------------------- locations
 
@@ -87,12 +111,60 @@ class Dispatcher:
     def client_zone(self, client: IPv4) -> str:
         return self._client_locations.get(client) or self.zones.zone_of(client)
 
+    # --------------------------------------------------------------- health
+
+    def breaker_for(self, cluster: EdgeCluster) -> CircuitBreaker:
+        breaker = self._breakers.get(cluster.name)
+        if breaker is None:
+            breaker = CircuitBreaker(self.sim, cluster.name, self.breaker_config)
+            self._breakers[cluster.name] = breaker
+        return breaker
+
+    @property
+    def breaker_opens(self) -> int:
+        return sum(b.opens for b in self._breakers.values())
+
+    def schedulable_clusters(self) -> List[EdgeCluster]:
+        """Clusters whose breaker currently admits a dispatch.
+
+        Half-open breakers claim their single probation slot here; the slot
+        is released again for every candidate the scheduler did not pick."""
+        if not self.use_breaker:
+            return list(self.clusters)
+        return [c for c in self.clusters if self.breaker_for(c).allow()]
+
+    def _record_outcome(self, cluster: EdgeCluster, ok: bool) -> None:
+        if not self.use_breaker:
+            return
+        breaker = self.breaker_for(cluster)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def _watch_deployment(self, cluster: EdgeCluster, process: "Process") -> None:
+        """Feed a background deployment's outcome into the cluster breaker."""
+        if not self.use_breaker or id(process) in self._watched:
+            return
+        self._watched[id(process)] = None
+
+        def done(proc: "Process") -> None:
+            self._watched.pop(id(proc), None)
+            exc = proc.exception
+            if isinstance(exc, ProcessKilled):
+                return  # cancelled, not a health signal
+            self._record_outcome(cluster, ok=exc is None)
+
+        process._wait_subscribe(done)
+
     # ------------------------------------------------------------ inventory
 
-    def gather_instances(self, service: EdgeService) -> List[InstanceInfo]:
+    def gather_instances(self, service: EdgeService,
+                         clusters: Optional[List[EdgeCluster]] = None,
+                         ) -> List[InstanceInfo]:
         """The "gather list of existing+running instances" box of fig. 7."""
         instances: List[InstanceInfo] = []
-        for cluster in self.clusters:
+        for cluster in (clusters if clusters is not None else self.clusters):
             instances.extend(cluster.instances(service.spec))
         return instances
 
@@ -113,26 +185,37 @@ class Dispatcher:
     def _dispatch_proc(self, client: IPv4, service: EdgeService):
         self.dispatches += 1
         zone = self.observe_client(client)
+        candidates = self.schedulable_clusters()
         # Gathering existing+running instances costs real API round trips to
         # every cluster (fig. 7's first box) — the cost FlowMemory avoids on
         # re-misses. The queries run concurrently; the slowest one gates.
-        if self.clusters:
-            yield self.sim.timeout(max(c.inventory_query_s for c in self.clusters))
-        instances = self.gather_instances(service)
+        if candidates:
+            yield self.sim.timeout(max(c.inventory_query_s for c in candidates))
+        instances = self.gather_instances(service, candidates)
         placement: Placement = self.scheduler.schedule(ScheduleRequest(
             service=service,
             client_zone=zone,
             instances=instances,
-            clusters=self.clusters,
+            clusters=candidates,
             load=dict(self.load),
         ))
+
+        # Candidates the scheduler passed over must hand back any half-open
+        # probation slot they claimed in schedulable_clusters().
+        if self.use_breaker:
+            for cluster in candidates:
+                if cluster is not placement.fast and cluster is not placement.best:
+                    self.breaker_for(cluster).release_probe()
 
         # BEST: deploy in the background for future requests (fig. 3).
         background_best = False
         if placement.best is not None:
             background_best = True
             self.without_waiting += 1
-            self.engine.ensure_available(placement.best, service)
+            best_proc = self.engine.ensure_available(placement.best, service)
+            if placement.best is not placement.fast:
+                # fast is awaited below and reports its own outcome
+                self._watch_deployment(placement.best, best_proc)
 
         if placement.fast is None:
             self.cloud_fallbacks += 1
@@ -141,6 +224,22 @@ class Dispatcher:
 
         fast = placement.fast
         waited = not fast.is_ready(service.spec)
-        endpoint = yield self.engine.ensure_available(fast, service)
+        try:
+            endpoint = yield self.engine.ensure_available(fast, service)
+        except ProcessKilled:
+            raise  # this dispatch itself was killed
+        except DeploymentError as exc:
+            # Guaranteed disposition: a broken edge degrades the request to
+            # the cloud path — the client must never hang on our account.
+            self._record_outcome(fast, ok=False)
+            self.deploy_failures += 1
+            self.cloud_fallbacks += 1
+            self.sim.trace.emit(self.sim.now, "dispatch", "deploy-failed",
+                                {"client": str(client), "service": service.name,
+                                 "cluster": fast.name, "error": repr(exc)})
+            return DispatchResult(endpoint=None, cluster=None,
+                                  background_best=background_best,
+                                  waited=waited, deploy_failed=True)
+        self._record_outcome(fast, ok=True)
         return DispatchResult(endpoint=endpoint, cluster=fast,
                               background_best=background_best, waited=waited)

@@ -12,7 +12,7 @@ Why it exists (two purposes, per the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.serviceid import ServiceID

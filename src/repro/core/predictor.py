@@ -19,7 +19,7 @@ which the evaluation reports alongside the hit rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.registry import EdgeService

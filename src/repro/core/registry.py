@@ -8,8 +8,8 @@ resulting cluster-neutral spec.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.annotate import AnnotatedService, AnnotationConfig, annotate_service, minimal_yaml
 from repro.core.serviceid import ServiceID

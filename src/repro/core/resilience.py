@@ -1,0 +1,164 @@
+"""Resilience primitives: retry policies and per-cluster circuit breakers.
+
+The transparency promise of the paper holds only while the platform degrades
+gracefully: a client must never observe a hang because an edge misbehaved —
+at worst it reaches the real cloud origin (which is exactly what it thinks
+it is talking to anyway). Two mechanisms implement that:
+
+* :class:`RetryPolicy` — the deployment engine retries a failed bring-up
+  with exponential backoff, and every phase runs under a deadline so a
+  stalled pull or a crashed container cannot wedge a dispatch forever;
+* :class:`CircuitBreaker` — the dispatcher tracks consecutive deployment
+  failures per cluster; after ``failure_threshold`` the cluster is excluded
+  from scheduling for ``open_for_s`` (open), then a single probation
+  dispatch is allowed through (half-open) — success closes the breaker,
+  failure re-opens it. While a cluster is open, requests flow to other
+  clusters or transparently toward the cloud instead of queuing behind a
+  failing edge.
+
+Backoff is deterministic (no jitter): the simulation's determinism contract
+forbids un-seeded randomness, and the retry sequence itself is part of the
+reproducible experiment output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore import Simulator
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + exponential-backoff configuration of the deployment engine.
+
+    ``phase_deadline_s`` maps phase names (``pull``, ``create``,
+    ``scale_up``, ``wait_ready``) to per-attempt deadlines; a phase that
+    overruns is killed and counts as a failure. ``None`` disables the
+    deadline for that phase.
+    """
+
+    #: total bring-up attempts (1 = no retries)
+    max_attempts: int = 3
+    #: first backoff, doubled (``backoff_factor``) per further attempt
+    base_backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 5.0
+    #: per-attempt phase deadlines in seconds (None = unbounded)
+    phase_deadline_s: Dict[str, Optional[float]] = field(default_factory=lambda: {
+        "pull": 60.0,
+        "create": 10.0,
+        "scale_up": 15.0,
+        "wait_ready": 30.0,
+    })
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = self.base_backoff_s * self.backoff_factor ** (attempt - 1)
+        return min(raw, self.max_backoff_s)
+
+    def deadline_for(self, phase: str) -> Optional[float]:
+        return self.phase_deadline_s.get(phase)
+
+
+#: a policy that never retries and never enforces deadlines — the engine's
+#: pre-resilience behaviour, used by determinism-sensitive regression tests
+NO_RETRY = RetryPolicy(max_attempts=1, phase_deadline_s={})
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker tuning (see :class:`CircuitBreaker`)."""
+
+    #: consecutive failures that trip the breaker open
+    failure_threshold: int = 3
+    #: how long an open breaker excludes the cluster before probation
+    open_for_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.open_for_s <= 0:
+            raise ValueError("open_for_s must be positive")
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker over one edge cluster.
+
+    States:
+
+    * ``closed`` — healthy; failures are counted, successes reset the count;
+    * ``open`` — tripped; :meth:`allow` refuses until ``open_for_s`` elapsed;
+    * ``half_open`` — probation; exactly one in-flight probe dispatch is let
+      through. Its success closes the breaker, its failure re-opens it.
+    """
+
+    def __init__(self, sim: "Simulator", name: str,
+                 config: Optional[BreakerConfig] = None):
+        self.sim = sim
+        self.name = name
+        self.config = config if config is not None else BreakerConfig()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._open_until = 0.0
+        self._probe_inflight = False
+        #: diagnostics
+        self.opens = 0
+
+    # ---------------------------------------------------------------- gates
+
+    def allow(self) -> bool:
+        """May a new dispatch use this cluster right now?
+
+        In ``half_open`` the first call claims the single probation slot;
+        call :meth:`release_probe` if the claimed probe is not actually sent
+        (e.g. the scheduler picked another cluster)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.sim.now < self._open_until:
+                return False
+            self.state = "half_open"
+            self._probe_inflight = False
+            self.sim.trace.emit(self.sim.now, "breaker", "half-open",
+                                {"cluster": self.name})
+        # half-open: one probe at a time
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def release_probe(self) -> None:
+        """Give back an unused half-open probe slot."""
+        if self.state == "half_open":
+            self._probe_inflight = False
+
+    # -------------------------------------------------------------- results
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            self.sim.trace.emit(self.sim.now, "breaker", "close",
+                                {"cluster": self.name})
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        tripped = (self.state == "half_open"
+                   or self.consecutive_failures >= self.config.failure_threshold)
+        if tripped and self.state != "open":
+            self.state = "open"
+            self._open_until = self.sim.now + self.config.open_for_s
+            self._probe_inflight = False
+            self.opens += 1
+            self.sim.trace.emit(self.sim.now, "breaker", "open",
+                                {"cluster": self.name,
+                                 "failures": self.consecutive_failures,
+                                 "until": round(self._open_until, 6)})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CircuitBreaker {self.name} {self.state} "
+                f"failures={self.consecutive_failures}>")

@@ -9,7 +9,7 @@ table stands in for resolution here).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from repro.netsim.addresses import IPv4, ip
 

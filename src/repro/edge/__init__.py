@@ -29,7 +29,13 @@ from repro.edge.services import (
 from repro.edge.containerd import Containerd, Container, ContainerState
 from repro.edge.docker import DockerEngine, DockerContainerHandle
 from repro.edge.kubernetes import KubernetesCluster, HorizontalPodAutoscaler
-from repro.edge.cluster import EdgeCluster, DockerCluster, KubernetesEdgeCluster, Endpoint
+from repro.edge.cluster import (
+    ClusterUnavailable,
+    EdgeCluster,
+    DockerCluster,
+    KubernetesEdgeCluster,
+    Endpoint,
+)
 
 __all__ = [
     "ImageLayer",
@@ -54,6 +60,7 @@ __all__ = [
     "DockerContainerHandle",
     "KubernetesCluster",
     "HorizontalPodAutoscaler",
+    "ClusterUnavailable",
     "EdgeCluster",
     "DockerCluster",
     "KubernetesEdgeCluster",

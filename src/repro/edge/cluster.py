@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.edge.containerd import Containerd, ContainerState
+from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
 from repro.edge.kubernetes import (
     ContainerSpec,
@@ -45,6 +45,12 @@ if TYPE_CHECKING:  # pragma: no cover
 #: controller port-probe poll period ("the controller continuously tests if
 #: the respective port is open", §VI)
 PROBE_INTERVAL_S = 0.020
+
+
+class ClusterUnavailable(RuntimeError):
+    """The cluster (node / orchestrator API) is down — operations against
+    it fail fast instead of hanging. Raised while :attr:`EdgeCluster.up`
+    is False (outage injection, maintenance windows)."""
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,12 @@ class EdgeCluster:
         self.runtime = runtime
         #: topology zone used by the Global Scheduler's proximity metric
         self.zone = zone
+        #: cluster reachability: False during an injected/maintenance outage
+        #: (deployment operations raise :class:`ClusterUnavailable`,
+        #: readiness reads False so dispatch avoids the cluster)
+        self.up = True
+        #: outage count (diagnostics)
+        self.outages = 0
         #: RTT a controller port-probe pays against this cluster
         self.probe_rtt_s = 0.001
         #: latency of one inventory query (the controller asking the Docker/
@@ -168,12 +180,34 @@ class EdgeCluster:
         """Where the instance will be reachable (regardless of readiness)."""
         raise NotImplementedError
 
+    # ---- availability -----------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the cluster down (node outage). Idempotent."""
+        if self.up:
+            self.up = False
+            self.outages += 1
+            self.sim.trace.emit(self.sim.now, "cluster", "down", {"name": self.name})
+
+    def recover(self) -> None:
+        """Bring the cluster back after an outage. Idempotent."""
+        if not self.up:
+            self.up = True
+            self.sim.trace.emit(self.sim.now, "cluster", "up", {"name": self.name})
+
+    def check_available(self) -> None:
+        """Raise :class:`ClusterUnavailable` while the cluster is down."""
+        if not self.up:
+            raise ClusterUnavailable(f"cluster {self.name!r} is down")
+
     # ---- readiness --------------------------------------------------------
 
     def port_open(self, endpoint: Endpoint) -> bool:
         return self.node.listening_on(endpoint.port)
 
     def is_ready(self, spec: DeploymentSpec) -> bool:
+        if not self.up:
+            return False
         endpoint = self.endpoint(spec)
         return endpoint is not None and self.port_open(endpoint)
 
@@ -182,7 +216,7 @@ class EdgeCluster:
         if endpoint is None:
             return []
         return [InstanceInfo(cluster=self, endpoint=endpoint,
-                             ready=self.port_open(endpoint))]
+                             ready=self.up and self.port_open(endpoint))]
 
     def estimate_cold_start_s(self, spec: DeploymentSpec) -> float:
         """Rough cold-start estimate: orchestrator overhead + app startup +
@@ -221,6 +255,7 @@ class EdgeCluster:
         def proc():
             while True:
                 yield self.sim.timeout(self.probe_rtt_s)
+                self.check_available()  # outage: probes fail fast
                 endpoint = self.endpoint(spec)
                 if endpoint is not None and self.port_open(endpoint):
                     return endpoint

@@ -18,7 +18,7 @@ import itertools
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.edge.images import ContainerImage, ImageRef, parse_image_ref
-from repro.edge.registry import ImageNotFound, RegistryHub
+from repro.edge.registry import RegistryHub, RegistryUnavailable
 from repro.edge.services import ServiceBehavior
 from repro.edge.timing import ContainerdTiming, DEFAULT_CONTAINERD
 from repro.edge.images import MIB
@@ -104,6 +104,8 @@ class Containerd:
         self.bytes_pulled = 0
         self.containers_started = 0
         self.images_evicted = 0
+        self.pull_failures = 0
+        self.containers_crashed = 0
 
     # ---------------------------------------------------------------- images
 
@@ -142,6 +144,20 @@ class Containerd:
             image = registry.manifest(ref)  # raises ImageNotFound
             self._make_room_for(image)
             yield self.sim.timeout(registry.manifest_time())
+            # Fault injection: a stalled transfer burns time first, then a
+            # pull failure aborts the attempt (both retryable upstream).
+            stall = self.sim.faults.stall("registry.stall")
+            if stall > 0.0:
+                self.sim.trace.emit(self.sim.now, "containerd", "pull-stall",
+                                    {"node": self.node.name, "image": ref.name,
+                                     "stall_s": stall})
+                yield self.sim.timeout(stall)
+            if self.sim.faults.roll("registry.pull"):
+                self.pull_failures += 1
+                self.sim.trace.emit(self.sim.now, "containerd", "pull-failed",
+                                    {"node": self.node.name, "image": ref.name})
+                raise RegistryUnavailable(
+                    f"{registry.name}: pull of {ref.name!r} aborted (injected)")
             pulled_bytes = 0
             for layer in image.layers:
                 if layer.digest in self._layers:
@@ -259,6 +275,13 @@ class Containerd:
             else:
                 yield self.sim.timeout(netns)
             yield self.sim.timeout(self.timing.start_exec_s)
+            if self.sim.faults.roll("container.crash_start"):
+                self.containers_crashed += 1
+                self.sim.trace.emit(self.sim.now, "containerd", "crash-start",
+                                    {"node": self.node.name,
+                                     "container": container.name})
+                raise ContainerError(
+                    f"{container.name}: crashed during start (injected)")
             container.state = ContainerState.RUNNING
             container.started_at = self.sim.now
             self.containers_started += 1
@@ -266,6 +289,11 @@ class Containerd:
                                 {"node": self.node.name, "container": container.name})
             container._app_process = self.sim.spawn(
                 self._app_proc(container), name=f"app:{container.name}")
+            if self.sim.faults.roll("container.crash_run"):
+                # Crash-while-running: die an exponential holding time after
+                # start (possibly before ever becoming ready).
+                self.sim.schedule(self.sim.faults.delay_after("container.crash_run"),
+                                  self.crash, container)
             return container
 
         return self.sim.spawn(proc(), name=f"start:{container.name}")
@@ -286,6 +314,19 @@ class Containerd:
                                  "port": container.host_port})
         else:
             container.ready_at = self.sim.now  # non-serving container "up"
+
+    def crash(self, container: Container) -> bool:
+        """Hard-kill a running container (fault injection / OOM model): no
+        graceful stop window, the port closes immediately. Returns whether
+        the container was actually running."""
+        if container.state is not ContainerState.RUNNING:
+            return False
+        self._teardown(container)
+        container.state = ContainerState.STOPPED
+        self.containers_crashed += 1
+        self.sim.trace.emit(self.sim.now, "containerd", "crashed",
+                            {"node": self.node.name, "container": container.name})
+        return True
 
     def stop(self, container: Container) -> "Process":
         def proc():

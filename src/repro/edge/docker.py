@@ -16,9 +16,9 @@ and return simulation processes (waitables).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
-from repro.edge.containerd import Container, Containerd, ContainerError, ContainerState
+from repro.edge.containerd import Container, Containerd, ContainerState
 from repro.edge.services import ServiceBehavior
 from repro.edge.timing import DEFAULT_DOCKER, DockerTiming
 

@@ -9,7 +9,7 @@ images and thus already be on disk", §VI).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 KIB = 1024

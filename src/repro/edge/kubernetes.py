@@ -15,7 +15,7 @@ declared in :class:`~repro.edge.timing.KubernetesTiming`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.edge.containerd import Container, Containerd, ContainerState

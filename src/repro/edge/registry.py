@@ -13,11 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
-from repro.edge.images import ContainerImage, ImageRef, parse_image_ref
+from repro.edge.images import ContainerImage, ImageRef
 
 
 class ImageNotFound(KeyError):
     """The registry does not serve this reference."""
+
+
+class RegistryUnavailable(RuntimeError):
+    """Transient registry failure: the pull attempt died mid-transfer.
+
+    Unlike :class:`ImageNotFound` this is retryable — the deployment
+    engine's backoff loop exists for exactly this error."""
 
 
 @dataclass

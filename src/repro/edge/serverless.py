@@ -21,11 +21,11 @@ behind a registered service address.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.edge.cluster import DeploymentSpec, EdgeCluster, Endpoint
-from repro.edge.registry import Registry, RegistryTiming
+from repro.edge.registry import Registry
 from repro.edge.services import ServiceBehavior
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -18,7 +18,7 @@ Nginx+Py      nginx:1.23.2 + josefhammer/env-writer-py   181 MiB / 7    2       
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.edge.images import ContainerImage, KIB, MIB, make_image

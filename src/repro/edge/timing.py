@@ -16,7 +16,7 @@ costs), and the measured totals emerge from the message/reconcile flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

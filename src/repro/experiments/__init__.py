@@ -7,7 +7,9 @@
 * :mod:`repro.experiments.partb` — the follow-up text's evaluation
   (Table I, figs. 9–16);
 * :mod:`repro.experiments.ablations` — design-choice ablations
-  (FlowMemory, waiting modes, hybrid Docker→K8s, schedulers, registries).
+  (FlowMemory, waiting modes, hybrid Docker→K8s, schedulers, registries);
+* :mod:`repro.experiments.robustness` — availability and tail latency under
+  injected failures, with/without the circuit breaker (docs/faults.md).
 """
 
 from repro.experiments.topologies import Testbed, build_testbed

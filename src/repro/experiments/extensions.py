@@ -13,11 +13,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.experiments.topologies import Testbed, build_testbed
 from repro.metrics import Table, summarize
-from repro.openflow import Match
 
 EXT_SERVICES = ("asm", "nginx", "resnet", "nginx+py")
 

@@ -19,13 +19,13 @@ DESIGN.md); these drivers measure the quantities a prototype evaluation of
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.experiments.partb import replay_trace_through_controller
 from repro.experiments.topologies import Testbed, build_testbed
-from repro.metrics import Series, Table, summarize
+from repro.metrics import Table, summarize
 from repro.openflow import Match
 from repro.workloads.trace import synthesize_bigflows_trace
 

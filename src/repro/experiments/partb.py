@@ -12,20 +12,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
-from repro.edge.services import EDGE_SERVICE_CATALOG, catalog_behavior, service_table
+from repro.edge.services import EDGE_SERVICE_CATALOG, service_table
 from repro.experiments.topologies import Testbed, build_testbed
-from repro.metrics import Series, Summary, Table, summarize
-from repro.netsim.addresses import IPv4
+from repro.metrics import Series, Table, summarize
 from repro.openflow import Match
-from repro.workloads.trace import (
-    BIGFLOWS_MIN_REQUESTS,
-    BIGFLOWS_PORT,
-    ConversationTrace,
-    bigflows_like_trace,
-    synthesize_bigflows_trace,
-)
+from repro.workloads.trace import ConversationTrace, bigflows_like_trace
 
 SERVICES = ("asm", "nginx", "resnet", "nginx+py")
 CLUSTERS = (("docker", "docker-egs"), ("kubernetes", "k8s-egs"))

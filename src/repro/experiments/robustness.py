@@ -1,0 +1,189 @@
+"""Robustness under injected failures (R1/R2).
+
+The paper's prototype was only ever evaluated on a healthy testbed; these
+drivers measure what the *platform promise* — the client never notices the
+edge — costs to keep when the edge misbehaves (docs/faults.md):
+
+* **R1** — availability and time_total percentiles as the injected image
+  pull failure rate sweeps 0–20%. Every request is forced cold (images
+  deleted between rounds) so each one exercises the full Pull/Create/
+  Scale-Up pipeline against the armed fault plane. A request counts as
+  *answered* when the client gets an HTTP 200 — whether from the edge after
+  retries or from the cloud origin after the deployment engine gave up.
+* **R2** — the circuit-breaker ablation: one edge cluster suffers a timed
+  outage while clients keep requesting. Without the breaker every request
+  during the outage pays the full retry-with-backoff latency before
+  degrading to the cloud; with it, the cluster is excluded after
+  ``failure_threshold`` consecutive failures and requests go straight to
+  the cloud path until a probation probe succeeds. The tail (p99) shows
+  the difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.resilience import BreakerConfig, RetryPolicy
+from repro.experiments.topologies import Testbed, build_testbed
+from repro.metrics import Table
+from repro.metrics.failures import snapshot_failures
+from repro.openflow import Match
+from repro.simcore.faults import FaultSchedule, cluster_outage
+
+
+def _run_until_done(tb: Testbed, process, cap_s: float, step_s: float = 1.0) -> bool:
+    """Advance the simulation until ``process`` completes (True) or ``cap_s``
+    simulated seconds passed without completion (False — a hung client)."""
+    deadline = tb.sim.now + cap_s
+    while not process.done and tb.sim.now < deadline:
+        tb.run(until=min(deadline, tb.sim.now + step_s))
+    return process.done
+
+
+def _percentiles(samples: List[float]) -> Tuple[float, float]:
+    if not samples:
+        return 0.0, 0.0
+    arr = np.asarray(samples, dtype=float)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
+# --------------------------------------------------------------------------
+# R1 — availability vs. injected pull-failure rate
+# --------------------------------------------------------------------------
+
+
+def r1_availability_vs_pull_failures(
+        rates: Tuple[float, ...] = (0.0, 0.05, 0.10, 0.20),
+        rounds: int = 40,
+        seed: int = 7,
+        retry_policy: Optional[RetryPolicy] = None) -> Table:
+    """Cold-start a service ``rounds`` times per pull-failure rate; count
+    how many requests are still answered (edge after retries, or cloud)."""
+    table = Table(
+        title="R1 — Availability vs. injected pull-failure rate (cold starts)",
+        columns=["pull_fail_rate", "requests", "answered", "hung",
+                 "availability", "p50_s", "p99_s",
+                 "retries", "gave_up", "cloud_fallbacks"],
+        note="answered = HTTP 200 from edge (incl. after retries) or cloud; "
+             "every round deletes images so each request pulls again",
+    )
+    for rate in rates:
+        tb = build_testbed(
+            seed=seed, n_clients=4, cluster_types=("docker",),
+            use_private_registry=True,
+            retry_policy=retry_policy,
+            faults={"registry.pull": rate} if rate else None)
+        svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+        cluster = tb.clusters["docker-egs"]
+
+        samples: List[float] = []
+        answered = 0
+        hung = 0
+        for index in range(rounds):
+            request = tb.client(index % len(tb.timed_clients)).fetch(
+                svc.service_id.addr, svc.service_id.port)
+            if not _run_until_done(tb, request, cap_s=90.0):
+                hung += 1
+                continue
+            timing = request.result
+            if timing.ok:
+                answered += 1
+                samples.append(timing.time_total)
+            # Reset to a fully cold platform: forget decisions, drop every
+            # IPv4 flow (service + route), remove instance AND images.
+            tb.memory.clear()
+            tb.switch.table.delete(Match(eth_type=0x0800))
+            if cluster.is_created(svc.spec) or cluster.is_ready(svc.spec):
+                remove = tb.engine.remove(cluster, svc, delete_images=True)
+                _run_until_done(tb, remove, cap_s=30.0)
+            else:
+                cluster.delete_images(svc.spec)
+            tb.run(until=tb.sim.now + 1.0)
+
+        counters = snapshot_failures(controller=tb.controller)
+        p50, p99 = _percentiles(samples)
+        table.add(pull_fail_rate=f"{rate:.2f}", requests=rounds,
+                  answered=answered, hung=hung,
+                  availability=answered / rounds,
+                  p50_s=p50, p99_s=p99,
+                  retries=counters.retries,
+                  gave_up=counters.deploy_exhausted,
+                  cloud_fallbacks=counters.cloud_fallbacks)
+    return table
+
+
+# --------------------------------------------------------------------------
+# R2 — circuit breaker on/off under a cluster outage
+# --------------------------------------------------------------------------
+
+
+def r2_breaker_outage_ablation(
+        requests: int = 400,
+        gap_s: float = 0.5,
+        outage_at: float = 60.0,
+        outage_s: float = 120.0,
+        seed: int = 31) -> Table:
+    """Same outage, with and without the per-cluster circuit breaker.
+
+    The service is deployed warm; every request still traverses the
+    controller (``use_flow_memory=False`` + short switch timeouts), so each
+    one makes a live scheduling decision against the broken cluster."""
+    table = Table(
+        title="R2 — Circuit breaker under a cluster outage "
+              f"({outage_s:.0f}s outage, {requests} requests)",
+        columns=["breaker", "answered", "hung", "p50_s", "p99_s",
+                 "breaker_opens", "retries", "gave_up", "cloud_fallbacks"],
+        note="without the breaker every outage request pays retry+backoff "
+             "before degrading to the cloud; with it only the tripping "
+             "failures and probation probes do",
+    )
+    for use_breaker in (True, False):
+        tb = build_testbed(
+            seed=seed, n_clients=4, cluster_types=("docker",),
+            use_flow_memory=False,
+            switch_idle_timeout_s=0.3,
+            use_breaker=use_breaker,
+            breaker_config=BreakerConfig(failure_threshold=2,
+                                         open_for_s=outage_s))
+        svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+        cluster = tb.clusters["docker-egs"]
+        # Cloud-routed requests install plain route flows; keep their idle
+        # timeout below the request gap so every request table-misses and
+        # makes a fresh scheduling decision (the quantity under test).
+        tb.controller.cfg.route_idle_timeout_s = 0.3
+        warm = tb.engine.ensure_available(cluster, svc)
+        _run_until_done(tb, warm, cap_s=120.0)
+        assert warm.done and warm.exception is None
+
+        FaultSchedule([cluster_outage(cluster, at=tb.sim.now + outage_at,
+                                      duration_s=outage_s)]).install(tb.sim)
+
+        samples: List[float] = []
+        answered = 0
+        hung = 0
+        start = tb.sim.now
+        for index in range(requests):
+            next_at = start + index * gap_s
+            if tb.sim.now < next_at:
+                tb.run(until=next_at)
+            request = tb.client(index % len(tb.timed_clients)).fetch(
+                svc.service_id.addr, svc.service_id.port)
+            if not _run_until_done(tb, request, cap_s=90.0, step_s=gap_s):
+                hung += 1
+                continue
+            timing = request.result
+            if timing.ok:
+                answered += 1
+                samples.append(timing.time_total)
+
+        counters = snapshot_failures(controller=tb.controller)
+        p50, p99 = _percentiles(samples)
+        table.add(breaker="on" if use_breaker else "off",
+                  answered=answered, hung=hung, p50_s=p50, p99_s=p99,
+                  breaker_opens=counters.breaker_opens,
+                  retries=counters.retries,
+                  gave_up=counters.deploy_exhausted,
+                  cloud_fallbacks=counters.cloud_fallbacks)
+    return table

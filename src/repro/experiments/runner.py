@@ -18,7 +18,7 @@ import sys
 import time
 from typing import Callable, List, Optional, Tuple
 
-from repro.experiments import ablations, extensions, parta, partb
+from repro.experiments import ablations, extensions, parta, partb, robustness
 from repro.metrics import Series, Table, render_series, render_table
 
 
@@ -62,6 +62,8 @@ def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
         ("ext", "E3 proactive", extensions.e3_proactive_deployment),
         ("ext", "E4 hierarchy", extensions.e4_hierarchical_escape),
         ("ext", "E5 autoscaling", extensions.e5_autoscaling_under_load),
+        ("robustness", "R1 availability", robustness.r1_availability_vs_pull_failures),
+        ("robustness", "R2 breaker", robustness.r2_breaker_outage_ablation),
     ]
 
 
@@ -116,7 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.")
-    parser.add_argument("--part", choices=["a", "b", "ablations", "ext"],
+    parser.add_argument("--part",
+                        choices=["a", "b", "ablations", "ext", "robustness"],
                         action="append", dest="parts",
                         help="restrict to one part (repeatable)")
     parser.add_argument("--full", action="store_true",

@@ -9,17 +9,19 @@ services' origins (and the public registries) live.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core import (
     AttachmentPoint,
+    BreakerConfig,
     ControllerConfig,
     DeploymentEngine,
     Dispatcher,
     FlowMemory,
     GlobalScheduler,
     ProximityScheduler,
+    RetryPolicy,
     ServiceID,
     ServiceRegistry,
     TransparentEdgeController,
@@ -41,7 +43,7 @@ from repro.edge.registry import DOCKER_HUB_TIMING, GCR_TIMING, PRIVATE_LAN_TIMIN
 from repro.edge.services import EDGE_SERVICE_CATALOG, all_catalog_images
 from repro.edge.timing import ContainerdTiming, KubernetesTiming
 from repro.netsim import Network
-from repro.netsim.addresses import IPv4, MAC, ip, mac
+from repro.netsim.addresses import IPv4, ip, mac
 from repro.netsim.host import Host
 from repro.openflow import ControlChannel, OpenFlowSwitch
 from repro.ryuapp import AppManager
@@ -222,14 +224,27 @@ def build_testbed(
     k8s_timing: Optional[KubernetesTiming] = None,
     use_private_registry: bool = False,
     trace: Optional[TraceLog] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    breaker_config: Optional[BreakerConfig] = None,
+    use_breaker: bool = True,
+    faults: Optional[Dict[str, Any]] = None,
 ) -> Testbed:
     """Assemble the canonical testbed (fig. 8).
 
     ``cluster_types`` selects which edge clusters exist; with ``shared_egs``
     they share one node (and one containerd), like the paper's EGS.
+
+    Resilience knobs: ``retry_policy`` tunes the deployment engine's
+    deadlines/backoff, ``breaker_config``/``use_breaker`` the dispatcher's
+    per-cluster circuit breakers, and ``faults`` arms the simulation's
+    :class:`~repro.simcore.faults.FaultPlane` (e.g.
+    ``{"registry.pull": 0.1}``) — left at the defaults, runs are
+    bit-identical to a testbed without any of this machinery.
     """
     net = Network(seed=seed, trace=trace)
     sim = net.sim
+    if faults:
+        sim.faults.configure_many(faults)
 
     # ---- switch fabric -----------------------------------------------------
     switch = OpenFlowSwitch(sim, "ovs-egs", dpid=1)
@@ -306,12 +321,14 @@ def build_testbed(
 
     # ---- control plane --------------------------------------------------------
     registry = ServiceRegistry(AnnotationConfig(scheduler_name=scheduler_name))
-    engine = DeploymentEngine(sim)
+    engine = DeploymentEngine(sim, policy=retry_policy)
     memory = FlowMemory(sim, idle_timeout_s=memory_idle_timeout_s)
     if scheduler is None:
         scheduler = ProximityScheduler(zones)
     dispatcher = Dispatcher(sim, list(clusters.values()), scheduler, engine,
-                            memory, zones=zones)
+                            memory, zones=zones,
+                            breaker_config=breaker_config,
+                            use_breaker=use_breaker)
     manager = AppManager(sim, service_time_s=controller_service_time_s)
     controller_config = ControllerConfig(
         vgw_ip=VGW_IP, vgw_mac=VGW_MAC,

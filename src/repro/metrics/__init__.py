@@ -1,6 +1,7 @@
-"""Measurement: summary statistics and figure/table renderers."""
+"""Measurement: summary statistics, figure/table renderers, failure counters."""
 
 from repro.metrics.stats import Summary, summarize
+from repro.metrics.failures import FailureCounters, snapshot_failures
 from repro.metrics.report import (
     Table,
     Series,
@@ -14,6 +15,8 @@ from repro.metrics.report import (
 __all__ = [
     "Summary",
     "summarize",
+    "FailureCounters",
+    "snapshot_failures",
     "Table",
     "Series",
     "render_table",

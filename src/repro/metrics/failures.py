@@ -1,0 +1,94 @@
+"""Failure accounting: one flat counter snapshot across the platform.
+
+The resilience machinery (retries, circuit breakers, cloud fallback — see
+docs/faults.md) spreads its bookkeeping over the objects that own it: the
+deployment engine counts retries, the dispatcher counts breaker opens and
+degraded dispatches, the controller counts released-toward-cloud packet
+bursts, the container runtimes count injected crashes. This module flattens
+all of that into one dict for experiment drivers and operator tooling.
+
+Everything is duck-typed (``getattr`` with defaults) so the module depends
+on no core classes and tolerates partial platforms (e.g. a bare dispatcher
+without a controller in unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class FailureCounters:
+    """Snapshot of the platform's failure/resilience counters."""
+
+    #: dispatches that degraded toward the cloud after a failed deployment
+    dispatch_failures: int = 0
+    #: deployment attempts that were retried with backoff
+    retries: int = 0
+    #: bring-ups that exhausted every attempt
+    deploy_exhausted: int = 0
+    #: circuit-breaker open transitions across all clusters
+    breaker_opens: int = 0
+    #: dispatches answered by the cloud instead of an edge
+    cloud_fallbacks: int = 0
+    #: dead endpoints evicted from FlowMemory (+ their switch flows)
+    instances_evicted: int = 0
+    #: injected registry pull failures observed by container runtimes
+    pull_failures: int = 0
+    #: containers crashed (injected or runtime-initiated)
+    containers_crashed: int = 0
+    #: edge-cluster outage events
+    cluster_outages: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dispatch_failures": self.dispatch_failures,
+            "retries": self.retries,
+            "deploy_exhausted": self.deploy_exhausted,
+            "breaker_opens": self.breaker_opens,
+            "cloud_fallbacks": self.cloud_fallbacks,
+            "instances_evicted": self.instances_evicted,
+            "pull_failures": self.pull_failures,
+            "containers_crashed": self.containers_crashed,
+            "cluster_outages": self.cluster_outages,
+        }
+
+
+def snapshot_failures(controller: Any = None,
+                      dispatcher: Any = None,
+                      engine: Any = None,
+                      clusters: Optional[list] = None) -> FailureCounters:
+    """Collect a :class:`FailureCounters` from whatever parts are given.
+
+    Pass a controller and the rest is reached through it; or pass the
+    pieces individually (any may be None)."""
+    if controller is not None:
+        if dispatcher is None:
+            dispatcher = getattr(controller, "dispatcher", None)
+        if clusters is None and dispatcher is not None:
+            clusters = getattr(dispatcher, "clusters", None)
+    if engine is None and dispatcher is not None:
+        engine = getattr(dispatcher, "engine", None)
+
+    stats = getattr(controller, "stats", {}) if controller is not None else {}
+    pull_failures = 0
+    crashed = 0
+    outages = 0
+    for cluster in clusters or []:
+        runtime = getattr(cluster, "runtime", None)
+        pull_failures += getattr(runtime, "pull_failures", 0)
+        crashed += getattr(runtime, "containers_crashed", 0)
+        outages += getattr(cluster, "outages", 0)
+    return FailureCounters(
+        dispatch_failures=stats.get(
+            "dispatch_failures", getattr(dispatcher, "deploy_failures", 0)),
+        retries=getattr(engine, "retries", 0),
+        deploy_exhausted=getattr(engine, "failures", 0),
+        breaker_opens=getattr(dispatcher, "breaker_opens", 0),
+        cloud_fallbacks=getattr(dispatcher, "cloud_fallbacks", 0),
+        instances_evicted=stats.get("instances_evicted", 0),
+        pull_failures=pull_failures,
+        containers_crashed=crashed,
+        cluster_outages=outages,
+    )

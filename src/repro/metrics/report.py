@@ -9,7 +9,7 @@ benchmark harness and EXPERIMENTS.md present results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 
 def format_seconds(value: float) -> str:

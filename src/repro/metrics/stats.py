@@ -7,7 +7,7 @@ plus the spread statistics a careful reproduction should look at.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

@@ -85,6 +85,10 @@ class Link:
             self.sim.trace.emit(self.sim.now, "net", "link-drop",
                                 {"link": self.name, "frame": frame.describe()})
             return
+        if self.sim.faults.roll("link.loss"):
+            self.sim.trace.emit(self.sim.now, "net", "link-fault-drop",
+                                {"link": self.name, "frame": frame.describe()})
+            return
         receiver, rx_port = self.other_end(sender)
         start = max(self.sim.now, self._busy_until[id(sender)])
         done_serializing = start + self.tx_time(frame)

@@ -9,7 +9,7 @@ K8s clusters — cloud uplink) in a few lines. See
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 from repro.netsim.addresses import IPv4, MAC
 from repro.netsim.device import Device
@@ -31,6 +31,10 @@ class Network:
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.sim = Simulator(trace=self.trace)
         self.random = RandomStreams(seed)
+        # Fault injection draws from its own named child streams of the run
+        # seed; binding alone is inert (no streams exist until a fault point
+        # is configured and rolled), so determinism of fault-free runs holds.
+        self.sim.faults.bind(self.random.child("faults"))
         self._base_ip = IPv4(base_ip)
         self._next_host_suffix = 1
         self._mac_prefix = mac_prefix

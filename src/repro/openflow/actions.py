@@ -12,7 +12,7 @@ import dataclasses
 from typing import Any, List, Sequence, Tuple
 
 from repro.netsim.addresses import IPv4, MAC
-from repro.netsim.packet import EthernetFrame, IPv4Packet, TCPSegment, UDPDatagram
+from repro.netsim.packet import EthernetFrame, TCPSegment, UDPDatagram
 from repro.openflow.constants import REWRITABLE_FIELDS
 
 

@@ -54,6 +54,7 @@ class ControlChannel:
         #: diagnostics
         self.messages_up = 0  # switch -> controller
         self.messages_down = 0  # controller -> switch
+        self.messages_lost = 0  # injected control-message losses
 
     def bind(self, switch: "OpenFlowSwitch", controller: ControllerEndpoint) -> None:
         self.switch = switch
@@ -67,12 +68,23 @@ class ControlChannel:
         setattr(self, busy_attr, start + tx)
         return (start + tx - self.sim.now) + self.latency_s
 
+    def _fault_delay(self) -> Optional[float]:
+        """Extra control-message delay from fault injection, or ``None``
+        when the message is injected-lost. 0.0 in fault-free runs."""
+        if self.sim.faults.roll("channel.loss"):
+            self.messages_lost += 1
+            return None
+        return self.sim.faults.stall("channel.delay")
+
     def to_controller(self, message: Message) -> None:
         """Deliver ``message`` from the switch to the controller."""
         if not self.connected or self.controller is None:
             return
+        spike = self._fault_delay()
+        if spike is None:
+            return  # injected loss: the message vanishes in flight
         self.messages_up += 1
-        delay = self._delay(message, "_busy_until_up")
+        delay = self._delay(message, "_busy_until_up") + spike
         self.sim.schedule(delay, self._deliver_up, message)
 
     def _deliver_up(self, message: Message) -> None:
@@ -83,8 +95,11 @@ class ControlChannel:
         """Deliver ``message`` from the controller to the switch."""
         if not self.connected or self.switch is None:
             return
+        spike = self._fault_delay()
+        if spike is None:
+            return  # injected loss
         self.messages_down += 1
-        delay = self._delay(message, "_busy_until_down")
+        delay = self._delay(message, "_busy_until_down") + spike
         self.sim.schedule(delay, self._deliver_down, message)
 
     def _deliver_down(self, message: Message) -> None:

@@ -9,7 +9,7 @@ busy flow costs O(1) per packet (no timer churn).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.openflow.constants import (
     OFPFF_SEND_FLOW_REM,

@@ -8,7 +8,7 @@ as in OpenFlow.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 from repro.netsim.addresses import IPv4, MAC
 from repro.netsim.packet import (

@@ -17,19 +17,10 @@ from repro.netsim.device import Device
 from repro.netsim.packet import EthernetFrame
 from repro.openflow.actions import OutputAction, apply_actions_multi
 from repro.openflow.channel import ControlChannel
-from repro.openflow.constants import (
-    OFP_NO_BUFFER,
-    OFPFC_ADD,
-    OFPFC_DELETE,
-    OFPFC_DELETE_STRICT,
-    OFPFC_MODIFY,
-    OFPP_ALL,
-    OFPP_CONTROLLER,
-    OFPP_FLOOD,
-    OFPP_IN_PORT,
-    OFPR_ACTION,
-    OFPR_NO_MATCH,
-)
+from repro.openflow.constants import (OFP_NO_BUFFER, OFPFC_ADD, OFPFC_DELETE,
+                                      OFPFC_DELETE_STRICT, OFPFC_MODIFY,
+                                      OFPP_ALL, OFPP_CONTROLLER, OFPP_FLOOD,
+                                      OFPP_IN_PORT, OFPR_ACTION)
 from repro.openflow.flowtable import FlowEntry, FlowTable
 from repro.openflow.match import extract_fields
 from repro.openflow.messages import (

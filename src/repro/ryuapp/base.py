@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Type, TYPE_CHECKING, Union
+from typing import Any, Callable, Iterable, List, Type, TYPE_CHECKING, Union
 
 from repro.ryuapp.events import EventBase, MAIN_DISPATCHER
 

@@ -19,6 +19,16 @@ from repro.simcore.errors import (
     ProcessKilled,
     WaitTimeout,
 )
+from repro.simcore.faults import (
+    FaultInjected,
+    FaultPlane,
+    FaultPoint,
+    FaultSchedule,
+    TimedFault,
+    channel_outage,
+    cluster_outage,
+    link_flap,
+)
 from repro.simcore.loop import Simulator, EventHandle
 from repro.simcore.signal import Signal
 from repro.simcore.process import Process, Timeout, AllOf, AnyOf, Waitable
@@ -28,6 +38,14 @@ from repro.simcore.trace import TraceLog, TraceRecord
 __all__ = [
     "Simulator",
     "EventHandle",
+    "FaultInjected",
+    "FaultPlane",
+    "FaultPoint",
+    "FaultSchedule",
+    "TimedFault",
+    "channel_outage",
+    "cluster_outage",
+    "link_flap",
     "Signal",
     "Process",
     "Timeout",

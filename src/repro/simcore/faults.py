@@ -1,0 +1,236 @@
+"""Deterministic fault injection (the platform's chaos layer).
+
+Every component with a failure mode exposes a named *fault point* — e.g.
+``registry.pull``, ``container.crash_start``, ``channel.loss`` — and asks the
+simulation-wide :class:`FaultPlane` (``sim.faults``) whether to misbehave.
+The plane draws from named child RNG streams of the run's root seed, so:
+
+* with no faults configured, **no stream is ever created and no random
+  number is ever drawn** — a run is bit-identical to one built before this
+  module existed (the determinism contract of :mod:`repro.simcore`);
+* with faults configured, the *same* seed reproduces the same failures at
+  the same points, independent of unrelated components (streams are keyed
+  by point name, not creation order).
+
+Besides probabilistic points, :class:`FaultSchedule` injects *timed* faults
+(cluster outages, link flaps, control-channel windows) declaratively: a list
+of (at, duration, action) entries applied to a running simulator.
+
+Fault points wired into the library
+-----------------------------------
+===========================  ====================================================
+``registry.pull``            image pull fails (``RegistryUnavailable``)
+``registry.stall``           image pull stalls for ``stall_s`` extra seconds
+``container.crash_start``    container crashes during start (stays un-started)
+``container.crash_run``      container crashes *after* becoming ready; the
+                             crash time is ``stall_s`` mean exponential
+``channel.loss``             a control-channel message is silently dropped
+``channel.delay``            a control message pays an extra ``stall_s`` spike
+``link.loss``                a data-plane frame is dropped in flight
+===========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.loop import Simulator
+    from repro.simcore.rng import ScopedStreams
+
+
+class FaultInjected(RuntimeError):
+    """Base class for errors raised *because* a fault point fired."""
+
+    def __init__(self, point: str, message: str = ""):
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultPoint:
+    """Configuration of one named fault point."""
+
+    #: probability in [0, 1] that one roll at this point fires
+    rate: float = 0.0
+    #: duration parameter (stall length / mean time-to-crash), seconds
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.stall_s < 0:
+            raise ValueError(f"stall must be non-negative, got {self.stall_s!r}")
+
+
+class FaultPlane:
+    """Per-simulation registry of fault points, armed with seeded streams.
+
+    Disabled (the default) it is pure pass-through: :meth:`roll` returns
+    ``False`` and :meth:`stall` returns ``0.0`` without touching any RNG, so
+    arming the plane — not merely constructing it — is what can perturb a
+    run.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Optional["ScopedStreams"] = None
+        self._points: Dict[str, FaultPoint] = {}
+        #: point name -> number of times it fired (diagnostics)
+        self.injected: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ configure
+
+    def bind(self, streams) -> None:
+        """Attach the RNG stream factory (a :class:`RandomStreams` or a
+        scoped child). Done once by :class:`~repro.netsim.topology.Network`;
+        harmless on its own — points must also be configured."""
+        self._streams = streams
+
+    def configure(self, point: str, rate: float = 0.0, stall_s: float = 0.0) -> None:
+        """Set (or replace) one fault point. ``rate=0`` with ``stall_s=0``
+        removes the point entirely."""
+        if rate == 0.0 and stall_s == 0.0:
+            self._points.pop(point, None)
+            return
+        self._points[point] = FaultPoint(rate=rate, stall_s=stall_s)
+
+    def configure_many(self, points: Dict[str, Any]) -> None:
+        """Bulk configure: ``{"registry.pull": 0.1}`` or
+        ``{"registry.stall": {"rate": 0.05, "stall_s": 2.0}}``."""
+        for name, value in points.items():
+            if isinstance(value, dict):
+                self.configure(name, **value)
+            else:
+                self.configure(name, rate=float(value))
+
+    def clear(self) -> None:
+        """Remove every configured point (the plane goes pass-through)."""
+        self._points.clear()
+
+    @property
+    def armed(self) -> bool:
+        """True when at least one point can fire."""
+        return self._streams is not None and bool(self._points)
+
+    def point(self, name: str) -> Optional[FaultPoint]:
+        return self._points.get(name)
+
+    # ---------------------------------------------------------------- rolls
+
+    def _stream(self, name: str):
+        assert self._streams is not None
+        return self._streams.stream(name)
+
+    def roll(self, point: str) -> bool:
+        """One Bernoulli draw at ``point``. False (and **no** RNG draw) when
+        the point is not configured or the plane is unbound."""
+        spec = self._points.get(point)
+        if spec is None or spec.rate == 0.0 or self._streams is None:
+            return False
+        fired = bool(self._stream(point).random() < spec.rate)
+        if fired:
+            self.injected[point] = self.injected.get(point, 0) + 1
+        return fired
+
+    def stall(self, point: str) -> float:
+        """Extra seconds to stall at ``point`` (0.0 when it does not fire).
+
+        The stall fires with the point's ``rate`` and lasts ``stall_s``
+        seconds exactly — deterministic length, probabilistic occurrence."""
+        spec = self._points.get(point)
+        if spec is None or spec.stall_s == 0.0 or self._streams is None:
+            return 0.0
+        if spec.rate < 1.0 and not self.roll(point):
+            return 0.0
+        if spec.rate >= 1.0:
+            self.injected[point] = self.injected.get(point, 0) + 1
+        return spec.stall_s
+
+    def delay_after(self, point: str) -> float:
+        """Exponential holding time with mean ``stall_s`` (for
+        time-to-crash style faults). 0.0 when unconfigured."""
+        spec = self._points.get(point)
+        if spec is None or spec.stall_s == 0.0 or self._streams is None:
+            return 0.0
+        return float(self._stream(point + ".delay").exponential(spec.stall_s))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FaultPlane points={sorted(self._points)} "
+                f"{'armed' if self.armed else 'disarmed'}>")
+
+
+# ---------------------------------------------------------------------------
+# Declarative timed faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimedFault:
+    """One scheduled fault window: ``apply()`` at ``at``, ``revert()`` at
+    ``at + duration_s`` (``duration_s=None`` → never reverted)."""
+
+    at: float
+    apply: Callable[[], Any]
+    revert: Optional[Callable[[], Any]] = None
+    duration_s: Optional[float] = None
+    label: str = ""
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative list of timed fault windows.
+
+    Build it with the helpers below (:func:`cluster_outage`,
+    :func:`link_flap`, :func:`channel_outage`) or raw :class:`TimedFault`
+    entries, then :meth:`install` it onto a simulator. Scheduling uses plain
+    simulator events, so an installed-but-empty schedule changes nothing.
+    """
+
+    entries: List[TimedFault] = field(default_factory=list)
+
+    def add(self, fault: TimedFault) -> "FaultSchedule":
+        self.entries.append(fault)
+        return self
+
+    def install(self, sim: "Simulator") -> None:
+        for fault in self.entries:
+            sim.schedule_at(fault.at, self._fire, sim, fault)
+
+    @staticmethod
+    def _fire(sim: "Simulator", fault: TimedFault) -> None:
+        sim.trace.emit(sim.now, "faults", "apply",
+                       {"label": fault.label or repr(fault.apply)})
+        fault.apply()
+        if fault.revert is not None and fault.duration_s is not None:
+            sim.schedule(fault.duration_s, FaultSchedule._revert, sim, fault)
+
+    @staticmethod
+    def _revert(sim: "Simulator", fault: TimedFault) -> None:
+        sim.trace.emit(sim.now, "faults", "revert",
+                       {"label": fault.label or repr(fault.revert)})
+        assert fault.revert is not None
+        fault.revert()
+
+
+def cluster_outage(cluster, at: float, duration_s: float) -> TimedFault:
+    """The whole edge cluster (node/orchestrator) is unreachable for a
+    window: deployments fail fast, readiness reads False."""
+    return TimedFault(at=at, duration_s=duration_s,
+                      apply=cluster.fail, revert=cluster.recover,
+                      label=f"outage:{cluster.name}")
+
+
+def link_flap(link, at: float, duration_s: float) -> TimedFault:
+    """A data-plane link goes down for a window (frames in flight lost)."""
+    return TimedFault(at=at, duration_s=duration_s,
+                      apply=lambda: link.set_up(False),
+                      revert=lambda: link.set_up(True),
+                      label=f"flap:{link.name}")
+
+
+def channel_outage(channel, at: float, duration_s: float) -> TimedFault:
+    """The switch–controller control channel is severed for a window."""
+    return TimedFault(at=at, duration_s=duration_s,
+                      apply=channel.disconnect, revert=channel.reconnect,
+                      label="channel-outage")

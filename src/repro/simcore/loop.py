@@ -73,11 +73,16 @@ class Simulator:
     """
 
     def __init__(self, trace: Optional[TraceLog] = None):
+        from repro.simcore.faults import FaultPlane  # local import: cycle
+
         self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
         self.trace = trace if trace is not None else TraceLog(enabled=False)
+        #: simulation-wide fault-injection plane; pass-through until armed
+        #: (bound to seeded streams *and* given at least one fault point)
+        self.faults = FaultPlane()
         #: number of events executed so far (diagnostic / benchmark metric)
         self.events_executed = 0
 

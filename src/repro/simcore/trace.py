@@ -9,7 +9,7 @@ the fig. 5 with-waiting deployment sequence of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,5 @@
 """Tests for the full idle lifecycle: scale-down then Remove (fig. 4)."""
 
-import pytest
 
 from repro.experiments import build_testbed
 

@@ -6,7 +6,6 @@ import pytest
 from repro.experiments import build_testbed
 from repro.experiments.topologies import VGW_IP, VGW_MAC
 from repro.netsim.addresses import ip
-from repro.netsim.packet import ArpOp
 
 
 @pytest.fixture

@@ -1,0 +1,215 @@
+"""Failure branches of the DeploymentEngine: deadlines, retries, typed
+errors, and the hygiene of failed DeploymentRecords (figs. 11-15 inputs)."""
+
+
+from repro.core.deployment import (DeploymentEngine, DeploymentError,
+                                   DeploymentRetriesExhausted,
+                                   DeploymentTimeout)
+from repro.core.registry import ServiceRegistry
+from repro.core.resilience import NO_RETRY, RetryPolicy
+from repro.core.serviceid import ServiceID
+from repro.edge.cluster import ClusterUnavailable, DockerCluster
+from repro.edge.containerd import Containerd
+from repro.edge.docker import DockerEngine
+from repro.edge.registry import (Registry, RegistryHub, RegistryTiming,
+                                 RegistryUnavailable)
+from repro.edge.services import all_catalog_images
+from repro.netsim import Network
+from repro.netsim.addresses import ip
+
+
+SID = ServiceID(ip("198.51.100.1"), 80)
+
+
+def build(policy=None, faults=None, seed=0):
+    net = Network(seed=seed)
+    if faults:
+        net.sim.faults.configure_many(faults)
+    registry = Registry("hub", RegistryTiming(manifest_s=0.05,
+                                              layer_rtt_s=0.005,
+                                              bandwidth_bps=1e9))
+    for image in all_catalog_images():
+        registry.push(image)
+    hub = RegistryHub(registry)
+    hub.add("gcr.io", registry)
+    node = net.add_host("node")
+    cluster = DockerCluster(net.sim, "docker-egs",
+                            DockerEngine(net.sim, Containerd(net.sim, node, hub)))
+    services = ServiceRegistry()
+    service = services.register(SID, image="nginx:1.23.2", container_port=80)
+    engine = DeploymentEngine(net.sim, policy=policy)
+    return net, cluster, service, engine
+
+
+class TestRetries:
+    def test_transient_pull_failure_is_retried(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=0.25,
+                             phase_deadline_s={})
+        net, cluster, service, engine = build(
+            policy=policy, faults={"registry.pull": 1.0})
+        # the fault clears right after the first (failing) attempt
+        net.sim.schedule(0.1, net.sim.faults.clear)
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert p.exception is None
+        assert cluster.port_open(p.result)
+        assert engine.retries == 1
+        assert engine.attempt_failures == 1
+        assert engine.failures == 0
+        record = engine.records[0]
+        assert record.succeeded
+        assert record.retries == 1
+
+    def test_exhausted_retries_raise_typed_error(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=0.1,
+                             phase_deadline_s={})
+        net, cluster, service, engine = build(
+            policy=policy, faults={"registry.pull": 1.0})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        exc = p.exception
+        assert isinstance(exc, DeploymentRetriesExhausted)
+        assert exc.attempts == 3
+        assert isinstance(exc.last_error, DeploymentError)
+        assert isinstance(exc.last_error.cause, RegistryUnavailable)
+        assert engine.failures == 1
+        assert engine.retries == 2
+
+    def test_backoff_spaces_the_attempts(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=1.0,
+                             backoff_factor=2.0, phase_deadline_s={})
+        net, cluster, service, engine = build(
+            policy=policy, faults={"registry.pull": 1.0})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert isinstance(p.exception, DeploymentRetriesExhausted)
+        # three manifest fetches (~0.05s each) + backoffs 1.0 and 2.0
+        assert net.now >= 3.0
+
+    def test_cluster_outage_fails_every_attempt_fast(self):
+        policy = RetryPolicy(max_attempts=2, base_backoff_s=0.1,
+                             phase_deadline_s={})
+        net, cluster, service, engine = build(policy=policy)
+        cluster.fail()
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        exc = p.exception
+        assert isinstance(exc, DeploymentRetriesExhausted)
+        assert isinstance(exc.last_error, ClusterUnavailable)
+        assert net.now < 1.0  # no pull ever started
+
+    def test_no_retry_policy_raises_the_bare_phase_error(self):
+        net, cluster, service, engine = build(
+            policy=NO_RETRY, faults={"registry.pull": 1.0})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        exc = p.exception
+        assert isinstance(exc, DeploymentError)
+        assert not isinstance(exc, DeploymentRetriesExhausted)
+        assert exc.phase == "pull"
+
+
+class TestDeadlines:
+    def test_stalled_pull_is_killed_at_the_deadline(self):
+        policy = RetryPolicy(max_attempts=1,
+                             phase_deadline_s={"pull": 5.0})
+        net, cluster, service, engine = build(
+            policy=policy,
+            faults={"registry.stall": {"rate": 1.0, "stall_s": 100.0}})
+        p = engine.ensure_available(cluster, service)
+        # the ensure fails AT the deadline — not after the 100s stall (the
+        # abandoned transfer keeps running in the background, as on a real
+        # node, but the deployment does not wait for it)
+        net.run(until=6.0)
+        assert p.done
+        exc = p.exception
+        assert isinstance(exc, DeploymentTimeout)
+        assert exc.phase == "pull"
+        assert exc.deadline_s == 5.0
+
+    def test_deadline_overrun_is_retryable(self):
+        # attempt 1 is killed at the 5s deadline; the orphaned transfer
+        # finishes on its own at ~10s, so attempt 2 (after the 6s backoff)
+        # finds the image cached and brings the service up
+        policy = RetryPolicy(max_attempts=2, base_backoff_s=6.0,
+                             phase_deadline_s={"pull": 5.0})
+        net, cluster, service, engine = build(
+            policy=policy,
+            faults={"registry.stall": {"rate": 1.0, "stall_s": 8.0}})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert p.exception is None
+        assert cluster.port_open(p.result)
+        assert engine.retries == 1
+        record = engine.records[0]
+        assert record.succeeded
+        assert record.retries == 1
+
+
+class TestFailedRecords:
+    def test_failed_run_is_recorded_with_sane_timing(self):
+        net, cluster, service, engine = build(
+            policy=NO_RETRY, faults={"registry.pull": 1.0})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert p.exception is not None
+        assert len(engine.records) == 1
+        record = engine.records[0]
+        assert not record.succeeded
+        assert record.error is not None
+        # the satellite bugfix: finished_at is stamped even on failure, so
+        # total_s can never go negative and pollute the fig. 11-15 stats
+        assert record.finished_at >= record.started_at
+        assert record.total_s >= 0.0
+
+    def test_records_for_excludes_failures_by_default(self):
+        net, cluster, service, engine = build(
+            policy=RetryPolicy(max_attempts=2, base_backoff_s=0.1,
+                               phase_deadline_s={}),
+            faults={"registry.pull": 1.0})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert p.exception is not None
+        net.sim.faults.clear()
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert p.exception is None
+
+        assert len(engine.records) == 2
+        default = engine.records_for()
+        assert [r.succeeded for r in default] == [True]
+        everything = engine.records_for(include_failed=True)
+        assert len(everything) == 2
+
+    def test_coalesced_waiters_all_observe_the_failure(self):
+        net, cluster, service, engine = build(
+            policy=NO_RETRY, faults={"registry.pull": 1.0})
+        seen = []
+
+        def waiter():
+            try:
+                yield engine.ensure_available(cluster, service)
+            except DeploymentError as exc:
+                seen.append(exc)
+
+        net.sim.spawn(waiter(), name="w1")
+        net.sim.spawn(waiter(), name="w2")
+        net.sim.spawn(waiter(), name="w3")
+        net.run()
+        assert len(seen) == 3
+        assert engine.coalesced == 2  # one deployment served all three
+        assert len(engine.records) == 1
+
+    def test_failure_clears_the_inflight_slot(self):
+        net, cluster, service, engine = build(
+            policy=NO_RETRY, faults={"registry.pull": 1.0})
+        p = engine.ensure_available(cluster, service)
+        net.run()
+        assert p.exception is not None
+        # a later ensure starts a fresh deployment instead of joining the
+        # dead one (and succeeds once the fault is gone)
+        net.sim.faults.clear()
+        p2 = engine.ensure_available(cluster, service)
+        assert p2 is not p
+        net.run()
+        assert p2.exception is None

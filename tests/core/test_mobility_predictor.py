@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.predictor import EwmaArrivalPredictor, ProactiveDeployer
+from repro.core.predictor import EwmaArrivalPredictor
 from repro.core.serviceid import ServiceID
 from repro.experiments import build_testbed
 from repro.netsim.addresses import ip

@@ -1,0 +1,126 @@
+"""Unit tests for retry policies and the per-cluster circuit breaker."""
+
+import pytest
+
+from repro.core.resilience import (NO_RETRY, BreakerConfig, CircuitBreaker,
+                                   RetryPolicy)
+from repro.simcore import Simulator
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_backoff_s=0.25, backoff_factor=2.0,
+                             max_backoff_s=1.0)
+        assert policy.backoff_s(1) == 0.25
+        assert policy.backoff_s(2) == 0.5
+        assert policy.backoff_s(3) == 1.0
+        assert policy.backoff_s(7) == 1.0  # capped
+
+    def test_deadlines_per_phase(self):
+        policy = RetryPolicy()
+        assert policy.deadline_for("pull") == 60.0
+        assert policy.deadline_for("wait_ready") == 30.0
+        assert policy.deadline_for("no-such-phase") is None
+
+    def test_no_retry_policy_is_the_legacy_behaviour(self):
+        assert NO_RETRY.max_attempts == 1
+        for phase in ("pull", "create", "scale_up", "wait_ready"):
+            assert NO_RETRY.deadline_for(phase) is None
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(open_for_s=0.0)
+
+
+@pytest.fixture
+def breaker():
+    sim = Simulator()
+    return sim, CircuitBreaker(sim, "edge-1",
+                               BreakerConfig(failure_threshold=3,
+                                             open_for_s=10.0))
+
+
+def _advance(sim, delta):
+    sim.schedule(delta, lambda: None)
+    sim.run()
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self, breaker):
+        _, b = breaker
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+        assert b.allow()
+        assert b.opens == 0
+
+    def test_success_resets_the_failure_count(self, breaker):
+        _, b = breaker
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_opens_at_threshold_and_refuses(self, breaker):
+        sim, b = breaker
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "open"
+        assert b.opens == 1
+        assert not b.allow()
+        _advance(sim, 9.9)
+        assert not b.allow()  # still inside the open window
+
+    def test_half_open_admits_exactly_one_probe(self, breaker):
+        sim, b = breaker
+        for _ in range(3):
+            b.record_failure()
+        _advance(sim, 10.0)
+        assert b.allow()  # the probation probe
+        assert b.state == "half_open"
+        assert not b.allow()  # second dispatch refused while probing
+
+    def test_release_probe_frees_the_slot(self, breaker):
+        sim, b = breaker
+        for _ in range(3):
+            b.record_failure()
+        _advance(sim, 10.0)
+        assert b.allow()
+        b.release_probe()  # scheduler picked another cluster
+        assert b.allow()
+
+    def test_probe_success_closes(self, breaker):
+        sim, b = breaker
+        for _ in range(3):
+            b.record_failure()
+        _advance(sim, 10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.consecutive_failures == 0
+        assert b.allow() and b.allow()  # no probe limit when closed
+
+    def test_probe_failure_reopens_for_a_full_window(self, breaker):
+        sim, b = breaker
+        for _ in range(3):
+            b.record_failure()
+        _advance(sim, 10.0)
+        assert b.allow()
+        b.record_failure()  # a single failure retrips while half-open
+        assert b.state == "open"
+        assert b.opens == 2
+        assert not b.allow()
+        _advance(sim, 10.0)
+        assert b.allow()  # next probation window
+
+    def test_success_while_closed_is_a_noop(self, breaker):
+        _, b = breaker
+        b.record_success()
+        assert b.state == "closed"
+        assert b.opens == 0

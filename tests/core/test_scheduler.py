@@ -13,7 +13,7 @@ from repro.core.scheduler import (
 )
 from repro.core.serviceid import ServiceID
 from repro.core.zones import ZoneMap
-from repro.edge.cluster import DeploymentSpec, DockerCluster, Endpoint, InstanceInfo
+from repro.edge.cluster import DockerCluster
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
 from repro.edge.kubernetes import KubernetesCluster

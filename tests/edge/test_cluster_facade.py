@@ -2,14 +2,8 @@
 
 import pytest
 
-from repro.edge.cluster import (
-    DeploymentSpec,
-    DockerCluster,
-    Endpoint,
-    KubernetesEdgeCluster,
-    PROBE_INTERVAL_S,
-    SpecContainer,
-)
+from repro.edge.cluster import (DeploymentSpec, DockerCluster, Endpoint,
+                                KubernetesEdgeCluster, SpecContainer)
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
 from repro.edge.kubernetes import KubernetesCluster

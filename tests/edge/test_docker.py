@@ -5,7 +5,7 @@ import pytest
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DOCKER_PORT_BASE, DockerEngine
 from repro.edge.registry import Registry, RegistryHub, RegistryTiming
-from repro.edge.services import EDGE_SERVICE_CATALOG, ServiceBehavior, all_catalog_images
+from repro.edge.services import all_catalog_images
 from repro.netsim import Network
 
 

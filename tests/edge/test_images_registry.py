@@ -2,16 +2,8 @@
 
 import pytest
 
-from repro.edge.images import (
-    ContainerImage,
-    ImageLayer,
-    ImageRef,
-    KIB,
-    MIB,
-    layer_digest,
-    make_image,
-    parse_image_ref,
-)
+from repro.edge.images import (ImageLayer, ImageRef, KIB, MIB, layer_digest,
+                               make_image, parse_image_ref)
 from repro.edge.registry import (
     ImageNotFound,
     Registry,

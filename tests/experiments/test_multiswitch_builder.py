@@ -1,6 +1,5 @@
 """Shape tests for the multi-switch testbed builder."""
 
-import pytest
 
 from repro.experiments.multiswitch import CORE_DPID, build_multiswitch_testbed
 

@@ -12,7 +12,7 @@ from repro.metrics import Series, Table
 class TestRegistry:
     def test_covers_all_parts(self):
         parts = {part for part, _, _ in artifact_registry(full=False)}
-        assert parts == {"a", "b", "ablations", "ext"}
+        assert parts == {"a", "b", "ablations", "ext", "robustness"}
 
     def test_part_b_covers_every_figure(self):
         names = [name for part, name, _ in artifact_registry(full=False)

@@ -5,10 +5,8 @@ TransparentEdgeController against live Docker/Kubernetes cluster models —
 the complete fig. 2 / fig. 5 message flows.
 """
 
-import pytest
 
 from repro.experiments import build_testbed
-from repro.netsim.packet import HTTPRequest
 
 
 def run_request(tb, svc, client_index=0, window_s=None):
@@ -154,7 +152,6 @@ class TestCloudFallback:
         tb = build_testbed(seed=1, n_clients=1, cluster_types=("docker",))
         svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
         # a second, UNREGISTERED cloud address
-        from repro.core.serviceid import ServiceID
         from repro.edge.services import catalog_behavior
         other_sid = tb.alloc_service_id(80)
         tb.add_cloud_origin(other_sid, catalog_behavior("nginx"))

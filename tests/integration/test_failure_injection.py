@@ -1,6 +1,5 @@
 """Failure-injection tests: the platform under broken infrastructure."""
 
-import pytest
 
 from repro.experiments import build_testbed
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.fabric import FabricError, FabricTopology
-from repro.experiments.multiswitch import CORE_DPID, build_multiswitch_testbed
+from repro.experiments.multiswitch import build_multiswitch_testbed
 
 
 class TestFabricTopology:

@@ -16,7 +16,6 @@ These tests replay that flow with the TraceLog enabled and assert the order
 of the observable events.
 """
 
-import pytest
 
 from repro.experiments import build_testbed
 from repro.simcore import TraceLog

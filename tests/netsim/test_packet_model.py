@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.netsim import (
     ETH_TYPE_ARP,

@@ -24,7 +24,7 @@ from repro.openflow import (
     OFP_NO_BUFFER,
     OFPFF_SEND_FLOW_REM,
 )
-from repro.openflow.constants import OFPFC_DELETE, OFPP_CONTROLLER, OFPP_FLOOD
+from repro.openflow.constants import OFPFC_DELETE, OFPP_FLOOD
 
 
 class Sink(Device):

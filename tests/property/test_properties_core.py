@@ -1,8 +1,7 @@
 """Property-based tests (hypothesis) for kernel and substrate invariants."""
 
-import heapq
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.metrics import summarize
 from repro.netsim.addresses import IPv4, MAC

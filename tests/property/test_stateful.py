@@ -8,12 +8,7 @@ structures the data path depends on.
 
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import (
-    Bundle,
-    RuleBasedStateMachine,
-    invariant,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core.flowmemory import FlowMemory
 from repro.core.serviceid import ServiceID

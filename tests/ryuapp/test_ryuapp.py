@@ -4,8 +4,8 @@ import pytest
 
 from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSegment, ip, mac
 from repro.netsim.packet import IP_PROTO_TCP
-from repro.openflow import ControlChannel, OpenFlowSwitch, Match, OutputAction
-from repro.openflow.messages import FlowMod, PacketOut
+from repro.openflow import ControlChannel, OpenFlowSwitch, Match
+from repro.openflow.messages import FlowMod
 from repro.ryuapp import (
     AppManager,
     EventOFPFlowRemoved,

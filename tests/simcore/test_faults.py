@@ -1,0 +1,163 @@
+"""Unit tests for the fault-injection plane (repro.simcore.faults)."""
+
+import pytest
+
+from repro.simcore import Simulator
+from repro.simcore.faults import (FaultPlane, FaultPoint, FaultSchedule,
+                                  TimedFault, cluster_outage)
+from repro.simcore.rng import RandomStreams
+
+
+class TestFaultPlane:
+    def test_disarmed_plane_is_passthrough(self):
+        plane = FaultPlane()
+        assert not plane.armed
+        assert plane.roll("registry.pull") is False
+        assert plane.stall("registry.stall") == 0.0
+        assert plane.delay_after("container.crash_run") == 0.0
+        assert plane.injected == {}
+
+    def test_bound_but_unconfigured_draws_nothing(self):
+        # The determinism contract: a configured-but-never-fired point is
+        # the only thing that may consume RNG — an *unconfigured* point
+        # must not even create its stream.
+        plane = FaultPlane()
+        plane.bind(RandomStreams(seed=5))
+        assert not plane.armed
+        for _ in range(100):
+            assert plane.roll("registry.pull") is False
+        # the would-be stream is untouched: a fresh factory with the same
+        # seed produces the very first value of the sequence
+        probe = plane._streams.stream("registry.pull").random()
+        fresh = RandomStreams(seed=5).stream("registry.pull").random()
+        assert probe == fresh
+
+    def test_rate_zero_removes_the_point(self):
+        plane = FaultPlane()
+        plane.bind(RandomStreams(seed=1))
+        plane.configure("registry.pull", rate=0.5)
+        assert plane.point("registry.pull") is not None
+        plane.configure("registry.pull", rate=0.0)
+        assert plane.point("registry.pull") is None
+        assert not plane.armed
+
+    def test_rate_one_always_fires_and_counts(self):
+        plane = FaultPlane()
+        plane.bind(RandomStreams(seed=1))
+        plane.configure("registry.pull", rate=1.0)
+        assert all(plane.roll("registry.pull") for _ in range(10))
+        assert plane.injected["registry.pull"] == 10
+
+    def test_same_seed_same_firing_pattern(self):
+        def pattern(seed):
+            plane = FaultPlane()
+            plane.bind(RandomStreams(seed=seed))
+            plane.configure("channel.loss", rate=0.3)
+            return [plane.roll("channel.loss") for _ in range(200)]
+
+        first = pattern(11)
+        assert pattern(11) == first
+        assert any(first) and not all(first)
+        assert pattern(12) != first
+
+    def test_streams_keyed_by_point_not_creation_order(self):
+        plane_a = FaultPlane()
+        plane_a.bind(RandomStreams(seed=3))
+        plane_a.configure_many({"link.loss": 0.5, "channel.loss": 0.5})
+        seq_a = [plane_a.roll("link.loss") for _ in range(50)]
+
+        plane_b = FaultPlane()
+        plane_b.bind(RandomStreams(seed=3))
+        plane_b.configure("link.loss", rate=0.5)
+        # rolling an unrelated point first must not shift link.loss's stream
+        plane_b.configure("channel.loss", rate=0.5)
+        plane_b.roll("channel.loss")
+        assert [plane_b.roll("link.loss") for _ in range(50)] == seq_a
+
+    def test_stall_has_deterministic_length(self):
+        plane = FaultPlane()
+        plane.bind(RandomStreams(seed=1))
+        plane.configure("registry.stall", rate=1.0, stall_s=2.5)
+        assert plane.stall("registry.stall") == 2.5
+        assert plane.injected["registry.stall"] == 1
+
+    def test_delay_after_is_exponential_with_mean(self):
+        plane = FaultPlane()
+        plane.bind(RandomStreams(seed=1))
+        plane.configure("container.crash_run", rate=1.0, stall_s=10.0)
+        draws = [plane.delay_after("container.crash_run") for _ in range(500)]
+        assert all(d > 0 for d in draws)
+        assert sum(draws) / len(draws) == pytest.approx(10.0, rel=0.25)
+
+    def test_configure_many_accepts_scalars_and_dicts(self):
+        plane = FaultPlane()
+        plane.configure_many({
+            "registry.pull": 0.1,
+            "registry.stall": {"rate": 0.05, "stall_s": 2.0},
+        })
+        assert plane.point("registry.pull").rate == 0.1
+        assert plane.point("registry.stall").stall_s == 2.0
+
+    def test_invalid_point_configs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPoint(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPoint(rate=0.5, stall_s=-1.0)
+
+    def test_clear_disarms(self):
+        plane = FaultPlane()
+        plane.bind(RandomStreams(seed=1))
+        plane.configure("link.loss", rate=1.0)
+        assert plane.armed
+        plane.clear()
+        assert not plane.armed
+        assert plane.roll("link.loss") is False
+
+
+class _FakeCluster:
+    def __init__(self):
+        self.name = "fake"
+        self.up = True
+
+    def fail(self):
+        self.up = False
+
+    def recover(self):
+        self.up = True
+
+
+class TestFaultSchedule:
+    def test_apply_then_revert_at_the_right_times(self):
+        sim = Simulator()
+        log = []
+        fault = TimedFault(at=5.0, duration_s=3.0,
+                           apply=lambda: log.append(("down", sim.now)),
+                           revert=lambda: log.append(("up", sim.now)),
+                           label="window")
+        FaultSchedule([fault]).install(sim)
+        sim.run()
+        assert log == [("down", 5.0), ("up", 8.0)]
+
+    def test_permanent_fault_never_reverts(self):
+        sim = Simulator()
+        log = []
+        FaultSchedule([TimedFault(at=2.0, apply=lambda: log.append(sim.now))]
+                      ).install(sim)
+        sim.run()
+        assert log == [2.0]
+
+    def test_cluster_outage_window(self):
+        sim = Simulator()
+        cluster = _FakeCluster()
+        FaultSchedule([cluster_outage(cluster, at=1.0, duration_s=4.0)]
+                      ).install(sim)
+        sim.schedule(2.0, lambda: states.append(cluster.up))
+        sim.schedule(6.0, lambda: states.append(cluster.up))
+        states = []
+        sim.run()
+        assert states == [False, True]
+
+    def test_empty_schedule_changes_nothing(self):
+        sim = Simulator()
+        FaultSchedule().install(sim)
+        assert sim.run() == 0.0
