@@ -47,7 +47,7 @@ class TestTraceFigures:
         # "up to eight deployments per second in the beginning"
         assert 4 <= series.peak <= 8
         # the burst is at the beginning: half the deployments in the first 10 s
-        early = sum(y for x, y in zip(series.x, series.y) if x < 10.0)
+        early = sum(y for x, y in zip(series.x, series.y, strict=True) if x < 10.0)
         assert early >= 21
 
     def test_fig10_measured_through_controller(self, regen):

@@ -16,6 +16,9 @@ Typical entry points:
 
 Sub-packages
 ------------
+``repro.analysis``
+    Determinism linter (REP001–REP006), runtime sanitizer, and the
+    PYTHONHASHSEED byte-diff harness (stdlib-only; see docs/analysis.md).
 ``repro.simcore``
     Deterministic event loop, processes, signals, RNG streams, tracing.
 ``repro.netsim``
@@ -40,6 +43,7 @@ Sub-packages
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "simcore",
     "netsim",
     "openflow",

@@ -1,0 +1,46 @@
+"""Static and runtime determinism analysis for the simulation substrate.
+
+The reproduction's headline property — same seed, bit-identical run — is
+enforced nowhere by Python itself: one ``time.time()``, one bare
+``random.random()``, or one iteration over a ``set`` that leaks into
+scheduling order silently breaks it. This package keeps every PR honest:
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — a pluggable
+  AST lint framework with repo-specific rules (``REP001``..``REP006``),
+  inline ``# repro: noqa[RULE]`` suppressions, and pyproject configuration.
+  Run it as ``python -m repro.analysis src/repro``.
+* :mod:`repro.analysis.sanitizer` — cheap runtime invariant checks the test
+  suite can switch on (``REPRO_SANITIZE=1``): event-loop ordering audit,
+  FlowMemory referential integrity, and an RNG draw-count ledger.
+* :mod:`repro.analysis.determinism` — a harness that runs a small scenario
+  twice under two different ``PYTHONHASHSEED`` values and byte-diffs the
+  traces, turning "bit-identical" from a claim into a gate.
+"""
+
+from repro.analysis.engine import (
+    AnalysisConfig,
+    FileReport,
+    Violation,
+    check_paths,
+    check_source,
+    load_config,
+)
+from repro.analysis.rules import RULES, Rule, all_rules, get_rule
+from repro.analysis.sanitizer import Sanitizer, SanitizerError, active_sanitizer, sanitized
+
+__all__ = [
+    "AnalysisConfig",
+    "FileReport",
+    "RULES",
+    "Rule",
+    "Sanitizer",
+    "SanitizerError",
+    "Violation",
+    "active_sanitizer",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "load_config",
+    "sanitized",
+]

@@ -1,0 +1,176 @@
+"""Determinism harness: the "bit-identical" claim as an executable gate.
+
+``python -m repro.analysis.determinism`` runs a small Part-A scenario twice,
+in child interpreters pinned to two *different* ``PYTHONHASHSEED`` values,
+and byte-diffs the resulting fingerprints (full kernel trace + controller
+stats + the sanitizer's per-stream RNG draw ledger). Any dependence on hash
+ordering — the classic silent determinism bug — shows up as a diff whose
+first divergent line names the event or stream that moved.
+
+A deliberately broken scenario (``--scenario hash-order-bug``) iterates a
+``set`` of client labels to choose request order; the harness must flag it
+(tests/analysis/test_determinism.py keeps the harness itself honest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: the two hash seeds the gate compares; distinct salts => distinct set order
+HASH_SEEDS = ("1", "2")
+
+SCENARIOS = ("parta", "hash-order-bug")
+
+
+class DeterminismHarnessError(RuntimeError):
+    """A fingerprint child interpreter failed to run at all (as opposed to
+    running and producing a divergent fingerprint)."""
+
+
+# ---------------------------------------------------------------------------
+# Scenario (runs inside the child interpreter)
+# ---------------------------------------------------------------------------
+
+
+def _client_order(n_clients: int, buggy: bool) -> List[int]:
+    """Request order over clients; the buggy variant routes it through a set
+    of labels so the order inherits the interpreter's hash salt."""
+    labels = [f"client-{index:02d}" for index in range(n_clients)]
+    if not buggy:
+        return list(range(n_clients))
+    ordered = []
+    # The planted hash-order bug the harness exists to catch; exercised by
+    # tests/analysis/test_determinism.py and never by production code.
+    for label in set(labels):  # repro: noqa[REP003] deliberate planted bug
+        ordered.append(labels.index(label))
+    return ordered
+
+
+def scenario_fingerprint(scenario: str = "parta") -> str:
+    """Run the scenario and return its full textual fingerprint."""
+    from repro.analysis.sanitizer import sanitized
+    from repro.experiments.topologies import build_testbed
+    from repro.simcore.trace import TraceLog
+
+    buggy = scenario == "hash-order-bug"
+    n_clients = 8
+    with sanitized() as sanitizer:
+        trace = TraceLog(enabled=True)
+        tb = build_testbed(seed=11, n_clients=n_clients,
+                           cluster_types=("docker",),
+                           switch_idle_timeout_s=5.0,
+                           memory_idle_timeout_s=30.0,
+                           auto_scale_down=True,
+                           trace=trace)
+        svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+        requests = []
+        for index in _client_order(n_clients, buggy):
+            requests.append(
+                tb.client(index).fetch(svc.service_id.addr, svc.service_id.port))
+            tb.run(until=tb.sim.now + 0.25)
+        tb.run(until=tb.sim.now + 20.0)
+        # A second wave exercises the FlowMemory re-miss path.
+        for index in _client_order(n_clients, buggy):
+            requests.append(
+                tb.client(index).fetch(svc.service_id.addr, svc.service_id.port))
+        tb.run(until=tb.sim.now + 20.0)
+
+        lines: List[str] = ["== summary =="]
+        done = sum(1 for r in requests if r.done)
+        ok = sum(1 for r in requests if r.done and r.result.ok)
+        lines.append(f"requests done={done} ok={ok} t={tb.sim.now:.6f} "
+                     f"events={tb.sim.events_executed}")
+        lines.append("== controller stats ==")
+        for key in sorted(tb.controller.stats):
+            lines.append(f"{key}={tb.controller.stats[key]}")
+        lines.append("== rng ledger ==")
+        for name, draws in sanitizer.draw_counts().items():
+            lines.append(f"{name}={draws}")
+        lines.append("== trace ==")
+        lines.extend(str(record) for record in trace.records)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Harness (parent side)
+# ---------------------------------------------------------------------------
+
+
+def _child_env(hash_seed: str) -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    # Make sure the child can import repro from the same tree as the parent.
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (src_root + os.pathsep + existing) if existing else src_root
+    return env
+
+
+def run_child(scenario: str, hash_seed: str, timeout_s: float = 300.0) -> str:
+    """Run one fingerprint emission in a child pinned to ``hash_seed``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.determinism",
+         "--emit", "--scenario", scenario],
+        env=_child_env(hash_seed), capture_output=True, text=True,
+        timeout=timeout_s, check=False)
+    if proc.returncode != 0:
+        raise DeterminismHarnessError(
+            f"fingerprint child (PYTHONHASHSEED={hash_seed}) failed "
+            f"rc={proc.returncode}:\n{proc.stderr[-2000:]}")
+    return proc.stdout
+
+
+def compare(scenario: str = "parta",
+            hash_seeds: Tuple[str, str] = HASH_SEEDS) -> Tuple[bool, str]:
+    """Run the scenario under both hash seeds; return (identical, report)."""
+    first = run_child(scenario, hash_seeds[0])
+    second = run_child(scenario, hash_seeds[1])
+    if first == second:
+        size = len(first.encode("utf-8"))
+        return True, (f"scenario {scenario!r}: byte-identical fingerprints "
+                      f"({size} bytes) under PYTHONHASHSEED="
+                      f"{hash_seeds[0]} and {hash_seeds[1]}")
+    diff = list(difflib.unified_diff(
+        first.splitlines(), second.splitlines(),
+        fromfile=f"PYTHONHASHSEED={hash_seeds[0]}",
+        tofile=f"PYTHONHASHSEED={hash_seeds[1]}", lineterm="", n=2))
+    head = "\n".join(diff[:40])
+    return False, (f"scenario {scenario!r}: fingerprints DIVERGE under "
+                   f"different hash seeds — determinism broken:\n{head}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.determinism",
+        description="Run a scenario under two PYTHONHASHSEED values and "
+                    "byte-diff the traces.")
+    parser.add_argument("--scenario", default="parta", choices=SCENARIOS)
+    parser.add_argument("--emit", action="store_true",
+                        help="(internal) print this interpreter's fingerprint")
+    parser.add_argument("--hash-seeds", default=",".join(HASH_SEEDS),
+                        help="two comma-separated PYTHONHASHSEED values")
+    args = parser.parse_args(argv)
+
+    if args.emit:
+        sys.stdout.write(scenario_fingerprint(args.scenario))
+        return 0
+
+    seeds = tuple(s.strip() for s in args.hash_seeds.split(",") if s.strip())
+    if len(seeds) != 2 or seeds[0] == seeds[1]:
+        print("--hash-seeds needs exactly two distinct values", file=sys.stderr)
+        return 2
+    identical, report = compare(args.scenario, (seeds[0], seeds[1]))
+    print(report)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

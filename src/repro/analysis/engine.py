@@ -1,0 +1,274 @@
+"""Lint engine: file discovery, configuration, suppression, reporting.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tomllib``) so
+it can run in CI before anything else is importable. Configuration lives in
+``pyproject.toml``::
+
+    [tool.repro.analysis]
+    include = ["src/repro"]
+    exclude = ["tests/fixtures"]
+    select = []          # empty = all registered rules
+    ignore = []
+
+Inline suppression: a ``# repro: noqa[REP001]`` comment on the flagged line
+silences that rule there; ``# repro: noqa`` (no codes) silences every rule on
+the line. By convention a suppression carries a short justification after it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+import os
+import re
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.rules import RULES, FileContext, all_rules
+
+try:  # pragma: no cover - tomllib is stdlib from 3.11; 3.10 may lack it
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover
+    tomllib = None  # type: ignore[assignment]
+
+#: matches `# repro: noqa` and `# repro: noqa[REP001, REP003]`
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class FileReport:
+    """Lint outcome for one file."""
+
+    path: str
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    parse_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.parse_error is None
+
+
+@dataclass
+class AnalysisConfig:
+    """Effective configuration (pyproject defaults + CLI overrides)."""
+
+    include: List[str] = field(default_factory=list)
+    exclude: List[str] = field(default_factory=list)
+    select: Set[str] = field(default_factory=set)
+    ignore: Set[str] = field(default_factory=set)
+
+    def active_codes(self) -> List[str]:
+        codes = sorted(self.select) if self.select else sorted(RULES)
+        return [c for c in codes if c not in self.ignore]
+
+
+def load_config(root: str = ".") -> AnalysisConfig:
+    """Read ``[tool.repro.analysis]`` from ``pyproject.toml`` under ``root``.
+
+    Missing file/section/parser all degrade to the empty (lint-everything)
+    configuration, so the tool works in bare checkouts too.
+    """
+    config = AnalysisConfig()
+    path = os.path.join(root, "pyproject.toml")
+    if tomllib is None or not os.path.isfile(path):
+        return config
+    with open(path, "rb") as fh:
+        try:
+            data = tomllib.load(fh)
+        except tomllib.TOMLDecodeError:
+            return config
+    section = data.get("tool", {}).get("repro", {}).get("analysis", {})
+    config.include = [str(p) for p in section.get("include", [])]
+    config.exclude = [str(p) for p in section.get("exclude", [])]
+    config.select = {str(c) for c in section.get("select", [])}
+    config.ignore = {str(c) for c in section.get("ignore", [])}
+    return config
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def suppressions_for(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (None = all codes) for a file."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = NOQA_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def _is_suppressed(violation: Violation,
+                   suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    codes = suppressions.get(violation.line, False)
+    if codes is False:
+        return False
+    return codes is None or violation.code in codes  # type: ignore[operator]
+
+
+# ---------------------------------------------------------------------------
+# Checking
+# ---------------------------------------------------------------------------
+
+
+def check_source(source: str, path: str = "<string>",
+                 config: Optional[AnalysisConfig] = None) -> FileReport:
+    """Lint one source string; the unit every test fixture goes through."""
+    config = config if config is not None else AnalysisConfig()
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.parse_error = f"{path}:{exc.lineno or 0}:0: parse error: {exc.msg}"
+        return report
+    ctx = FileContext(path, source, tree)
+    suppressions = suppressions_for(source)
+    for code in config.active_codes():
+        rule = RULES[code]()
+        for node, message in rule.check(ctx):
+            violation = Violation(
+                path=path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+            if _is_suppressed(violation, suppressions):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return report
+
+
+def check_file(path: str, config: Optional[AnalysisConfig] = None) -> FileReport:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        report = FileReport(path=path)
+        report.parse_error = f"{path}: unreadable: {exc}"
+        return report
+    return check_source(source, path=path, config=config)
+
+
+def _excluded(path: str, excludes: Sequence[str]) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(pattern and pattern in normalized for pattern in excludes)
+
+
+def discover(paths: Iterable[str], excludes: Sequence[str] = ()) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    found: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and not _excluded(path, excludes):
+                found.add(path)
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    full = os.path.join(dirpath, filename)
+                    if not _excluded(full, excludes):
+                        found.add(full)
+    return sorted(found)
+
+
+def check_paths(paths: Iterable[str],
+                config: Optional[AnalysisConfig] = None) -> List[FileReport]:
+    config = config if config is not None else AnalysisConfig()
+    files = discover(paths, excludes=config.exclude)
+    return [check_file(path, config=config) for path in files]
+
+
+# ---------------------------------------------------------------------------
+# CLI driver (used by __main__)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism linter for the repro simulation substrate.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: pyproject "
+                             "[tool.repro.analysis].include)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run (default all)")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore pyproject.toml [tool.repro.analysis]")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(rule.describe())
+        return 0
+
+    config = AnalysisConfig() if args.no_config else load_config()
+    if args.select:
+        config.select = {c.strip() for c in args.select.split(",") if c.strip()}
+    if args.ignore:
+        config.ignore |= {c.strip() for c in args.ignore.split(",") if c.strip()}
+    unknown = (config.select | config.ignore) - set(RULES)
+    if unknown:
+        print(f"unknown rule code(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    paths = list(args.paths) or config.include or ["src/repro"]
+    reports = check_paths(paths, config=config)
+    if not reports:
+        print(f"no python files found under: {', '.join(paths)}",
+              file=sys.stderr)
+        return 2
+
+    total = 0
+    suppressed = 0
+    broken = 0
+    for report in reports:
+        if report.parse_error is not None:
+            broken += 1
+            print(report.parse_error, file=sys.stderr)
+        suppressed += report.suppressed
+        for violation in report.violations:
+            total += 1
+            if not args.quiet:
+                print(violation.format())
+    summary = (f"{len(reports)} files checked: {total} violation(s), "
+               f"{suppressed} suppressed")
+    print(summary if total == 0 and broken == 0 else summary + " — FAIL")
+    return 1 if (total or broken) else 0

@@ -1,0 +1,270 @@
+"""Runtime sanitizer: always-on-in-tests invariant checks.
+
+The static rules catch what is visible in the source; this layer catches
+what only shows up while a simulation runs. It is installed by patching the
+substrate classes (no hot-path cost when off, zero imports from ``simcore``
+at module scope are needed by the patched code itself), and enabled either
+programmatically::
+
+    from repro.analysis import sanitized
+    with sanitized() as san:
+        run_experiment()
+        assert san.rng_ledger["workload.arrivals"] > 0
+
+or for a whole test run via ``REPRO_SANITIZE=1`` (see tests/conftest.py).
+
+Checks
+------
+* **Event-loop order audit** — every event executed by a
+  :class:`~repro.simcore.loop.Simulator` must be strictly later in
+  ``(time, seq)`` than the previous one (FIFO same-time ordering is
+  load-bearing) and never before the current clock.
+* **Finite delays** — ``schedule()`` rejects NaN/inf delays, which the
+  plain heap would silently misplace.
+* **FlowMemory referential integrity** — after every mutation, each entry's
+  key matches its flow, timestamps are sane, and a ``forget_endpoint`` leaves
+  no dangling references to the endpoint.
+* **RNG draw-count ledger** — every draw on a named stream is counted, so a
+  determinism diff can name the stream that diverged instead of just
+  "the traces differ".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+import weakref
+
+
+class SanitizerError(AssertionError):
+    """A runtime determinism/integrity invariant was violated."""
+
+
+_active: Optional["Sanitizer"] = None
+
+
+def active_sanitizer() -> Optional["Sanitizer"]:
+    """The currently installed sanitizer, or None."""
+    return _active
+
+
+class Sanitizer:
+    """Installable bundle of runtime invariant checks.
+
+    One instance may be installed at a time; :meth:`install` is idempotent
+    per instance and :meth:`uninstall` restores the original methods.
+    """
+
+    def __init__(self) -> None:
+        self.installed = False
+        #: stream name -> number of draws (any Generator method call)
+        self.rng_ledger: Dict[str, int] = {}
+        #: diagnostic counters per check
+        self.checks_run: Dict[str, int] = {
+            "event_order": 0, "schedule": 0, "flowmemory": 0}
+        self._originals: Dict[Tuple[type, str], Any] = {}
+        #: sim -> (time, seq) of the last executed event
+        self._last_event: "weakref.WeakKeyDictionary[Any, Tuple[float, int]]" = (
+            weakref.WeakKeyDictionary())
+        #: RandomStreams -> {name: proxy} so stream identity stays stable
+        self._proxies: "weakref.WeakKeyDictionary[Any, Dict[str, Any]]" = (
+            weakref.WeakKeyDictionary())
+
+    # ------------------------------------------------------------- install
+
+    def _patch(self, cls: type, name: str, wrapper: Callable[..., Any]) -> None:
+        self._originals[(cls, name)] = getattr(cls, name)
+        setattr(cls, name, wrapper)
+
+    def install(self) -> "Sanitizer":
+        global _active
+        if self.installed:
+            return self
+        if _active is not None:
+            raise SanitizerError("another Sanitizer is already installed")
+        from repro.core.flowmemory import FlowMemory
+        from repro.simcore.loop import Simulator
+        from repro.simcore.rng import RandomStreams
+
+        self._install_simulator(Simulator)
+        self._install_rng(RandomStreams)
+        self._install_flowmemory(FlowMemory)
+        self.installed = True
+        _active = self
+        return self
+
+    def uninstall(self) -> None:
+        global _active
+        if not self.installed:
+            return
+        for (cls, name), original in self._originals.items():
+            setattr(cls, name, original)
+        self._originals.clear()
+        self.installed = False
+        if _active is self:
+            _active = None
+
+    # ----------------------------------------------------- simulator checks
+
+    def _install_simulator(self, simulator_cls: type) -> None:
+        sanitizer = self
+        orig_schedule = simulator_cls.schedule
+        orig_pop = simulator_cls._pop_alive
+
+        def schedule(sim: Any, delay: float, callback: Callable[..., Any],
+                     *args: Any) -> Any:
+            sanitizer.checks_run["schedule"] += 1
+            if not math.isfinite(delay):
+                raise SanitizerError(
+                    f"schedule() with non-finite delay {delay!r} — the event "
+                    f"heap would order it arbitrarily")
+            return orig_schedule(sim, delay, callback, *args)
+
+        def _pop_alive(sim: Any) -> Any:
+            handle = orig_pop(sim)
+            if handle is not None:
+                sanitizer.checks_run["event_order"] += 1
+                key = (handle.time, handle.seq)
+                last = sanitizer._last_event.get(sim)
+                if last is not None and key <= last:
+                    raise SanitizerError(
+                        f"event order audit: popped (t={handle.time!r}, "
+                        f"seq={handle.seq}) after (t={last[0]!r}, "
+                        f"seq={last[1]}) — FIFO/heap invariant broken")
+                if handle.time < sim.now:
+                    raise SanitizerError(
+                        f"event order audit: event at t={handle.time!r} "
+                        f"popped with clock already at t={sim.now!r}")
+                sanitizer._last_event[sim] = key
+            return handle
+
+        self._patch(simulator_cls, "schedule", schedule)
+        self._patch(simulator_cls, "_pop_alive", _pop_alive)
+
+    # ----------------------------------------------------------- RNG ledger
+
+    def _install_rng(self, streams_cls: type) -> None:
+        sanitizer = self
+        orig_stream = streams_cls.stream
+
+        def stream(streams: Any, name: str) -> Any:
+            gen = orig_stream(streams, name)
+            cache = sanitizer._proxies.setdefault(streams, {})
+            proxy = cache.get(name)
+            if proxy is None or proxy._gen is not gen:
+                proxy = _LedgerGenerator(gen, name, sanitizer.rng_ledger)
+                cache[name] = proxy
+            return proxy
+
+        self._patch(streams_cls, "stream", stream)
+
+    def draw_counts(self) -> Dict[str, int]:
+        """Snapshot of the per-stream draw ledger (sorted by stream name)."""
+        return {name: self.rng_ledger[name] for name in sorted(self.rng_ledger)}
+
+    # ----------------------------------------------------- FlowMemory checks
+
+    def _install_flowmemory(self, memory_cls: type) -> None:
+        sanitizer = self
+
+        def checked(method_name: str) -> Callable[..., Any]:
+            original = getattr(memory_cls, method_name)
+
+            def wrapper(memory: Any, *args: Any, **kwargs: Any) -> Any:
+                result = original(memory, *args, **kwargs)
+                sanitizer._check_flowmemory(memory, method_name, args)
+                return result
+
+            return wrapper
+
+        for name in ("remember", "forget", "forget_endpoint", "clear",
+                     "_idle_check"):
+            self._patch(memory_cls, name, checked(name))
+
+    def _check_flowmemory(self, memory: Any, mutation: str,
+                          args: Tuple[Any, ...]) -> None:
+        self.checks_run["flowmemory"] += 1
+        now = memory.sim.now
+        for key, flow in memory._flows.items():
+            if flow.key != key:
+                raise SanitizerError(
+                    f"FlowMemory integrity after {mutation}: entry stored "
+                    f"under {key!r} carries key {flow.key!r}")
+            if flow.created_at > flow.last_used + 1e-12:
+                raise SanitizerError(
+                    f"FlowMemory integrity after {mutation}: flow {key!r} "
+                    f"created_at {flow.created_at!r} after last_used "
+                    f"{flow.last_used!r}")
+            if flow.last_used > now + 1e-12:
+                raise SanitizerError(
+                    f"FlowMemory integrity after {mutation}: flow {key!r} "
+                    f"last_used {flow.last_used!r} is in the future "
+                    f"(now={now!r})")
+        if mutation == "forget_endpoint" and args:
+            endpoint = args[0]
+            dangling = [key for key, flow in memory._flows.items()
+                        if flow.endpoint == endpoint]
+            if dangling:
+                raise SanitizerError(
+                    f"FlowMemory integrity: forget_endpoint({endpoint!r}) "
+                    f"left dangling flows {dangling!r}")
+
+
+class _LedgerGenerator:
+    """Counting proxy around a ``numpy.random.Generator``.
+
+    Every method call (a draw, in practice) increments the ledger for the
+    stream's name. Attribute reads delegate; state stays in the wrapped
+    generator, so determinism is untouched.
+    """
+
+    __slots__ = ("_gen", "_name", "_ledger")
+
+    def __init__(self, gen: Any, name: str, ledger: Dict[str, int]):
+        object.__setattr__(self, "_gen", gen)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_ledger", ledger)
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._gen, attr)
+        if not callable(value):
+            return value
+        ledger, name = self._ledger, self._name
+
+        def counted(*args: Any, **kwargs: Any) -> Any:
+            ledger[name] = ledger.get(name, 0) + 1
+            return value(*args, **kwargs)
+
+        return counted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LedgerGenerator {self._name!r} draws={self._ledger.get(self._name, 0)}>"
+
+
+@contextlib.contextmanager
+def sanitized() -> Iterator[Sanitizer]:
+    """Context manager: install a fresh sanitizer, uninstall on exit.
+
+    Nests under an already-installed sanitizer (e.g. the session-wide one
+    from ``REPRO_SANITIZE=1``): the outer one is suspended for the duration
+    so the inner context gets a clean ledger, then reinstated.
+    """
+    outer = _active
+    if outer is not None:
+        outer.uninstall()
+    sanitizer = Sanitizer().install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+        if outer is not None:
+            outer.install()
+
+
+def install_from_env() -> Optional[Sanitizer]:
+    """Install a sanitizer when ``REPRO_SANITIZE=1`` (used by conftest)."""
+    if os.environ.get("REPRO_SANITIZE") == "1" and _active is None:
+        return Sanitizer().install()
+    return None

@@ -25,44 +25,35 @@ Components (§IV–V of the paper):
   on-demand deployment with and without waiting, cloud fallback).
 """
 
-from repro.core.serviceid import ServiceID
+from repro.core.admin import EdgeAdmin
 from repro.core.annotate import AnnotationConfig, annotate_service, load_service_yaml
-from repro.core.registry import EdgeService, ServiceRegistry
-from repro.core.flowmemory import FlowMemory, MemorizedFlow
-from repro.core.zones import ZoneMap
-from repro.core.scheduler import (
-    GlobalScheduler,
-    Placement,
-    ScheduleRequest,
-    ProximityScheduler,
-    RoundRobinScheduler,
-    LoadAwareScheduler,
-    estimate_time_to_ready,
-)
-from repro.core.resilience import (
-    RetryPolicy,
-    NO_RETRY,
-    BreakerConfig,
-    CircuitBreaker,
-)
+from repro.core.controller import AttachmentPoint, ControllerConfig, TransparentEdgeController
 from repro.core.deployment import (
     DeploymentEngine,
-    DeploymentRecord,
     DeploymentError,
     DeploymentPhaseError,
-    DeploymentTimeout,
+    DeploymentRecord,
     DeploymentRetriesExhausted,
+    DeploymentTimeout,
 )
 from repro.core.dispatcher import Dispatcher, DispatchResult
-from repro.core.controller import (
-    AttachmentPoint,
-    TransparentEdgeController,
-    ControllerConfig,
-)
+from repro.core.flowmemory import FlowMemory, MemorizedFlow
+from repro.core.hierarchy import EdgeHierarchy, HierarchicalScheduler
 from repro.core.mobility import MobilityManager
 from repro.core.predictor import EwmaArrivalPredictor, ProactiveDeployer
-from repro.core.hierarchy import EdgeHierarchy, HierarchicalScheduler
-from repro.core.admin import EdgeAdmin
+from repro.core.registry import EdgeService, ServiceRegistry
+from repro.core.resilience import NO_RETRY, BreakerConfig, CircuitBreaker, RetryPolicy
+from repro.core.scheduler import (
+    GlobalScheduler,
+    LoadAwareScheduler,
+    Placement,
+    ProximityScheduler,
+    RoundRobinScheduler,
+    ScheduleRequest,
+    estimate_time_to_ready,
+)
+from repro.core.serviceid import ServiceID
+from repro.core.zones import ZoneMap
 
 __all__ = [
     "ServiceID",

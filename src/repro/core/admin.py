@@ -14,16 +14,16 @@ bookkeeping each one needs to be *safe* on a live data path:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.registry import EdgeService
 from repro.core.serviceid import ServiceID
 from repro.netsim.packet import ETH_TYPE_IP
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Process
     from repro.core.controller import TransparentEdgeController
     from repro.edge.cluster import EdgeCluster
+    from repro.simcore import Process
 
 
 class EdgeAdmin:

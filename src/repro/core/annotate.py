@@ -63,7 +63,7 @@ def load_service_yaml(text: str) -> List[dict]:
 def _find_behavior(image: str) -> Optional[ServiceBehavior]:
     """Resolve an image reference to a catalog behaviour (None: generic)."""
     for entry in EDGE_SERVICE_CATALOG.values():
-        for img, behavior in zip(entry.images, entry.behaviors):
+        for img, behavior in zip(entry.images, entry.behaviors, strict=True):
             if str(img.ref) == image or img.ref.name == image:
                 return behavior
     return None

@@ -27,7 +27,7 @@ Implements the transparent-access data path of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.dispatcher import Dispatcher, DispatchResult
 from repro.core.fabric import FabricTopology
@@ -35,19 +35,13 @@ from repro.core.flowmemory import FlowMemory, MemorizedFlow
 from repro.core.registry import EdgeService, ServiceRegistry
 from repro.core.serviceid import ServiceID
 from repro.edge.cluster import EdgeCluster, Endpoint
-from repro.netsim.addresses import IPv4, MAC
-from repro.netsim.packet import (
-    ArpOp,
-    ArpPacket,
-    ETH_TYPE_ARP,
-    ETH_TYPE_IP,
-    EthernetFrame,
-)
+from repro.netsim.addresses import MAC, IPv4
+from repro.netsim.packet import ETH_TYPE_ARP, ETH_TYPE_IP, ArpOp, ArpPacket, EthernetFrame
 from repro.ryuapp import (
+    MAIN_DISPATCHER,
     EventOFPFlowRemoved,
     EventOFPPacketIn,
     EventOFPStateChange,
-    MAIN_DISPATCHER,
     RyuApp,
     set_ev_cls,
 )

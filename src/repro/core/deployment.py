@@ -26,7 +26,7 @@ dispatcher can fall back toward the cloud instead of hanging the client.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.registry import EdgeService
 from repro.core.resilience import RetryPolicy

@@ -27,7 +27,7 @@ architecture gets for free (the client addressed the cloud all along).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.deployment import DeploymentEngine, DeploymentError
 from repro.core.flowmemory import FlowMemory

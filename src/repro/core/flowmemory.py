@@ -13,15 +13,15 @@ Why it exists (two purposes, per the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.serviceid import ServiceID
 from repro.edge.cluster import Endpoint
 from repro.netsim.addresses import IPv4
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator
     from repro.edge.cluster import EdgeCluster
+    from repro.simcore import Simulator
 
 #: (client address, service identity)
 FlowKey = Tuple[IPv4, ServiceID]
@@ -119,7 +119,7 @@ class FlowMemory:
             return
         deadline = flow.last_used + self.idle_timeout_s
         if self.sim.now < deadline - 1e-12:
-            self.sim.schedule(deadline - self.sim.now, self._idle_check, key)
+            self.sim.schedule(max(0.0, deadline - self.sim.now), self._idle_check, key)
             return
         del self._flows[key]
         self.expirations += 1

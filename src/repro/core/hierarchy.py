@@ -19,12 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.scheduler import (
-    GlobalScheduler,
-    Placement,
-    ScheduleRequest,
-    estimate_time_to_ready,
-)
+from repro.core.scheduler import GlobalScheduler, Placement, ScheduleRequest, estimate_time_to_ready
 from repro.core.zones import ZoneMap
 from repro.edge.cluster import EdgeCluster
 

@@ -16,7 +16,7 @@ client, which keeps addressing the cloud IP throughout.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.netsim.addresses import IPv4
 from repro.netsim.packet import ETH_TYPE_IP

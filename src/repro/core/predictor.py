@@ -20,15 +20,15 @@ which the evaluation reports alongside the hit rate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.registry import EdgeService
 from repro.core.serviceid import ServiceID
 from repro.netsim.addresses import IPv4
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator
     from repro.core.dispatcher import Dispatcher
+    from repro.simcore import Simulator
 
 
 class EwmaArrivalPredictor:
@@ -103,7 +103,7 @@ class ProactiveDeployer:
             return
         fire_at = max(self.sim.now, predicted - self.lead_time_s)
         self.stats.scheduled += 1
-        self.sim.schedule(fire_at - self.sim.now, self._predeploy, client, service)
+        self.sim.schedule(max(0.0, fire_at - self.sim.now), self._predeploy, client, service)
 
     def _predeploy(self, client: IPv4, service: EdgeService) -> None:
         zone = self.dispatcher.client_zone(client)

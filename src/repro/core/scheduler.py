@@ -18,9 +18,9 @@ Scheduler returns
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+import itertools
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.registry import EdgeService
 from repro.core.zones import ZoneMap

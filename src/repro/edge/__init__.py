@@ -16,26 +16,20 @@ Everything the on-demand deployment engine talks to lives here:
   controller deploys through.
 """
 
-from repro.edge.images import ImageLayer, ContainerImage, ImageRef, parse_image_ref
-from repro.edge.registry import Registry, RegistryTiming, RegistryHub
-from repro.edge.timing import ContainerdTiming, KubernetesTiming, DockerTiming
+from repro.edge.cluster import ClusterUnavailable, DockerCluster, EdgeCluster, Endpoint, KubernetesEdgeCluster
+from repro.edge.containerd import Container, Containerd, ContainerState
+from repro.edge.docker import DockerContainerHandle, DockerEngine
+from repro.edge.images import ContainerImage, ImageLayer, ImageRef, parse_image_ref
+from repro.edge.kubernetes import HorizontalPodAutoscaler, KubernetesCluster
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming
 from repro.edge.services import (
-    ServiceBehavior,
     EDGE_SERVICE_CATALOG,
-    catalog_image,
+    ServiceBehavior,
     catalog_behavior,
+    catalog_image,
     service_table,
 )
-from repro.edge.containerd import Containerd, Container, ContainerState
-from repro.edge.docker import DockerEngine, DockerContainerHandle
-from repro.edge.kubernetes import KubernetesCluster, HorizontalPodAutoscaler
-from repro.edge.cluster import (
-    ClusterUnavailable,
-    EdgeCluster,
-    DockerCluster,
-    KubernetesEdgeCluster,
-    Endpoint,
-)
+from repro.edge.timing import ContainerdTiming, DockerTiming, KubernetesTiming
 
 __all__ = [
     "ImageLayer",

@@ -23,24 +23,24 @@ Delete     delete image                  delete image
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
 from repro.edge.kubernetes import (
+    DEFAULT_SCHEDULER,
     ContainerSpec,
     Deployment,
     KubernetesCluster,
     PodTemplate,
     Service,
-    DEFAULT_SCHEDULER,
 )
 from repro.edge.services import ServiceBehavior
 from repro.netsim.addresses import IPv4
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Process, Simulator
     from repro.netsim.host import Host
+    from repro.simcore import Process, Simulator
 
 #: controller port-probe poll period ("the controller continuously tests if
 #: the respective port is open", §VI)
@@ -51,6 +51,11 @@ class ClusterUnavailable(RuntimeError):
     """The cluster (node / orchestrator API) is down — operations against
     it fail fast instead of hanging. Raised while :attr:`EdgeCluster.up`
     is False (outage injection, maintenance windows)."""
+
+
+class ClusterStateError(RuntimeError):
+    """A lifecycle operation was issued out of order (e.g. scale-up before
+    create). Subclasses :class:`RuntimeError` for backwards compatibility."""
 
 
 @dataclass(frozen=True)
@@ -313,7 +318,7 @@ class DockerCluster(EdgeCluster):
         def proc():
             handles = self._handles(spec)
             if len(handles) != len(spec.containers):
-                raise RuntimeError(f"{spec.name}: not created on {self.name}")
+                raise ClusterStateError(f"{spec.name}: not created on {self.name}")
             for handle in handles:
                 if handle.status != "running":
                     yield handle.start()

@@ -15,17 +15,16 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.edge.images import ContainerImage, ImageRef, parse_image_ref
+from repro.edge.images import MIB, ContainerImage, ImageRef, parse_image_ref
 from repro.edge.registry import RegistryHub, RegistryUnavailable
 from repro.edge.services import ServiceBehavior
-from repro.edge.timing import ContainerdTiming, DEFAULT_CONTAINERD
-from repro.edge.images import MIB
+from repro.edge.timing import DEFAULT_CONTAINERD, ContainerdTiming
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Process, Simulator
     from repro.netsim.host import Host
+    from repro.simcore import Process, Simulator
 
 
 class ContainerState(enum.Enum):

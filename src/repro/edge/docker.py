@@ -16,7 +16,7 @@ and return simulation processes (waitables).
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.edge.containerd import Container, Containerd, ContainerState
 from repro.edge.services import ServiceBehavior
@@ -164,7 +164,7 @@ class DockerEngine:
         if image is not None and image.app is not None:
             from repro.edge.services import EDGE_SERVICE_CATALOG
             for entry in EDGE_SERVICE_CATALOG.values():
-                for img, beh in zip(entry.images, entry.behaviors):
+                for img, beh in zip(entry.images, entry.behaviors, strict=True):
                     if img.app == image.app:
                         return beh
         return None

@@ -8,8 +8,8 @@ images and thus already be on disk", §VI).
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
+import hashlib
 from typing import Optional, Tuple
 
 KIB = 1024

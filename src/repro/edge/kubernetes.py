@@ -14,9 +14,9 @@ declared in :class:`~repro.edge.timing.KubernetesTiming`.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+import itertools
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.edge.containerd import Container, Containerd, ContainerState
 from repro.edge.services import ServiceBehavior
@@ -743,7 +743,7 @@ class KubernetesCluster:
             image = kubelet.runtime.image(image_ref)
             if image is not None and image.app is not None:
                 for entry in EDGE_SERVICE_CATALOG.values():
-                    for img, beh in zip(entry.images, entry.behaviors):
+                    for img, beh in zip(entry.images, entry.behaviors, strict=True):
                         if img.app == image.app:
                             return beh
         return None

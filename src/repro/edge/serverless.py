@@ -20,17 +20,17 @@ behind a registered service address.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+import itertools
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.edge.cluster import DeploymentSpec, EdgeCluster, Endpoint
 from repro.edge.registry import Registry
 from repro.edge.services import ServiceBehavior
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Process, Simulator
     from repro.netsim.host import Host
+    from repro.simcore import Process, Simulator
 
 #: Host-port pool for serverless function endpoints.
 FUNCTION_PORT_BASE = 35000

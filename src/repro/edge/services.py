@@ -19,9 +19,9 @@ Nginx+Py      nginx:1.23.2 + josefhammer/env-writer-py   181 MiB / 7    2       
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-from repro.edge.images import ContainerImage, KIB, MIB, make_image
+from repro.edge.images import KIB, MIB, ContainerImage, make_image
 from repro.netsim.packet import HTTPRequest, HTTPResponse
 
 if TYPE_CHECKING:  # pragma: no cover

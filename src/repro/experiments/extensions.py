@@ -337,7 +337,7 @@ def e3_proactive_deployment(period_s: float = 45.0, cycles: int = 8) -> Table:
 
         samples: List[float] = []
         cold = 0
-        for cycle in range(cycles):
+        for _cycle in range(cycles):
             records_before = len(tb.engine.records_for(cold_only=True))
             request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
             tb.run(until=tb.sim.now + 20.0)

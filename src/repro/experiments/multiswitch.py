@@ -30,11 +30,11 @@ from repro.core import (
 from repro.core.annotate import AnnotationConfig
 from repro.core.fabric import FabricTopology
 from repro.edge import Containerd, DockerCluster, DockerEngine, Registry, RegistryHub
-from repro.edge.kubernetes import KubernetesCluster
 from repro.edge.cluster import KubernetesEdgeCluster
+from repro.edge.kubernetes import KubernetesCluster
 from repro.edge.registry import DOCKER_HUB_TIMING, GCR_TIMING, PRIVATE_LAN_TIMING
 from repro.edge.services import all_catalog_images
-from repro.experiments.topologies import Testbed, VGW_IP, VGW_MAC
+from repro.experiments.topologies import VGW_IP, VGW_MAC, Testbed
 from repro.netsim import Network
 from repro.netsim.host import Host
 from repro.openflow import ControlChannel, OpenFlowSwitch
@@ -77,7 +77,7 @@ def build_multiswitch_testbed(
         access_switches.append(switch)
     #: uplink port on each access switch (after its client ports)
     uplink_port = clients_per_switch + 1
-    for index, switch in enumerate(access_switches):
+    for switch in access_switches:
         core_port += 1
         net.connect(switch, uplink_port, core, core_port,
                     latency_s=interswitch_latency_s, bandwidth_bps=10e9)

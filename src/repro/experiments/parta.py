@@ -115,7 +115,7 @@ def a2_first_packet_overhead(repeats: int = 9) -> Table:
             assert request.done and request.result.ok
             return request.result.time_total
 
-        for index in range(repeats):
+        for _ in range(repeats):
             # state: no flows, no memory for first iteration
             tb.switch.table.delete(Match(eth_type=0x0800, ip_proto=6))
             tb.memory.clear()
@@ -300,7 +300,7 @@ def a5_multiswitch_overhead(requests: int = 9) -> Table:
         assert warm.done and warm.exception is None
 
         warm_samples, first_samples = [], []
-        for index in range(requests):
+        for _ in range(requests):
             # first packet: clear all flows + memory
             for switch in switches:
                 switch.table.delete(Match(eth_type=0x0800, ip_proto=6))

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-
 from repro.edge.services import EDGE_SERVICE_CATALOG, service_table
 from repro.experiments.topologies import Testbed, build_testbed
 from repro.metrics import Series, Table, summarize
@@ -314,7 +313,7 @@ def replay_trace_through_controller(
                        switch_idle_timeout_s=switch_idle_timeout_s)
     behavior = EDGE_SERVICE_CATALOG[service_key].serving_behavior
     services = {}
-    for index, (dst, port) in enumerate(trace.services):
+    for dst, port in trace.services:
         from repro.core.serviceid import ServiceID
 
         sid = ServiceID(dst, port)

@@ -104,7 +104,7 @@ class Testbed:
         import yaml as _yaml
 
         containers = []
-        for image, beh in zip(entry.images, entry.behaviors):
+        for image, beh in zip(entry.images, entry.behaviors, strict=True):
             container = {"name": beh.name, "image": str(image.ref)}
             if beh.port is not None:
                 container["ports"] = [{"containerPort": beh.port}]
@@ -275,7 +275,7 @@ def build_testbed(
 
     # ---- EGS node(s) + clusters ---------------------------------------------
     zones = ZoneMap(default_rtt_s=0.050)
-    for index, client in enumerate(clients):
+    for client in clients:
         zones.assign_client(client.ip, "access")
     zones.set_rtt("access", "edge", 0.001)
 

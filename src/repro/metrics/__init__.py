@@ -1,16 +1,16 @@
 """Measurement: summary statistics, figure/table renderers, failure counters."""
 
-from repro.metrics.stats import Summary, summarize
 from repro.metrics.failures import FailureCounters, snapshot_failures
 from repro.metrics.report import (
-    Table,
     Series,
-    render_table,
-    render_series,
+    Table,
     format_seconds,
-    table_to_csv,
+    render_series,
+    render_table,
     series_to_csv,
+    table_to_csv,
 )
+from repro.metrics.stats import Summary, summarize
 
 __all__ = [
     "Summary",

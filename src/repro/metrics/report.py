@@ -97,10 +97,10 @@ def render_table(table: Table) -> str:
     widths = [max(len(headers[i]), *(len(r[i]) for r in grid)) if grid else len(headers[i])
               for i in range(len(headers))]
     lines = [table.title, "=" * len(table.title)]
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in grid:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     if table.note:
         lines.append(f"note: {table.note}")
     return "\n".join(lines)
@@ -129,7 +129,7 @@ def series_to_csv(series: Series) -> str:
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow([series.x_label, series.y_label])
-    for x, y in zip(series.x, series.y):
+    for x, y in zip(series.x, series.y, strict=True):
         writer.writerow([x, y])
     return buffer.getvalue()
 

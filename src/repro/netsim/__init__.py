@@ -11,24 +11,24 @@ The OpenFlow switch lives in :mod:`repro.openflow`; it is just another
 :class:`~repro.netsim.device.Device` on these links.
 """
 
-from repro.netsim.addresses import MAC, IPv4, BROADCAST_MAC, ZERO_MAC, mac, ip
+from repro.netsim.addresses import BROADCAST_MAC, MAC, ZERO_MAC, IPv4, ip, mac
+from repro.netsim.device import Device
+from repro.netsim.host import Connection, ConnectionRefused, ConnectTimeout, Host
+from repro.netsim.link import Link
 from repro.netsim.packet import (
-    EthernetFrame,
-    ArpPacket,
-    IPv4Packet,
-    TCPSegment,
-    UDPDatagram,
-    HTTPRequest,
-    HTTPResponse,
-    ETH_TYPE_IP,
     ETH_TYPE_ARP,
+    ETH_TYPE_IP,
     IP_PROTO_TCP,
     IP_PROTO_UDP,
+    ArpPacket,
+    EthernetFrame,
+    HTTPRequest,
+    HTTPResponse,
+    IPv4Packet,
     TCPFlags,
+    TCPSegment,
+    UDPDatagram,
 )
-from repro.netsim.link import Link
-from repro.netsim.device import Device
-from repro.netsim.host import Host, Connection, ConnectionRefused, ConnectTimeout
 from repro.netsim.topology import Network
 
 __all__ = [

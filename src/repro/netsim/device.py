@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict
 
 from repro.netsim.packet import EthernetFrame
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator
     from repro.netsim.link import Link
+    from repro.simcore import Simulator
 
 
 class Device:

@@ -20,27 +20,35 @@ so data retransmission/windowing is intentionally not modelled.
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
-from repro.netsim.addresses import BROADCAST_MAC, IPv4, MAC
+from repro.netsim.addresses import BROADCAST_MAC, MAC, IPv4
 from repro.netsim.device import Device
 from repro.netsim.packet import (
-    ArpOp,
-    ArpPacket,
     ETH_TYPE_ARP,
     ETH_TYPE_IP,
-    EthernetFrame,
     IP_PROTO_TCP,
     IP_PROTO_UDP,
-    IPv4Packet,
     TCP_MSS,
+    ArpOp,
+    ArpPacket,
+    EthernetFrame,
+    IPv4Packet,
     TCPFlags,
     TCPSegment,
     UDPDatagram,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator, Signal
+    from repro.simcore import Signal, Simulator
+
+
+class NetworkStateError(RuntimeError):
+    """An operation was attempted in an invalid host/connection state.
+
+    Subclasses :class:`RuntimeError` for backwards compatibility with
+    pre-typed-hierarchy callers.
+    """
 
 
 class ConnectionRefused(Exception):
@@ -165,7 +173,7 @@ class Connection:
         links are FIFO and loss-free).
         """
         if self.state not in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT):
-            raise RuntimeError(f"send() on {self.state.value} connection")
+            raise NetworkStateError(f"send() on {self.state.value} connection")
         remaining = max(0, int(size_bytes))
         while True:
             chunk = min(remaining, TCP_MSS)
@@ -363,7 +371,7 @@ class Host(Device):
         """The single NIC's port number (hosts are single-homed)."""
         ports = self.port_numbers
         if not ports:
-            raise RuntimeError(f"{self.name}: no link attached")
+            raise NetworkStateError(f"{self.name}: no link attached")
         return ports[0]
 
     # ------------------------------------------------------------ listeners

@@ -12,13 +12,13 @@ transmission on the 1 Gbps access link instead of a single lump delay.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.netsim.packet import EthernetFrame
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator
     from repro.netsim.device import Device
+    from repro.simcore import Simulator
 
 
 class Link:

@@ -15,11 +15,11 @@ slower than a 62-byte GET.
 from __future__ import annotations
 
 import dataclasses
-import enum
 from dataclasses import dataclass, field
+import enum
 from typing import Any, Optional, Union
 
-from repro.netsim.addresses import IPv4, MAC
+from repro.netsim.addresses import MAC, IPv4
 
 ETH_TYPE_IP = 0x0800
 ETH_TYPE_ARP = 0x0806

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.netsim.addresses import IPv4, MAC
+from repro.netsim.addresses import MAC, IPv4
 from repro.netsim.device import Device
 from repro.netsim.host import Host
 from repro.netsim.link import Link

@@ -14,41 +14,36 @@ faithful semantics:
   controller processing.
 """
 
+from repro.openflow.actions import Action, OutputAction, SetFieldAction, apply_actions
+from repro.openflow.channel import ControlChannel, ControllerEndpoint
 from repro.openflow.constants import (
+    OFP_NO_BUFFER,
+    OFPFF_SEND_FLOW_REM,
     OFPP_CONTROLLER,
     OFPP_FLOOD,
     OFPP_IN_PORT,
-    OFP_NO_BUFFER,
-    OFPR_NO_MATCH,
     OFPR_ACTION,
-    OFPRR_IDLE_TIMEOUT,
-    OFPRR_HARD_TIMEOUT,
+    OFPR_NO_MATCH,
     OFPRR_DELETE,
-    OFPFF_SEND_FLOW_REM,
-)
-from repro.openflow.match import Match, extract_fields
-from repro.openflow.actions import (
-    Action,
-    OutputAction,
-    SetFieldAction,
-    apply_actions,
+    OFPRR_HARD_TIMEOUT,
+    OFPRR_IDLE_TIMEOUT,
 )
 from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match, extract_fields
 from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
     Message,
     PacketIn,
     PacketOut,
-    FlowMod,
-    FlowRemoved,
-    FlowStatsRequest,
-    FlowStatsReply,
-    EchoRequest,
-    EchoReply,
-    BarrierRequest,
-    BarrierReply,
 )
 from repro.openflow.switch import OpenFlowSwitch
-from repro.openflow.channel import ControlChannel, ControllerEndpoint
 
 __all__ = [
     "OFPP_CONTROLLER",

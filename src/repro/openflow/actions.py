@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, List, Sequence, Tuple
 
-from repro.netsim.addresses import IPv4, MAC
+from repro.netsim.addresses import MAC, IPv4
 from repro.netsim.packet import EthernetFrame, TCPSegment, UDPDatagram
 from repro.openflow.constants import REWRITABLE_FIELDS
 
@@ -28,7 +28,7 @@ class OutputAction(Action):
 
     __slots__ = ("port",)
 
-    def __init__(self, port: int):
+    def __init__(self, port: int) -> None:
         self.port = port
 
     def __eq__(self, other: object) -> bool:
@@ -47,7 +47,7 @@ class SetFieldAction(Action):
 
     __slots__ = ("field", "value")
 
-    def __init__(self, field: str, value: Any):
+    def __init__(self, field: str, value: Any) -> None:
         if field not in REWRITABLE_FIELDS:
             raise ValueError(f"field {field!r} is not rewritable")
         if field.startswith("ipv4") and not isinstance(value, IPv4):

@@ -9,13 +9,13 @@ experiment parameter.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, TYPE_CHECKING, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 from repro.openflow.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator
     from repro.openflow.switch import OpenFlowSwitch
+    from repro.simcore import Simulator
 
 
 @runtime_checkable
@@ -42,7 +42,7 @@ class ControlChannel:
         sim: "Simulator",
         latency_s: float = 0.0002,
         bandwidth_bps: Optional[float] = None,
-    ):
+    ) -> None:
         self.sim = sim
         self.latency_s = latency_s
         self.bandwidth_bps = bandwidth_bps

@@ -9,19 +9,14 @@ busy flow costs O(1) per packet (no timer churn).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.openflow.constants import (
-    OFPFF_SEND_FLOW_REM,
-    OFPRR_DELETE,
-    OFPRR_HARD_TIMEOUT,
-    OFPRR_IDLE_TIMEOUT,
-)
+from repro.openflow.constants import OFPFF_SEND_FLOW_REM, OFPRR_DELETE, OFPRR_HARD_TIMEOUT, OFPRR_IDLE_TIMEOUT
 from repro.openflow.match import FieldDict, Match
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Simulator
     from repro.openflow.actions import Action
+    from repro.simcore import Simulator
 
 
 class FlowEntry:
@@ -44,7 +39,7 @@ class FlowEntry:
         cookie: int = 0,
         flags: int = 0,
         now: float = 0.0,
-    ):
+    ) -> None:
         self.match = match
         # Cached exact conditions for the lookup fast path: comparing these
         # two values rejects almost every non-matching entry in O(1).
@@ -87,7 +82,7 @@ class FlowTable:
     """
 
     def __init__(self, sim: "Simulator", name: str = "table0",
-                 on_removed: Optional[Callable[[FlowEntry, int], None]] = None):
+                 on_removed: Optional[Callable[[FlowEntry, int], None]] = None) -> None:
         self.sim = sim
         self.name = name
         self.on_removed = on_removed
@@ -168,7 +163,7 @@ class FlowTable:
             self._remove_entry(entry, OFPRR_IDLE_TIMEOUT)
         else:
             # Re-arm for the remaining time (lazy refresh).
-            entry._idle_timer = self.sim.schedule(deadline - self.sim.now, self._idle_check, entry)
+            entry._idle_timer = self.sim.schedule(max(0.0, deadline - self.sim.now), self._idle_check, entry)
 
     def _hard_expire(self, entry: FlowEntry) -> None:
         if not entry.removed:

@@ -8,16 +8,10 @@ as in OpenFlow.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
-from repro.netsim.addresses import IPv4, MAC
-from repro.netsim.packet import (
-    EthernetFrame,
-    IP_PROTO_TCP,
-    IP_PROTO_UDP,
-    TCPSegment,
-    UDPDatagram,
-)
+from repro.netsim.addresses import MAC, IPv4
+from repro.netsim.packet import IP_PROTO_TCP, IP_PROTO_UDP, EthernetFrame, TCPSegment, UDPDatagram
 from repro.openflow.constants import FIELDS
 
 FieldDict = Dict[str, Any]
@@ -79,7 +73,7 @@ class Match:
 
     __slots__ = ("_exact", "_masked", "_hash")
 
-    def __init__(self, **conditions: Any):
+    def __init__(self, **conditions: Any) -> None:
         exact: Dict[str, Any] = {}
         masked: Dict[str, Tuple[IPv4, int]] = {}
         for field, value in conditions.items():
@@ -101,7 +95,7 @@ class Match:
 
     # ------------------------------------------------------------ predicates
 
-    def exact_value(self, field: str):
+    def exact_value(self, field: str) -> Optional[Any]:
         """The exact (unmasked) condition on ``field``, or None.
 
         Used by the flow table's fast-reject prefilter: comparing one or two

@@ -8,7 +8,7 @@ bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.netsim.packet import EthernetFrame
 from repro.openflow.constants import OFP_NO_BUFFER, OFPFC_ADD

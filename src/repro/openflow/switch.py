@@ -11,18 +11,26 @@ the control-channel round trip, which is modelled in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.netsim.device import Device
 from repro.netsim.packet import EthernetFrame
 from repro.openflow.actions import OutputAction, apply_actions_multi
 from repro.openflow.channel import ControlChannel
-from repro.openflow.constants import (OFP_NO_BUFFER, OFPFC_ADD, OFPFC_DELETE,
-                                      OFPFC_DELETE_STRICT, OFPFC_MODIFY,
-                                      OFPP_ALL, OFPP_CONTROLLER, OFPP_FLOOD,
-                                      OFPP_IN_PORT, OFPR_ACTION)
+from repro.openflow.constants import (
+    OFP_NO_BUFFER,
+    OFPFC_ADD,
+    OFPFC_DELETE,
+    OFPFC_DELETE_STRICT,
+    OFPFC_MODIFY,
+    OFPP_ALL,
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    OFPP_IN_PORT,
+    OFPR_ACTION,
+)
 from repro.openflow.flowtable import FlowEntry, FlowTable
-from repro.openflow.match import extract_fields
+from repro.openflow.match import FieldDict, extract_fields
 from repro.openflow.messages import (
     BarrierReply,
     BarrierRequest,
@@ -63,7 +71,7 @@ class OpenFlowSwitch(Device):
         channel: Optional[ControlChannel] = None,
         forwarding_delay_s: float = 5e-6,
         buffer_capacity: int = 1024,
-    ):
+    ) -> None:
         super().__init__(sim, name)
         self.dpid = dpid
         self.channel = channel
@@ -81,7 +89,7 @@ class OpenFlowSwitch(Device):
 
     # -------------------------------------------------------------- control
 
-    def connect_controller(self, channel: ControlChannel, controller) -> None:
+    def connect_controller(self, channel: ControlChannel, controller: Any) -> None:
         """Bind this switch to a controller through ``channel``."""
         self.channel = channel
         channel.bind(self, controller)
@@ -104,7 +112,7 @@ class OpenFlowSwitch(Device):
             return
         self._execute(entry, frame, in_port, fields)
 
-    def _execute(self, entry: FlowEntry, frame: EthernetFrame, in_port: int, fields) -> None:
+    def _execute(self, entry: FlowEntry, frame: EthernetFrame, in_port: int, fields: FieldDict) -> None:
         outputs = apply_actions_multi(frame, entry.actions)
         if not outputs:
             self.packets_dropped += 1  # empty action list == drop

@@ -13,22 +13,22 @@ substrate so the transparent-edge controller code reads like the original:
   (eventlet), and this serialization is what experiment A3 stresses.
 """
 
+from repro.ryuapp.base import RyuApp, set_ev_cls
+from repro.ryuapp.datapath import Datapath
 from repro.ryuapp.events import (
-    EventBase,
-    EventOFPPacketIn,
-    EventOFPFlowRemoved,
-    EventOFPFlowStatsReply,
-    EventOFPEchoReply,
-    EventOFPBarrierReply,
-    EventOFPStateChange,
-    MAIN_DISPATCHER,
     CONFIG_DISPATCHER,
     DEAD_DISPATCHER,
+    MAIN_DISPATCHER,
+    EventBase,
+    EventOFPBarrierReply,
+    EventOFPEchoReply,
+    EventOFPFlowRemoved,
+    EventOFPFlowStatsReply,
+    EventOFPPacketIn,
+    EventOFPStateChange,
 )
-from repro.ryuapp.datapath import Datapath
-from repro.ryuapp.parser import ofproto_v1_3, ofproto_v1_3_parser
-from repro.ryuapp.base import RyuApp, set_ev_cls
 from repro.ryuapp.manager import AppManager
+from repro.ryuapp.parser import ofproto_v1_3, ofproto_v1_3_parser
 
 __all__ = [
     "RyuApp",

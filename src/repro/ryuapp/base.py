@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Type, TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Type, Union
 
-from repro.ryuapp.events import EventBase, MAIN_DISPATCHER
+from repro.ryuapp.events import MAIN_DISPATCHER, EventBase
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Process, Simulator
     from repro.ryuapp.manager import AppManager
+    from repro.simcore import Process, Simulator
 
 _HANDLER_ATTR = "_ryu_handler_for"
 

@@ -11,19 +11,14 @@ new flows arrive at once.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Type, TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List, Optional, Type
 
 from repro.openflow.channel import ControlChannel
 from repro.openflow.messages import Message
 from repro.openflow.switch import OpenFlowSwitch
 from repro.ryuapp.base import RyuApp
 from repro.ryuapp.datapath import Datapath
-from repro.ryuapp.events import (
-    EventBase,
-    EventOFPStateChange,
-    MAIN_DISPATCHER,
-    MESSAGE_EVENTS,
-)
+from repro.ryuapp.events import MAIN_DISPATCHER, MESSAGE_EVENTS, EventBase, EventOFPStateChange
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore import Simulator

@@ -23,13 +23,7 @@ from typing import Any, List, Optional
 from repro.openflow import constants as _c
 from repro.openflow.actions import Action, OutputAction, SetFieldAction
 from repro.openflow.match import Match
-from repro.openflow.messages import (
-    BarrierRequest,
-    EchoRequest,
-    FlowMod,
-    FlowStatsRequest,
-    PacketOut,
-)
+from repro.openflow.messages import BarrierRequest, EchoRequest, FlowMod, FlowStatsRequest, PacketOut
 
 #: Constants namespace, mirroring ``ryu.ofproto.ofproto_v1_3``.
 ofproto_v1_3 = SimpleNamespace(

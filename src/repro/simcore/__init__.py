@@ -14,9 +14,13 @@ Determinism contract
 """
 
 from repro.simcore.errors import (
-    SimulationError,
     DeadlockError,
     ProcessKilled,
+    ProcessStateError,
+    ScheduleInPastError,
+    SignalStateError,
+    SimulationError,
+    SimulatorReentryError,
     WaitTimeout,
 )
 from repro.simcore.faults import (
@@ -29,10 +33,10 @@ from repro.simcore.faults import (
     cluster_outage,
     link_flap,
 )
-from repro.simcore.loop import Simulator, EventHandle
-from repro.simcore.signal import Signal
-from repro.simcore.process import Process, Timeout, AllOf, AnyOf, Waitable
+from repro.simcore.loop import EventHandle, Simulator
+from repro.simcore.process import AllOf, AnyOf, Process, Timeout, Waitable
 from repro.simcore.rng import RandomStreams
+from repro.simcore.signal import Signal
 from repro.simcore.trace import TraceLog, TraceRecord
 
 __all__ = [
@@ -58,5 +62,9 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "ProcessKilled",
+    "ProcessStateError",
+    "ScheduleInPastError",
+    "SignalStateError",
+    "SimulatorReentryError",
     "WaitTimeout",
 ]

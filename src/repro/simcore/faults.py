@@ -33,17 +33,19 @@ Fault points wired into the library
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from numpy.random import Generator
+
     from repro.simcore.loop import Simulator
-    from repro.simcore.rng import ScopedStreams
+    from repro.simcore.rng import RandomStreams, ScopedStreams
 
 
 class FaultInjected(RuntimeError):
     """Base class for errors raised *because* a fault point fired."""
 
-    def __init__(self, point: str, message: str = ""):
+    def __init__(self, point: str, message: str = "") -> None:
         super().__init__(message or f"injected fault at {point!r}")
         self.point = point
 
@@ -81,7 +83,7 @@ class FaultPlane:
 
     # ------------------------------------------------------------ configure
 
-    def bind(self, streams) -> None:
+    def bind(self, streams: "RandomStreams | ScopedStreams") -> None:
         """Attach the RNG stream factory (a :class:`RandomStreams` or a
         scoped child). Done once by :class:`~repro.netsim.topology.Network`;
         harmless on its own — points must also be configured."""
@@ -118,7 +120,7 @@ class FaultPlane:
 
     # ---------------------------------------------------------------- rolls
 
-    def _stream(self, name: str):
+    def _stream(self, name: str) -> "Generator":
         assert self._streams is not None
         return self._streams.stream(name)
 
@@ -213,7 +215,7 @@ class FaultSchedule:
         fault.revert()
 
 
-def cluster_outage(cluster, at: float, duration_s: float) -> TimedFault:
+def cluster_outage(cluster: Any, at: float, duration_s: float) -> TimedFault:
     """The whole edge cluster (node/orchestrator) is unreachable for a
     window: deployments fail fast, readiness reads False."""
     return TimedFault(at=at, duration_s=duration_s,
@@ -221,7 +223,7 @@ def cluster_outage(cluster, at: float, duration_s: float) -> TimedFault:
                       label=f"outage:{cluster.name}")
 
 
-def link_flap(link, at: float, duration_s: float) -> TimedFault:
+def link_flap(link: Any, at: float, duration_s: float) -> TimedFault:
     """A data-plane link goes down for a window (frames in flight lost)."""
     return TimedFault(at=at, duration_s=duration_s,
                       apply=lambda: link.set_up(False),
@@ -229,7 +231,7 @@ def link_flap(link, at: float, duration_s: float) -> TimedFault:
                       label=f"flap:{link.name}")
 
 
-def channel_outage(channel, at: float, duration_s: float) -> TimedFault:
+def channel_outage(channel: Any, at: float, duration_s: float) -> TimedFault:
     """The switch–controller control channel is severed for a window."""
     return TimedFault(at=at, duration_s=duration_s,
                       apply=channel.disconnect, revert=channel.reconnect,

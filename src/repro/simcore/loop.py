@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterator, Optional
 
-from repro.simcore.errors import DeadlockError, ScheduleInPastError
+from repro.simcore.errors import DeadlockError, ScheduleInPastError, SimulatorReentryError
 from repro.simcore.trace import TraceLog
 
 
@@ -31,7 +31,7 @@ class EventHandle:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple) -> None:
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[..., None]] = callback
@@ -72,7 +72,7 @@ class Simulator:
     a switch that forwards a packet and then updates a counter relies on it.
     """
 
-    def __init__(self, trace: Optional[TraceLog] = None):
+    def __init__(self, trace: Optional[TraceLog] = None) -> None:
         from repro.simcore.faults import FaultPlane  # local import: cycle
 
         self._queue: list[tuple[float, int, EventHandle]] = []
@@ -111,7 +111,8 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
-        return self.schedule(time - self._now, callback, *args)
+        # Scheduling in the past must raise, so the subtraction is the point.
+        return self.schedule(time - self._now, callback, *args)  # repro: noqa[REP006]
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current time (after pending
@@ -160,7 +161,7 @@ class Simulator:
         earlier, so back-to-back ``run(until=...)`` calls compose.
         """
         if self._running:
-            raise RuntimeError("Simulator.run() is not re-entrant")
+            raise SimulatorReentryError("Simulator.run() is not re-entrant")
         self._running = True
         try:
             while True:

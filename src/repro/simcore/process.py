@@ -18,9 +18,9 @@ An object is waitable if it provides::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, Protocol, TYPE_CHECKING, runtime_checkable
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Protocol, runtime_checkable
 
-from repro.simcore.errors import ProcessKilled
+from repro.simcore.errors import ProcessKilled, ProcessStateError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.loop import Simulator
@@ -44,7 +44,7 @@ class Timeout:
 
     __slots__ = ("sim", "delay", "value", "_handle", "_done", "_callbacks")
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         self.sim = sim
         self.delay = delay
         self.value = value
@@ -86,7 +86,7 @@ class Process:
 
     __slots__ = ("sim", "name", "_gen", "_done", "_result", "_exception", "_joiners", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", generator: Iterator[Any], name: str = ""):
+    def __init__(self, sim: "Simulator", generator: Iterator[Any], name: str = "") -> None:
         self.sim = sim
         self.name = name or getattr(generator, "__name__", "process")
         self._gen = generator
@@ -113,7 +113,7 @@ class Process:
     @property
     def result(self) -> Any:
         if not self._done:
-            raise RuntimeError(f"process {self.name!r} still running")
+            raise ProcessStateError(f"process {self.name!r} still running")
         if self._exception is not None:
             raise self._exception
         return self._result
@@ -222,7 +222,7 @@ class AllOf:
 
     __slots__ = ("sim", "children", "_remaining", "_callbacks", "_first_exc")
 
-    def __init__(self, sim: "Simulator", children: list[Any]):
+    def __init__(self, sim: "Simulator", children: list[Any]) -> None:
         self.sim = sim
         self.children = list(children)
         self._remaining = len(self.children)
@@ -275,7 +275,7 @@ class AnyOf:
 
     __slots__ = ("sim", "children", "_winner", "_callbacks")
 
-    def __init__(self, sim: "Simulator", children: list[Any]):
+    def __init__(self, sim: "Simulator", children: list[Any]) -> None:
         if not children:
             raise ValueError("AnyOf requires at least one child")
         self.sim = sim

@@ -36,7 +36,7 @@ class RandomStreams:
     shared by design.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: dict[str, np.random.Generator] = {}
 
@@ -65,7 +65,7 @@ class ScopedStreams:
 
     __slots__ = ("_parent", "_prefix")
 
-    def __init__(self, parent: RandomStreams, prefix: str):
+    def __init__(self, parent: RandomStreams, prefix: str) -> None:
         self._parent = parent
         self._prefix = prefix.rstrip(".") + "."
 

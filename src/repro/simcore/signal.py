@@ -7,7 +7,9 @@ that same-time wakeups preserve global FIFO ordering.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.simcore.errors import SignalStateError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.loop import Simulator
@@ -25,7 +27,7 @@ class Signal:
 
     __slots__ = ("sim", "name", "_value", "_exception", "_subscribers")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._value: Any = _UNSET
@@ -46,11 +48,11 @@ class Signal:
     @property
     def result(self) -> Any:
         """The value set by :meth:`set`; raises the stored exception if the
-        signal failed, and :class:`RuntimeError` if it is not done yet."""
+        signal failed, and :class:`SignalStateError` if it is not done yet."""
         if self._exception is not None:
             raise self._exception
         if self._value is _UNSET:
-            raise RuntimeError(f"Signal {self.name!r} is not set yet")
+            raise SignalStateError(f"Signal {self.name!r} is not set yet")
         return self._value
 
     @property
@@ -62,14 +64,14 @@ class Signal:
     def set(self, value: Any = None) -> None:
         """Complete the signal successfully with ``value``."""
         if self.done:
-            raise RuntimeError(f"Signal {self.name!r} already completed")
+            raise SignalStateError(f"Signal {self.name!r} already completed")
         self._value = value
         self._fire()
 
     def fail(self, exc: BaseException) -> None:
         """Complete the signal with an exception; waiters will re-raise it."""
         if self.done:
-            raise RuntimeError(f"Signal {self.name!r} already completed")
+            raise SignalStateError(f"Signal {self.name!r} already completed")
         self._exception = exc
         self._fire()
 

@@ -9,7 +9,7 @@ the fig. 5 with-waiting deployment sequence of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class TraceLog:
         When given, only these categories are recorded.
     """
 
-    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
+    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None) -> None:
         self.enabled = enabled
         self.categories = frozenset(categories) if categories is not None else None
         self.records: list[TraceRecord] = []
@@ -79,7 +79,7 @@ class TraceLog:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[TraceRecord]":
         return iter(self.records)
 
     def dump(self) -> str:

@@ -1,16 +1,12 @@
 """Workloads: timed clients (timecurl) and the bigFlows-style trace."""
 
 from repro.workloads.clients import RequestTiming, TimedHTTPClient
-from repro.workloads.loadgen import (
-    LoadResult,
-    OpenLoopGenerator,
-    ClosedLoopGenerator,
-)
+from repro.workloads.loadgen import ClosedLoopGenerator, LoadResult, OpenLoopGenerator
 from repro.workloads.trace import (
-    TraceRequest,
     ConversationTrace,
-    synthesize_bigflows_trace,
+    TraceRequest,
     bigflows_like_trace,
+    synthesize_bigflows_trace,
 )
 
 __all__ = [

@@ -10,15 +10,15 @@ handshake completes, ``time_total`` when the full response arrived.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.edge.services import ServiceBehavior
 from repro.netsim.host import Host
 from repro.netsim.packet import HTTPRequest, HTTPResponse
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore import Process
     from repro.netsim.addresses import IPv4
+    from repro.simcore import Process
 
 
 @dataclass

@@ -16,7 +16,7 @@ Both rotate across the testbed's clients and collect
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.edge.services import ServiceBehavior
 from repro.simcore.rng import RandomStreams

@@ -1,0 +1,185 @@
+"""Unit tests for the static determinism rules (repro.analysis.rules).
+
+Each rule gets at least one fixture snippet that must trigger it and one
+near-miss that must not, so a rule rewrite that silently widens or narrows
+its net fails here first.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, all_rules, check_source, get_rule
+from repro.analysis.engine import suppressions_for
+
+
+def codes_in(source: str, **config_kwargs) -> list:
+    report = check_source(source, "snippet.py", AnalysisConfig(**config_kwargs))
+    assert report.parse_error is None
+    return [v.code for v in report.violations]
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_all_rules_registered_with_unique_codes():
+    rules = all_rules()
+    codes = [rule.code for rule in rules]
+    assert codes == sorted(codes)
+    assert len(set(codes)) == len(codes)
+    assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"} <= set(codes)
+
+
+def test_get_rule_unknown_code_raises():
+    with pytest.raises(KeyError):
+        get_rule("REP999")
+
+
+def test_every_rule_has_rationale():
+    for rule in all_rules():
+        assert rule.rationale.strip(), rule.code
+
+
+# ------------------------------------------------------------------- REP001
+
+
+def test_rep001_flags_wall_clock_calls():
+    assert codes_in("import time\nt = time.time()\n") == ["REP001"]
+    assert codes_in("from time import perf_counter\nt = perf_counter()\n") == ["REP001"]
+    assert codes_in(
+        "import datetime\nnow = datetime.datetime.now()\n") == ["REP001"]
+
+
+def test_rep001_ignores_virtual_clock_and_time_module_math():
+    assert codes_in("t = sim.now\n") == []
+    assert codes_in("import time\nname = time.strftime\n") == []
+
+
+def test_rep001_resolves_aliases():
+    assert codes_in("import time as t\nx = t.monotonic()\n") == ["REP001"]
+
+
+# ------------------------------------------------------------------- REP002
+
+
+def test_rep002_flags_module_level_random():
+    assert codes_in("import random\nx = random.random()\n") == ["REP002"]
+    assert codes_in("import numpy as np\nx = np.random.rand(3)\n") == ["REP002"]
+    assert codes_in("from random import shuffle\nshuffle(items)\n") == ["REP002"]
+
+
+def test_rep002_allows_seeded_constructors():
+    assert codes_in("import random\nrng = random.Random(7)\n") == []
+    assert codes_in("import numpy as np\nrng = np.random.default_rng(7)\n") == []
+    assert codes_in("import numpy as np\nss = np.random.SeedSequence(7)\n") == []
+
+
+# ------------------------------------------------------------------- REP003
+
+
+def test_rep003_flags_iteration_over_sets():
+    assert codes_in("for x in {1, 2, 3}:\n    pass\n") == ["REP003"]
+    assert codes_in("for x in set(items):\n    pass\n") == ["REP003"]
+    assert codes_in("ys = [f(x) for x in a | b]\n") == []  # bare BinOp: unknown types
+    assert codes_in("for x in a.union(b):\n    pass\n") == ["REP003"]
+    assert codes_in("for k in d.keys():\n    pass\n") == ["REP003"]
+
+
+def test_rep003_allows_sorted_iteration():
+    assert codes_in("for x in sorted({1, 2, 3}):\n    pass\n") == []
+    assert codes_in("for x in sorted(set(items)):\n    pass\n") == []
+    assert codes_in("for k in sorted(d.keys()):\n    pass\n") == []
+    assert codes_in("for x in [1, 2, 3]:\n    pass\n") == []
+
+
+# ------------------------------------------------------------------- REP004
+
+
+def test_rep004_flags_equality_on_sim_time():
+    assert codes_in("if sim.now == deadline:\n    pass\n") == ["REP004"]
+    assert codes_in("ok = expires_at != t\n") == ["REP004"]
+
+
+def test_rep004_allows_ordering_and_none_checks():
+    assert codes_in("if sim.now >= deadline:\n    pass\n") == []
+    assert codes_in("if deadline is None or count == 3:\n    pass\n") == []
+    assert codes_in("if deadline == None:\n    pass\n") == []  # noqa: E711 - fixture
+
+
+# ------------------------------------------------------------------- REP005
+
+
+def test_rep005_flags_bare_exception_raises():
+    assert codes_in("raise RuntimeError('boom')\n") == ["REP005"]
+    assert codes_in("raise Exception('boom')\n") == ["REP005"]
+
+
+def test_rep005_allows_typed_and_reraise():
+    assert codes_in("raise ValueError('boom')\n") == []
+    assert codes_in("try:\n    f()\nexcept KeyError:\n    raise\n") == []
+    assert codes_in("class MyError(RuntimeError):\n    pass\nraise MyError('x')\n") == []
+
+
+# ------------------------------------------------------------------- REP006
+
+
+def test_rep006_flags_unguarded_delay_subtraction():
+    assert codes_in("sim.schedule(deadline - sim.now, cb)\n") == ["REP006"]
+    assert codes_in("sim.schedule(-1.0, cb)\n") == ["REP006"]
+
+
+def test_rep006_allows_guarded_delays():
+    assert codes_in("sim.schedule(max(0.0, deadline - sim.now), cb)\n") == []
+    assert codes_in("sim.schedule(0.0, cb)\n") == []
+    assert codes_in("sim.schedule(delay, cb)\n") == []
+
+
+# -------------------------------------------------------------- suppressions
+
+
+def test_noqa_with_code_suppresses_only_that_code():
+    source = "import time\nt = time.time()  # repro: noqa[REP001]\n"
+    report = check_source(source, "snippet.py", AnalysisConfig())
+    assert report.violations == []
+    assert report.suppressed == 1
+
+
+def test_noqa_with_wrong_code_does_not_suppress():
+    source = "import time\nt = time.time()  # repro: noqa[REP003]\n"
+    assert [v.code for v in
+            check_source(source, "snippet.py", AnalysisConfig()).violations] == ["REP001"]
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    source = "import time\nt = time.time()  # repro: noqa\n"
+    report = check_source(source, "snippet.py", AnalysisConfig())
+    assert report.violations == []
+    assert report.suppressed == 1
+
+
+def test_noqa_is_line_scoped():
+    source = "import time\n# repro: noqa[REP001]\nt = time.time()\n"
+    assert [v.code for v in
+            check_source(source, "snippet.py", AnalysisConfig()).violations] == ["REP001"]
+
+
+def test_suppressions_for_parses_multiple_codes():
+    line_map = suppressions_for("x = 1  # repro: noqa[REP001, REP005]\n")
+    assert line_map == {1: {"REP001", "REP005"}}
+
+
+# ------------------------------------------------------------- select/ignore
+
+
+def test_config_select_restricts_rules():
+    source = "import time\nt = time.time()\nraise RuntimeError('x')\n"
+    assert codes_in(source, select=("REP005",)) == ["REP005"]
+
+
+def test_config_ignore_drops_rules():
+    source = "import time\nt = time.time()\nraise RuntimeError('x')\n"
+    assert codes_in(source, ignore=("REP001",)) == ["REP005"]
+
+
+def test_parse_error_is_reported_not_raised():
+    report = check_source("def broken(:\n", "snippet.py", AnalysisConfig())
+    assert report.parse_error is not None
+    assert report.violations == []

@@ -1,0 +1,186 @@
+"""Tests for the runtime sanitizer (repro.analysis.sanitizer).
+
+The sanitizer is a monkeypatch layer; these tests check that (a) clean runs
+pass through it unchanged, (b) each planted invariant violation is caught,
+and (c) install/uninstall leaves the substrate classes exactly as found.
+"""
+
+import heapq
+
+import pytest
+
+from repro.analysis import Sanitizer, SanitizerError, active_sanitizer, sanitized
+from repro.core.flowmemory import FlowMemory
+from repro.core.serviceid import ServiceID
+from repro.edge.cluster import Endpoint
+from repro.netsim.addresses import IPv4
+from repro.simcore import RandomStreams, Simulator
+
+
+# ------------------------------------------------------------ install cycle
+
+
+def test_install_uninstall_restores_originals():
+    # Suspend a session-wide sanitizer (REPRO_SANITIZE=1) so the captured
+    # attributes really are the pristine originals.
+    outer = active_sanitizer()
+    if outer is not None:
+        outer.uninstall()
+    try:
+        orig_schedule = Simulator.schedule
+        orig_pop = Simulator._pop_alive
+        orig_stream = RandomStreams.stream
+        orig_remember = FlowMemory.remember
+        with sanitized() as sanitizer:
+            assert active_sanitizer() is sanitizer
+            assert Simulator.schedule is not orig_schedule
+        assert active_sanitizer() is None
+        assert Simulator.schedule is orig_schedule
+        assert Simulator._pop_alive is orig_pop
+        assert RandomStreams.stream is orig_stream
+        assert FlowMemory.remember is orig_remember
+    finally:
+        if outer is not None:
+            outer.install()
+
+
+def test_double_install_rejected():
+    with sanitized():
+        with pytest.raises(SanitizerError):
+            Sanitizer().install()
+
+
+def test_uninstall_without_install_is_noop():
+    Sanitizer().uninstall()  # must not raise
+
+
+def test_sanitized_nests_by_suspending_the_outer():
+    session = active_sanitizer()  # non-None when REPRO_SANITIZE=1
+    with sanitized() as outer:
+        with sanitized() as inner:
+            assert inner is not outer
+            assert active_sanitizer() is inner
+        assert active_sanitizer() is outer
+    assert active_sanitizer() is session
+
+
+# ----------------------------------------------------------- event ordering
+
+
+def test_clean_run_passes_and_counts_checks():
+    with sanitized() as sanitizer:
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(1.0, lambda: seen.append("b"))
+        sim.schedule(0.5, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["c", "a", "b"]
+        assert sanitizer.checks_run["schedule"] == 3
+        assert sanitizer.checks_run["event_order"] == 3
+
+
+def test_non_finite_delay_is_caught():
+    with sanitized():
+        sim = Simulator()
+        with pytest.raises(SanitizerError, match="non-finite"):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SanitizerError, match="non-finite"):
+            sim.schedule(float("inf"), lambda: None)
+
+
+def test_corrupted_heap_order_is_caught():
+    with sanitized():
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        # Plant an event in the past, bypassing schedule()'s guard: the
+        # order audit must notice the popped key went backwards.
+        from repro.simcore.loop import EventHandle
+
+        rogue = EventHandle(0.25, 1, lambda: None, ())
+        heapq.heappush(sim._queue, (rogue.time, rogue.seq, rogue))
+        with pytest.raises(SanitizerError, match="event order audit"):
+            sim.run()
+
+
+# -------------------------------------------------------------- RNG ledger
+
+
+def test_rng_ledger_counts_draws_per_stream():
+    with sanitized() as sanitizer:
+        streams = RandomStreams(seed=42)
+        arrivals = streams.stream("workload.arrivals")
+        sizes = streams.stream("workload.sizes")
+        for _ in range(5):
+            arrivals.random()
+        sizes.integers(0, 10)
+        assert sanitizer.draw_counts() == {
+            "workload.arrivals": 5, "workload.sizes": 1}
+
+
+def test_ledger_proxy_preserves_stream_determinism():
+    baseline = RandomStreams(seed=7).stream("x").random(4).tolist()
+    with sanitized():
+        audited = RandomStreams(seed=7).stream("x").random(4).tolist()
+    assert audited == baseline
+
+
+def test_stream_identity_stable_under_proxy():
+    with sanitized():
+        streams = RandomStreams(seed=1)
+        assert streams.stream("a") is streams.stream("a")
+
+
+# ------------------------------------------------------ FlowMemory integrity
+
+
+def _memory():
+    sim = Simulator()
+    memory = FlowMemory(sim, idle_timeout_s=10.0)
+    client = IPv4("10.0.0.1")
+    service = ServiceID(IPv4("10.9.0.1"), 80)
+    endpoint = Endpoint(IPv4("10.1.0.2"), 8080)
+    return sim, memory, client, service, endpoint
+
+
+def test_flowmemory_clean_mutations_pass():
+    with sanitized() as sanitizer:
+        sim, memory, client, service, endpoint = _memory()
+        memory.remember(client, service, cluster=None, endpoint=endpoint)
+        memory.forget(client, service)
+        memory.clear()
+        assert sanitizer.checks_run["flowmemory"] >= 3
+
+
+def test_flowmemory_key_mismatch_is_caught():
+    with sanitized():
+        sim, memory, client, service, endpoint = _memory()
+        flow = memory.remember(client, service, cluster=None, endpoint=endpoint)
+        flow.key = (IPv4("10.0.0.99"), service)  # corrupt the mirror
+        with pytest.raises(SanitizerError, match="integrity"):
+            memory.forget(IPv4("10.0.0.50"), service)
+
+
+def test_flowmemory_future_timestamp_is_caught():
+    with sanitized():
+        sim, memory, client, service, endpoint = _memory()
+        flow = memory.remember(client, service, cluster=None, endpoint=endpoint)
+        flow.last_used = 1e9  # far in the (simulated) future
+        with pytest.raises(SanitizerError, match="future"):
+            memory.forget(IPv4("10.0.0.50"), service)
+
+
+def test_sanitizer_off_means_no_checks():
+    session = active_sanitizer()  # suspend REPRO_SANITIZE=1 if present
+    if session is not None:
+        session.uninstall()
+    try:
+        sim, memory, client, service, endpoint = _memory()
+        flow = memory.remember(client, service, cluster=None, endpoint=endpoint)
+        flow.key = (IPv4("10.0.0.99"), service)
+        memory.forget(IPv4("10.0.0.50"), service)  # silently tolerated when off
+    finally:
+        if session is not None:
+            session.install()

@@ -2,17 +2,19 @@
 errors, and the hygiene of failed DeploymentRecords (figs. 11-15 inputs)."""
 
 
-from repro.core.deployment import (DeploymentEngine, DeploymentError,
-                                   DeploymentRetriesExhausted,
-                                   DeploymentTimeout)
+from repro.core.deployment import (
+    DeploymentEngine,
+    DeploymentError,
+    DeploymentRetriesExhausted,
+    DeploymentTimeout,
+)
 from repro.core.registry import ServiceRegistry
 from repro.core.resilience import NO_RETRY, RetryPolicy
 from repro.core.serviceid import ServiceID
 from repro.edge.cluster import ClusterUnavailable, DockerCluster
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
-from repro.edge.registry import (Registry, RegistryHub, RegistryTiming,
-                                 RegistryUnavailable)
+from repro.edge.registry import Registry, RegistryHub, RegistryTiming, RegistryUnavailable
 from repro.edge.services import all_catalog_images
 from repro.netsim import Network
 from repro.netsim.addresses import ip

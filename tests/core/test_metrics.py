@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.metrics import (
-    Series,
-    Table,
-    format_seconds,
-    render_series,
-    render_table,
-    summarize,
-)
+from repro.metrics import Series, Table, format_seconds, render_series, render_table, summarize
 
 
 class TestSummarize:

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core.resilience import (NO_RETRY, BreakerConfig, CircuitBreaker,
-                                   RetryPolicy)
+from repro.core.resilience import NO_RETRY, BreakerConfig, CircuitBreaker, RetryPolicy
 from repro.simcore import Simulator
 
 

@@ -13,11 +13,10 @@ from repro.core.scheduler import (
 )
 from repro.core.serviceid import ServiceID
 from repro.core.zones import ZoneMap
-from repro.edge.cluster import DockerCluster
+from repro.edge.cluster import DockerCluster, KubernetesEdgeCluster
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
 from repro.edge.kubernetes import KubernetesCluster
-from repro.edge.cluster import KubernetesEdgeCluster
 from repro.edge.registry import Registry, RegistryHub, RegistryTiming
 from repro.edge.services import all_catalog_images
 from repro.netsim import Network

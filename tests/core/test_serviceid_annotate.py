@@ -4,8 +4,8 @@ import pytest
 import yaml
 
 from repro.core.annotate import (
-    AnnotationConfig,
     EDGE_SERVICE_LABEL,
+    AnnotationConfig,
     ServiceDefinitionError,
     annotate_service,
     load_service_yaml,

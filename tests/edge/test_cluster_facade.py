@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.edge.cluster import (DeploymentSpec, DockerCluster, Endpoint,
-                                KubernetesEdgeCluster, SpecContainer)
+from repro.edge.cluster import DeploymentSpec, DockerCluster, Endpoint, KubernetesEdgeCluster, SpecContainer
 from repro.edge.containerd import Containerd
 from repro.edge.docker import DockerEngine
 from repro.edge.kubernetes import KubernetesCluster

@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro.edge.images import (ImageLayer, ImageRef, KIB, MIB, layer_digest,
-                               make_image, parse_image_ref)
+from repro.edge.images import KIB, MIB, ImageLayer, ImageRef, layer_digest, make_image, parse_image_ref
 from repro.edge.registry import (
+    DOCKER_HUB_TIMING,
+    PRIVATE_LAN_TIMING,
     ImageNotFound,
     Registry,
     RegistryHub,
     RegistryTiming,
-    DOCKER_HUB_TIMING,
-    PRIVATE_LAN_TIMING,
 )
 
 

@@ -5,9 +5,9 @@ import pytest
 from repro.edge.containerd import Containerd
 from repro.edge.kubernetes import (
     ADDED,
+    DEFAULT_SCHEDULER,
     ApiError,
     ContainerSpec,
-    DEFAULT_SCHEDULER,
     Deployment,
     KubernetesCluster,
     Pod,

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.edge.containerd import Containerd
-from repro.edge.kubernetes import (
-    ContainerSpec,
-    Deployment,
-    KubernetesCluster,
-    PodTemplate,
-    Service,
-)
+from repro.edge.kubernetes import ContainerSpec, Deployment, KubernetesCluster, PodTemplate, Service
 from repro.edge.registry import Registry, RegistryHub, RegistryTiming
 from repro.edge.services import all_catalog_images, catalog_behavior
 from repro.netsim import HTTPRequest, Network

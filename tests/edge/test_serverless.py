@@ -4,12 +4,7 @@ import pytest
 
 from repro.edge.cluster import DeploymentSpec, SpecContainer
 from repro.edge.registry import PRIVATE_LAN_TIMING, Registry
-from repro.edge.serverless import (
-    FunctionSpec,
-    ServerlessCluster,
-    WasmRuntime,
-    wasm_function_for_catalog,
-)
+from repro.edge.serverless import FunctionSpec, ServerlessCluster, WasmRuntime, wasm_function_for_catalog
 from repro.edge.services import ServiceBehavior, catalog_behavior
 from repro.netsim import Network
 

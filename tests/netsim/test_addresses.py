@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.netsim import BROADCAST_MAC, IPv4, MAC, ip, mac
+from repro.netsim import BROADCAST_MAC, MAC, IPv4, ip, mac
 
 
 class TestMAC:

@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.netsim import (
-    ConnectionRefused,
-    ConnectTimeout,
-    HTTPRequest,
-    HTTPResponse,
-    Network,
-)
+from repro.netsim import ConnectionRefused, ConnectTimeout, HTTPRequest, HTTPResponse, Network
 from repro.netsim.host import SYN_RTO_INITIAL
 from repro.netsim.packet import TCP_MSS
 

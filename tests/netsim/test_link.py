@@ -3,9 +3,9 @@
 import pytest
 
 from repro.netsim import EthernetFrame, Network
+from repro.netsim.addresses import MAC
 from repro.netsim.device import Device
 from repro.netsim.packet import ETH_HEADER_BYTES, ETH_TYPE_IP, IPv4Packet, UDPDatagram
-from repro.netsim.addresses import MAC
 
 
 class Sink(Device):

@@ -2,15 +2,14 @@
 
 import dataclasses
 
-
 from repro.netsim import (
     ETH_TYPE_ARP,
     ETH_TYPE_IP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
     EthernetFrame,
     HTTPRequest,
     HTTPResponse,
-    IP_PROTO_TCP,
-    IP_PROTO_UDP,
     IPv4Packet,
     TCPFlags,
     TCPSegment,
@@ -20,13 +19,13 @@ from repro.netsim import (
 )
 from repro.netsim.packet import (
     ARP_BODY_BYTES,
-    ArpOp,
-    ArpPacket,
     ETH_HEADER_BYTES,
     IP_HEADER_BYTES,
     TCP_HEADER_BYTES,
     TCP_MSS,
     UDP_HEADER_BYTES,
+    ArpOp,
+    ArpPacket,
 )
 
 

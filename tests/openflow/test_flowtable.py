@@ -3,14 +3,14 @@
 import pytest
 
 from repro.openflow import (
-    FlowEntry,
-    FlowTable,
-    Match,
-    OutputAction,
     OFPFF_SEND_FLOW_REM,
     OFPRR_DELETE,
     OFPRR_HARD_TIMEOUT,
     OFPRR_IDLE_TIMEOUT,
+    FlowEntry,
+    FlowTable,
+    Match,
+    OutputAction,
 )
 from repro.simcore import Simulator
 

@@ -5,21 +5,16 @@ import pytest
 from repro.netsim import (
     ETH_TYPE_ARP,
     ETH_TYPE_IP,
-    EthernetFrame,
     IP_PROTO_TCP,
+    EthernetFrame,
     IPv4Packet,
     TCPSegment,
     UDPDatagram,
     ip,
     mac,
 )
-from repro.netsim.packet import ArpOp, ArpPacket, IP_PROTO_UDP
-from repro.openflow import (
-    Match,
-    OutputAction,
-    SetFieldAction,
-    extract_fields,
-)
+from repro.netsim.packet import IP_PROTO_UDP, ArpOp, ArpPacket
+from repro.openflow import Match, OutputAction, SetFieldAction, extract_fields
 from repro.openflow.actions import apply_actions_multi
 
 

@@ -6,23 +6,23 @@ from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSeg
 from repro.netsim.device import Device
 from repro.netsim.packet import IP_PROTO_TCP
 from repro.openflow import (
+    OFP_NO_BUFFER,
+    OFPFF_SEND_FLOW_REM,
+    BarrierReply,
+    BarrierRequest,
     ControlChannel,
+    EchoReply,
+    EchoRequest,
     FlowMod,
     FlowRemoved,
+    FlowStatsReply,
+    FlowStatsRequest,
     Match,
     OpenFlowSwitch,
     OutputAction,
     PacketIn,
     PacketOut,
     SetFieldAction,
-    FlowStatsRequest,
-    FlowStatsReply,
-    EchoRequest,
-    EchoReply,
-    BarrierRequest,
-    BarrierReply,
-    OFP_NO_BUFFER,
-    OFPFF_SEND_FLOW_REM,
 )
 from repro.openflow.constants import OFPFC_DELETE, OFPP_FLOOD
 

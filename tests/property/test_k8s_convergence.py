@@ -9,13 +9,7 @@ reconcile architecture.
 from hypothesis import given, settings, strategies as st
 
 from repro.edge.containerd import Containerd
-from repro.edge.kubernetes import (
-    ContainerSpec,
-    Deployment,
-    KubernetesCluster,
-    PodTemplate,
-    Service,
-)
+from repro.edge.kubernetes import ContainerSpec, Deployment, KubernetesCluster, PodTemplate, Service
 from repro.edge.registry import Registry, RegistryHub, RegistryTiming
 from repro.edge.services import all_catalog_images, catalog_behavior
 from repro.netsim import Network

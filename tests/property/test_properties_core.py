@@ -4,7 +4,7 @@
 from hypothesis import given, strategies as st
 
 from repro.metrics import summarize
-from repro.netsim.addresses import IPv4, MAC
+from repro.netsim.addresses import MAC, IPv4
 from repro.simcore import Simulator
 
 

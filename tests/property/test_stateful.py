@@ -6,8 +6,7 @@ at every step — the strongest correctness evidence we have for the
 structures the data path depends on.
 """
 
-from hypothesis import settings
-from hypothesis import strategies as st
+from hypothesis import settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core.flowmemory import FlowMemory

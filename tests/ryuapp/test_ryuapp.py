@@ -4,14 +4,14 @@ import pytest
 
 from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSegment, ip, mac
 from repro.netsim.packet import IP_PROTO_TCP
-from repro.openflow import ControlChannel, OpenFlowSwitch, Match
+from repro.openflow import ControlChannel, Match, OpenFlowSwitch
 from repro.openflow.messages import FlowMod
 from repro.ryuapp import (
+    MAIN_DISPATCHER,
     AppManager,
     EventOFPFlowRemoved,
     EventOFPPacketIn,
     EventOFPStateChange,
-    MAIN_DISPATCHER,
     RyuApp,
     set_ev_cls,
 )
@@ -91,7 +91,7 @@ def test_events_serialize_at_service_time(rig):
         sw.deliver(1, tcp_frame(dport=80 + i))
     net.run()
     times = [t for t, _ in app.packet_ins]
-    deltas = [round(b - a, 9) for a, b in zip(times, times[1:])]
+    deltas = [round(b - a, 9) for a, b in zip(times, times[1:], strict=False)]
     assert all(d == pytest.approx(0.0005) for d in deltas)
     assert mgr.events_dispatched >= 5  # 4 packet-ins + state change
     assert mgr.max_queue_depth >= 2

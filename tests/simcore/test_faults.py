@@ -3,8 +3,7 @@
 import pytest
 
 from repro.simcore import Simulator
-from repro.simcore.faults import (FaultPlane, FaultPoint, FaultSchedule,
-                                  TimedFault, cluster_outage)
+from repro.simcore.faults import FaultPlane, FaultPoint, FaultSchedule, TimedFault, cluster_outage
 from repro.simcore.rng import RandomStreams
 
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.netsim.addresses import ip
 from repro.workloads.trace import (
     BIGFLOWS_MIN_REQUESTS,
     BIGFLOWS_PORT,
@@ -13,7 +14,6 @@ from repro.workloads.trace import (
     bigflows_like_trace,
     synthesize_bigflows_trace,
 )
-from repro.netsim.addresses import ip
 
 
 class TestCanonicalTrace:
@@ -24,7 +24,7 @@ class TestCanonicalTrace:
 
     def test_every_service_has_min_requests(self):
         trace = bigflows_like_trace()
-        for key, count in trace.request_counts().items():
+        for count in trace.request_counts().values():
             assert count >= BIGFLOWS_MIN_REQUESTS
 
     def test_all_requests_on_port_80(self):
