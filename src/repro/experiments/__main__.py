@@ -2,4 +2,7 @@
 
 from repro.experiments.runner import main
 
-raise SystemExit(main())
+# The guard matters: with the spawn start method, worker processes re-import
+# __main__, and an unguarded call would recursively re-run the whole CLI.
+if __name__ == "__main__":
+    raise SystemExit(main())

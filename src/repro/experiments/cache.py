@@ -1,0 +1,112 @@
+"""On-disk, content-addressed cache for regenerated artifacts.
+
+Every artifact the runner produces is a pure function of (a) the ``repro``
+source tree and (b) the artifact's identity — its part, name and repeat
+count (the only runner knob that changes driver output). The cache key is
+therefore a SHA-256 over exactly those inputs; any edit to any ``.py`` file
+under ``src/repro`` changes the fingerprint and invalidates **every**
+cached artifact, so a hit can never serve stale results.
+
+Entries live as ``<cache-dir>/<key>.json`` holding the rendered text plus
+the raw CSV payload — everything the runner needs to reproduce its output
+byte-for-byte without re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ArtifactCache", "source_fingerprint", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def source_fingerprint(root: Optional[str] = None) -> str:
+    """SHA-256 of every ``.py`` file (path + contents) under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory, so the
+    fingerprint tracks the code that actually runs, wherever it lives.
+    """
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    paths: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                paths.append(os.path.join(dirpath, filename))
+    for path in paths:
+        relative = os.path.relpath(path, root)
+        digest.update(relative.encode("utf-8"))
+        digest.update(b"\0")
+        with open(path, "rb") as handle:
+            digest.update(handle.read())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ArtifactCache:
+    """Load/store rendered artifacts keyed by source fingerprint."""
+
+    def __init__(self, root: str, fingerprint: Optional[str] = None) -> None:
+        self.root = root
+        self.fingerprint = fingerprint if fingerprint is not None else source_fingerprint()
+        #: counters surfaced through the runner's summary report
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ keys
+
+    def key_for(self, part: str, name: str, repeats: int) -> str:
+        material = f"{self.fingerprint}\n{part}\n{name}\nrepeats={repeats}\n"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    # ------------------------------------------------------------- load/store
+
+    def load(self, part: str, name: str, repeats: int) -> Optional[Dict[str, Any]]:
+        """Return the cached payload (``render`` + ``csv``) or ``None``."""
+        path = self._path(self.key_for(part, name, repeats))
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):  # truncated/corrupt entry: treat as miss
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or "render" not in payload or "csv" not in payload:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, part: str, name: str, repeats: int,
+              render: str, csv: str) -> None:
+        """Persist one artifact atomically (write-then-rename)."""
+        os.makedirs(self.root, exist_ok=True)
+        key = self.key_for(part, name, repeats)
+        path = self._path(key)
+        payload = {
+            "part": part,
+            "name": name,
+            "repeats": repeats,
+            "fingerprint": self.fingerprint,
+            "render": render,
+            "csv": csv,
+        }
+        scratch = path + ".tmp"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(scratch, path)
+        self.stores += 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.pool import Cell, run_cells
 from repro.experiments.topologies import Testbed, build_testbed
 from repro.metrics import Table, summarize
 
@@ -38,6 +39,36 @@ def _request(tb: Testbed, svc, client_index: int = 0, window_s: float = 30.0):
 # --------------------------------------------------------------------------
 
 
+def e1_cold_request_cell(service_key: str, cluster_type: str,
+                         cluster_name: str, seed: int = 61) -> float:
+    """Cold first-request latency for one service on one backend (artifact
+    cached and created, nothing running)."""
+    tb = build_testbed(seed=seed, n_clients=1, cluster_types=(cluster_type,))
+    svc = tb.register_catalog_service(service_key)
+    cluster = tb.clusters[cluster_name]
+
+    def prepare():
+        yield cluster.pull(svc.spec)
+        yield cluster.create(svc.spec)
+
+    tb.sim.spawn(prepare())
+    tb.run(until=tb.sim.now + 120.0)
+    assert cluster.has_images(svc.spec) and cluster.is_created(svc.spec)
+    from repro.edge.services import EDGE_SERVICE_CATALOG
+
+    behavior = EDGE_SERVICE_CATALOG[service_key].serving_behavior
+    request = tb.client(0).fetch_service(svc.service_id.addr,
+                                         svc.service_id.port, behavior)
+    tb.run(until=tb.sim.now + 60.0)
+    assert request.done and request.result.ok
+    return request.result.time_total
+
+
+E1_BACKENDS = (("serverless", "wasm-egs", "wasm_s"),
+               ("docker", "docker-egs", "docker_s"),
+               ("kubernetes", "k8s-egs", "k8s_s"))
+
+
 def e1_serverless_vs_containers() -> Table:
     """First-request latency (module/image cached, nothing running) for the
     WASM runtime vs. Docker vs. Kubernetes — fig. 11's experiment with the
@@ -47,34 +78,20 @@ def e1_serverless_vs_containers() -> Table:
         columns=["service", "wasm_s", "docker_s", "k8s_s", "wasm_speedup_vs_docker"],
         note="artifacts cached; created; nothing running (scale-up only)",
     )
-    for key in EXT_SERVICES:
-        cells: Dict[str, float] = {}
-        for cluster_type, cluster_name, column in (
-                ("serverless", "wasm-egs", "wasm_s"),
-                ("docker", "docker-egs", "docker_s"),
-                ("kubernetes", "k8s-egs", "k8s_s")):
-            tb = build_testbed(seed=61, n_clients=1, cluster_types=(cluster_type,))
-            svc = tb.register_catalog_service(key)
-            cluster = tb.clusters[cluster_name]
-
-            def prepare():
-                yield cluster.pull(svc.spec)
-                yield cluster.create(svc.spec)
-
-            tb.sim.spawn(prepare())
-            tb.run(until=tb.sim.now + 120.0)
-            assert cluster.has_images(svc.spec) and cluster.is_created(svc.spec)
-            from repro.edge.services import EDGE_SERVICE_CATALOG
-
-            behavior = EDGE_SERVICE_CATALOG[key].serving_behavior
-            request = tb.client(0).fetch_service(svc.service_id.addr,
-                                                 svc.service_id.port, behavior)
-            tb.run(until=tb.sim.now + 60.0)
-            assert request.done and request.result.ok
-            cells[column] = request.result.time_total
-        table.add(service=key, wasm_s=cells["wasm_s"], docker_s=cells["docker_s"],
-                  k8s_s=cells["k8s_s"],
-                  wasm_speedup_vs_docker=f"{cells['docker_s'] / cells['wasm_s']:.0f}x")
+    cells = [Cell(fn=e1_cold_request_cell, seed=61,
+                  kwargs=dict(service_key=key, cluster_type=cluster_type,
+                              cluster_name=cluster_name, seed=61))
+             for key in EXT_SERVICES
+             for cluster_type, cluster_name, _ in E1_BACKENDS]
+    times = run_cells(cells)
+    per_backend = len(E1_BACKENDS)
+    for index, key in enumerate(EXT_SERVICES):
+        row: Dict[str, float] = {}
+        for offset, (_, _, column) in enumerate(E1_BACKENDS):
+            row[column] = times[index * per_backend + offset]
+        table.add(service=key, wasm_s=row["wasm_s"], docker_s=row["docker_s"],
+                  k8s_s=row["k8s_s"],
+                  wasm_speedup_vs_docker=f"{row['docker_s'] / row['wasm_s']:.0f}x")
     return table
 
 
@@ -182,10 +199,6 @@ def e4_hierarchical_escape() -> Table:
       after a pull-free cold start — traffic stays at the edge (the paper's
       locality/bandwidth argument), trading a little first-request latency.
     """
-    from repro.core.hierarchy import EdgeHierarchy, HierarchicalScheduler
-    from repro.core.scheduler import ProximityScheduler
-    from repro.experiments.topologies import add_docker_cluster
-
     table = Table(
         title="E4 — Flat proximity vs. hierarchical scheduling "
               "(cold access edge, cached aggregation edge)",
@@ -194,45 +207,57 @@ def e4_hierarchical_escape() -> Table:
         time_columns={"first_request_s", "later_request_s"},
         note="tight 50 ms budget; nothing running anywhere at t0",
     )
-    for flavour in ("proximity", "hierarchical"):
-        tb = build_testbed(seed=73, n_clients=1, cluster_types=("docker",),
-                           cloud_rtt_s=0.030,
-                           switch_idle_timeout_s=3.0, memory_idle_timeout_s=6.0)
-        access = tb.clusters["docker-egs"]  # zone "edge", rtt 1 ms
-        aggregation = add_docker_cluster(tb, "docker-agg", zone="aggregation",
-                                         link_latency_s=0.0025,
-                                         access_rtt_s=0.005)
-        regional = add_docker_cluster(tb, "docker-regional", zone="regional",
-                                      link_latency_s=0.006,
-                                      access_rtt_s=0.012)
-        hierarchy = EdgeHierarchy({access.name: aggregation.name,
-                                   aggregation.name: regional.name,
-                                   regional.name: None})
-        if flavour == "hierarchical":
-            tb.dispatcher.scheduler = HierarchicalScheduler(tb.zones, hierarchy)
-        else:
-            tb.dispatcher.scheduler = ProximityScheduler(tb.zones)
-        svc = tb.register_catalog_service("nginx", max_initial_delay_s=0.05,
-                                          with_cloud_origin=True)
-        pre = aggregation.pull(svc.spec)  # only the aggregation tier caches
-        tb.run(until=tb.sim.now + 60.0)
-        assert pre.done and pre.exception is None
-
-        first = _request(tb, svc, window_s=2.0)
-        first_served = tb.memory.peek(tb.clients[0].ip, svc.service_id)
-        first_by = first_served.cluster.name if first_served else "cloud"
-        # wait out flows+memory, then see where steady-state requests land
-        tb.run(until=tb.sim.now + 30.0)
-        later = _request(tb, svc, window_s=5.0)
-        later_served = tb.memory.peek(tb.clients[0].ip, svc.service_id)
-        later_by = later_served.cluster.name if later_served else "cloud"
-        table.add(scheduler=flavour,
-                  first_request_s=first.time_total,
-                  first_served_by=first_by,
-                  edge_local=first_by != "cloud",
-                  later_request_s=later.time_total,
-                  later_served_by=later_by)
+    cells = [Cell(fn=e4_hierarchy_cell, seed=73,
+                  kwargs=dict(flavour=flavour, seed=73))
+             for flavour in ("proximity", "hierarchical")]
+    for row in run_cells(cells):
+        table.add(**row)
     return table
+
+
+def e4_hierarchy_cell(flavour: str, seed: int = 73) -> Dict[str, object]:
+    """One scheduler flavour over the three-tier hierarchy testbed."""
+    from repro.core.hierarchy import EdgeHierarchy, HierarchicalScheduler
+    from repro.core.scheduler import ProximityScheduler
+    from repro.experiments.topologies import add_docker_cluster
+
+    tb = build_testbed(seed=seed, n_clients=1, cluster_types=("docker",),
+                       cloud_rtt_s=0.030,
+                       switch_idle_timeout_s=3.0, memory_idle_timeout_s=6.0)
+    access = tb.clusters["docker-egs"]  # zone "edge", rtt 1 ms
+    aggregation = add_docker_cluster(tb, "docker-agg", zone="aggregation",
+                                     link_latency_s=0.0025,
+                                     access_rtt_s=0.005)
+    regional = add_docker_cluster(tb, "docker-regional", zone="regional",
+                                  link_latency_s=0.006,
+                                  access_rtt_s=0.012)
+    hierarchy = EdgeHierarchy({access.name: aggregation.name,
+                               aggregation.name: regional.name,
+                               regional.name: None})
+    if flavour == "hierarchical":
+        tb.dispatcher.scheduler = HierarchicalScheduler(tb.zones, hierarchy)
+    else:
+        tb.dispatcher.scheduler = ProximityScheduler(tb.zones)
+    svc = tb.register_catalog_service("nginx", max_initial_delay_s=0.05,
+                                      with_cloud_origin=True)
+    pre = aggregation.pull(svc.spec)  # only the aggregation tier caches
+    tb.run(until=tb.sim.now + 60.0)
+    assert pre.done and pre.exception is None
+
+    first = _request(tb, svc, window_s=2.0)
+    first_served = tb.memory.peek(tb.clients[0].ip, svc.service_id)
+    first_by = first_served.cluster.name if first_served else "cloud"
+    # wait out flows+memory, then see where steady-state requests land
+    tb.run(until=tb.sim.now + 30.0)
+    later = _request(tb, svc, window_s=5.0)
+    later_served = tb.memory.peek(tb.clients[0].ip, svc.service_id)
+    later_by = later_served.cluster.name if later_served else "cloud"
+    return {"scheduler": flavour,
+            "first_request_s": first.time_total,
+            "first_served_by": first_by,
+            "edge_local": first_by != "cloud",
+            "later_request_s": later.time_total,
+            "later_served_by": later_by}
 
 
 # --------------------------------------------------------------------------
@@ -253,8 +278,6 @@ def e5_autoscaling_under_load(
     single pod's queue grows without bound; with it, replicas scale out and
     latency stays near the service time.
     """
-    from repro.edge.kubernetes import HorizontalPodAutoscaler
-
     table = Table(
         title="E5 — K8s horizontal autoscaling under sustained overload",
         columns=["autoscaler", "median_s", "p95_s", "max_s",
@@ -263,51 +286,66 @@ def e5_autoscaling_under_load(
         note=f"{load_rps:.0f} rps of {request_cpu_s * 1e3:.0f} ms-CPU requests "
              f"for {duration_s:.0f}s; 1 pod handles ~{1 / request_cpu_s:.1f} rps",
     )
-    for use_hpa in (False, True):
-        tb = build_testbed(seed=79, n_clients=16, cluster_types=("kubernetes",),
-                           memory_idle_timeout_s=3600.0,
-                           switch_idle_timeout_s=3600.0)
-        svc = tb.register_catalog_service("resnet")
-        cluster = tb.clusters["k8s-egs"]
-        warm = tb.engine.ensure_available(cluster, svc)
-        tb.run(until=tb.sim.now + 120.0)
-        assert warm.done and warm.exception is None
-        hpa = None
-        if use_hpa:
-            hpa = HorizontalPodAutoscaler(
-                cluster.k8s, svc.name, target_rps_per_pod=3.0,
-                min_replicas=1, max_replicas=6, sync_period_s=5.0)
-
-        from repro.edge.services import catalog_behavior
-
-        behavior = catalog_behavior("resnet")
-        requests = []
-        gap = 1.0 / load_rps
-        n_requests = int(duration_s * load_rps)
-
-        def issue(index):
-            client = tb.client(index % len(tb.timed_clients))
-            requests.append(client.fetch_service(
-                svc.service_id.addr, svc.service_id.port, behavior))
-
-        for index in range(n_requests):
-            tb.sim.schedule(index * gap, issue, index)
-        tb.run(until=tb.sim.now + duration_s + 120.0)
-        timings = [r.result for r in requests if r.done]
-        assert len(timings) == n_requests
-        ok = [t.time_total for t in timings if t.ok]
-        assert len(ok) == n_requests
-        stats = summarize(ok)
-        peak = 1
-        if hpa is not None and hpa.scale_events:
-            peak = max(to for _, _, to in hpa.scale_events)
-        table.add(autoscaler="on" if use_hpa else "off",
-                  median_s=stats.median, p95_s=stats.p95, max_s=stats.maximum,
-                  peak_replicas=peak,
-                  scale_events=len(hpa.scale_events) if hpa else 0)
-        if hpa:
-            hpa.stop()
+    cells = [Cell(fn=e5_autoscaling_cell, seed=79,
+                  kwargs=dict(use_hpa=use_hpa, load_rps=load_rps,
+                              duration_s=duration_s, seed=79))
+             for use_hpa in (False, True)]
+    for row in run_cells(cells):
+        table.add(**row)
     return table
+
+
+def e5_autoscaling_cell(use_hpa: bool, load_rps: float = 8.0,
+                        duration_s: float = 90.0,
+                        seed: int = 79) -> Dict[str, object]:
+    """One autoscaler arm of E5 under the sustained-overload workload."""
+    from repro.edge.kubernetes import HorizontalPodAutoscaler
+    from repro.edge.services import catalog_behavior
+
+    tb = build_testbed(seed=seed, n_clients=16, cluster_types=("kubernetes",),
+                       memory_idle_timeout_s=3600.0,
+                       switch_idle_timeout_s=3600.0)
+    svc = tb.register_catalog_service("resnet")
+    cluster = tb.clusters["k8s-egs"]
+    warm = tb.engine.ensure_available(cluster, svc)
+    tb.run(until=tb.sim.now + 120.0)
+    assert warm.done and warm.exception is None
+    hpa = None
+    if use_hpa:
+        hpa = HorizontalPodAutoscaler(
+            cluster.k8s, svc.name, target_rps_per_pod=3.0,
+            min_replicas=1, max_replicas=6, sync_period_s=5.0)
+
+    behavior = catalog_behavior("resnet")
+    requests = []
+    gap = 1.0 / load_rps
+    n_requests = int(duration_s * load_rps)
+
+    def issue(index):
+        client = tb.client(index % len(tb.timed_clients))
+        requests.append(client.fetch_service(
+            svc.service_id.addr, svc.service_id.port, behavior))
+
+    for index in range(n_requests):
+        tb.sim.schedule(index * gap, issue, index)
+    tb.run(until=tb.sim.now + duration_s + 120.0)
+    timings = [r.result for r in requests if r.done]
+    assert len(timings) == n_requests
+    ok = [t.time_total for t in timings if t.ok]
+    assert len(ok) == n_requests
+    stats = summarize(ok)
+    peak = 1
+    if hpa is not None and hpa.scale_events:
+        peak = max(to for _, _, to in hpa.scale_events)
+    row: Dict[str, object] = {
+        "autoscaler": "on" if use_hpa else "off",
+        "median_s": stats.median, "p95_s": stats.p95, "max_s": stats.maximum,
+        "peak_replicas": peak,
+        "scale_events": len(hpa.scale_events) if hpa else 0,
+    }
+    if hpa:
+        hpa.stop()
+    return row
 
 
 # --------------------------------------------------------------------------
@@ -327,30 +365,38 @@ def e3_proactive_deployment(period_s: float = 45.0, cycles: int = 8) -> Table:
         time_columns={"median_s", "p95_s"},
         note=f"request period {period_s:.0f}s > 30s idle scale-down",
     )
-    for proactive in (False, True):
-        tb = build_testbed(seed=71, n_clients=1, cluster_types=("docker",),
-                           memory_idle_timeout_s=30.0, auto_scale_down=True)
-        deployer = tb.attach_predeployer(lead_time_s=2.0) if proactive else None
-        svc = tb.register_catalog_service("nginx")
-        tb.clusters["docker-egs"].pull(svc.spec)
-        tb.run(until=tb.sim.now + 60.0)
-
-        samples: List[float] = []
-        cold = 0
-        for _cycle in range(cycles):
-            records_before = len(tb.engine.records_for(cold_only=True))
-            request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
-            tb.run(until=tb.sim.now + 20.0)
-            assert request.done and request.result.ok
-            samples.append(request.result.time_total)
-            dispatch_cold = len(tb.engine.records_for(cold_only=True)) - records_before
-            if request.result.time_total > 0.2:
-                cold += 1
-            # advance to the next period boundary
-            tb.run(until=tb.sim.now + period_s - 20.0)
-        stats = summarize(samples)
-        table.add(mode="proactive" if proactive else "reactive",
-                  median_s=stats.median, p95_s=stats.p95,
-                  cold_requests=cold,
-                  predeployments=deployer.stats.predeployed if deployer else 0)
+    cells = [Cell(fn=e3_proactive_cell, seed=71,
+                  kwargs=dict(proactive=proactive, period_s=period_s,
+                              cycles=cycles, seed=71))
+             for proactive in (False, True)]
+    for row in run_cells(cells):
+        table.add(**row)
     return table
+
+
+def e3_proactive_cell(proactive: bool, period_s: float = 45.0,
+                      cycles: int = 8, seed: int = 71) -> Dict[str, object]:
+    """One arm (reactive or proactive) of E3's periodic workload."""
+    tb = build_testbed(seed=seed, n_clients=1, cluster_types=("docker",),
+                       memory_idle_timeout_s=30.0, auto_scale_down=True)
+    deployer = tb.attach_predeployer(lead_time_s=2.0) if proactive else None
+    svc = tb.register_catalog_service("nginx")
+    tb.clusters["docker-egs"].pull(svc.spec)
+    tb.run(until=tb.sim.now + 60.0)
+
+    samples: List[float] = []
+    cold = 0
+    for _cycle in range(cycles):
+        request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 20.0)
+        assert request.done and request.result.ok
+        samples.append(request.result.time_total)
+        if request.result.time_total > 0.2:
+            cold += 1
+        # advance to the next period boundary
+        tb.run(until=tb.sim.now + period_s - 20.0)
+    stats = summarize(samples)
+    return {"mode": "proactive" if proactive else "reactive",
+            "median_s": stats.median, "p95_s": stats.p95,
+            "cold_requests": cold,
+            "predeployments": deployer.stats.predeployed if deployer else 0}

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.edge.services import EDGE_SERVICE_CATALOG, service_table
+from repro.experiments.pool import Cell, run_cells
 from repro.experiments.topologies import Testbed, build_testbed
 from repro.metrics import Series, Table, summarize
 from repro.openflow import Match
@@ -85,70 +86,51 @@ def fig10_deployment_distribution(seed: int = 2019) -> Series:
 # --------------------------------------------------------------------------
 
 
-def _reset_between_runs(tb: Testbed, svc) -> None:
-    """Clear switch flows + FlowMemory so the next request re-dispatches."""
-    tb.switch.table.delete(Match(eth_type=0x0800, ip_proto=6))
-    tb.memory.clear()
+#: base seed for the deployment cells; repeat ``i`` runs under ``seed + i``
+DEPLOYMENT_SEED = 7
 
 
-def _measure_deployments(
-    service_key: str,
-    cluster_type: str,
-    cluster_name: str,
-    repeats: int,
-    create_each_run: bool,
-    seed: int = 7,
-) -> Tuple[List[float], List[float]]:
-    """Measure client-observed total times + controller wait times for
-    ``repeats`` cold scale-ups of one service on one cluster type.
+def deployment_cell(service_key: str, cluster_type: str, cluster_name: str,
+                    create_each_run: bool, seed: int) -> Tuple[float, float]:
+    """One independently seeded cold scale-up of one service on one cluster.
 
-    ``create_each_run=False`` → fig. 11 (scale-up only);
-    ``create_each_run=True``  → fig. 12 (create + scale-up).
+    Builds a fresh testbed from ``seed``, pre-pulls the images (so the Pull
+    phase never shows up in these figures), optionally pre-creates the
+    containers, and measures a single cold request end-to-end. Returns the
+    client-observed ``time_total`` and the controller's port-probe wait.
+
+    ``create_each_run=False`` → fig. 11/14 (scale-up only);
+    ``create_each_run=True``  → fig. 12/15 (create + scale-up).
     """
-    tb = build_testbed(seed=seed, n_clients=max(2, min(20, repeats)),
-                       cluster_types=(cluster_type,))
+    tb = build_testbed(seed=seed, n_clients=2, cluster_types=(cluster_type,))
     svc = tb.register_catalog_service(service_key)
     cluster = tb.clusters[cluster_name]
     behavior = EDGE_SERVICE_CATALOG[service_key].serving_behavior
 
-    # Pre-pull so the Pull phase never shows up in these figures.
     tb.sim.spawn(_prepull(tb, cluster, svc))
     tb.run(until=tb.sim.now + 60.0)
     assert cluster.has_images(svc.spec)
 
-    totals: List[float] = []
-    waits: List[float] = []
-    for index in range(repeats):
-        if not create_each_run and not cluster.is_created(svc.spec):
-            done = cluster.create(svc.spec)
-            tb.run(until=tb.sim.now + 5.0)
-            assert done.done and done.exception is None
-        records_before = len(tb.engine.records)
-        client = tb.client(index % len(tb.timed_clients))
-        request = client.fetch_service(svc.service_id.addr, svc.service_id.port,
-                                       behavior)
-        tb.run(until=tb.sim.now + 30.0)
-        assert request.done, f"request {index} did not finish"
-        timing = request.result
-        assert timing.ok, f"request {index} failed: {timing.error}"
-        totals.append(timing.time_total)
-        cold = [r for r in tb.engine.records[records_before:] if r.cold_start]
-        waits.append(cold[0].wait_s if cold else 0.0)
-        # Tear back down to the pre-run state.
-        tb.engine.scale_down(cluster, svc)
+    if not create_each_run:
+        done = cluster.create(svc.spec)
         tb.run(until=tb.sim.now + 5.0)
-        if create_each_run:
-            done = cluster.remove(svc.spec)
-            tb.run(until=tb.sim.now + 5.0)
-            assert not cluster.is_created(svc.spec)
-        _reset_between_runs(tb, svc)
-    return totals, waits
+        assert done.done and done.exception is None
+
+    request = tb.client(0).fetch_service(svc.service_id.addr,
+                                         svc.service_id.port, behavior)
+    tb.run(until=tb.sim.now + 30.0)
+    assert request.done, f"request (seed {seed}) did not finish"
+    timing = request.result
+    assert timing.ok, f"request (seed {seed}) failed: {timing.error}"
+    cold = [r for r in tb.engine.records if r.cold_start]
+    return timing.time_total, (cold[0].wait_s if cold else 0.0)
 
 
 def _prepull(tb: Testbed, cluster, svc):
     yield cluster.pull(svc.spec)
 
 
+#: parent-side memo: fig. 11/14 (and fig. 12/15) share identical cells
 _CACHE: Dict[Tuple, Tuple[List[float], List[float]]] = {}
 
 
@@ -156,8 +138,16 @@ def _measured(service_key: str, cluster_type: str, cluster_name: str,
               repeats: int, create_each_run: bool):
     key = (service_key, cluster_type, repeats, create_each_run)
     if key not in _CACHE:
-        _CACHE[key] = _measure_deployments(service_key, cluster_type, cluster_name,
-                                           repeats, create_each_run)
+        cells = [
+            Cell(fn=deployment_cell, seed=DEPLOYMENT_SEED + index,
+                 kwargs=dict(service_key=service_key, cluster_type=cluster_type,
+                             cluster_name=cluster_name,
+                             create_each_run=create_each_run,
+                             seed=DEPLOYMENT_SEED + index))
+            for index in range(repeats)
+        ]
+        pairs = run_cells(cells)
+        _CACHE[key] = ([total for total, _ in pairs], [wait for _, wait in pairs])
     return _CACHE[key]
 
 
@@ -218,6 +208,25 @@ def fig15_wait_after_create_scale_up(repeats: int = DEFAULT_REPEATS) -> Table:
 # --------------------------------------------------------------------------
 
 
+def pull_time_cell(service_key: str, private: bool, seed: int = 3) -> float:
+    """Cold pull of one service's images from one registry flavour."""
+    tb = build_testbed(seed=seed, n_clients=1, cluster_types=("docker",),
+                       use_private_registry=private)
+    svc = tb.register_catalog_service(service_key)
+    cluster = tb.clusters["docker-egs"]
+    holder: Dict[str, float] = {}
+
+    def timed_pull():
+        t0 = tb.sim.now
+        yield cluster.pull(svc.spec)
+        holder["duration"] = tb.sim.now - t0
+
+    tb.sim.spawn(timed_pull())
+    tb.run(until=tb.sim.now + 120.0)
+    assert "duration" in holder, f"pull of {service_key} did not finish"
+    return holder["duration"]
+
+
 def fig13_pull_times() -> Table:
     """Total time to pull each service's images from the public registries
     (Docker Hub / GCR) vs. the private LAN registry."""
@@ -226,33 +235,45 @@ def fig13_pull_times() -> Table:
         columns=["service", "public_s", "private_s", "saving_s"],
         note="cold layer store per measurement",
     )
-    for service_key in SERVICES:
-        times = {}
-        for private in (False, True):
-            tb = build_testbed(seed=3, n_clients=1, cluster_types=("docker",),
-                               use_private_registry=private)
-            svc = tb.register_catalog_service(service_key)
-            cluster = tb.clusters["docker-egs"]
-            holder: Dict[str, float] = {}
-
-            def timed_pull(tb=tb, cluster=cluster, svc=svc, holder=holder):
-                t0 = tb.sim.now
-                yield cluster.pull(svc.spec)
-                holder["duration"] = tb.sim.now - t0
-
-            tb.sim.spawn(timed_pull())
-            tb.run(until=tb.sim.now + 120.0)
-            assert "duration" in holder, f"pull of {service_key} did not finish"
-            times[private] = holder["duration"]
+    cells = [Cell(fn=pull_time_cell, seed=3,
+                  kwargs=dict(service_key=service_key, private=private, seed=3))
+             for service_key in SERVICES for private in (False, True)]
+    durations = run_cells(cells)
+    for index, service_key in enumerate(SERVICES):
+        public_s, private_s = durations[2 * index], durations[2 * index + 1]
         table.add(service=service_key,
-                  public_s=times[False], private_s=times[True],
-                  saving_s=times[False] - times[True])
+                  public_s=public_s, private_s=private_s,
+                  saving_s=public_s - private_s)
     return table
 
 
 # --------------------------------------------------------------------------
 # Fig. 16: warm-instance request times
 # --------------------------------------------------------------------------
+
+
+def warm_requests_cell(service_key: str, cluster_type: str, cluster_name: str,
+                       requests: int, seed: int = 11) -> List[float]:
+    """Warm request samples for one service on one cluster (instance up,
+    flows kept warm); the first request is dropped (carries dispatch
+    latency)."""
+    tb = build_testbed(seed=seed, n_clients=1, cluster_types=(cluster_type,))
+    svc = tb.register_catalog_service(service_key)
+    cluster = tb.clusters[cluster_name]
+    behavior = EDGE_SERVICE_CATALOG[service_key].serving_behavior
+    warmup = tb.engine.ensure_available(cluster, svc)
+    tb.run(until=tb.sim.now + 60.0)
+    assert warmup.done and warmup.exception is None
+    samples: List[float] = []
+    for index in range(requests):
+        request = tb.client(0).fetch_service(
+            svc.service_id.addr, svc.service_id.port, behavior)
+        tb.run(until=tb.sim.now + 10.0)
+        assert request.done and request.result.ok
+        if index > 0:
+            samples.append(request.result.time_total)
+        tb.run(until=tb.sim.now + 0.5)
+    return samples
 
 
 def fig16_running_instance(requests: int = 15) -> Table:
@@ -263,29 +284,18 @@ def fig16_running_instance(requests: int = 15) -> Table:
         columns=["service", "docker_median", "k8s_median"],
         note=f"{requests} requests per cell, flows kept warm",
     )
-    for service_key in SERVICES:
-        medians = {}
-        for cluster_type, cluster_name in CLUSTERS:
-            tb = build_testbed(seed=11, n_clients=1, cluster_types=(cluster_type,))
-            svc = tb.register_catalog_service(service_key)
-            cluster = tb.clusters[cluster_name]
-            behavior = EDGE_SERVICE_CATALOG[service_key].serving_behavior
-            warmup = tb.engine.ensure_available(cluster, svc)
-            tb.run(until=tb.sim.now + 60.0)
-            assert warmup.done and warmup.exception is None
-            samples = []
-            for index in range(requests):
-                request = tb.client(0).fetch_service(
-                    svc.service_id.addr, svc.service_id.port, behavior)
-                tb.run(until=tb.sim.now + 10.0)
-                assert request.done and request.result.ok
-                if index > 0:  # drop the first (carries dispatch latency)
-                    samples.append(request.result.time_total)
-                tb.run(until=tb.sim.now + 0.5)
-            medians[cluster_type] = summarize(samples).median
+    cells = [Cell(fn=warm_requests_cell, seed=11,
+                  kwargs=dict(service_key=service_key, cluster_type=cluster_type,
+                              cluster_name=cluster_name, requests=requests,
+                              seed=11))
+             for service_key in SERVICES
+             for cluster_type, cluster_name in CLUSTERS]
+    sample_sets = run_cells(cells)
+    for index, service_key in enumerate(SERVICES):
+        docker_samples, k8s_samples = sample_sets[2 * index], sample_sets[2 * index + 1]
         table.add(service=service_key,
-                  docker_median=medians["docker"],
-                  k8s_median=medians["kubernetes"])
+                  docker_median=summarize(docker_samples).median,
+                  k8s_median=summarize(k8s_samples).median)
     return table
 
 

@@ -1,0 +1,149 @@
+"""Parallel, deterministic execution of experiment *cells*.
+
+A cell is the unit the drivers in :mod:`repro.experiments` were refactored
+around: one independently seeded simulation (scenario params + seed →
+plain-data samples), expressed as a **top-level picklable function** plus
+keyword arguments. Because every cell builds its own testbed from its own
+seed, cells are embarrassingly parallel and their results depend only on
+their arguments — never on which worker ran them or in which order they
+finished.
+
+:func:`run_cells` is what drivers call. With no pool active it simply runs
+the cells serially in-process (so direct driver calls from tests and
+benchmarks behave exactly as before). Under ``pooled(jobs)`` — which the
+runner enters for ``--jobs N`` — cells fan out over a ``multiprocessing``
+worker pool and the results are merged back **in submission (seed) order**,
+regardless of completion order, which keeps parallel output byte-identical
+to a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Cell", "CellPool", "PoolProtocolError", "pooled", "run_cells", "active_pool"]
+
+
+class PoolProtocolError(RuntimeError):
+    """The worker pool violated its delivery contract (a dropped cell)."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independently seeded unit of experiment work.
+
+    ``fn`` must be a module-level function (picklable by reference);
+    ``kwargs`` must contain only picklable plain data. ``seed`` is the
+    cell's RNG seed, recorded here so merge order is visibly seed order.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def run(self) -> Any:
+        return self.fn(**self.kwargs)
+
+
+def _run_indexed(indexed: Tuple[int, Cell]) -> Tuple[int, Any, float]:
+    """Worker-side wrapper: run one cell, report its index and CPU cost."""
+    index, cell = indexed
+    started = time.process_time()  # repro: noqa[REP001] host-side accounting
+    value = cell.run()
+    cpu_s = time.process_time() - started  # repro: noqa[REP001] host-side accounting
+    return index, value, cpu_s
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class CellPool:
+    """A reusable worker pool with deterministic result merging.
+
+    The underlying ``multiprocessing.Pool`` is created lazily on the first
+    parallel map and reused across artifacts, so fork cost is paid once per
+    run, not once per figure. ``jobs <= 1`` short-circuits to serial
+    in-process execution (no workers at all).
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+        self._pool: Optional[Any] = None
+        #: cumulative counters, read by the runner's per-artifact report
+        self.cells_run = 0
+        self.cells_parallel = 0
+        self.worker_cpu_s = 0.0
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            context = multiprocessing.get_context(_start_method())
+            self._pool = context.Pool(processes=self.jobs)
+        return self._pool
+
+    def map(self, cells: Sequence[Cell]) -> List[Any]:
+        """Run every cell; return results in cell order (== seed order)."""
+        cells = list(cells)
+        if not cells:
+            return []
+        self.cells_run += len(cells)
+        if self.jobs <= 1 or len(cells) == 1:
+            return [cell.run() for cell in cells]
+        self.cells_parallel += len(cells)
+        results: List[Any] = [None] * len(cells)
+        filled = [False] * len(cells)
+        pool = self._ensure_pool()
+        # imap_unordered for load balance; the index carried through each
+        # result re-establishes deterministic (submission/seed) order.
+        for index, value, cpu_s in pool.imap_unordered(
+                _run_indexed, list(enumerate(cells))):
+            results[index] = value
+            filled[index] = True
+            self.worker_cpu_s += cpu_s
+        if not all(filled):  # pragma: no cover - imap delivers every item
+            missing = [i for i, seen in enumerate(filled) if not seen]
+            raise PoolProtocolError(f"worker pool dropped cells {missing}")
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+#: the pool drivers submit to; ``None`` means serial in-process execution
+_ACTIVE: Optional[CellPool] = None
+
+
+def active_pool() -> Optional[CellPool]:
+    return _ACTIVE
+
+
+def run_cells(cells: Sequence[Cell]) -> List[Any]:
+    """Run cells through the active pool (or serially when none is)."""
+    pool = _ACTIVE
+    if pool is None:
+        return [cell.run() for cell in cells]
+    return pool.map(cells)
+
+
+@contextmanager
+def pooled(jobs: int) -> Iterator[CellPool]:
+    """Route every :func:`run_cells` call inside the block through one
+    :class:`CellPool` of ``jobs`` workers; restores the previous pool (and
+    shuts the workers down) on exit."""
+    global _ACTIVE
+    pool = CellPool(jobs)
+    previous = _ACTIVE
+    _ACTIVE = pool
+    try:
+        yield pool
+    finally:
+        _ACTIVE = previous
+        pool.close()

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.resilience import BreakerConfig, RetryPolicy
+from repro.experiments.pool import Cell, run_cells
 from repro.experiments.topologies import Testbed, build_testbed
 from repro.metrics import Table
 from repro.metrics.failures import snapshot_failures
@@ -69,49 +70,59 @@ def r1_availability_vs_pull_failures(
         note="answered = HTTP 200 from edge (incl. after retries) or cloud; "
              "every round deletes images so each request pulls again",
     )
-    for rate in rates:
-        tb = build_testbed(
-            seed=seed, n_clients=4, cluster_types=("docker",),
-            use_private_registry=True,
-            retry_policy=retry_policy,
-            faults={"registry.pull": rate} if rate else None)
-        svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
-        cluster = tb.clusters["docker-egs"]
-
-        samples: List[float] = []
-        answered = 0
-        hung = 0
-        for index in range(rounds):
-            request = tb.client(index % len(tb.timed_clients)).fetch(
-                svc.service_id.addr, svc.service_id.port)
-            if not _run_until_done(tb, request, cap_s=90.0):
-                hung += 1
-                continue
-            timing = request.result
-            if timing.ok:
-                answered += 1
-                samples.append(timing.time_total)
-            # Reset to a fully cold platform: forget decisions, drop every
-            # IPv4 flow (service + route), remove instance AND images.
-            tb.memory.clear()
-            tb.switch.table.delete(Match(eth_type=0x0800))
-            if cluster.is_created(svc.spec) or cluster.is_ready(svc.spec):
-                remove = tb.engine.remove(cluster, svc, delete_images=True)
-                _run_until_done(tb, remove, cap_s=30.0)
-            else:
-                cluster.delete_images(svc.spec)
-            tb.run(until=tb.sim.now + 1.0)
-
-        counters = snapshot_failures(controller=tb.controller)
-        p50, p99 = _percentiles(samples)
-        table.add(pull_fail_rate=f"{rate:.2f}", requests=rounds,
-                  answered=answered, hung=hung,
-                  availability=answered / rounds,
-                  p50_s=p50, p99_s=p99,
-                  retries=counters.retries,
-                  gave_up=counters.deploy_exhausted,
-                  cloud_fallbacks=counters.cloud_fallbacks)
+    cells = [Cell(fn=r1_rate_cell, seed=seed,
+                  kwargs=dict(rate=rate, rounds=rounds, seed=seed,
+                              retry_policy=retry_policy))
+             for rate in rates]
+    for row in run_cells(cells):
+        table.add(**row)
     return table
+
+
+def r1_rate_cell(rate: float, rounds: int, seed: int = 7,
+                 retry_policy: Optional[RetryPolicy] = None) -> dict:
+    """One pull-failure rate of the R1 sweep, cold-started ``rounds`` times."""
+    tb = build_testbed(
+        seed=seed, n_clients=4, cluster_types=("docker",),
+        use_private_registry=True,
+        retry_policy=retry_policy,
+        faults={"registry.pull": rate} if rate else None)
+    svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+    cluster = tb.clusters["docker-egs"]
+
+    samples: List[float] = []
+    answered = 0
+    hung = 0
+    for index in range(rounds):
+        request = tb.client(index % len(tb.timed_clients)).fetch(
+            svc.service_id.addr, svc.service_id.port)
+        if not _run_until_done(tb, request, cap_s=90.0):
+            hung += 1
+            continue
+        timing = request.result
+        if timing.ok:
+            answered += 1
+            samples.append(timing.time_total)
+        # Reset to a fully cold platform: forget decisions, drop every
+        # IPv4 flow (service + route), remove instance AND images.
+        tb.memory.clear()
+        tb.switch.table.delete(Match(eth_type=0x0800))
+        if cluster.is_created(svc.spec) or cluster.is_ready(svc.spec):
+            remove = tb.engine.remove(cluster, svc, delete_images=True)
+            _run_until_done(tb, remove, cap_s=30.0)
+        else:
+            cluster.delete_images(svc.spec)
+        tb.run(until=tb.sim.now + 1.0)
+
+    counters = snapshot_failures(controller=tb.controller)
+    p50, p99 = _percentiles(samples)
+    return {"pull_fail_rate": f"{rate:.2f}", "requests": rounds,
+            "answered": answered, "hung": hung,
+            "availability": answered / rounds,
+            "p50_s": p50, "p99_s": p99,
+            "retries": counters.retries,
+            "gave_up": counters.deploy_exhausted,
+            "cloud_fallbacks": counters.cloud_fallbacks}
 
 
 # --------------------------------------------------------------------------
@@ -139,51 +150,62 @@ def r2_breaker_outage_ablation(
              "before degrading to the cloud; with it only the tripping "
              "failures and probation probes do",
     )
-    for use_breaker in (True, False):
-        tb = build_testbed(
-            seed=seed, n_clients=4, cluster_types=("docker",),
-            use_flow_memory=False,
-            switch_idle_timeout_s=0.3,
-            use_breaker=use_breaker,
-            breaker_config=BreakerConfig(failure_threshold=2,
-                                         open_for_s=outage_s))
-        svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
-        cluster = tb.clusters["docker-egs"]
-        # Cloud-routed requests install plain route flows; keep their idle
-        # timeout below the request gap so every request table-misses and
-        # makes a fresh scheduling decision (the quantity under test).
-        tb.controller.cfg.route_idle_timeout_s = 0.3
-        warm = tb.engine.ensure_available(cluster, svc)
-        _run_until_done(tb, warm, cap_s=120.0)
-        assert warm.done and warm.exception is None
-
-        FaultSchedule([cluster_outage(cluster, at=tb.sim.now + outage_at,
-                                      duration_s=outage_s)]).install(tb.sim)
-
-        samples: List[float] = []
-        answered = 0
-        hung = 0
-        start = tb.sim.now
-        for index in range(requests):
-            next_at = start + index * gap_s
-            if tb.sim.now < next_at:
-                tb.run(until=next_at)
-            request = tb.client(index % len(tb.timed_clients)).fetch(
-                svc.service_id.addr, svc.service_id.port)
-            if not _run_until_done(tb, request, cap_s=90.0, step_s=gap_s):
-                hung += 1
-                continue
-            timing = request.result
-            if timing.ok:
-                answered += 1
-                samples.append(timing.time_total)
-
-        counters = snapshot_failures(controller=tb.controller)
-        p50, p99 = _percentiles(samples)
-        table.add(breaker="on" if use_breaker else "off",
-                  answered=answered, hung=hung, p50_s=p50, p99_s=p99,
-                  breaker_opens=counters.breaker_opens,
-                  retries=counters.retries,
-                  gave_up=counters.deploy_exhausted,
-                  cloud_fallbacks=counters.cloud_fallbacks)
+    cells = [Cell(fn=r2_breaker_cell, seed=seed,
+                  kwargs=dict(use_breaker=use_breaker, requests=requests,
+                              gap_s=gap_s, outage_at=outage_at,
+                              outage_s=outage_s, seed=seed))
+             for use_breaker in (True, False)]
+    for row in run_cells(cells):
+        table.add(**row)
     return table
+
+
+def r2_breaker_cell(use_breaker: bool, requests: int, gap_s: float,
+                    outage_at: float, outage_s: float, seed: int = 31) -> dict:
+    """One breaker arm of R2: warm service, timed outage, steady requests."""
+    tb = build_testbed(
+        seed=seed, n_clients=4, cluster_types=("docker",),
+        use_flow_memory=False,
+        switch_idle_timeout_s=0.3,
+        use_breaker=use_breaker,
+        breaker_config=BreakerConfig(failure_threshold=2,
+                                     open_for_s=outage_s))
+    svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+    cluster = tb.clusters["docker-egs"]
+    # Cloud-routed requests install plain route flows; keep their idle
+    # timeout below the request gap so every request table-misses and
+    # makes a fresh scheduling decision (the quantity under test).
+    tb.controller.cfg.route_idle_timeout_s = 0.3
+    warm = tb.engine.ensure_available(cluster, svc)
+    _run_until_done(tb, warm, cap_s=120.0)
+    assert warm.done and warm.exception is None
+
+    FaultSchedule([cluster_outage(cluster, at=tb.sim.now + outage_at,
+                                  duration_s=outage_s)]).install(tb.sim)
+
+    samples: List[float] = []
+    answered = 0
+    hung = 0
+    start = tb.sim.now
+    for index in range(requests):
+        next_at = start + index * gap_s
+        if tb.sim.now < next_at:
+            tb.run(until=next_at)
+        request = tb.client(index % len(tb.timed_clients)).fetch(
+            svc.service_id.addr, svc.service_id.port)
+        if not _run_until_done(tb, request, cap_s=90.0, step_s=gap_s):
+            hung += 1
+            continue
+        timing = request.result
+        if timing.ok:
+            answered += 1
+            samples.append(timing.time_total)
+
+    counters = snapshot_failures(controller=tb.controller)
+    p50, p99 = _percentiles(samples)
+    return {"breaker": "on" if use_breaker else "off",
+            "answered": answered, "hung": hung, "p50_s": p50, "p99_s": p99,
+            "breaker_opens": counters.breaker_opens,
+            "retries": counters.retries,
+            "gave_up": counters.deploy_exhausted,
+            "cloud_fallbacks": counters.cloud_fallbacks}

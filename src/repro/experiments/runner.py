@@ -9,6 +9,13 @@ Usage::
     python -m repro.experiments --part ext     # future-work extensions
     python -m repro.experiments --full         # paper-faithful 42 repeats
     python -m repro.experiments --out results.txt
+    python -m repro.experiments --jobs 4       # fan cells over 4 workers
+    python -m repro.experiments --no-cache     # always re-simulate
+
+Parallelism never changes the numbers: cells are independently seeded and
+merged in seed order, so ``--jobs N`` output is byte-identical to serial.
+The on-disk cache (``--cache-dir``, default ``.repro-cache``) is keyed by a
+fingerprint of the ``repro`` source tree, so any code edit invalidates it.
 """
 
 from __future__ import annotations
@@ -19,7 +26,9 @@ import time
 from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import ablations, extensions, parta, partb, robustness
-from repro.metrics import Series, Table, render_series, render_table
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ArtifactCache
+from repro.experiments.pool import pooled
+from repro.metrics import ArtifactTiming, RunReport, Series, Table, render_series, render_table
 
 
 def _render(artifact) -> str:
@@ -31,9 +40,13 @@ def _render(artifact) -> str:
 
 
 def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
-    """(part, name, driver) for every regenerable artifact."""
+    """(part, name, driver) for every regenerable artifact.
+
+    Raises ``ValueError`` if two artifacts would silently share a CSV file
+    name (``_csv_name`` is lossy, so this is checked at build time).
+    """
     repeats = 42 if full else 7
-    return [
+    entries: List[Tuple[str, str, Callable]] = [
         ("b", "Table I", partb.table1_catalog),
         ("b", "Fig. 9", partb.fig9_request_distribution),
         ("b", "Fig. 10 (trace)", partb.fig10_deployment_distribution),
@@ -65,6 +78,20 @@ def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
         ("robustness", "R1 availability", robustness.r1_availability_vs_pull_failures),
         ("robustness", "R2 breaker", robustness.r2_breaker_outage_ablation),
     ]
+    _check_csv_collisions(entries)
+    return entries
+
+
+def _check_csv_collisions(entries: List[Tuple[str, str, Callable]]) -> None:
+    seen: dict = {}
+    for part, name, _ in entries:
+        csv = _csv_name(f"{part}_{name}")
+        if csv in seen:
+            other_part, other_name = seen[csv]
+            raise ValueError(
+                f"artifact CSV name collision: ({other_part!r}, {other_name!r}) "
+                f"and ({part!r}, {name!r}) both map to {csv!r}")
+        seen[csv] = (part, name)
 
 
 def _csv_name(name: str) -> str:
@@ -74,45 +101,77 @@ def _csv_name(name: str) -> str:
     return out.strip("_") + ".csv"
 
 
+def _csv_payload(artifact) -> str:
+    from repro.metrics import series_to_csv, table_to_csv
+
+    if isinstance(artifact, Table):
+        return table_to_csv(artifact)
+    if isinstance(artifact, Series):
+        return series_to_csv(artifact)
+    return str(artifact)  # pragma: no cover - future artifact kinds
+
+
 def run(parts: Optional[List[str]] = None, full: bool = False,
-        out=None, csv_dir: Optional[str] = None) -> int:
+        out=None, csv_dir: Optional[str] = None,
+        jobs: int = 1, cache_dir: Optional[str] = None) -> int:
     """Regenerate the selected artifacts; returns the number regenerated.
 
     With ``csv_dir``, every Table/Series is also written as raw CSV for
-    downstream plotting.
+    downstream plotting. ``jobs > 1`` fans each driver's cells over that
+    many worker processes (output stays byte-identical to serial).
+    ``cache_dir`` enables the content-addressed result cache there.
     """
-    from repro.metrics import series_to_csv, table_to_csv
+    import os
 
     stream = out if out is not None else sys.stdout
     if csv_dir is not None:
-        import os
-
         os.makedirs(csv_dir, exist_ok=True)
+    repeats = 42 if full else 7
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    report = RunReport(jobs=max(1, int(jobs)), cache_enabled=cache is not None)
     count = 0
-    for part, name, driver in artifact_registry(full):
-        if parts and part not in parts:
-            continue
-        # Real wall time of regenerating the artifact (reporting only;
-        # never feeds back into any simulation).
-        started = time.perf_counter()  # repro: noqa[REP001] host-side timing
-        artifact = driver()
-        elapsed = time.perf_counter() - started  # repro: noqa[REP001] host-side timing
-        print(f"\n### [{part}] {name}  (regenerated in {elapsed:.1f}s wall)\n",
-              file=stream)
-        print(_render(artifact), file=stream)
-        if csv_dir is not None:
-            import os
-
-            path = os.path.join(csv_dir, _csv_name(f"{part}_{name}"))
-            if isinstance(artifact, Table):
-                payload = table_to_csv(artifact)
-            elif isinstance(artifact, Series):
-                payload = series_to_csv(artifact)
-            else:  # pragma: no cover - future artifact kinds
-                payload = str(artifact)
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-        count += 1
+    with pooled(jobs) as pool:
+        for part, name, driver in artifact_registry(full):
+            if parts and part not in parts:
+                continue
+            # Real wall/CPU time of regenerating the artifact (reporting
+            # only; never feeds back into any simulation).
+            started = time.perf_counter()  # repro: noqa[REP001] host-side timing
+            cpu_started = time.process_time()  # repro: noqa[REP001] host-side timing
+            cells_before = pool.cells_run
+            worker_cpu_before = pool.worker_cpu_s
+            cached = cache.load(part, name, repeats) if cache is not None else None
+            if cached is not None:
+                rendered = cached["render"]
+                payload = cached["csv"]
+            else:
+                artifact = driver()
+                rendered = _render(artifact)
+                payload = _csv_payload(artifact)
+                if cache is not None:
+                    cache.store(part, name, repeats, render=rendered, csv=payload)
+            elapsed = time.perf_counter() - started  # repro: noqa[REP001] host-side timing
+            cpu_s = (time.process_time() - cpu_started  # repro: noqa[REP001] host-side timing
+                     + pool.worker_cpu_s - worker_cpu_before)
+            if cached is not None:
+                header = f"\n### [{part}] {name}  (cache hit)\n"
+            else:
+                header = f"\n### [{part}] {name}  (regenerated in {elapsed:.1f}s wall)\n"
+            print(header, file=stream)
+            print(rendered, file=stream)
+            if csv_dir is not None:
+                path = os.path.join(csv_dir, _csv_name(f"{part}_{name}"))
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+            report.add(ArtifactTiming(
+                part=part, name=name, wall_s=elapsed, cpu_s=cpu_s,
+                cells=pool.cells_run - cells_before,
+                cache_hit=cached is not None))
+            count += 1
+    if cache is not None:
+        report.cache_stores = cache.stores
+    if count:
+        print(f"\n{report.render()}", file=stream)
     return count
 
 
@@ -130,13 +189,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write to a file instead of stdout")
     parser.add_argument("--csv-dir", type=str, default=None,
                         help="also dump every artifact as raw CSV here")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan experiment cells over N worker processes "
+                             "(output is byte-identical to serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and don't populate the result cache")
+    parser.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
+                        help="result cache location (default: %(default)s)")
     args = parser.parse_args(argv)
+    cache_dir = None if args.no_cache else args.cache_dir
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            count = run(args.parts, args.full, out=handle, csv_dir=args.csv_dir)
+            count = run(args.parts, args.full, out=handle, csv_dir=args.csv_dir,
+                        jobs=args.jobs, cache_dir=cache_dir)
         print(f"wrote {count} artifacts to {args.out}")
     else:
-        count = run(args.parts, args.full, csv_dir=args.csv_dir)
+        count = run(args.parts, args.full, csv_dir=args.csv_dir,
+                    jobs=args.jobs, cache_dir=cache_dir)
     return 0 if count else 1
 
 

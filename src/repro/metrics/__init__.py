@@ -10,11 +10,14 @@ from repro.metrics.report import (
     series_to_csv,
     table_to_csv,
 )
+from repro.metrics.runtime import ArtifactTiming, RunReport
 from repro.metrics.stats import Summary, summarize
 
 __all__ = [
     "Summary",
     "summarize",
+    "ArtifactTiming",
+    "RunReport",
     "FailureCounters",
     "snapshot_failures",
     "Table",

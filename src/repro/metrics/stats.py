@@ -45,5 +45,8 @@ def summarize(samples: Iterable[float]) -> Summary:
         p95=float(np.percentile(array, 95)),
         minimum=float(array.min()),
         maximum=float(array.max()),
-        std=float(array.std()),
+        # Sample standard deviation (ddof=1): these are repeats drawn from a
+        # seeded population, and with quick-mode n=7 the population formula
+        # (ddof=0) understates spread noticeably. n=1 has no spread estimate.
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
     )

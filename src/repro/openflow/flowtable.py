@@ -9,7 +9,8 @@ busy flow costs O(1) per packet (no timer churn).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+import bisect
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.openflow.constants import OFPFF_SEND_FLOW_REM, OFPRR_DELETE, OFPRR_HARD_TIMEOUT, OFPRR_IDLE_TIMEOUT
 from repro.openflow.match import FieldDict, Match
@@ -26,7 +27,7 @@ class FlowEntry:
         "match", "priority", "actions", "idle_timeout", "hard_timeout",
         "cookie", "flags", "installed_at", "last_used", "packet_count",
         "byte_count", "_idle_timer", "_hard_timer", "removed",
-        "_fast_dst", "_fast_src",
+        "_fast_dst", "_fast_src", "seq", "_sim",
     )
 
     def __init__(
@@ -58,10 +59,21 @@ class FlowEntry:
         self._idle_timer = None
         self._hard_timer = None
         self.removed = False
+        #: insertion sequence within the owning table; assigned by
+        #: :meth:`FlowTable.install` and the tiebreaker among equal
+        #: priorities (stored on the entry itself — never keyed by ``id()``,
+        #: which can be reused after garbage collection).
+        self.seq = 0
+        self._sim: Optional["Simulator"] = None
 
     @property
     def duration(self) -> float:
-        return self.last_used - self.installed_at
+        """OpenFlow duration: seconds since installation (``now -
+        installed_at``), matching ``FlowTable.stats()`` and the switch's
+        ``FlowRemoved`` messages — *not* the last-used timestamp."""
+        if self._sim is not None:
+            return self._sim.now - self.installed_at
+        return 0.0
 
     def touch(self, now: float, nbytes: int) -> None:
         self.packet_count += 1
@@ -86,10 +98,9 @@ class FlowTable:
         self.sim = sim
         self.name = name
         self.on_removed = on_removed
-        # Kept sorted by (-priority, insertion_seq) for deterministic lookup.
+        # Kept sorted by (-priority, entry.seq) for deterministic lookup.
         self._entries: List[FlowEntry] = []
         self._insert_seq = 0
-        self._seq_of: Dict[int, int] = {}  # id(entry) -> insertion seq
         #: cumulative diagnostics
         self.lookups = 0
         self.hits = 0
@@ -104,16 +115,13 @@ class FlowTable:
                 self._remove_entry(existing, OFPRR_DELETE, notify=False)
                 break
         self._insert_seq += 1
-        self._seq_of[id(entry)] = self._insert_seq
-        # Binary-search-free insertion keeping sort order (tables are small
-        # relative to packet counts; installs are rare vs lookups).
-        key = (-entry.priority, self._insert_seq)
-        index = len(self._entries)
-        for i, existing in enumerate(self._entries):
-            if (-existing.priority, self._seq_of[id(existing)]) > key:
-                index = i
-                break
-        self._entries.insert(index, entry)
+        entry.seq = self._insert_seq
+        entry._sim = self.sim
+        # The seq lives on the entry itself (not an id()-keyed side table,
+        # which a GC'd-and-reallocated entry could silently corrupt), so the
+        # sort key is intrinsic and insertion is a plain bisect.
+        bisect.insort(self._entries, entry,
+                      key=lambda e: (-e.priority, e.seq))
         entry.installed_at = self.sim.now
         entry.last_used = self.sim.now
         if entry.hard_timeout > 0:
@@ -198,7 +206,6 @@ class FlowTable:
             self._entries.remove(entry)
         except ValueError:  # pragma: no cover - defensive
             pass
-        self._seq_of.pop(id(entry), None)
         if notify and self.on_removed is not None and (entry.flags & OFPFF_SEND_FLOW_REM):
             self.on_removed(entry, reason)
 
@@ -224,7 +231,7 @@ class FlowTable:
                 "cookie": entry.cookie,
                 "packet_count": entry.packet_count,
                 "byte_count": entry.byte_count,
-                "duration": self.sim.now - entry.installed_at,
+                "duration": entry.duration,
                 "idle_timeout": entry.idle_timeout,
                 "hard_timeout": entry.hard_timeout,
             }

@@ -237,7 +237,7 @@ class OpenFlowSwitch(Device):
             priority=entry.priority,
             reason=reason,
             cookie=entry.cookie,
-            duration=self.sim.now - entry.installed_at,
+            duration=entry.duration,
             packet_count=entry.packet_count,
             byte_count=entry.byte_count,
             idle_timeout=entry.idle_timeout,

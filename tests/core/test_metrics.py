@@ -25,6 +25,15 @@ class TestSummarize:
         assert s.median == s.mean == s.minimum == s.maximum == 7.0
         assert s.std == 0.0
 
+    def test_std_is_sample_std(self):
+        # ddof=1: [1,2,3] has sample variance 1.0 exactly; the old
+        # population formula (ddof=0) reported sqrt(2/3) ≈ 0.816
+        assert summarize([1.0, 2.0, 3.0]).std == 1.0
+
+    def test_std_two_samples(self):
+        s = summarize([2.0, 4.0])
+        assert s.std == pytest.approx(2.0 ** 0.5)
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize([])

@@ -1,0 +1,114 @@
+"""The content-addressed artifact cache: hits, misses, invalidation."""
+
+import json
+import os
+
+from repro.experiments.cache import ArtifactCache, source_fingerprint
+
+
+def _tree(tmp_path, files):
+    root = tmp_path / "pkg"
+    for relative, content in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+    return str(root)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": "x = 1\n", "sub/b.py": "y = 2\n"})
+        assert source_fingerprint(root) == source_fingerprint(root)
+
+    def test_source_edit_changes_fingerprint(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": "x = 1\n"})
+        before = source_fingerprint(root)
+        (tmp_path / "pkg" / "a.py").write_text("x = 2\n")
+        assert source_fingerprint(root) != before
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": "x = 1\n"})
+        before = source_fingerprint(root)
+        (tmp_path / "pkg" / "b.py").write_text("y = 2\n")
+        assert source_fingerprint(root) != before
+
+    def test_rename_changes_fingerprint(self, tmp_path):
+        """Paths are part of the digest, not just the concatenated bytes."""
+        one = _tree(tmp_path / "one", {"a.py": "x = 1\n"})
+        two = _tree(tmp_path / "two", {"b.py": "x = 1\n"})
+        assert source_fingerprint(one) != source_fingerprint(two)
+
+    def test_non_python_and_pycache_ignored(self, tmp_path):
+        root = _tree(tmp_path, {"a.py": "x = 1\n"})
+        before = source_fingerprint(root)
+        (tmp_path / "pkg" / "notes.txt").write_text("irrelevant")
+        cachedir = tmp_path / "pkg" / "__pycache__"
+        cachedir.mkdir()
+        (cachedir / "a.cpython-311.py").write_text("compiled")
+        assert source_fingerprint(root) == before
+
+    def test_default_root_is_installed_package(self):
+        import repro
+
+        fingerprint = source_fingerprint()
+        assert fingerprint == source_fingerprint(
+            os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class TestArtifactCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), fingerprint="f1")
+        assert cache.load("a", "A1", 7) is None
+        cache.store("a", "A1", 7, render="TABLE", csv="x,y\n1,2\n")
+        payload = cache.load("a", "A1", 7)
+        assert payload["render"] == "TABLE"
+        assert payload["csv"] == "x,y\n1,2\n"
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_key_distinguishes_part_name_repeats(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), fingerprint="f1")
+        keys = {cache.key_for("a", "A1", 7), cache.key_for("b", "A1", 7),
+                cache.key_for("a", "A2", 7), cache.key_for("a", "A1", 42)}
+        assert len(keys) == 4
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        root = str(tmp_path / "c")
+        old = ArtifactCache(root, fingerprint="before-edit")
+        old.store("a", "A1", 7, render="OLD", csv="old")
+        edited = ArtifactCache(root, fingerprint="after-edit")
+        assert edited.load("a", "A1", 7) is None
+
+    def test_source_edit_invalidates_end_to_end(self, tmp_path):
+        """The full chain: cache keyed by a real tree's fingerprint goes
+        stale the moment any .py file in that tree changes."""
+        src = _tree(tmp_path, {"mod.py": "VALUE = 1\n"})
+        cache = ArtifactCache(str(tmp_path / "c"),
+                              fingerprint=source_fingerprint(src))
+        cache.store("a", "A1", 7, render="V1", csv="v1")
+        assert cache.load("a", "A1", 7)["render"] == "V1"
+        (tmp_path / "pkg" / "mod.py").write_text("VALUE = 2\n")
+        stale = ArtifactCache(str(tmp_path / "c"),
+                              fingerprint=source_fingerprint(src))
+        assert stale.load("a", "A1", 7) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.store("a", "A1", 7, render="TABLE", csv="csv")
+        path = cache._path(cache.key_for("a", "A1", 7))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert cache.load("a", "A1", 7) is None
+
+    def test_entry_missing_fields_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.store("a", "A1", 7, render="TABLE", csv="csv")
+        path = cache._path(cache.key_for("a", "A1", 7))
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"render": "TABLE"}, handle)
+        assert cache.load("a", "A1", 7) is None
+
+    def test_store_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), fingerprint="f1")
+        cache.store("a", "A1", 7, render="TABLE", csv="csv")
+        leftovers = [f for f in os.listdir(cache.root) if f.endswith(".tmp")]
+        assert leftovers == []

@@ -1,0 +1,105 @@
+"""The cell pool: deterministic merge order, counters, serial fallback."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.experiments.pool import Cell, CellPool, active_pool, pooled, run_cells
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def square_cell(value: int, seed: int = 0) -> int:
+    return value * value
+
+
+def slow_inverse_cell(index: int, total: int, seed: int = 0) -> int:
+    """Sleeps longer for earlier indices, so under a parallel pool the
+    *last* submitted cell finishes first — completion order is the reverse
+    of submission order, which is exactly what the merge must undo."""
+    time.sleep(0.02 * (total - index))
+    return index
+
+
+def _cells(n: int):
+    return [Cell(fn=slow_inverse_cell, seed=100 + i,
+                 kwargs=dict(index=i, total=n, seed=100 + i))
+            for i in range(n)]
+
+
+class TestSerial:
+    def test_run_cells_without_pool_is_serial_in_process(self):
+        assert active_pool() is None
+        cells = [Cell(fn=square_cell, kwargs=dict(value=v)) for v in (2, 3, 4)]
+        assert run_cells(cells) == [4, 9, 16]
+
+    def test_jobs_one_never_spawns_workers(self):
+        pool = CellPool(jobs=1)
+        try:
+            assert pool.map(_cells(3)) == [0, 1, 2]
+            assert pool._pool is None
+            assert pool.cells_run == 3
+            assert pool.cells_parallel == 0
+        finally:
+            pool.close()
+
+    def test_single_cell_short_circuits(self):
+        pool = CellPool(jobs=4)
+        try:
+            assert pool.map([Cell(fn=square_cell, kwargs=dict(value=7))]) == [49]
+            assert pool._pool is None
+        finally:
+            pool.close()
+
+    def test_empty_cell_list(self):
+        pool = CellPool(jobs=4)
+        try:
+            assert pool.map([]) == []
+        finally:
+            pool.close()
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestParallel:
+    def test_merge_order_is_submission_order(self):
+        """Results come back in cell (seed) order even though completion
+        order is reversed by the staggered sleeps."""
+        n = 6
+        with pooled(3) as pool:
+            assert run_cells(_cells(n)) == list(range(n))
+            assert pool.cells_parallel == n
+            assert pool.worker_cpu_s >= 0.0
+
+    def test_parallel_equals_serial(self):
+        serial = [cell.run() for cell in _cells(5)]
+        with pooled(3):
+            assert run_cells(_cells(5)) == serial
+
+    def test_pool_reused_across_maps(self):
+        with pooled(2) as pool:
+            run_cells(_cells(2))
+            first = pool._pool
+            run_cells(_cells(2))
+            assert pool._pool is first
+            assert pool.cells_run == 4
+
+
+class TestPooledContext:
+    def test_pooled_sets_and_restores_active(self):
+        assert active_pool() is None
+        with pooled(2) as pool:
+            assert active_pool() is pool
+        assert active_pool() is None
+
+    def test_pooled_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with pooled(2):
+                raise RuntimeError("boom")
+        assert active_pool() is None
+
+    def test_nested_pooled_restores_outer(self):
+        with pooled(2) as outer:
+            with pooled(3) as inner:
+                assert active_pool() is inner
+            assert active_pool() is outer

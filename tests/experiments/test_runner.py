@@ -1,12 +1,23 @@
 """Tests for the artifact runner CLI and quick driver sanity checks."""
 
 import io
+import multiprocessing
+import os
 
 import pytest
 
 from repro.experiments import parta, partb
-from repro.experiments.runner import artifact_registry, main, run
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import (
+    _check_csv_collisions,
+    _csv_name,
+    artifact_registry,
+    main,
+    run,
+)
 from repro.metrics import Series, Table
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 
 class TestRegistry:
@@ -39,13 +50,103 @@ class TestRun:
 
     def test_main_with_out_file(self, tmp_path):
         out = tmp_path / "artifacts.txt"
-        code = main(["--part", "b", "--out", str(out)])
+        code = main(["--part", "b", "--out", str(out),
+                     "--cache-dir", str(tmp_path / "cache")])
         assert code == 0
         assert "Fig. 11" in out.read_text()
 
     def test_main_invalid_part_rejected(self):
         with pytest.raises(SystemExit):
             main(["--part", "zzz"])
+
+
+class TestCsvNameCollision:
+    def test_registry_names_are_collision_free(self):
+        # building the registry runs the check; it must not raise
+        entries = artifact_registry(full=False)
+        csvs = {_csv_name(f"{part}_{name}") for part, name, _ in entries}
+        assert len(csvs) == len(entries)
+
+    def test_colliding_names_raise_at_build_time(self):
+        # "Fig. 9" and "Fig 9" both sanitize to fig_9.csv — previously two
+        # artifacts would silently overwrite each other's CSV file
+        entries = [("b", "Fig. 9", lambda: None),
+                   ("b", "Fig 9", lambda: None)]
+        with pytest.raises(ValueError, match="collision"):
+            _check_csv_collisions(entries)
+
+    def test_collision_message_names_both_artifacts(self):
+        entries = [("a", "A-1", lambda: None), ("a", "A 1", lambda: None)]
+        with pytest.raises(ValueError, match="A-1"):
+            _check_csv_collisions(entries)
+
+
+def _tiny_registry(full):
+    """One fast artifact so runner-level tests don't simulate for seconds."""
+    def driver():
+        table = Table(title="Tiny", columns=["k", "v"], time_columns=set())
+        table.add(k="alpha", v=1)
+        table.add(k="beta", v=2)
+        return table
+    return [("a", "Tiny", driver)]
+
+
+class TestRunnerCache:
+    def test_second_run_hits_and_output_matches(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner_module, "artifact_registry", _tiny_registry)
+        cache_dir = str(tmp_path / "cache")
+        csv_cold = tmp_path / "csv-cold"
+        csv_warm = tmp_path / "csv-warm"
+        cold = io.StringIO()
+        assert run(parts=["a"], out=cold, csv_dir=str(csv_cold),
+                   cache_dir=cache_dir) == 1
+        warm = io.StringIO()
+        assert run(parts=["a"], out=warm, csv_dir=str(csv_warm),
+                   cache_dir=cache_dir) == 1
+        assert "regenerated" in cold.getvalue()
+        assert "cache hit" not in cold.getvalue()
+        assert "cache hit" in warm.getvalue()
+        assert (csv_cold / "a_tiny.csv").read_bytes() == \
+            (csv_warm / "a_tiny.csv").read_bytes()
+
+    def test_no_cache_dir_never_writes_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner_module, "artifact_registry", _tiny_registry)
+        run(parts=["a"], out=io.StringIO(), cache_dir=None)
+        assert not os.path.exists(str(tmp_path / ".repro-cache"))
+
+    def test_summary_reports_cache_counts(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner_module, "artifact_registry", _tiny_registry)
+        cache_dir = str(tmp_path / "cache")
+        run(parts=["a"], out=io.StringIO(), cache_dir=cache_dir)
+        warm = io.StringIO()
+        run(parts=["a"], out=warm, cache_dir=cache_dir)
+        assert "cache: 1 hits / 0 misses / 0 stores" in warm.getvalue()
+
+    def test_main_no_cache_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner_module, "artifact_registry", _tiny_registry)
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "out.txt"
+        assert main(["--part", "a", "--no-cache", "--out", str(out)]) == 0
+        assert not (tmp_path / ".repro-cache").exists()
+        assert main(["--part", "a", "--out", str(out)]) == 0
+        assert (tmp_path / ".repro-cache").is_dir()
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestParallelMatchesSerial:
+    def test_part_a_csvs_byte_identical(self, tmp_path):
+        """The tentpole gate: --jobs N CSV output is byte-for-byte the
+        serial output (deterministic seed-order merging)."""
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        run(parts=["a"], out=io.StringIO(), csv_dir=str(serial_dir), jobs=1)
+        run(parts=["a"], out=io.StringIO(), csv_dir=str(parallel_dir), jobs=2)
+        names = sorted(os.listdir(serial_dir))
+        assert names == sorted(os.listdir(parallel_dir))
+        assert names  # the part actually produced CSVs
+        for name in names:
+            assert (serial_dir / name).read_bytes() == \
+                (parallel_dir / name).read_bytes(), name
 
 
 class TestDriverContracts:

@@ -201,6 +201,76 @@ def test_expired_entry_not_matched_after_removal(sim):
     assert table.lookup(FIELDS_80) is None
 
 
+def test_duration_is_time_since_install_not_last_used(sim):
+    """OpenFlow duration semantics: ``now - installed_at``. The old property
+    returned ``last_used - installed_at``, so a flow hit once at t=1 and
+    inspected at t=5 reported 1 s instead of 5 s."""
+    table = FlowTable(sim)
+    e = entry(match=Match(tcp_dst=80))
+    table.install(e)
+    sim.schedule(1.0, table.match_packet, FIELDS_80, 100)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert sim.now == 5.0
+    assert e.last_used == 1.0
+    assert e.duration == 5.0
+
+
+def test_duration_matches_stats_snapshot(sim):
+    table = FlowTable(sim)
+    e = entry(match=Match(tcp_dst=80))
+    table.install(e)
+    sim.schedule(2.0, table.match_packet, FIELDS_80, 100)
+    sim.schedule(7.0, lambda: None)
+    sim.run()
+    assert table.stats()[0]["duration"] == e.duration == 7.0
+
+
+def test_duration_zero_before_install():
+    e = entry()
+    assert e.duration == 0.0
+
+
+def test_seq_is_stored_on_the_entry(sim):
+    """The tiebreak sequence lives on the entry itself — the old id()-keyed
+    side table could be corrupted when a removed entry's id was reused."""
+    table = FlowTable(sim)
+    first = entry(priority=5, match=Match(tcp_dst=80))
+    second = entry(priority=5, match=Match(tcp_dst=443))
+    table.install(first)
+    table.install(second)
+    assert (first.seq, second.seq) == (1, 2)
+    # reinstalling assigns a fresh, strictly increasing seq
+    table.delete(Match(tcp_dst=80))
+    table.install(first)
+    assert first.seq == 3
+
+
+def test_equal_priority_order_survives_reinstall(sim):
+    """After removing and reinstalling the once-first entry, it must sort
+    *behind* its equal-priority peer (it is now the newer install)."""
+    table = FlowTable(sim)
+    first = entry(priority=5)
+    second = entry(priority=5, match=Match(tcp_dst=80))
+    table.install(first)
+    table.install(second)
+    assert table.lookup(FIELDS_80) is first  # wildcard installed earlier
+    table.delete(Match(), strict=True, priority=5)
+    table.install(first)
+    assert table.lookup(FIELDS_80) is second  # first is now the newcomer
+
+
+def test_entries_sorted_by_priority_then_seq(sim):
+    table = FlowTable(sim)
+    a = entry(priority=1, match=Match(tcp_dst=80))
+    b = entry(priority=9, match=Match(tcp_dst=443))
+    c = entry(priority=5)
+    d = entry(priority=9, match=Match(tcp_dst=22))
+    for e in (a, b, c, d):
+        table.install(e)
+    assert table.entries == [b, d, c, a]
+
+
 def test_lookup_counters(sim):
     table = FlowTable(sim)
     table.install(entry(match=Match(tcp_dst=80)))
