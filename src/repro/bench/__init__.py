@@ -1,0 +1,261 @@
+"""Hot-path benchmark harness — the repo's performance trajectory.
+
+``python -m repro.bench`` runs the microbenchmarks that cover the packet
+hot path (indexed flow-table lookup vs. the reference linear scan,
+microflow-cached forwarding, flow churn through the exact-match index, raw
+event-loop throughput) plus end-to-end experiment drivers, and writes a
+machine-readable record (``BENCH_4.json`` by default) so future PRs can
+compare against it instead of re-deriving a baseline.
+
+Every benchmark body is a deterministic simulation; only the *measurement*
+is host wall time, which never feeds back into any simulated result.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List
+
+from repro.metrics import perf
+
+__all__ = [
+    "bench_packet_path",
+    "bench_microflow_forwarding",
+    "bench_flow_churn",
+    "bench_event_loop",
+    "bench_end_to_end",
+    "run_benchmarks",
+    "write_record",
+]
+
+DEFAULT_OUT = "BENCH_4.json"
+SCHEMA = "repro-bench/1"
+
+
+def _now() -> float:
+    return time.perf_counter()  # repro: noqa[REP001] host-side timing only
+
+
+# ------------------------------------------------------------- fixtures
+
+
+def _populated_table(entries: int) -> Any:
+    """A flow table with ``entries`` same-priority exact-match rules —
+    the adversarial case for the old linear scan (every miss walked all
+    of them) and the representative one for the paper's data plane
+    (per-session microflow rules installed by the controller)."""
+    from repro.openflow import FlowEntry, FlowTable, Match, OutputAction
+    from repro.simcore import Simulator
+
+    sim = Simulator()
+    table = FlowTable(sim)
+    for i in range(entries):
+        match = Match(eth_type=0x0800, ip_proto=6,
+                      ipv4_src=f"10.{i // 65536 % 256}.{i // 256 % 256}.{i % 256}",
+                      ipv4_dst=f"172.{i // 65536 % 256}.{i // 256 % 256}.{i % 256}",
+                      tcp_dst=80)
+        table.install(FlowEntry(match=match, priority=100,
+                                actions=[OutputAction(1)]))
+    return table
+
+
+def _packet_fields(entries: int, stride: int = 7) -> List[Dict[str, Any]]:
+    from repro.netsim.addresses import IPv4
+
+    fields = []
+    for i in range(0, entries, stride):
+        fields.append({
+            "in_port": 1, "eth_type": 0x0800, "ip_proto": 6,
+            "ipv4_src": IPv4(f"10.{i // 65536 % 256}.{i // 256 % 256}.{i % 256}"),
+            "ipv4_dst": IPv4(f"172.{i // 65536 % 256}.{i // 256 % 256}.{i % 256}"),
+            "tcp_dst": 80,
+        })
+    return fields
+
+
+# ----------------------------------------------------------- benchmarks
+
+
+def bench_packet_path(entries: int = 1000, lookups: int = 1_000_000,
+                      linear_lookups: int = 20_000) -> Dict[str, Any]:
+    """Indexed ``FlowTable.lookup`` vs. the reference linear scan.
+
+    The linear baseline is sampled with fewer iterations (at 1k entries it
+    costs ~100 µs per call) and compared per-lookup; the acceptance bar
+    for PR 4 is a ≥ 5× speedup.
+    """
+    table = _populated_table(entries)
+    packets = _packet_fields(entries)
+    n_packets = len(packets)
+
+    started = _now()
+    for i in range(lookups):
+        table.lookup(packets[i % n_packets])
+    indexed_s = _now() - started
+
+    started = _now()
+    for i in range(linear_lookups):
+        table.lookup_linear(packets[i % n_packets])
+    linear_s = _now() - started
+
+    indexed_us = indexed_s / lookups * 1e6
+    linear_us = linear_s / linear_lookups * 1e6
+    return {
+        "entries": entries,
+        "lookups": lookups,
+        "linear_lookups": linear_lookups,
+        "indexed_us_per_lookup": round(indexed_us, 3),
+        "linear_us_per_lookup": round(linear_us, 3),
+        "speedup": round(linear_us / indexed_us, 1) if indexed_us else None,
+    }
+
+
+def bench_microflow_forwarding(flows: int = 256, packets: int = 200_000,
+                               drain_every: int = 10_000) -> Dict[str, Any]:
+    """Full ``OpenFlowSwitch.on_frame`` cost with a warm microflow cache.
+
+    Replays TCP frames over ``flows`` installed exact-match rules; after
+    the first round every packet is a microflow hit. The event queue is
+    drained periodically so the forwarding events don't accumulate."""
+    from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment, ip, mac
+    from repro.netsim.packet import IP_PROTO_TCP
+    from repro.openflow import FlowEntry, Match, OutputAction
+    from repro.openflow.switch import OpenFlowSwitch
+    from repro.simcore import Simulator
+
+    sim = Simulator()
+    switch = OpenFlowSwitch(sim, "bench-sw", dpid=1)
+    frames = []
+    for i in range(flows):
+        dst = f"172.16.{i // 256 % 256}.{i % 256}"
+        switch.table.install(FlowEntry(
+            match=Match(eth_type=0x0800, ip_proto=6, ipv4_dst=dst, tcp_dst=80),
+            priority=100, actions=[OutputAction(1)]))
+        seg = TCPSegment(src_port=40000, dst_port=80)
+        pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip(dst), proto=IP_PROTO_TCP,
+                         payload=seg)
+        frames.append(EthernetFrame(src=mac(1), dst=mac(2),
+                                    ethertype=ETH_TYPE_IP, payload=pkt))
+
+    started = _now()
+    for i in range(packets):
+        switch.on_frame(2, frames[i % flows])
+        if i % drain_every == drain_every - 1:
+            sim.run()
+    sim.run()
+    elapsed = _now() - started
+    return {
+        "flows": flows,
+        "packets": packets,
+        "us_per_packet": round(elapsed / packets * 1e6, 3),
+        "microflow_hit_rate": round(switch.microflow_hit_rate, 4),
+    }
+
+
+def bench_flow_churn(resident: int = 1000, cycles: int = 20_000) -> Dict[str, Any]:
+    """Install/strict-delete cycles against a full table.
+
+    Exercises exactly what the exact-match index fixed: install-overlap
+    detection and ``OFPFC_DELETE_STRICT``, both previously O(n) scans."""
+    from repro.openflow import FlowEntry, Match, OutputAction
+
+    table = _populated_table(resident)
+    churn_match = Match(eth_type=0x0800, ip_proto=6,
+                        ipv4_src="192.168.0.1", ipv4_dst="192.168.1.1",
+                        tcp_dst=443)
+    started = _now()
+    for _ in range(cycles):
+        table.install(FlowEntry(match=churn_match, priority=50,
+                                actions=[OutputAction(2)]))
+        table.delete(churn_match, strict=True, priority=50)
+    elapsed = _now() - started
+    return {
+        "resident_entries": resident,
+        "cycles": cycles,
+        "us_per_cycle": round(elapsed / cycles * 1e6, 3),
+    }
+
+
+def bench_event_loop(events: int = 100_000) -> Dict[str, Any]:
+    """Schedule + run ``events`` no-op events through ``Simulator.run``."""
+    from repro.simcore import Simulator
+
+    sim = Simulator()
+    callback: Callable[[], None] = lambda: None
+    started = _now()
+    for i in range(events):
+        sim.schedule(i * 1e-6, callback)
+    sim.run()
+    elapsed = _now() - started
+    assert sim.events_executed == events
+    return {
+        "events": events,
+        "us_per_event": round(elapsed / events * 1e6, 3),
+    }
+
+
+def bench_end_to_end() -> Dict[str, Any]:
+    """Wall time of representative experiment drivers (serial, in-process),
+    with the hot-path work they cost (from :mod:`repro.metrics.perf`)."""
+    from repro.experiments import parta, partb
+
+    drivers: List[Any] = [
+        ("parta.a3_controller_scaling", parta.a3_controller_scaling),
+        ("parta.a4_flowtable_occupancy", parta.a4_flowtable_occupancy),
+        ("partb.fig11_scale_up", lambda: partb.fig11_scale_up(repeats=7)),
+    ]
+    out: Dict[str, Any] = {}
+    for name, driver in drivers:
+        before = perf.snapshot()
+        started = _now()
+        driver()
+        elapsed = _now() - started
+        counters = perf.delta(before)
+        out[name] = {
+            "wall_s": round(elapsed, 3),
+            "sim_events": counters.events_executed,
+            "flow_lookups": counters.flow_lookups,
+            "microflow_hit_rate": round(counters.microflow_hit_rate, 4),
+        }
+    return out
+
+
+# -------------------------------------------------------------- harness
+
+
+def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
+    """Run the whole suite; ``smoke`` shrinks iteration counts for CI."""
+    if smoke:
+        packet = bench_packet_path(lookups=50_000, linear_lookups=2_000)
+        microflow = bench_microflow_forwarding(packets=20_000)
+        churn = bench_flow_churn(cycles=2_000)
+        loop = bench_event_loop(events=20_000)
+    else:
+        packet = bench_packet_path()
+        microflow = bench_microflow_forwarding()
+        churn = bench_flow_churn()
+        loop = bench_event_loop()
+    return {
+        "schema": SCHEMA,
+        "pr": 4,
+        "smoke": smoke,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "generated_unix_s": round(time.time(), 1),  # repro: noqa[REP001] host-side stamp
+        "benchmarks": {
+            "packet_path": packet,
+            "microflow_forwarding": microflow,
+            "flow_churn": churn,
+            "event_loop": loop,
+            "end_to_end": bench_end_to_end(),
+        },
+    }
+
+
+def write_record(record: Dict[str, Any], path: str = DEFAULT_OUT) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,41 @@
+"""CLI entry point: ``python -m repro.bench [--smoke] [--out BENCH_4.json]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench import DEFAULT_OUT, run_benchmarks, write_record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the hot-path microbenchmark suite and write a "
+                    "machine-readable perf record.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrunk iteration counts (CI-friendly, ~seconds)")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT,
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                        help="exit non-zero unless the packet-path speedup "
+                             "over the linear scan is at least X")
+    args = parser.parse_args(argv)
+    record = run_benchmarks(smoke=args.smoke)
+    write_record(record, args.out)
+    json.dump(record, sys.stdout, indent=2)
+    print()
+    print(f"wrote {args.out}")
+    if args.min_speedup is not None:
+        speedup = record["benchmarks"]["packet_path"]["speedup"]
+        if speedup is None or speedup < args.min_speedup:
+            print(f"FAIL: packet-path speedup {speedup} < required "
+                  f"{args.min_speedup}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.metrics import perf
+from repro.metrics.perf import PerfCounters
+
 __all__ = ["Cell", "CellPool", "PoolProtocolError", "pooled", "run_cells", "active_pool"]
 
 
@@ -49,13 +52,17 @@ class Cell:
         return self.fn(**self.kwargs)
 
 
-def _run_indexed(indexed: Tuple[int, Cell]) -> Tuple[int, Any, float]:
-    """Worker-side wrapper: run one cell, report its index and CPU cost."""
+def _run_indexed(indexed: Tuple[int, Cell]) -> Tuple[int, Any, float, PerfCounters]:
+    """Worker-side wrapper: run one cell, report its index, CPU cost, and
+    the hot-path perf counters it accumulated (the worker's process-global
+    counters are invisible to the parent, so the delta rides back with the
+    result)."""
     index, cell = indexed
     started = time.process_time()  # repro: noqa[REP001] host-side accounting
+    perf_before = perf.snapshot()
     value = cell.run()
     cpu_s = time.process_time() - started  # repro: noqa[REP001] host-side accounting
-    return index, value, cpu_s
+    return index, value, cpu_s, perf.delta(perf_before)
 
 
 def _start_method() -> str:
@@ -79,6 +86,9 @@ class CellPool:
         self.cells_run = 0
         self.cells_parallel = 0
         self.worker_cpu_s = 0.0
+        #: hot-path perf counters accumulated by worker processes (cells
+        #: run in the parent land in the parent's own global counters)
+        self.worker_perf = PerfCounters()
 
     def _ensure_pool(self) -> Any:
         if self._pool is None:
@@ -100,11 +110,12 @@ class CellPool:
         pool = self._ensure_pool()
         # imap_unordered for load balance; the index carried through each
         # result re-establishes deterministic (submission/seed) order.
-        for index, value, cpu_s in pool.imap_unordered(
+        for index, value, cpu_s, perf_delta in pool.imap_unordered(
                 _run_indexed, list(enumerate(cells))):
             results[index] = value
             filled[index] = True
             self.worker_cpu_s += cpu_s
+            self.worker_perf = self.worker_perf + perf_delta
         if not all(filled):  # pragma: no cover - imap delivers every item
             missing = [i for i, seen in enumerate(filled) if not seen]
             raise PoolProtocolError(f"worker pool dropped cells {missing}")

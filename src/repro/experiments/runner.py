@@ -28,7 +28,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.experiments import ablations, extensions, parta, partb, robustness
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ArtifactCache
 from repro.experiments.pool import pooled
-from repro.metrics import ArtifactTiming, RunReport, Series, Table, render_series, render_table
+from repro.metrics import ArtifactTiming, RunReport, Series, Table, perf, render_series, render_table
 
 
 def _render(artifact) -> str:
@@ -140,6 +140,8 @@ def run(parts: Optional[List[str]] = None, full: bool = False,
             cpu_started = time.process_time()  # repro: noqa[REP001] host-side timing
             cells_before = pool.cells_run
             worker_cpu_before = pool.worker_cpu_s
+            worker_perf_before = pool.worker_perf
+            perf_before = perf.snapshot()
             cached = cache.load(part, name, repeats) if cache is not None else None
             if cached is not None:
                 rendered = cached["render"]
@@ -166,7 +168,8 @@ def run(parts: Optional[List[str]] = None, full: bool = False,
             report.add(ArtifactTiming(
                 part=part, name=name, wall_s=elapsed, cpu_s=cpu_s,
                 cells=pool.cells_run - cells_before,
-                cache_hit=cached is not None))
+                cache_hit=cached is not None,
+                perf=perf.delta(perf_before) + (pool.worker_perf - worker_perf_before)))
             count += 1
     if cache is not None:
         report.cache_stores = cache.stores

@@ -1,5 +1,6 @@
 """Measurement: summary statistics, figure/table renderers, failure counters."""
 
+from repro.metrics import perf
 from repro.metrics.failures import FailureCounters, snapshot_failures
 from repro.metrics.report import (
     Series,
@@ -10,10 +11,14 @@ from repro.metrics.report import (
     series_to_csv,
     table_to_csv,
 )
+from repro.metrics.perf import PERF, PerfCounters
 from repro.metrics.runtime import ArtifactTiming, RunReport
 from repro.metrics.stats import Summary, summarize
 
 __all__ = [
+    "perf",
+    "PERF",
+    "PerfCounters",
     "Summary",
     "summarize",
     "ArtifactTiming",

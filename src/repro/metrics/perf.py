@@ -1,0 +1,93 @@
+"""Process-global hot-path performance counters.
+
+The substrate's hot paths (event loop, flow-table lookup, per-switch
+microflow cache) each keep *per-instance* counters for tests and stats
+replies. This module aggregates the same increments into one
+process-global :class:`PerfCounters` so the experiment runner can report,
+per regenerated artifact, how much simulation work it cost — without
+holding references to every simulator, table, and switch a driver builds.
+
+The counters are observability only: nothing in any simulation reads them
+back, so they cannot perturb determinism. Worker processes carry their own
+instance; :mod:`repro.experiments.pool` snapshots it around each cell and
+ships the delta back to the parent with the cell result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerfCounters", "PERF", "snapshot", "delta"]
+
+
+@dataclass
+class PerfCounters:
+    """Additive counters for the simulation hot paths.
+
+    ``+``/``-`` compose snapshots: ``after - before`` is the cost of the
+    work in between, and worker deltas sum into a run total with ``+``.
+    """
+
+    events_executed: int = 0
+    flow_lookups: int = 0
+    flow_hits: int = 0
+    microflow_hits: int = 0
+    microflow_misses: int = 0
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            events_executed=self.events_executed + other.events_executed,
+            flow_lookups=self.flow_lookups + other.flow_lookups,
+            flow_hits=self.flow_hits + other.flow_hits,
+            microflow_hits=self.microflow_hits + other.microflow_hits,
+            microflow_misses=self.microflow_misses + other.microflow_misses,
+        )
+
+    def __sub__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            events_executed=self.events_executed - other.events_executed,
+            flow_lookups=self.flow_lookups - other.flow_lookups,
+            flow_hits=self.flow_hits - other.flow_hits,
+            microflow_hits=self.microflow_hits - other.microflow_hits,
+            microflow_misses=self.microflow_misses - other.microflow_misses,
+        )
+
+    @property
+    def microflow_packets(self) -> int:
+        return self.microflow_hits + self.microflow_misses
+
+    @property
+    def microflow_hit_rate(self) -> float:
+        """Fraction of datapath packets answered by a microflow cache."""
+        packets = self.microflow_packets
+        return self.microflow_hits / packets if packets else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "events_executed": self.events_executed,
+            "flow_lookups": self.flow_lookups,
+            "flow_hits": self.flow_hits,
+            "microflow_hits": self.microflow_hits,
+            "microflow_misses": self.microflow_misses,
+            "microflow_hit_rate": self.microflow_hit_rate,
+        }
+
+
+#: the live counters for this process; hot paths increment fields directly
+PERF = PerfCounters()
+
+
+def snapshot() -> PerfCounters:
+    """Copy of the current process-global counters."""
+    return PerfCounters(
+        events_executed=PERF.events_executed,
+        flow_lookups=PERF.flow_lookups,
+        flow_hits=PERF.flow_hits,
+        microflow_hits=PERF.microflow_hits,
+        microflow_misses=PERF.microflow_misses,
+    )
+
+
+def delta(before: PerfCounters) -> PerfCounters:
+    """Counters accumulated since ``before`` was snapshotted."""
+    return snapshot() - before

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.metrics.perf import PerfCounters
 from repro.metrics.report import Table, render_table
 
 __all__ = ["ArtifactTiming", "RunReport"]
@@ -19,7 +20,13 @@ __all__ = ["ArtifactTiming", "RunReport"]
 
 @dataclass(frozen=True)
 class ArtifactTiming:
-    """Runtime record for one regenerated artifact."""
+    """Runtime record for one regenerated artifact.
+
+    ``perf`` carries the hot-path work the artifact cost — simulator events
+    executed, flow-table lookups/hits, microflow cache hit rate — summed
+    over the parent process and any pool workers, so a perf regression
+    (e.g. a lookup suddenly missing the index) is visible on every run.
+    """
 
     part: str
     name: str
@@ -27,6 +34,7 @@ class ArtifactTiming:
     cpu_s: float
     cells: int = 0
     cache_hit: bool = False
+    perf: PerfCounters = field(default_factory=PerfCounters)
 
 
 @dataclass
@@ -65,23 +73,38 @@ class RunReport:
     def total_cells(self) -> int:
         return sum(t.cells for t in self.timings)
 
+    @property
+    def total_perf(self) -> PerfCounters:
+        total = PerfCounters()
+        for timing in self.timings:
+            total = total + timing.perf
+        return total
+
     def as_table(self) -> Table:
         table = Table(
-            title="Runner summary — wall/CPU per artifact",
-            columns=["part", "artifact", "wall_s", "cpu_s", "cells", "cache"],
+            title="Runner summary — wall/CPU/hot-path work per artifact",
+            columns=["part", "artifact", "wall_s", "cpu_s", "cells", "cache",
+                     "events", "lookups", "mf_hit_pct"],
             time_columns={"wall_s", "cpu_s"},
         )
         for timing in self.timings:
             table.add(part=timing.part, artifact=timing.name,
                       wall_s=timing.wall_s, cpu_s=timing.cpu_s,
                       cells=timing.cells,
-                      cache="hit" if timing.cache_hit else "miss")
+                      cache="hit" if timing.cache_hit else "miss",
+                      events=timing.perf.events_executed,
+                      lookups=timing.perf.flow_lookups,
+                      mf_hit_pct=round(100.0 * timing.perf.microflow_hit_rate, 1))
         cache_note = (f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
                       f"/ {self.cache_stores} stores" if self.cache_enabled
                       else "cache: disabled")
+        perf = self.total_perf
         table.note = (f"jobs={self.jobs}; {self.artifacts} artifacts in "
                       f"{self.total_wall_s:.1f}s wall / {self.total_cpu_s:.1f}s CPU; "
-                      f"{self.total_cells} cells; {cache_note}")
+                      f"{self.total_cells} cells; {cache_note}; "
+                      f"{perf.events_executed} sim events, "
+                      f"{perf.flow_lookups} table lookups, "
+                      f"microflow hit rate {100.0 * perf.microflow_hit_rate:.1f}%")
         return table
 
     def render(self) -> str:

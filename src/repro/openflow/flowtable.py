@@ -1,23 +1,46 @@
-"""Flow table with priorities, timeouts, and counters.
+"""Flow table with priorities, timeouts, counters, and indexed lookup.
 
 Lookup semantics follow OpenFlow: highest priority wins; among equal
 priorities the result is unspecified in the spec — here it is
 insertion order, deterministically. Idle timeouts are refreshed by every
 matched packet; expiry is implemented with lazily re-armed timers so that a
 busy flow costs O(1) per packet (no timer churn).
+
+The table keeps two views of the same rule set:
+
+* ``_entries`` — the list sorted by ``(-priority, seq)``. It is the ground
+  truth for iteration order (``entries``, ``stats()``, non-strict delete)
+  and the reference the differential tests compare against
+  (:meth:`FlowTable.lookup_linear`).
+* the **lookup index** — per-priority hash buckets keyed on each entry's
+  cached exact ``(ipv4_src, ipv4_dst)`` values, a ``(match, priority)``
+  exact-match index for install-overlap/strict-delete, and a per-match
+  index for strict deletes without a priority. All three are maintained
+  incrementally on install/remove/clear, so :meth:`lookup`,
+  :meth:`install`, and strict :meth:`delete` never scan the table.
+
+A packet can only match an entry whose exact src/dst conditions equal the
+packet's (or are wildcarded), so the candidate buckets for a lookup are the
+four ``(src|None, dst|None)`` combinations; within a priority the winner is
+the minimum-``seq`` match across those buckets — byte-identical to the
+linear scan's first-match-in-sorted-order answer.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from repro.metrics.perf import PERF
 from repro.openflow.constants import OFPFF_SEND_FLOW_REM, OFPRR_DELETE, OFPRR_HARD_TIMEOUT, OFPRR_IDLE_TIMEOUT
 from repro.openflow.match import FieldDict, Match
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.openflow.actions import Action
     from repro.simcore import Simulator
+
+#: bucket key: the entry's cached exact (ipv4_src, ipv4_dst), None = wildcard
+BucketKey = Tuple[Optional[Any], Optional[Any]]
 
 
 class FlowEntry:
@@ -42,8 +65,8 @@ class FlowEntry:
         now: float = 0.0,
     ) -> None:
         self.match = match
-        # Cached exact conditions for the lookup fast path: comparing these
-        # two values rejects almost every non-matching entry in O(1).
+        # Cached exact conditions, the bucket key of the lookup index (and
+        # the fast-reject prefilter of the reference linear scan).
         self._fast_dst = match.exact_value("ipv4_dst")
         self._fast_src = match.exact_value("ipv4_src")
         self.priority = priority
@@ -56,8 +79,8 @@ class FlowEntry:
         self.last_used = now
         self.packet_count = 0
         self.byte_count = 0
-        self._idle_timer = None
-        self._hard_timer = None
+        self._idle_timer: Optional[Any] = None
+        self._hard_timer: Optional[Any] = None
         self.removed = False
         #: insertion sequence within the owning table; assigned by
         #: :meth:`FlowTable.install` and the tiebreaker among equal
@@ -75,6 +98,10 @@ class FlowEntry:
             return self._sim.now - self.installed_at
         return 0.0
 
+    @property
+    def bucket_key(self) -> BucketKey:
+        return (self._fast_src, self._fast_dst)
+
     def touch(self, now: float, nbytes: int) -> None:
         self.packet_count += 1
         self.byte_count += nbytes
@@ -83,6 +110,10 @@ class FlowEntry:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<FlowEntry prio={self.priority} {self.match!r} "
                 f"pkts={self.packet_count} idle={self.idle_timeout}>")
+
+
+def _sort_key(entry: FlowEntry) -> Tuple[int, int]:
+    return (-entry.priority, entry.seq)
 
 
 class FlowTable:
@@ -98,9 +129,21 @@ class FlowTable:
         self.sim = sim
         self.name = name
         self.on_removed = on_removed
-        # Kept sorted by (-priority, entry.seq) for deterministic lookup.
+        # Kept sorted by (-priority, entry.seq) for deterministic iteration.
         self._entries: List[FlowEntry] = []
         self._insert_seq = 0
+        # ---- lookup index (maintained incrementally; see module docstring)
+        #: priority -> (src, dst) bucket -> entries in ascending-seq order
+        self._buckets: Dict[int, Dict[BucketKey, List[FlowEntry]]] = {}
+        #: distinct priorities, descending (lookup walk order)
+        self._priorities: List[int] = []
+        self._prio_counts: Dict[int, int] = {}
+        #: (match, priority) -> entry; unique by install-replacement
+        self._match_index: Dict[Tuple[Match, int], FlowEntry] = {}
+        #: match -> entries (any priority), for strict delete w/o priority
+        self._by_match: Dict[Match, List[FlowEntry]] = {}
+        #: bumped on every mutation; microflow caches key their validity on it
+        self.generation = 0
         #: cumulative diagnostics
         self.lookups = 0
         self.hits = 0
@@ -110,18 +153,19 @@ class FlowTable:
     def install(self, entry: FlowEntry) -> None:
         """Add ``entry``; an existing entry with identical match+priority is
         replaced (OFPFC_ADD overlap semantics with reset counters)."""
-        for existing in self._entries:
-            if existing.priority == entry.priority and existing.match == entry.match:
-                self._remove_entry(existing, OFPRR_DELETE, notify=False)
-                break
+        existing = self._match_index.get((entry.match, entry.priority))
+        if existing is not None:
+            self._remove_entry(existing, OFPRR_DELETE, notify=False)
         self._insert_seq += 1
         entry.seq = self._insert_seq
+        entry.removed = False  # a reinstalled entry is live again
         entry._sim = self.sim
         # The seq lives on the entry itself (not an id()-keyed side table,
         # which a GC'd-and-reallocated entry could silently corrupt), so the
         # sort key is intrinsic and insertion is a plain bisect.
-        bisect.insort(self._entries, entry,
-                      key=lambda e: (-e.priority, e.seq))
+        bisect.insort(self._entries, entry, key=_sort_key)
+        self._index_add(entry)
+        self.generation += 1
         entry.installed_at = self.sim.now
         entry.last_used = self.sim.now
         if entry.hard_timeout > 0:
@@ -129,17 +173,91 @@ class FlowTable:
         if entry.idle_timeout > 0:
             entry._idle_timer = self.sim.schedule(entry.idle_timeout, self._idle_check, entry)
 
+    def _index_add(self, entry: FlowEntry) -> None:
+        priority = entry.priority
+        count = self._prio_counts.get(priority, 0)
+        if count == 0:
+            # keep the walk list descending: bisect on the negated priority
+            bisect.insort(self._priorities, priority, key=lambda p: -p)
+            self._buckets[priority] = {}
+        self._prio_counts[priority] = count + 1
+        # seq is strictly increasing, so append preserves ascending-seq order
+        self._buckets[priority].setdefault(entry.bucket_key, []).append(entry)
+        self._match_index[(entry.match, priority)] = entry
+        self._by_match.setdefault(entry.match, []).append(entry)
+
+    def _index_remove(self, entry: FlowEntry) -> None:
+        priority = entry.priority
+        bucket = self._buckets[priority][entry.bucket_key]
+        bucket.remove(entry)
+        if not bucket:
+            del self._buckets[priority][entry.bucket_key]
+        count = self._prio_counts[priority] - 1
+        if count == 0:
+            del self._prio_counts[priority]
+            del self._buckets[priority]
+            self._priorities.remove(priority)
+        else:
+            self._prio_counts[priority] = count
+        del self._match_index[(entry.match, priority)]
+        peers = self._by_match[entry.match]
+        peers.remove(entry)
+        if not peers:
+            del self._by_match[entry.match]
+
     # --------------------------------------------------------------- lookup
 
     def lookup(self, fields: FieldDict) -> Optional[FlowEntry]:
         """Return the highest-priority matching entry, touching nothing.
 
-        The loop prefilters on the cached exact ipv4_src/ipv4_dst values —
-        profiling the trace replay showed the full ``Match.matches`` walk
-        dominating simulation wall time; two identity-ish compares reject
-        ~95 % of entries first.
+        Walks priorities in descending order; per priority only the (at
+        most four) hash buckets whose exact src/dst conditions are
+        compatible with the packet are consulted, and the minimum-seq match
+        among them wins — exactly the linear scan's answer
+        (:meth:`lookup_linear`, kept as the differential-test reference).
         """
         self.lookups += 1
+        PERF.flow_lookups += 1
+        pkt_src = fields.get("ipv4_src")
+        pkt_dst = fields.get("ipv4_dst")
+        keys: Tuple[BucketKey, ...]
+        if pkt_src is None:
+            if pkt_dst is None:
+                keys = ((None, None),)
+            else:
+                keys = ((None, pkt_dst), (None, None))
+        elif pkt_dst is None:
+            keys = ((pkt_src, None), (None, None))
+        else:
+            keys = ((pkt_src, pkt_dst), (pkt_src, None), (None, pkt_dst), (None, None))
+        for priority in self._priorities:
+            buckets = self._buckets[priority]
+            best: Optional[FlowEntry] = None
+            best_seq = self._insert_seq + 1
+            for key in keys:
+                candidates = buckets.get(key)
+                if candidates is None:
+                    continue
+                for entry in candidates:
+                    if entry.seq >= best_seq:
+                        break  # ascending seq: cannot beat the current best
+                    if entry.match.matches(fields):
+                        best = entry
+                        best_seq = entry.seq
+                        break
+            if best is not None:
+                self.hits += 1
+                PERF.flow_hits += 1
+                return best
+        return None
+
+    def lookup_linear(self, fields: FieldDict) -> Optional[FlowEntry]:
+        """Reference linear scan (pre-index semantics), counter-free.
+
+        Kept as the oracle for the randomized differential tests and as the
+        baseline the packet-path microbenchmark compares against; not used
+        on any hot path.
+        """
         pkt_dst = fields.get("ipv4_dst")
         pkt_src = fields.get("ipv4_src")
         for entry in self._entries:
@@ -150,7 +268,6 @@ class FlowTable:
             if fast_src is not None and fast_src != pkt_src:
                 continue
             if entry.match.matches(fields):
-                self.hits += 1
                 return entry
         return None
 
@@ -182,14 +299,21 @@ class FlowTable:
     def delete(self, match: Match, strict: bool = False,
                priority: Optional[int] = None, cookie: Optional[int] = None) -> int:
         """OFPFC_DELETE(_STRICT): remove matching entries, return count."""
-        victims = []
-        for entry in self._entries:
-            if cookie is not None and entry.cookie != cookie:
-                continue
-            if strict:
-                if entry.match == match and (priority is None or entry.priority == priority):
-                    victims.append(entry)
+        victims: List[FlowEntry]
+        if strict:
+            if priority is not None:
+                found = self._match_index.get((match, priority))
+                victims = [found] if found is not None else []
             else:
+                # all priorities with this exact match, in table order
+                victims = sorted(self._by_match.get(match, ()), key=_sort_key)
+            if cookie is not None:
+                victims = [entry for entry in victims if entry.cookie == cookie]
+        else:
+            victims = []
+            for entry in self._entries:
+                if cookie is not None and entry.cookie != cookie:
+                    continue
                 if match.covers(entry.match):
                     victims.append(entry)
         for entry in victims:
@@ -202,10 +326,13 @@ class FlowTable:
             entry._idle_timer.cancel()
         if entry._hard_timer is not None:
             entry._hard_timer.cancel()
-        try:
-            self._entries.remove(entry)
-        except ValueError:  # pragma: no cover - defensive
-            pass
+        # Sort keys are intrinsic and unique, so the entry's slot is found
+        # by bisect instead of a linear scan.
+        index = bisect.bisect_left(self._entries, _sort_key(entry), key=_sort_key)
+        if index < len(self._entries) and self._entries[index] is entry:
+            del self._entries[index]
+            self._index_remove(entry)
+            self.generation += 1
         if notify and self.on_removed is not None and (entry.flags & OFPFF_SEND_FLOW_REM):
             self.on_removed(entry, reason)
 

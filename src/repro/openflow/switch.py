@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
+from repro.metrics.perf import PERF
 from repro.netsim.device import Device
 from repro.netsim.packet import EthernetFrame
 from repro.openflow.actions import OutputAction, apply_actions_multi
@@ -47,6 +48,13 @@ from repro.openflow.messages import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore import Simulator
+
+#: cache-miss sentinel (``None`` is a legitimate cached answer: a known drop)
+_MISS: Any = object()
+
+#: microflow cache capacity; on overflow the cache is flushed wholesale,
+#: OVS-style — simple, deterministic, and self-limiting
+MICROFLOW_CACHE_CAPACITY = 4096
 
 
 class OpenFlowSwitch(Device):
@@ -86,6 +94,15 @@ class OpenFlowSwitch(Device):
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.buffer_overflows = 0
+        # ---- microflow cache: canonical packet field-tuple -> winning entry
+        # (or None for a known drop). Validity is keyed on the flow table's
+        # generation counter, so *any* table mutation — install, delete,
+        # idle/hard expiry, clear — invalidates the whole cache at the next
+        # packet. See docs/performance.md.
+        self._microflow: Dict[Tuple[Tuple[str, Any], ...], Optional[FlowEntry]] = {}
+        self._microflow_generation = -1
+        self.microflow_hits = 0
+        self.microflow_misses = 0
 
     # -------------------------------------------------------------- control
 
@@ -103,13 +120,32 @@ class OpenFlowSwitch(Device):
 
     def on_frame(self, in_port: int, frame: EthernetFrame) -> None:
         fields = extract_fields(frame, in_port)
-        entry = self.table.match_packet(fields, frame.wire_bytes)
+        # Microflow fast path: exact-packet memo of the table's answer.
+        # ``extract_fields`` builds the dict in one deterministic key order
+        # per packet shape, so the items tuple is a canonical cache key.
+        if self._microflow_generation != self.table.generation:
+            self._microflow.clear()
+            self._microflow_generation = self.table.generation
+        key = tuple(fields.items())
+        entry = self._microflow.get(key, _MISS)
+        if entry is _MISS:
+            self.microflow_misses += 1
+            PERF.microflow_misses += 1
+            entry = self.table.lookup(fields)
+            if len(self._microflow) >= MICROFLOW_CACHE_CAPACITY:
+                self._microflow.clear()
+            self._microflow[key] = entry
+        else:
+            self.microflow_hits += 1
+            PERF.microflow_hits += 1
         if entry is None:
             # No table-miss entry installed: OF 1.3 default-drops.
             self.packets_dropped += 1
-            self.sim.trace.emit(self.sim.now, "of", "drop-no-match",
-                                {"switch": self.name, "pkt": frame.describe()})
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(self.sim.now, "of", "drop-no-match",
+                                    {"switch": self.name, "pkt": frame.describe()})
             return
+        entry.touch(self.sim.now, frame.wire_bytes)
         self._execute(entry, frame, in_port, fields)
 
     def _execute(self, entry: FlowEntry, frame: EthernetFrame, in_port: int, fields: FieldDict) -> None:
@@ -153,9 +189,10 @@ class OpenFlowSwitch(Device):
             self.buffer_overflows += 1
             message = PacketIn(buffer_id=OFP_NO_BUFFER, reason=reason, in_port=in_port,
                                frame=frame, fields=fields, xid=self._alloc_xid())
-        self.sim.trace.emit(self.sim.now, "of", "packet-in",
-                            {"switch": self.name, "buffer": message.buffer_id,
-                             "pkt": frame.describe()})
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, "of", "packet-in",
+                                {"switch": self.name, "buffer": message.buffer_id,
+                                 "pkt": frame.describe()})
         self.channel.to_controller(message)
 
     def buffered_frame(self, buffer_id: int) -> Optional[Tuple[EthernetFrame, int]]:
@@ -204,9 +241,10 @@ class OpenFlowSwitch(Device):
             now=self.sim.now,
         )
         self.table.install(entry)
-        self.sim.trace.emit(self.sim.now, "of", "flow-mod",
-                            {"switch": self.name, "match": repr(message.match),
-                             "priority": message.priority})
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, "of", "flow-mod",
+                                {"switch": self.name, "match": repr(message.match),
+                                 "priority": message.priority})
         if message.buffer_id != OFP_NO_BUFFER:
             buffered = self._buffer.pop(message.buffer_id, None)
             if buffered is not None:
@@ -243,6 +281,33 @@ class OpenFlowSwitch(Device):
             idle_timeout=entry.idle_timeout,
             xid=self._alloc_xid(),
         ))
+
+    # ---------------------------------------------------------------- stats
+
+    @property
+    def microflow_packets(self) -> int:
+        return self.microflow_hits + self.microflow_misses
+
+    @property
+    def microflow_hit_rate(self) -> float:
+        """Fraction of datapath packets answered from the microflow cache."""
+        packets = self.microflow_packets
+        return self.microflow_hits / packets if packets else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Datapath diagnostics (counters only; flow stats live on the table)."""
+        return {
+            "packet_ins": self.packet_ins,
+            "packets_forwarded": self.packets_forwarded,
+            "packets_dropped": self.packets_dropped,
+            "buffer_overflows": self.buffer_overflows,
+            "microflow_hits": self.microflow_hits,
+            "microflow_misses": self.microflow_misses,
+            "microflow_hit_rate": self.microflow_hit_rate,
+            "table_lookups": self.table.lookups,
+            "table_hits": self.table.hits,
+            "flows": len(self.table),
+        }
 
     # -------------------------------------------------------------- helpers
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterator, Optional
 
+from repro.metrics.perf import PERF
 from repro.simcore.errors import DeadlockError, ScheduleInPastError, SimulatorReentryError
 from repro.simcore.trace import TraceLog
 
@@ -26,21 +27,26 @@ class EventHandle:
 
     The callback and its arguments are stored on the handle so that a
     cancelled event releases its references immediately instead of pinning
-    them until the heap entry is popped.
+    them until the heap entry is popped. The owning loop is kept so a
+    cancellation can maintain the loop's O(1) live-event counter.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple) -> None:
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple,
+                 loop: Optional["Simulator"] = None) -> None:
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[..., None]] = callback
         self.args: Optional[tuple] = args
         self.cancelled = False
+        self.loop = loop
 
     def cancel(self) -> None:
         """Prevent the callback from running. Safe to call more than once,
         and safe to call after the event already fired (then a no-op)."""
+        if not self.cancelled and self.callback is not None and self.loop is not None:
+            self.loop._live -= 1
         self.cancelled = True
         self.callback = None
         self.args = None
@@ -79,6 +85,9 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        #: live (scheduled, not yet executed or cancelled) events — kept
+        #: exact by schedule/cancel/pop so pending_count() is O(1)
+        self._live = 0
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         #: simulation-wide fault-injection plane; pass-through until armed
         #: (bound to seeded streams *and* given at least one fault point)
@@ -105,8 +114,9 @@ class Simulator:
         if delay < 0:
             raise ScheduleInPastError(f"negative delay {delay!r}")
         self._seq += 1
-        handle = EventHandle(self._now + delay, self._seq, callback, args)
+        handle = EventHandle(self._now + delay, self._seq, callback, args, loop=self)
         heapq.heappush(self._queue, (handle.time, handle.seq, handle))
+        self._live += 1
         return handle
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
@@ -125,6 +135,7 @@ class Simulator:
         while self._queue:
             _, _, handle = heapq.heappop(self._queue)
             if handle.alive:
+                self._live -= 1  # about to execute
                 return handle
             # lazily dropped: cancelled entry
         return None
@@ -159,20 +170,40 @@ class Simulator:
         Returns the final simulated time. When ``until`` is given the clock
         is advanced to exactly ``until`` even if the last event fired
         earlier, so back-to-back ``run(until=...)`` calls compose.
+
+        The loop is the hot path of every experiment: one pass per event
+        (the old ``peek()`` + ``step()`` pair traversed the cancelled heap
+        prefix twice and paid two extra method calls per event). The pop
+        itself stays routed through :meth:`_pop_alive` — the runtime
+        sanitizer's event-order audit patches that method.
         """
         if self._running:
             raise SimulatorReentryError("Simulator.run() is not re-entrant")
         self._running = True
+        queue = self._queue
+        executed_before = self.events_executed
         try:
-            while True:
-                next_time = self.peek()
-                if next_time is None:
+            while queue:
+                head = queue[0][2]
+                if not head.alive:
+                    heapq.heappop(queue)  # lazily dropped: cancelled entry
+                    continue
+                if until is not None and head.time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                handle = self._pop_alive()
+                assert handle is not None
+                self._now = handle.time
+                callback, args = handle.callback, handle.args
+                # Mark consumed before invoking so re-entrant cancel() is a
+                # no-op (same protocol as step()).
+                handle.callback = None
+                handle.args = None
+                self.events_executed += 1
+                assert callback is not None
+                callback(*(args or ()))
         finally:
             self._running = False
+            PERF.events_executed += self.events_executed - executed_before
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -215,8 +246,10 @@ class Simulator:
     # ------------------------------------------------------------ diagnostics
 
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) events still queued. O(n)."""
-        return sum(1 for _, _, h in self._queue if h.alive)
+        """Number of live (non-cancelled) events still queued. O(1): the
+        counter is maintained by schedule/cancel/pop instead of walking
+        the heap."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

@@ -1,0 +1,162 @@
+"""Per-switch microflow cache: hit/miss accounting and precise invalidation.
+
+Every table mutation — install, delete, idle/hard timeout, clear — bumps the
+flow table's generation counter; the switch's exact-packet memo must drop
+its contents at the next packet after any of them, so a cached decision can
+never outlive the rule that produced it.
+"""
+
+import pytest
+
+from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSegment, ip, mac
+from repro.netsim.packet import IP_PROTO_TCP
+from repro.openflow import FlowEntry, Match, OpenFlowSwitch, OutputAction
+from repro.openflow import switch as switch_mod
+
+
+def tcp_frame(dst="1.2.3.4", dport=80):
+    seg = TCPSegment(src_port=40000, dst_port=dport)
+    pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip(dst), proto=IP_PROTO_TCP, payload=seg)
+    return EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP, payload=pkt)
+
+
+@pytest.fixture
+def setup():
+    net = Network(seed=0)
+    sw = OpenFlowSwitch(net.sim, "sw", dpid=1)
+    net.add_device(sw)
+    return net, sw
+
+
+def flow(dst="1.2.3.4", priority=10, **kwargs):
+    return FlowEntry(match=Match(eth_type=0x0800, ipv4_dst=dst),
+                     priority=priority, actions=[OutputAction(1)], **kwargs)
+
+
+def pump(net, sw, frame, n=1):
+    for _ in range(n):
+        sw.on_frame(2, frame)
+    net.sim.run()
+
+
+def test_repeat_packets_hit_the_cache(setup):
+    net, sw = setup
+    sw.table.install(flow())
+    frame = tcp_frame()
+    pump(net, sw, frame, n=5)
+    assert (sw.microflow_misses, sw.microflow_hits) == (1, 4)
+    assert sw.table.lookups == 1  # only the miss consulted the table
+    assert sw.packets_forwarded == 5
+    assert sw.microflow_hit_rate == pytest.approx(0.8)
+
+
+def test_cached_entry_still_touches_counters_and_idle(setup):
+    """A cache hit must update the entry's packet/byte counters and refresh
+    its idle timeout exactly like the table path."""
+    net, sw = setup
+    e = flow(idle_timeout=2.0)
+    sw.table.install(e)
+    frame = tcp_frame()
+    sw.on_frame(2, frame)  # t=0: miss, seeds the cache
+    net.sim.schedule(1.5, sw.on_frame, 2, frame)  # cache hit at t=1.5
+    net.sim.run()
+    # idle deadline slid to 3.5: entry was removed then, not at 2.0
+    assert e.packet_count == 2
+    assert e.byte_count == 2 * frame.wire_bytes
+    assert net.sim.now == 3.5
+    assert len(sw.table) == 0
+
+
+def test_install_invalidates(setup):
+    net, sw = setup
+    sw.table.install(flow(priority=1))
+    frame = tcp_frame()
+    pump(net, sw, frame, n=2)  # miss + hit; cached answer = prio-1 entry
+    better = flow(priority=99)
+    sw.table.install(better)
+    pump(net, sw, frame)
+    assert better.packet_count == 1  # new rule wins immediately, not the memo
+    assert sw.microflow_misses == 2
+
+
+def test_delete_invalidates(setup):
+    net, sw = setup
+    sw.table.install(flow())
+    frame = tcp_frame()
+    pump(net, sw, frame, n=2)
+    sw.table.delete(Match(eth_type=0x0800, ipv4_dst="1.2.3.4"))
+    dropped_before = sw.packets_dropped
+    pump(net, sw, frame)
+    assert sw.packets_dropped == dropped_before + 1  # no stale forward
+
+
+def test_timeout_invalidates(setup):
+    net, sw = setup
+    sw.table.install(flow(hard_timeout=1.0))
+    frame = tcp_frame()
+    pump(net, sw, frame, n=2)
+    net.sim.schedule(2.0, lambda: None)
+    net.sim.run()  # hard timeout fired at t=1.0
+    dropped_before = sw.packets_dropped
+    pump(net, sw, frame)
+    assert sw.packets_dropped == dropped_before + 1
+
+
+def test_clear_invalidates(setup):
+    net, sw = setup
+    sw.table.install(flow())
+    frame = tcp_frame()
+    pump(net, sw, frame, n=2)
+    sw.table.clear()
+    dropped_before = sw.packets_dropped
+    pump(net, sw, frame)
+    assert sw.packets_dropped == dropped_before + 1
+
+
+def test_negative_result_is_cached_and_invalidated_by_install(setup):
+    """A no-match drop is memoized too — and a later install must override."""
+    net, sw = setup
+    frame = tcp_frame()
+    pump(net, sw, frame, n=3)
+    assert sw.packets_dropped == 3
+    assert (sw.microflow_misses, sw.microflow_hits) == (1, 2)
+    e = flow()
+    sw.table.install(e)
+    pump(net, sw, frame)
+    assert e.packet_count == 1
+    assert sw.packets_dropped == 3
+
+
+def test_distinct_packets_get_distinct_cache_slots(setup):
+    net, sw = setup
+    sw.table.install(flow("1.2.3.4"))
+    sw.table.install(flow("5.6.7.8"))
+    a, b = tcp_frame("1.2.3.4"), tcp_frame("5.6.7.8")
+    pump(net, sw, a, n=2)
+    pump(net, sw, b, n=2)
+    assert (sw.microflow_misses, sw.microflow_hits) == (2, 2)
+
+
+def test_capacity_overflow_flushes_not_corrupts(setup, monkeypatch):
+    net, sw = setup
+    monkeypatch.setattr(switch_mod, "MICROFLOW_CACHE_CAPACITY", 4)
+    sw.table.install(FlowEntry(match=Match(eth_type=0x0800), priority=1,
+                               actions=[OutputAction(1)]))
+    frames = [tcp_frame(f"1.2.3.{i}") for i in range(1, 8)]
+    for frame in frames:
+        pump(net, sw, frame)
+    assert sw.packets_forwarded == len(frames)
+    # every distinct packet was a miss (overflow flushes, never lies)
+    assert sw.microflow_misses == len(frames)
+
+
+def test_stats_exposes_microflow_counters(setup):
+    net, sw = setup
+    sw.table.install(flow())
+    pump(net, sw, tcp_frame(), n=4)
+    stats = sw.stats()
+    assert stats["microflow_misses"] == 1
+    assert stats["microflow_hits"] == 3
+    assert stats["microflow_hit_rate"] == pytest.approx(0.75)
+    assert stats["table_lookups"] == 1
+    assert stats["flows"] == 1

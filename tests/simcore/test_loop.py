@@ -179,3 +179,81 @@ def test_callback_scheduling_more_work_keeps_running():
     sim.run()
     assert seen == [0, 1, 2, 3]
     assert sim.now == 4.0
+
+
+# ------------------------------------------------- single-pop fast path
+
+
+def test_run_and_step_execute_identical_order():
+    """run()'s merged pop loop must order events exactly like repeated
+    step() calls (time, then FIFO seq), cancellations included."""
+
+    def build(record):
+        sim = Simulator()
+        for tag in ("a", "b", "c"):
+            sim.schedule(2.0, record.append, tag)
+        h = sim.schedule(1.0, record.append, "cancelled")
+        h.cancel()
+        sim.schedule(1.0, record.append, "early")
+        sim.schedule(3.0, record.append, "late")
+        return sim
+
+    via_run, via_step = [], []
+    build(via_run).run()
+    sim = build(via_step)
+    while sim.step():
+        pass
+    assert via_run == via_step == ["early", "a", "b", "c", "late"]
+
+
+def test_run_until_ignores_cancelled_head():
+    sim = Simulator()
+    seen = []
+    head = sim.schedule(1.0, seen.append, "dead")
+    sim.schedule(2.0, seen.append, "live")
+    sim.schedule(9.0, seen.append, "beyond")
+    head.cancel()
+    sim.run(until=5.0)
+    assert seen == ["live"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["live", "beyond"]
+
+
+def test_pending_count_exact_under_churn():
+    """pending_count() is a maintained O(1) counter now; it must stay equal
+    to a brute-force walk of the heap through schedule/cancel/run cycles."""
+    sim = Simulator()
+
+    def brute():
+        return sum(1 for _, _, h in sim._queue if h.alive)
+
+    handles = [sim.schedule(float(i % 5) + 1.0, lambda: None) for i in range(50)]
+    assert sim.pending_count() == brute() == 50
+    for h in handles[::3]:
+        h.cancel()
+    for h in handles[::3]:
+        h.cancel()  # double-cancel must not double-decrement
+    assert sim.pending_count() == brute()
+    sim.run(until=2.5)
+    assert sim.pending_count() == brute()
+    sim.run()
+    assert sim.pending_count() == brute() == 0
+
+
+def test_pending_count_zero_after_cancel_of_fired_event():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # fired already: no-op, must not go negative
+    assert sim.pending_count() == 0
+
+
+def test_callback_cancelling_later_event_inside_run():
+    sim = Simulator()
+    seen = []
+    later = sim.schedule(2.0, seen.append, "later")
+    sim.schedule(1.0, lambda: later.cancel())
+    sim.run()
+    assert seen == []
+    assert sim.pending_count() == 0
