@@ -3,21 +3,28 @@
 ``python -m repro.bench`` runs the microbenchmarks that cover the packet
 hot path (indexed flow-table lookup vs. the reference linear scan,
 microflow-cached forwarding, flow churn through the exact-match index, raw
-event-loop throughput) plus end-to-end experiment drivers, and writes a
-machine-readable record (``BENCH_4.json`` by default) so future PRs can
-compare against it instead of re-deriving a baseline.
+event-loop throughput, allocation-lean header rewrites, the memoized
+controller slow path, and the million-frame A6 scale scenario with peak
+memory) plus end-to-end experiment drivers, and writes a machine-readable
+record (``BENCH_5.json`` by default) so future PRs can compare against it
+(``python -m repro.bench --compare OLD.json``) instead of re-deriving a
+baseline.
 
 Every benchmark body is a deterministic simulation; only the *measurement*
-is host wall time, which never feeds back into any simulated result.
+is host wall time / memory, which never feeds back into any simulated
+result.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
+import subprocess
 import sys
 import time
-from typing import Any, Callable, Dict, List
+import tracemalloc
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.metrics import perf
 
@@ -26,13 +33,24 @@ __all__ = [
     "bench_microflow_forwarding",
     "bench_flow_churn",
     "bench_event_loop",
+    "bench_packet_rewrite",
+    "bench_controller_slow_path",
+    "bench_a6_scale",
     "bench_end_to_end",
     "run_benchmarks",
     "write_record",
 ]
 
-DEFAULT_OUT = "BENCH_4.json"
-SCHEMA = "repro-bench/1"
+DEFAULT_OUT = "BENCH_5.json"
+#: v2 adds the ``meta`` block (git commit, flow-table entry counts); the
+#: reader (`repro.bench.compare.load_record`) still accepts v1 records.
+SCHEMA = "repro-bench/2"
+
+#: Peak *tracemalloc* budgets for the A6 scale scenario (MiB). The full
+#: configuration pushes ≥1M forwarded frames from >100k unique clients and
+#: must stay under its budget — the acceptance bar for the scale path.
+A6_FULL_BUDGET_MB = 256.0
+A6_SMOKE_BUDGET_MB = 96.0
 
 
 def _now() -> float:
@@ -197,6 +215,255 @@ def bench_event_loop(events: int = 100_000) -> Dict[str, Any]:
     }
 
 
+# --------------------------------------------- PR 5: allocation benchmarks
+
+
+@dataclasses.dataclass(frozen=True)
+class _LegacyTCP:
+    """The seed's (pre-slots) TCP segment: frozen dataclass with ``__dict__``."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    payload: Any = None
+    payload_bytes: int = 0
+    last_fragment: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class _LegacyIPv4:
+    src: Any
+    dst: Any
+    proto: int
+    payload: Any
+    ttl: int = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class _LegacyFrame:
+    src: Any
+    dst: Any
+    ethertype: int
+    payload: Any
+    frame_id: int = 0
+
+
+def _legacy_rewrite(frame: _LegacyFrame, field: str, value: Any) -> _LegacyFrame:
+    """The seed's per-field rewrite: one ``dataclasses.replace`` chain each."""
+    if field == "eth_src":
+        return dataclasses.replace(frame, src=value)
+    if field == "eth_dst":
+        return dataclasses.replace(frame, dst=value)
+    packet = frame.payload
+    if field == "ipv4_src":
+        return dataclasses.replace(frame, payload=dataclasses.replace(packet, src=value))
+    if field == "ipv4_dst":
+        return dataclasses.replace(frame, payload=dataclasses.replace(packet, dst=value))
+    kwargs = {"src_port": value} if field.endswith("_src") else {"dst_port": value}
+    new_l4 = dataclasses.replace(packet.payload, **kwargs)
+    return dataclasses.replace(frame, payload=dataclasses.replace(packet, payload=new_l4))
+
+
+def bench_packet_rewrite(packets: int = 50_000,
+                         timing_rounds: int = 200_000) -> Dict[str, Any]:
+    """Per-packet allocation bytes and wall time of a 4-field NAT rewrite.
+
+    Compares the seed's packet model (dict-backed frozen dataclasses, one
+    ``dataclasses.replace`` chain per set-field — reconstructed locally as
+    the ``_Legacy*`` classes) against the current slotted model with the
+    fused batch rewrite in :func:`repro.openflow.actions.apply_actions_multi`.
+
+    Allocation is measured with tracemalloc by *retaining* every frame each
+    path produces (intermediates included), so the byte count is the true
+    per-packet allocation churn, not the net survivor size.
+    """
+    import gc
+
+    from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment, ip, mac
+    from repro.netsim.packet import IP_PROTO_TCP
+    from repro.openflow.actions import OutputAction, SetFieldAction, apply_actions_multi
+
+    # The downstream NAT rewrite the controller installs per client flow.
+    nat_fields: List[Tuple[str, Any]] = [
+        ("ipv4_src", ip("198.51.100.1")),
+        ("tcp_src", 80),
+        ("eth_src", mac("02:ed:9e:00:00:01")),
+        ("eth_dst", mac("02:ba:00:00:00:01")),
+    ]
+    actions = [SetFieldAction(f, v) for f, v in nat_fields] + [OutputAction(1)]
+
+    seg = TCPSegment(src_port=8080, dst_port=40000, payload_bytes=615)
+    pkt = IPv4Packet(src=ip("10.0.0.7"), dst=ip("10.64.0.2"),
+                     proto=IP_PROTO_TCP, payload=seg)
+    frame = EthernetFrame(src=mac(3), dst=mac(4), ethertype=ETH_TYPE_IP, payload=pkt)
+
+    legacy_seg = _LegacyTCP(src_port=8080, dst_port=40000, payload_bytes=615)
+    legacy_pkt = _LegacyIPv4(src=pkt.src, dst=pkt.dst, proto=IP_PROTO_TCP,
+                             payload=legacy_seg)
+    legacy_frame = _LegacyFrame(src=frame.src, dst=frame.dst,
+                                ethertype=ETH_TYPE_IP, payload=legacy_pkt)
+
+    def run_legacy(sink: Callable[[Any], None]) -> None:
+        current = legacy_frame
+        for field, value in nat_fields:
+            current = _legacy_rewrite(current, field, value)
+            sink(current)
+
+    def run_fused(sink: Callable[[Any], None]) -> None:
+        for out_frame, _port in apply_actions_multi(frame, actions):
+            sink(out_frame)
+
+    def alloc_bytes_per_packet(body: Callable[[Callable[[Any], None]], None]) -> float:
+        gc.collect()
+        debris: List[Any] = []
+        sink = debris.append
+        tracemalloc.start()
+        base = tracemalloc.get_traced_memory()[0]
+        for _ in range(packets):
+            body(sink)
+        total = tracemalloc.get_traced_memory()[0] - base
+        tracemalloc.stop()
+        del debris
+        return total / packets
+
+    legacy_bytes = alloc_bytes_per_packet(run_legacy)
+    fused_bytes = alloc_bytes_per_packet(run_fused)
+
+    discard: Callable[[Any], None] = lambda _frame: None
+    started = _now()
+    for _ in range(timing_rounds):
+        run_legacy(discard)
+    legacy_s = _now() - started
+    started = _now()
+    for _ in range(timing_rounds):
+        run_fused(discard)
+    fused_s = _now() - started
+
+    return {
+        "packets": packets,
+        "set_fields": len(nat_fields),
+        "bytes_per_packet_legacy": round(legacy_bytes, 1),
+        "bytes_per_packet_fused": round(fused_bytes, 1),
+        "alloc_reduction": round(legacy_bytes / fused_bytes, 2) if fused_bytes else None,
+        "us_per_rewrite_legacy": round(legacy_s / timing_rounds * 1e6, 3),
+        "us_per_rewrite_fused": round(fused_s / timing_rounds * 1e6, 3),
+    }
+
+
+def _slow_path_testbed(memoize: bool) -> Tuple[Any, Any]:
+    """A warm testbed plus a reusable packet-in event for its client's SYN."""
+    from repro.experiments.topologies import build_testbed
+    from repro.openflow import extract_fields
+    from repro.openflow.constants import OFP_NO_BUFFER
+    from repro.openflow.messages import PacketIn
+    from repro.ryuapp.events import EventOFPPacketIn
+
+    tb = build_testbed(seed=51, n_clients=1, cluster_types=("docker",),
+                       memory_idle_timeout_s=3600.0)
+    tb.controller.cfg.memoize_slow_path = memoize
+    svc = tb.register_catalog_service("nginx")
+    warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+    tb.run(until=tb.sim.now + 60.0)
+    assert warm.done and warm.exception is None
+    # One real request seeds the host table and the FlowMemory entry, so
+    # every synthesized packet-in below re-walks the memorized slow path
+    # (the re-miss case A2 measures) without a dispatcher run.
+    request = tb.client(0).fetch(svc.service_id.addr, svc.service_id.port)
+    tb.run(until=tb.sim.now + 5.0)
+    assert request.done and request.result.ok
+
+    from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment
+    from repro.netsim.packet import IP_PROTO_TCP, TCPFlags
+
+    client = tb.clients[0]
+    seg = TCPSegment(src_port=40001, dst_port=svc.service_id.port,
+                     flags=TCPFlags.SYN)
+    pkt = IPv4Packet(src=client.ip, dst=svc.service_id.addr,
+                     proto=IP_PROTO_TCP, payload=seg)
+    frame = EthernetFrame(src=client.mac, dst=tb.controller.cfg.vgw_mac,
+                          ethertype=ETH_TYPE_IP, payload=pkt, frame_id=1)
+    msg = PacketIn(buffer_id=OFP_NO_BUFFER, in_port=1, frame=frame,
+                   fields=extract_fields(frame, 1))
+    msg.datapath = tb.manager.datapaths[tb.switch.dpid]  # type: ignore[attr-defined]
+    return tb, EventOFPPacketIn(msg)
+
+
+def bench_controller_slow_path(packet_ins: int = 20_000,
+                               drain_every: int = 1_000) -> Dict[str, Any]:
+    """Controller cost per repeated-service packet-in, memoized vs. not.
+
+    Times ``TransparentEdgeController.on_packet_in`` directly (no control
+    channel, no AppManager queueing) for a SYN whose (client, service) pair
+    is already in FlowMemory — the slow path minus the dispatcher. With
+    memoization the registry probe, host lookups, and the whole match/action
+    install plan come from the generation-checked caches; without it every
+    packet-in recomputes them. Events produced by the handler (flow-mods,
+    packet-outs) are drained outside the timed sections.
+    """
+    out: Dict[str, Any] = {"packet_ins": packet_ins}
+    for label, memoize in (("memo", True), ("nomemo", False)):
+        tb, ev = _slow_path_testbed(memoize)
+        handler = tb.controller.on_packet_in
+        elapsed = 0.0
+        for start in range(0, packet_ins, drain_every):
+            burst = min(drain_every, packet_ins - start)
+            started = _now()
+            for _ in range(burst):
+                handler(ev)
+            elapsed += _now() - started
+            tb.run(until=tb.sim.now + 5.0)
+        out[f"us_per_packetin_{label}"] = round(elapsed / packet_ins * 1e6, 3)
+        if memoize:
+            out["plan_hits"] = tb.controller.stats["slow_path_plan_hits"]
+            out["plan_misses"] = tb.controller.stats["slow_path_plan_misses"]
+    out["speedup"] = round(out["us_per_packetin_nomemo"]
+                           / out["us_per_packetin_memo"], 2)
+    return out
+
+
+def bench_a6_scale(clients: int = 101_000, window: int = 64,
+                   budget_mb: float = A6_FULL_BUDGET_MB) -> Dict[str, Any]:
+    """The A6 scenario at acceptance scale, with peak-memory accounting.
+
+    Serves ``clients`` unique one-shot clients (10 switch-forwarded frames
+    per conversation) through one warm service and records the peak Python
+    heap (tracemalloc, the budgeted number) and peak process RSS
+    (``getrusage``, informational — it includes tracemalloc's own ~2×
+    bookkeeping overhead and never shrinks).
+    """
+    import resource
+
+    from repro.experiments.parta import a6_cell
+
+    rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    tracemalloc.start()
+    started = _now()
+    row = a6_cell(clients=clients, window=window, seed=97)
+    wall_s = _now() - started
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = peak / 1e6
+    return {
+        "clients": clients,
+        "window": window,
+        "ok": row["ok"],
+        "failed": row["failed"],
+        "forwarded_frames": row["forwarded_frames"],
+        "mean_ms": row["mean_ms"],
+        "p95_ms": row["p95_ms"],
+        "wall_s": round(wall_s, 1),
+        "frames_per_s": round(float(row["forwarded_frames"]) / wall_s, 0),  # type: ignore[arg-type]
+        "peak_tracemalloc_mb": round(peak_mb, 1),
+        "peak_rss_mb": round(peak_rss_kb / 1024.0, 1),
+        "rss_before_mb": round(rss_before_kb / 1024.0, 1),
+        "budget_mb": budget_mb,
+        "within_budget": peak_mb <= budget_mb,
+    }
+
+
 def bench_end_to_end() -> Dict[str, Any]:
     """Wall time of representative experiment drivers (serial, in-process),
     with the hot-path work they cost (from :mod:`repro.metrics.perf`)."""
@@ -226,6 +493,18 @@ def bench_end_to_end() -> Dict[str, Any]:
 # -------------------------------------------------------------- harness
 
 
+def _git_commit() -> Optional[str]:
+    """The current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
 def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
     """Run the whole suite; ``smoke`` shrinks iteration counts for CI."""
     if smoke:
@@ -233,23 +512,42 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         microflow = bench_microflow_forwarding(packets=20_000)
         churn = bench_flow_churn(cycles=2_000)
         loop = bench_event_loop(events=20_000)
+        rewrite = bench_packet_rewrite(packets=10_000, timing_rounds=20_000)
+        slow_path = bench_controller_slow_path(packet_ins=2_000)
+        a6 = bench_a6_scale(clients=2_000, budget_mb=A6_SMOKE_BUDGET_MB)
     else:
         packet = bench_packet_path()
         microflow = bench_microflow_forwarding()
         churn = bench_flow_churn()
         loop = bench_event_loop()
+        rewrite = bench_packet_rewrite()
+        slow_path = bench_controller_slow_path()
+        a6 = bench_a6_scale()
     return {
         "schema": SCHEMA,
-        "pr": 4,
+        "pr": 5,
         "smoke": smoke,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "generated_unix_s": round(time.time(), 1),  # repro: noqa[REP001] host-side stamp
+        # repro-bench/2 metadata: which tree produced the record, and the
+        # flow-table population each table-driven benchmark ran against.
+        "meta": {
+            "git_commit": _git_commit(),
+            "flow_table_entries": {
+                "packet_path": packet["entries"],
+                "microflow_forwarding": microflow["flows"],
+                "flow_churn": churn["resident_entries"],
+            },
+        },
         "benchmarks": {
             "packet_path": packet,
             "microflow_forwarding": microflow,
             "flow_churn": churn,
             "event_loop": loop,
+            "packet_rewrite": rewrite,
+            "controller_slow_path": slow_path,
+            "a6_scale": a6,
             "end_to_end": bench_end_to_end(),
         },
     }

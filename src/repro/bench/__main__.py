@@ -1,13 +1,45 @@
-"""CLI entry point: ``python -m repro.bench [--smoke] [--out BENCH_4.json]``."""
+"""CLI entry point: ``python -m repro.bench [--smoke] [--compare OLD.json]``."""
 
 from __future__ import annotations
 
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.bench import DEFAULT_OUT, run_benchmarks, write_record
+from repro.bench.compare import compare, load_record, memory_budget_failures
+
+
+def _gate(record: Dict[str, Any], old_path: Optional[str],
+          max_regress_pct: float, enforce_memory_budget: bool) -> int:
+    """Apply the comparison and budget gates; returns the exit code."""
+    status = 0
+    if old_path is not None:
+        old = load_record(old_path)
+        lines, regressions = compare(old, record, max_regress_pct)
+        print(f"\n=== compare vs {old_path} "
+              f"(gate: us_per_* within +{max_regress_pct:g}%) ===")
+        for line in lines:
+            print(line)
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} regressed metric(s):",
+                  file=sys.stderr)
+            for item in regressions:
+                print(f"  {item}", file=sys.stderr)
+            status = 1
+        else:
+            print("\nno gated regressions")
+    if enforce_memory_budget:
+        failures = memory_budget_failures(record)
+        if failures:
+            print("\nFAIL: memory budget exceeded:", file=sys.stderr)
+            for item in failures:
+                print(f"  {item}", file=sys.stderr)
+            status = 1
+        else:
+            print("memory budgets respected")
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -22,19 +54,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None, metavar="X",
                         help="exit non-zero unless the packet-path speedup "
                              "over the linear scan is at least X")
+    parser.add_argument("--compare", type=str, default=None, metavar="OLD.json",
+                        help="after running, diff against this older record "
+                             "and exit non-zero if any shared us_per_* metric "
+                             "regressed past --max-regress-pct")
+    parser.add_argument("--against", type=str, default=None, metavar="NEW.json",
+                        help="don't run anything: diff --compare OLD.json "
+                             "against this record (both must exist)")
+    parser.add_argument("--max-regress-pct", type=float, default=20.0,
+                        metavar="PCT",
+                        help="allowed growth for gated us_per_* metrics "
+                             "(default: %(default)s)")
+    parser.add_argument("--enforce-memory-budget", action="store_true",
+                        help="exit non-zero if any benchmark reports "
+                             "within_budget=false")
     args = parser.parse_args(argv)
+
+    if args.against is not None:
+        if args.compare is None:
+            parser.error("--against NEW.json requires --compare OLD.json")
+        record = load_record(args.against)
+        return _gate(record, args.compare, args.max_regress_pct,
+                     args.enforce_memory_budget)
+
     record = run_benchmarks(smoke=args.smoke)
     write_record(record, args.out)
     json.dump(record, sys.stdout, indent=2)
     print()
     print(f"wrote {args.out}")
+    status = 0
     if args.min_speedup is not None:
         speedup = record["benchmarks"]["packet_path"]["speedup"]
         if speedup is None or speedup < args.min_speedup:
             print(f"FAIL: packet-path speedup {speedup} < required "
                   f"{args.min_speedup}", file=sys.stderr)
-            return 1
-    return 0
+            status = 1
+    status = max(status, _gate(record, args.compare, args.max_regress_pct,
+                               args.enforce_memory_budget))
+    return status
 
 
 if __name__ == "__main__":

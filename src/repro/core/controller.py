@@ -60,6 +60,64 @@ class AttachmentPoint:
     ip: IPv4
 
 
+class _HostTable(Dict[IPv4, Tuple[int, int, MAC]]):
+    """The learned-hosts dict plus a version counter.
+
+    Memoized install plans embed host locations; any write — including the
+    direct writes testbed builders do (``controller.hosts[ip] = ...``) —
+    bumps ``version`` so those plans can be invalidated wholesale.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key: IPv4, value: Tuple[int, int, MAC]) -> None:
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key: IPv4) -> None:
+        super().__delitem__(key)
+        self.version += 1
+
+    def pop(self, *args):
+        self.version += 1
+        return super().pop(*args)
+
+    def clear(self) -> None:
+        super().clear()
+        self.version += 1
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self.version += 1
+
+
+@dataclass
+class _InstallPlan:
+    """A memoized slow-path decision: everything `_install_and_release`
+    computes that does not change between identical packet-ins — host
+    locations, the dpid path, and the per-hop matches/action lists. Cookies
+    are NOT part of the plan (every install draws a fresh one) and datapaths
+    are fetched live at send time."""
+
+    #: generation snapshot (registry, flow-memory, hosts, cluster) the plan
+    #: was computed under; any mismatch discards the whole cache
+    epoch: Tuple[int, int, int, int]
+    client_mac: MAC
+    #: (dpid, first, down_match, down_actions, up_match, up_actions, flags)
+    #: in install order (farthest-first, downstream-before-upstream)
+    hops: List[Tuple[int, bool, object, list, object, list, int]]
+    #: dpid -> upstream action list used to release buffered packets
+    release_actions: Dict[int, list]
+
+
+#: memoized install plans kept per controller before a wholesale flush
+PLAN_CACHE_CAPACITY = 4096
+
+
 @dataclass
 class ControllerConfig:
     """Deploy-time configuration of the controller.
@@ -101,6 +159,10 @@ class ControllerConfig:
     auto_remove_after_s: Optional[float] = None
     #: ablation switch: with False, re-misses always run the full dispatch
     use_flow_memory: bool = True
+    #: memoize the packet-in slow path (registry lookup result + computed
+    #: install plan) with generation-counter invalidation; behaviour-neutral
+    #: (tests/core/test_controller_memoization.py proves it differentially)
+    memoize_slow_path: bool = True
     #: inter-switch topology for multi-switch deployments (None: single
     #: switch, the fig. 8 testbed)
     fabric: Optional["FabricTopology"] = None
@@ -139,9 +201,16 @@ class TransparentEdgeController(RyuApp):
         self.predeployer = config.get("predeployer")
         self.memory.on_idle = self._on_memory_idle
         #: learned host locations: ip -> (dpid, port_no, mac)
-        self.hosts: Dict[IPv4, Tuple[int, int, MAC]] = {}
+        self.hosts: _HostTable = _HostTable()
         for addr, attachment in self.cfg.static_hosts.items():
             self.hosts[addr] = (attachment.dpid, attachment.port_no, attachment.mac)
+        #: memoized registry lookups: (dst ip, dst port) -> EdgeService | None,
+        #: valid while the registry generation is unchanged
+        self._service_cache: Dict[Tuple[IPv4, int], Optional[EdgeService]] = {}
+        self._service_cache_gen = -1
+        #: memoized install plans: (client, service_id, cluster name,
+        #: endpoint) -> _InstallPlan, validated per entry by its epoch
+        self._plan_cache: Dict[Tuple, _InstallPlan] = {}
         #: pending dispatches: (client, service_id) -> buffered packet-ins
         self._pending: Dict[Tuple[IPv4, ServiceID], List] = {}
         #: cookie -> cluster name (for load bookkeeping on FlowRemoved)
@@ -159,6 +228,8 @@ class TransparentEdgeController(RyuApp):
             "pending_coalesced": 0,
             "dispatch_failures": 0,
             "instances_evicted": 0,
+            "slow_path_plan_hits": 0,
+            "slow_path_plan_misses": 0,
         }
 
     # ------------------------------------------------------------- datapaths
@@ -195,11 +266,30 @@ class TransparentEdgeController(RyuApp):
         fields = msg.fields
         dst_port = fields.get("tcp_dst")
         if dst_port is not None:
-            service = self.registry.lookup(packet.dst, dst_port)
+            service = self._lookup_service(packet.dst, dst_port)
             if service is not None:
                 self._handle_service_packet(datapath, msg, service)
                 return
         self._handle_plain_routing(datapath, msg)
+
+    def _lookup_service(self, dst: IPv4, dst_port: int) -> Optional[EdgeService]:
+        """Registry lookup, memoized per (dst, port) while the registry is
+        unchanged. Negative answers are cached too — the common miss is
+        plain L3 traffic hammering the same non-service destination."""
+        if not self.cfg.memoize_slow_path:
+            return self.registry.lookup(dst, dst_port)
+        if self._service_cache_gen != self.registry.generation:
+            self._service_cache.clear()
+            self._service_cache_gen = self.registry.generation
+        key = (dst, dst_port)
+        try:
+            return self._service_cache[key]
+        except KeyError:
+            service = self.registry.lookup(dst, dst_port)
+            if len(self._service_cache) >= PLAN_CACHE_CAPACITY:
+                self._service_cache.clear()
+            self._service_cache[key] = service
+            return service
 
     # ------------------------------------------------------------- learning
 
@@ -214,7 +304,12 @@ class TransparentEdgeController(RyuApp):
         elif frame.ipv4 is not None:
             src_ip = frame.ipv4.src
         if src_ip is not None and not self.registry.is_registered_address(src_ip):
-            self.hosts[src_ip] = (dpid, in_port, frame.src)
+            location = (dpid, in_port, frame.src)
+            # Write only on change: a stationary host re-learned on every
+            # packet-in must not bump the hosts version (and with it the
+            # memoized install plans).
+            if self.hosts.get(src_ip) != location:
+                self.hosts[src_ip] = location
 
     # ------------------------------------------------------------------ ARP
 
@@ -320,32 +415,24 @@ class TransparentEdgeController(RyuApp):
         for datapath, msg in pending:
             self._route_toward(datapath, msg, msg.frame.ipv4.dst)
 
-    def _install_and_release(self, service: EdgeService, pending,
-                             cluster: EdgeCluster, endpoint: Endpoint,
-                             count_load: bool = True) -> None:
-        if not pending:
-            return
-        datapath, first_msg = pending[0]
-        client = first_msg.frame.ipv4.src
+    def _plan_epoch(self, cluster: EdgeCluster) -> Tuple[int, int, int, int]:
+        """The generation snapshot an install plan is valid under."""
+        return (self.registry.generation, self.memory.generation,
+                self.hosts.version, cluster.generation)
+
+    def _build_install_plan(self, service: EdgeService, client: IPv4,
+                            cluster: EdgeCluster, endpoint: Endpoint,
+                            parser, ofp) -> Optional[_InstallPlan]:
+        """The pure-CPU half of `_install_and_release`: host/attachment
+        lookups, path computation, and the per-hop matches + action lists.
+        Returns None when the topology info to wire the redirection is
+        missing (the caller degrades to the cloud path)."""
         client_loc = self.hosts.get(client)
         attachment = self.cluster_attachments.get(cluster.name)
         if client_loc is None or attachment is None:
-            # Cannot wire the redirection — degrade to the cloud path rather
-            # than silently dropping the buffered packets.
-            self.log("missing-topology-info", client=str(client),
-                     cluster=cluster.name)
-            self.stats["dispatch_failures"] += 1
-            self._release_toward_cloud(pending)
-            return
+            return None
         client_dpid, client_port, client_mac = client_loc
-        parser, ofp = datapath.ofproto_parser, datapath.ofproto
         service_id = service.service_id
-
-        cookie = self._next_cookie
-        self._next_cookie += 1
-        self._cookie_cluster[cookie] = cluster.name
-        if count_load:
-            self.dispatcher.note_flow_installed(cluster)
 
         # The dpid path from the client's ingress switch to the switch in
         # front of the instance (a single element for the fig. 8 testbed).
@@ -373,30 +460,18 @@ class TransparentEdgeController(RyuApp):
         downstream_match = parser.OFPMatch(
             eth_type=ETH_TYPE_IP, ip_proto=6,
             ipv4_src=endpoint.ip, tcp_src=endpoint.port, ipv4_dst=client)
-        #: after the ingress rewrite, upstream packets carry the endpoint
-        #: address — transit/egress switches match on that
+        # After the ingress rewrite, upstream packets carry the endpoint
+        # address — transit/egress switches match on that.
         rewritten_match = parser.OFPMatch(
             eth_type=ETH_TYPE_IP, ip_proto=6,
             ipv4_src=client, ipv4_dst=endpoint.ip, tcp_dst=endpoint.port)
 
+        hops: List[Tuple[int, bool, object, list, object, list, int]] = []
         release_actions: Dict[int, list] = {}
-        # Install farthest-first and downstream-before-upstream: every
-        # control channel has the same latency, so by the time the released
-        # packet reaches any switch its rules are already there.
+        # Install order: farthest-first and downstream-before-upstream (see
+        # _install_and_release for why).
         for index in range(len(path) - 1, -1, -1):
             dpid = path[index]
-            hop_dp = self.manager.datapaths.get(dpid)
-            if hop_dp is None:
-                # A switch on the chosen path is gone (e.g. mid-outage):
-                # abandon the redirection, release the packets cloudward.
-                # Flows already sent to other hops idle out on their own.
-                self.log("missing-datapath", dpid=dpid)
-                self.stats["dispatch_failures"] += 1
-                self._cookie_cluster.pop(cookie, None)
-                if count_load:
-                    self.dispatcher.note_flow_removed(cluster)
-                self._release_toward_cloud(pending)
-                return
             first = index == 0
             last = index == len(path) - 1
 
@@ -409,10 +484,6 @@ class TransparentEdgeController(RyuApp):
                     parser.OFPActionSetField(eth_dst=client_mac),
                 ]
             down_actions.append(parser.OFPActionOutput(ingress_port(dpid, index)))
-            hop_dp.send_msg(parser.OFPFlowMod(
-                hop_dp, match=downstream_match, actions=down_actions,
-                priority=self.cfg.service_flow_priority,
-                idle_timeout=self.cfg.switch_idle_timeout_s, cookie=cookie))
 
             up_actions = []
             if first:
@@ -426,26 +497,108 @@ class TransparentEdgeController(RyuApp):
                     parser.OFPActionSetField(eth_dst=attachment.mac),
                 ]
             up_actions.append(parser.OFPActionOutput(egress_port(dpid, index)))
+
+            hops.append((dpid, first,
+                         downstream_match, down_actions,
+                         upstream_match if first else rewritten_match,
+                         up_actions,
+                         ofp.OFPFF_SEND_FLOW_REM if first else 0))
+            release_actions[dpid] = up_actions
+
+        return _InstallPlan(epoch=self._plan_epoch(cluster),
+                            client_mac=client_mac, hops=hops,
+                            release_actions=release_actions)
+
+    def _install_and_release(self, service: EdgeService, pending,
+                             cluster: EdgeCluster, endpoint: Endpoint,
+                             count_load: bool = True) -> None:
+        if not pending:
+            return
+        datapath, first_msg = pending[0]
+        client = first_msg.frame.ipv4.src
+        parser, ofp = datapath.ofproto_parser, datapath.ofproto
+
+        # Memoized slow path: identical re-misses (same client, service,
+        # cluster, endpoint) reuse the computed plan — matches and action
+        # lists are immutable/copied-on-send, so reuse is safe. Mirrors the
+        # switch microflow cache: per-entry generation epoch, wholesale
+        # flush on capacity overflow. Cookies are always fresh and
+        # datapaths always fetched live, so the observable message stream
+        # is identical to the unmemoized path.
+        plan: Optional[_InstallPlan] = None
+        plan_key = None
+        if self.cfg.memoize_slow_path:
+            plan_key = (client, service.service_id, cluster.name, endpoint)
+            cached = self._plan_cache.get(plan_key)
+            if cached is not None and cached.epoch == self._plan_epoch(cluster):
+                plan = cached
+                self.stats["slow_path_plan_hits"] += 1
+        if plan is None:
+            plan = self._build_install_plan(service, client, cluster,
+                                            endpoint, parser, ofp)
+            if self.cfg.memoize_slow_path:
+                self.stats["slow_path_plan_misses"] += 1
+                if plan is not None:
+                    if len(self._plan_cache) >= PLAN_CACHE_CAPACITY:
+                        self._plan_cache.clear()
+                    self._plan_cache[plan_key] = plan
+        if plan is None:
+            # Cannot wire the redirection — degrade to the cloud path rather
+            # than silently dropping the buffered packets.
+            self.log("missing-topology-info", client=str(client),
+                     cluster=cluster.name)
+            self.stats["dispatch_failures"] += 1
+            self._release_toward_cloud(pending)
+            return
+
+        cookie = self._next_cookie
+        self._next_cookie += 1
+        self._cookie_cluster[cookie] = cluster.name
+        if count_load:
+            self.dispatcher.note_flow_installed(cluster)
+
+        # Install farthest-first and downstream-before-upstream: every
+        # control channel has the same latency, so by the time the released
+        # packet reaches any switch its rules are already there.
+        for (dpid, first, down_match, down_actions,
+             up_match, up_actions, flags) in plan.hops:
+            hop_dp = self.manager.datapaths.get(dpid)
+            if hop_dp is None:
+                # A switch on the chosen path is gone (e.g. mid-outage):
+                # abandon the redirection, release the packets cloudward.
+                # Flows already sent to other hops idle out on their own.
+                self.log("missing-datapath", dpid=dpid)
+                self.stats["dispatch_failures"] += 1
+                self._cookie_cluster.pop(cookie, None)
+                if count_load:
+                    self.dispatcher.note_flow_removed(cluster)
+                self._release_toward_cloud(pending)
+                return
             hop_dp.send_msg(parser.OFPFlowMod(
-                hop_dp, match=upstream_match if first else rewritten_match,
-                actions=up_actions,
+                hop_dp, match=down_match, actions=down_actions,
+                priority=self.cfg.service_flow_priority,
+                idle_timeout=self.cfg.switch_idle_timeout_s, cookie=cookie))
+            hop_dp.send_msg(parser.OFPFlowMod(
+                hop_dp, match=up_match, actions=up_actions,
                 priority=self.cfg.service_flow_priority,
                 idle_timeout=self.cfg.switch_idle_timeout_s, cookie=cookie,
-                flags=ofp.OFPFF_SEND_FLOW_REM if first else 0))
-            release_actions[dpid] = up_actions
+                flags=flags))
 
         # Release every buffered packet through its switch's upstream rules.
         for release_dp, release_msg in pending:
-            actions = release_actions.get(release_dp.id)
+            actions = plan.release_actions.get(release_dp.id)
             if actions is None:
                 continue  # buffered at a switch off the chosen path
             release_dp.send_msg(parser.OFPPacketOut(
                 release_dp, buffer_id=release_msg.buffer_id,
                 in_port=release_msg.in_port, actions=list(actions),
                 data=release_msg.frame if release_msg.buffer_id == ofp.OFP_NO_BUFFER else None))
-        self.log("flows-installed", client=str(client), service=service.name,
-                 endpoint=str(endpoint), cluster=cluster.name,
-                 hops=len(path))
+        if self.sim.trace.enabled:
+            # Guarded: str(client)/str(endpoint) formatting is pure waste
+            # when tracing is off, and this runs once per packet-in.
+            self.log("flows-installed", client=str(client), service=service.name,
+                     endpoint=str(endpoint), cluster=cluster.name,
+                     hops=len(plan.hops))
 
     # ------------------------------------------------------ dead instance GC
 

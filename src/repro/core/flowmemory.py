@@ -64,6 +64,10 @@ class FlowMemory:
         self.idle_timeout_s = idle_timeout_s
         self.on_idle = on_idle
         self._flows: Dict[FlowKey, MemorizedFlow] = {}
+        #: bumped on every mutation (remember/forget/clear/expiry) — lookups
+        #: only *touch*; controller-side memoized decisions are valid only
+        #: while the generation is unchanged
+        self.generation = 0
         #: diagnostics
         self.hits = 0
         self.misses = 0
@@ -93,22 +97,29 @@ class FlowMemory:
                              created_at=self.sim.now, last_used=self.sim.now)
         fresh = key not in self._flows
         self._flows[key] = flow
+        self.generation += 1
         if fresh:
             self.sim.schedule(self.idle_timeout_s, self._idle_check, key)
         return flow
 
     def forget(self, client: IPv4, service_id: ServiceID) -> Optional[MemorizedFlow]:
-        return self._flows.pop((client, service_id), None)
+        flow = self._flows.pop((client, service_id), None)
+        if flow is not None:
+            self.generation += 1
+        return flow
 
     def clear(self) -> None:
         """Drop every memorized flow (no on_idle callbacks fire)."""
         self._flows.clear()
+        self.generation += 1
 
     def forget_endpoint(self, endpoint: Endpoint) -> int:
         """Drop every flow pointing at ``endpoint`` (instance went away)."""
         victims = [key for key, flow in self._flows.items() if flow.endpoint == endpoint]
         for key in victims:
             del self._flows[key]
+        if victims:
+            self.generation += 1
         return len(victims)
 
     # -------------------------------------------------------------- timeouts
@@ -122,6 +133,7 @@ class FlowMemory:
             self.sim.schedule(max(0.0, deadline - self.sim.now), self._idle_check, key)
             return
         del self._flows[key]
+        self.generation += 1
         self.expirations += 1
         if self.on_idle is not None:
             still_referenced = any(

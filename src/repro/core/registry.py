@@ -48,6 +48,9 @@ class ServiceRegistry:
         self._services: Dict[ServiceID, EdgeService] = {}
         #: secondary index: registered addresses (for proxy-ARP decisions)
         self._addresses: Dict[IPv4, int] = {}
+        #: bumped on every register/deregister; memoized lookup results
+        #: (controller slow-path caches) are valid only while it is unchanged
+        self.generation = 0
 
     def register(
         self,
@@ -69,11 +72,13 @@ class ServiceRegistry:
                               max_initial_delay_s=max_initial_delay_s)
         self._services[service_id] = service
         self._addresses[service_id.addr] = self._addresses.get(service_id.addr, 0) + 1
+        self.generation += 1
         return service
 
     def deregister(self, service_id: ServiceID) -> Optional[EdgeService]:
         service = self._services.pop(service_id, None)
         if service is not None:
+            self.generation += 1
             remaining = self._addresses.get(service_id.addr, 1) - 1
             if remaining <= 0:
                 self._addresses.pop(service_id.addr, None)

@@ -140,6 +140,15 @@ class EdgeCluster:
         #: diagnostics (per-phase operation counts)
         self.ops: Dict[str, int] = {"pull": 0, "create": 0, "scale_up": 0,
                                     "scale_down": 0, "remove": 0}
+        #: bumped on every lifecycle operation and up/down transition;
+        #: controller-side memoized install plans are valid only while it is
+        #: unchanged (readiness itself is always re-probed live)
+        self.generation = 0
+
+    def _note_op(self, op: str) -> None:
+        """Count a lifecycle operation and invalidate memoized decisions."""
+        self.ops[op] += 1
+        self.generation += 1
 
     # ---- images ---------------------------------------------------------
 
@@ -152,7 +161,7 @@ class EdgeCluster:
     def pull(self, spec: DeploymentSpec) -> "Process":
         """Phase 1 — pull every image of the spec (sequentially, like the
         runtime does for one pod)."""
-        self.ops["pull"] += 1
+        self._note_op("pull")
 
         def proc():
             for container in spec.containers:
@@ -192,12 +201,14 @@ class EdgeCluster:
         if self.up:
             self.up = False
             self.outages += 1
+            self.generation += 1
             self.sim.trace.emit(self.sim.now, "cluster", "down", {"name": self.name})
 
     def recover(self) -> None:
         """Bring the cluster back after an outage. Idempotent."""
         if not self.up:
             self.up = True
+            self.generation += 1
             self.sim.trace.emit(self.sim.now, "cluster", "up", {"name": self.name})
 
     def check_available(self) -> None:
@@ -296,7 +307,7 @@ class DockerCluster(EdgeCluster):
         return len(self._handles(spec)) == len(spec.containers)
 
     def create(self, spec: DeploymentSpec) -> "Process":
-        self.ops["create"] += 1
+        self._note_op("create")
 
         def proc():
             handles = []
@@ -313,7 +324,7 @@ class DockerCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:create:{spec.name}")
 
     def scale_up(self, spec: DeploymentSpec) -> "Process":
-        self.ops["scale_up"] += 1
+        self._note_op("scale_up")
 
         def proc():
             handles = self._handles(spec)
@@ -327,7 +338,7 @@ class DockerCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:scale-up:{spec.name}")
 
     def scale_down(self, spec: DeploymentSpec) -> "Process":
-        self.ops["scale_down"] += 1
+        self._note_op("scale_down")
 
         def proc():
             for handle in self._handles(spec):
@@ -337,7 +348,7 @@ class DockerCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:scale-down:{spec.name}")
 
     def remove(self, spec: DeploymentSpec) -> "Process":
-        self.ops["remove"] += 1
+        self._note_op("remove")
 
         def proc():
             for handle in self._handles(spec):
@@ -375,7 +386,7 @@ class KubernetesEdgeCluster(EdgeCluster):
 
     def create(self, spec: DeploymentSpec) -> "Process":
         """Create Deployment (replicas=0, "scale to zero") + Service."""
-        self.ops["create"] += 1
+        self._note_op("create")
 
         def proc():
             labels = {"edge.service": spec.name, **spec.labels}
@@ -395,7 +406,7 @@ class KubernetesEdgeCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:create:{spec.name}")
 
     def scale_up(self, spec: DeploymentSpec) -> "Process":
-        self.ops["scale_up"] += 1
+        self._note_op("scale_up")
 
         def proc():
             yield self.k8s.scale(spec.name, max(1, spec.replicas))
@@ -404,7 +415,7 @@ class KubernetesEdgeCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:scale-up:{spec.name}")
 
     def scale_down(self, spec: DeploymentSpec) -> "Process":
-        self.ops["scale_down"] += 1
+        self._note_op("scale_down")
 
         def proc():
             yield self.k8s.scale(spec.name, 0)
@@ -412,7 +423,7 @@ class KubernetesEdgeCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:scale-down:{spec.name}")
 
     def remove(self, spec: DeploymentSpec) -> "Process":
-        self.ops["remove"] += 1
+        self._note_op("remove")
 
         def proc():
             if self.k8s.api.get("Deployment", spec.name) is not None:

@@ -227,7 +227,7 @@ class ServerlessCluster(EdgeCluster):
         return self.wasm.has_module(self._function(spec).name)
 
     def pull(self, spec: DeploymentSpec) -> "Process":
-        self.ops["pull"] += 1
+        self._note_op("pull")
         return self.wasm.fetch_module(self._function(spec))
 
     def delete_images(self, spec: DeploymentSpec) -> None:
@@ -237,7 +237,7 @@ class ServerlessCluster(EdgeCluster):
         return self._created.get(spec.name, False)
 
     def create(self, spec: DeploymentSpec) -> "Process":
-        self.ops["create"] += 1
+        self._note_op("create")
 
         def proc():
             yield self.sim.timeout(self.wasm.timing.api_call_s)
@@ -246,15 +246,15 @@ class ServerlessCluster(EdgeCluster):
         return self.sim.spawn(proc(), name=f"{self.name}:create:{spec.name}")
 
     def scale_up(self, spec: DeploymentSpec) -> "Process":
-        self.ops["scale_up"] += 1
+        self._note_op("scale_up")
         return self.wasm.instantiate(self._function(spec).name)
 
     def scale_down(self, spec: DeploymentSpec) -> "Process":
-        self.ops["scale_down"] += 1
+        self._note_op("scale_down")
         return self.wasm.terminate(self._function(spec).name)
 
     def remove(self, spec: DeploymentSpec) -> "Process":
-        self.ops["remove"] += 1
+        self._note_op("remove")
 
         def proc():
             yield self.wasm.terminate(self._function(spec).name)

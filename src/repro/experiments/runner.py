@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments --out results.txt
     python -m repro.experiments --jobs 4       # fan cells over 4 workers
     python -m repro.experiments --no-cache     # always re-simulate
+    python -m repro.experiments --profile      # cProfile per artifact → .pstats
 
 Parallelism never changes the numbers: cells are independently seeded and
 merged in seed order, so ``--jobs N`` output is byte-identical to serial.
@@ -64,6 +65,7 @@ def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
         ("a", "A3b", parta.a3_service_count_scaling),
         ("a", "A4", parta.a4_flowtable_occupancy),
         ("a", "A5", parta.a5_multiswitch_overhead),
+        ("a", "A6", parta.a6_scale),
         ("ablations", "FlowMemory", ablations.ablation_flow_memory),
         ("ablations", "Waiting modes", ablations.ablation_waiting_modes),
         ("ablations", "Hybrid Docker→K8s", ablations.ablation_hybrid_docker_then_k8s),
@@ -113,14 +115,20 @@ def _csv_payload(artifact) -> str:
 
 def run(parts: Optional[List[str]] = None, full: bool = False,
         out=None, csv_dir: Optional[str] = None,
-        jobs: int = 1, cache_dir: Optional[str] = None) -> int:
+        jobs: int = 1, cache_dir: Optional[str] = None,
+        profile: bool = False) -> int:
     """Regenerate the selected artifacts; returns the number regenerated.
 
     With ``csv_dir``, every Table/Series is also written as raw CSV for
     downstream plotting. ``jobs > 1`` fans each driver's cells over that
     many worker processes (output stays byte-identical to serial).
     ``cache_dir`` enables the content-addressed result cache there.
+    ``profile`` wraps each regenerated (non-cached) artifact in cProfile
+    and dumps ``<artifact>.pstats`` next to its CSV (or into the current
+    directory without ``csv_dir``); cells executed by pool workers are
+    outside the parent profile, so profile with ``jobs=1``.
     """
+    import cProfile
     import os
 
     stream = out if out is not None else sys.stdout
@@ -129,6 +137,7 @@ def run(parts: Optional[List[str]] = None, full: bool = False,
     repeats = 42 if full else 7
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
     report = RunReport(jobs=max(1, int(jobs)), cache_enabled=cache is not None)
+    profiles: List[str] = []
     count = 0
     with pooled(jobs) as pool:
         for part, name, driver in artifact_registry(full):
@@ -147,7 +156,16 @@ def run(parts: Optional[List[str]] = None, full: bool = False,
                 rendered = cached["render"]
                 payload = cached["csv"]
             else:
-                artifact = driver()
+                if profile:
+                    profiler = cProfile.Profile()
+                    artifact = profiler.runcall(driver)
+                    pstats_path = os.path.join(
+                        csv_dir if csv_dir is not None else ".",
+                        _csv_name(f"{part}_{name}")[:-len(".csv")] + ".pstats")
+                    profiler.dump_stats(pstats_path)
+                    profiles.append(pstats_path)
+                else:
+                    artifact = driver()
                 rendered = _render(artifact)
                 payload = _csv_payload(artifact)
                 if cache is not None:
@@ -175,6 +193,11 @@ def run(parts: Optional[List[str]] = None, full: bool = False,
         report.cache_stores = cache.stores
     if count:
         print(f"\n{report.render()}", file=stream)
+    if profiles:
+        print(f"\nprofiles ({len(profiles)}, inspect with "
+              f"`python -m pstats <path>`):", file=stream)
+        for path in profiles:
+            print(f"  {path}", file=stream)
     return count
 
 
@@ -197,18 +220,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(output is byte-identical to serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and don't populate the result cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each regenerated artifact and dump "
+                             "<artifact>.pstats next to its CSV (implies "
+                             "--no-cache so there is work to profile; use "
+                             "with --jobs 1 to capture cell work)")
     parser.add_argument("--cache-dir", type=str, default=DEFAULT_CACHE_DIR,
                         help="result cache location (default: %(default)s)")
     args = parser.parse_args(argv)
-    cache_dir = None if args.no_cache else args.cache_dir
+    cache_dir = None if (args.no_cache or args.profile) else args.cache_dir
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             count = run(args.parts, args.full, out=handle, csv_dir=args.csv_dir,
-                        jobs=args.jobs, cache_dir=cache_dir)
+                        jobs=args.jobs, cache_dir=cache_dir,
+                        profile=args.profile)
         print(f"wrote {count} artifacts to {args.out}")
     else:
         count = run(args.parts, args.full, csv_dir=args.csv_dir,
-                    jobs=args.jobs, cache_dir=cache_dir)
+                    jobs=args.jobs, cache_dir=cache_dir, profile=args.profile)
     return 0 if count else 1
 
 

@@ -2,10 +2,15 @@
 
 The paper reports medians (figs. 11–16); :class:`Summary` carries the median
 plus the spread statistics a careful reproduction should look at.
+
+:class:`StreamingStats` is the constant-memory counterpart for the
+million-request scale path: Welford mean/variance (exact) plus a fixed-size
+log-spaced latency histogram (deterministic, bin-resolution quantiles).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -50,3 +55,112 @@ def summarize(samples: Iterable[float]) -> Summary:
         # (ddof=0) understates spread noticeably. n=1 has no spread estimate.
         std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
     )
+
+
+class StreamingStats:
+    """Constant-memory sample aggregation.
+
+    Exact: count, mean, sample std (Welford, ddof=1 to match
+    :func:`summarize`), min, max. Approximate: quantiles, answered from a
+    fixed log-spaced histogram spanning ``LOW``..``HIGH`` seconds at
+    ``BINS_PER_DECADE`` bins per decade — worst-case relative error is one
+    bin width (``10**(1/32) - 1`` ≈ 7.5%), and the answer is deterministic
+    for a given sample sequence. Values outside the span land in under/
+    overflow bins and are answered with the exact min/max.
+
+    Memory is O(1): three floats, two ints, and a 256-slot count array —
+    regardless of how many samples stream through.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum",
+                 "_bins", "_underflow", "_overflow")
+
+    #: histogram span (seconds): 10 µs .. 1000 s, 8 decades
+    LOW = 1e-5
+    HIGH = 1e3
+    BINS_PER_DECADE = 32
+    N_BINS = 8 * BINS_PER_DECADE
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._bins = [0] * self.N_BINS
+        self._underflow = 0
+        self._overflow = 0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value < self.LOW:
+            self._underflow += 1
+        elif value >= self.HIGH:
+            self._overflow += 1
+        else:
+            index = int(math.log10(value / self.LOW) * self.BINS_PER_DECADE)
+            # Guard the float boundary (log10 rounding at bin edges).
+            if index >= self.N_BINS:
+                index = self.N_BINS - 1
+            self._bins[index] += 1
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 below two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def _bin_value(self, index: int) -> float:
+        """Geometric midpoint of bin ``index``."""
+        lo = self.LOW * 10 ** (index / self.BINS_PER_DECADE)
+        hi = self.LOW * 10 ** ((index + 1) / self.BINS_PER_DECADE)
+        return math.sqrt(lo * hi)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the histogram (deterministic)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            raise ValueError("cannot take a quantile of an empty sample")
+        target = q * (self.count - 1)
+        cumulative = self._underflow
+        value = self.minimum
+        if cumulative <= target:
+            for index, hits in enumerate(self._bins):
+                if not hits:
+                    continue
+                cumulative += hits
+                if cumulative > target:
+                    value = self._bin_value(index)
+                    break
+            else:
+                value = self.maximum
+        # Exact extremes always bound the answer.
+        return min(max(value, self.minimum), self.maximum)
+
+    def summary(self) -> Summary:
+        """A :class:`Summary` with exact moments and histogram quantiles."""
+        if self.count == 0:
+            raise ValueError("cannot summarize an empty sample")
+        return Summary(
+            count=self.count,
+            median=self.quantile(0.5),
+            mean=self.mean,
+            p25=self.quantile(0.25),
+            p75=self.quantile(0.75),
+            p95=self.quantile(0.95),
+            minimum=self.minimum,
+            maximum=self.maximum,
+            std=self.std,
+        )

@@ -3,42 +3,63 @@
 Both are thin, hashable, int-backed value objects. Being int-backed keeps
 them cheap as dict keys on the hot path (flow-table lookups hash millions of
 addresses per benchmark run) while still printing like real addresses.
+
+Instances are **interned**: constructing the same address twice returns the
+same object, so a scenario with 100k clients holds one object per distinct
+address no matter how many frames reference it, equality degenerates to an
+identity check, and the hash is a precomputed int. Pickle round-trips
+re-intern (``__reduce__``), so addresses crossing pool-worker boundaries
+keep the identity ↔ equality invariant.
 """
 
 from __future__ import annotations
 
 from functools import total_ordering
-from typing import Union
+from typing import Dict, Tuple, Union
 
 
 @total_ordering
 class MAC:
-    """48-bit Ethernet address."""
+    """48-bit Ethernet address (interned)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
-    def __init__(self, value: Union[int, str, "MAC"]):
+    _interned: Dict[int, "MAC"] = {}
+
+    def __new__(cls, value: Union[int, str, "MAC"]):
         if isinstance(value, MAC):
-            self.value = value.value
-        elif isinstance(value, int):
+            return value
+        if isinstance(value, int):
             if not 0 <= value < (1 << 48):
                 raise ValueError(f"MAC out of range: {value:#x}")
-            self.value = value
+            parsed = value
         elif isinstance(value, str):
             parts = value.replace("-", ":").split(":")
             if len(parts) != 6:
                 raise ValueError(f"malformed MAC {value!r}")
-            self.value = 0
+            parsed = 0
             for part in parts:
                 octet = int(part, 16)
                 if not 0 <= octet <= 0xFF:
                     raise ValueError(f"malformed MAC {value!r}")
-                self.value = (self.value << 8) | octet
+                parsed = (parsed << 8) | octet
         else:
             raise TypeError(f"cannot build MAC from {type(value).__name__}")
+        self = cls._interned.get(parsed)
+        if self is None:
+            self = super().__new__(cls)
+            self.value = parsed
+            # Hash of the raw int: stable across PYTHONHASHSEED (unlike the
+            # previous str-tagged tuple hash) and allocation-free to compare.
+            self._hash = hash(parsed)
+            cls._interned[parsed] = self
+        return self
+
+    def __reduce__(self) -> Tuple[type, Tuple[int]]:
+        return (MAC, (self.value,))
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, MAC) and self.value == other.value
+        return self is other or (isinstance(other, MAC) and self.value == other.value)
 
     def __lt__(self, other: "MAC") -> bool:
         if not isinstance(other, MAC):
@@ -46,7 +67,7 @@ class MAC:
         return self.value < other.value
 
     def __hash__(self) -> int:
-        return hash(("MAC", self.value))
+        return self._hash
 
     def __int__(self) -> int:
         return self.value
@@ -68,32 +89,44 @@ class MAC:
 
 @total_ordering
 class IPv4:
-    """32-bit IPv4 address."""
+    """32-bit IPv4 address (interned)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
-    def __init__(self, value: Union[int, str, "IPv4"]):
+    _interned: Dict[int, "IPv4"] = {}
+
+    def __new__(cls, value: Union[int, str, "IPv4"]):
         if isinstance(value, IPv4):
-            self.value = value.value
-        elif isinstance(value, int):
+            return value
+        if isinstance(value, int):
             if not 0 <= value < (1 << 32):
                 raise ValueError(f"IPv4 out of range: {value:#x}")
-            self.value = value
+            parsed = value
         elif isinstance(value, str):
             parts = value.split(".")
             if len(parts) != 4:
                 raise ValueError(f"malformed IPv4 {value!r}")
-            self.value = 0
+            parsed = 0
             for part in parts:
                 octet = int(part)
                 if not 0 <= octet <= 255:
                     raise ValueError(f"malformed IPv4 {value!r}")
-                self.value = (self.value << 8) | octet
+                parsed = (parsed << 8) | octet
         else:
             raise TypeError(f"cannot build IPv4 from {type(value).__name__}")
+        self = cls._interned.get(parsed)
+        if self is None:
+            self = super().__new__(cls)
+            self.value = parsed
+            self._hash = hash(parsed)
+            cls._interned[parsed] = self
+        return self
+
+    def __reduce__(self) -> Tuple[type, Tuple[int]]:
+        return (IPv4, (self.value,))
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, IPv4) and self.value == other.value
+        return self is other or (isinstance(other, IPv4) and self.value == other.value)
 
     def __lt__(self, other: "IPv4") -> bool:
         if not isinstance(other, IPv4):
@@ -101,7 +134,7 @@ class IPv4:
         return self.value < other.value
 
     def __hash__(self) -> int:
-        return hash(("IPv4", self.value))
+        return self._hash
 
     def __int__(self) -> int:
         return self.value

@@ -1,10 +1,16 @@
 """Typed packet model: Ethernet / ARP / IPv4 / TCP / UDP + HTTP payloads.
 
-Packets are plain frozen-ish dataclasses, layered by composition
+Packets are frozen, slotted dataclasses, layered by composition
 (``EthernetFrame.payload`` is an :class:`ArpPacket` or :class:`IPv4Packet`,
-and so on). The OpenFlow rewrite actions produce *copies* via
-:func:`dataclasses.replace`, never mutate in place — a frame in flight may be
-referenced from several queues (switch buffer, controller, trace log).
+and so on). The OpenFlow rewrite actions produce *copies*, never mutate in
+place — a frame in flight may be referenced from several queues (switch
+buffer, controller, trace log).
+
+Each layer exposes a ``rewrite()`` helper that produces a copy with selected
+fields changed while bypassing ``__init__``/``dataclasses.replace`` —
+``object.__new__`` plus direct slot stores. On the forwarding hot path a
+multi-field NAT rewrite then costs one new object per *mutated* layer
+instead of a full ``replace()`` reconstruction per field.
 
 Application payloads are Python objects carried by value with an explicit
 byte size; the size (plus per-layer header overhead) drives link
@@ -14,7 +20,6 @@ slower than a 62-byte GET.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 import enum
 from typing import Any, Optional, Union
@@ -36,6 +41,9 @@ UDP_HEADER_BYTES = 8
 #: Maximum TCP payload per segment (standard Ethernet MSS).
 TCP_MSS = 1460
 
+_new = object.__new__
+_set = object.__setattr__
+
 
 class TCPFlags(enum.IntFlag):
     """The TCP flag bits the simulation models."""
@@ -48,7 +56,7 @@ class TCPFlags(enum.IntFlag):
     ACK = 0x10
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HTTPRequest:
     """An HTTP request as carried by the application layer.
 
@@ -69,7 +77,7 @@ class HTTPRequest:
         return self.headers_bytes + self.body_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HTTPResponse:
     """An HTTP response."""
 
@@ -87,7 +95,7 @@ class HTTPResponse:
         return self.headers_bytes + self.body_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TCPSegment:
     """One TCP segment.
 
@@ -112,8 +120,22 @@ class TCPSegment:
     def has(self, flag: TCPFlags) -> bool:
         return bool(self.flags & flag)
 
+    def rewrite(self, src_port: Optional[int] = None,
+                dst_port: Optional[int] = None) -> "TCPSegment":
+        """Copy with the given port(s) changed; other fields shared."""
+        new = _new(TCPSegment)
+        _set(new, "src_port", self.src_port if src_port is None else src_port)
+        _set(new, "dst_port", self.dst_port if dst_port is None else dst_port)
+        _set(new, "seq", self.seq)
+        _set(new, "ack", self.ack)
+        _set(new, "flags", self.flags)
+        _set(new, "payload", self.payload)
+        _set(new, "payload_bytes", self.payload_bytes)
+        _set(new, "last_fragment", self.last_fragment)
+        return new
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class UDPDatagram:
     """One UDP datagram."""
 
@@ -126,8 +148,18 @@ class UDPDatagram:
     def wire_bytes(self) -> int:
         return UDP_HEADER_BYTES + self.payload_bytes
 
+    def rewrite(self, src_port: Optional[int] = None,
+                dst_port: Optional[int] = None) -> "UDPDatagram":
+        """Copy with the given port(s) changed; other fields shared."""
+        new = _new(UDPDatagram)
+        _set(new, "src_port", self.src_port if src_port is None else src_port)
+        _set(new, "dst_port", self.dst_port if dst_port is None else dst_port)
+        _set(new, "payload", self.payload)
+        _set(new, "payload_bytes", self.payload_bytes)
+        return new
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class IPv4Packet:
     """An IPv4 packet carrying TCP or UDP."""
 
@@ -141,8 +173,20 @@ class IPv4Packet:
     def wire_bytes(self) -> int:
         return IP_HEADER_BYTES + self.payload.wire_bytes
 
+    def rewrite(self, src: Optional[IPv4] = None, dst: Optional[IPv4] = None,
+                payload: Optional[Union[TCPSegment, UDPDatagram]] = None,
+                ttl: Optional[int] = None) -> "IPv4Packet":
+        """Copy with the given header field(s)/payload changed."""
+        new = _new(IPv4Packet)
+        _set(new, "src", self.src if src is None else src)
+        _set(new, "dst", self.dst if dst is None else dst)
+        _set(new, "proto", self.proto)
+        _set(new, "payload", self.payload if payload is None else payload)
+        _set(new, "ttl", self.ttl if ttl is None else ttl)
+        return new
+
     def decrement_ttl(self) -> "IPv4Packet":
-        return dataclasses.replace(self, ttl=self.ttl - 1)
+        return self.rewrite(ttl=self.ttl - 1)
 
 
 class ArpOp(enum.IntEnum):
@@ -150,7 +194,7 @@ class ArpOp(enum.IntEnum):
     REPLY = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArpPacket:
     """An ARP request or reply."""
 
@@ -165,7 +209,7 @@ class ArpPacket:
         return ARP_BODY_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EthernetFrame:
     """The layer-2 frame that actually traverses links."""
 
@@ -180,6 +224,53 @@ class EthernetFrame:
     @property
     def wire_bytes(self) -> int:
         return ETH_HEADER_BYTES + self.payload.wire_bytes
+
+    def rewrite(self, src: Optional[MAC] = None, dst: Optional[MAC] = None,
+                payload: Optional[Union[ArpPacket, IPv4Packet]] = None,
+                ) -> "EthernetFrame":
+        """Copy with the given header field(s)/payload changed.
+
+        ``frame_id`` is preserved — the rewritten frame is the *same* packet
+        in flight, not a newly transmitted one.
+        """
+        new = _new(EthernetFrame)
+        _set(new, "src", self.src if src is None else src)
+        _set(new, "dst", self.dst if dst is None else dst)
+        _set(new, "ethertype", self.ethertype)
+        _set(new, "payload", self.payload if payload is None else payload)
+        _set(new, "frame_id", self.frame_id)
+        return new
+
+    def rewrite_headers(self,
+                        eth_src: Optional[MAC] = None,
+                        eth_dst: Optional[MAC] = None,
+                        ipv4_src: Optional[IPv4] = None,
+                        ipv4_dst: Optional[IPv4] = None,
+                        l4_src: Optional[int] = None,
+                        l4_dst: Optional[int] = None) -> "EthernetFrame":
+        """Fused multi-layer rewrite: copy each mutated layer exactly once.
+
+        OpenFlow prerequisite semantics apply — IPv4 fields are ignored on a
+        non-IP frame, port fields are ignored when the L4 payload is absent
+        (an ARP frame has neither). A call with no effective changes returns
+        ``self`` unchanged.
+        """
+        payload = self.payload
+        if isinstance(payload, IPv4Packet):
+            new_l4: Optional[Union[TCPSegment, UDPDatagram]] = None
+            if (l4_src is not None or l4_dst is not None) and isinstance(
+                    payload.payload, (TCPSegment, UDPDatagram)):
+                new_l4 = payload.payload.rewrite(src_port=l4_src, dst_port=l4_dst)
+            if ipv4_src is not None or ipv4_dst is not None or new_l4 is not None:
+                new_payload: Optional[Union[ArpPacket, IPv4Packet]] = payload.rewrite(
+                    src=ipv4_src, dst=ipv4_dst, payload=new_l4)
+            else:
+                new_payload = None
+        else:
+            new_payload = None
+        if eth_src is None and eth_dst is None and new_payload is None:
+            return self
+        return self.rewrite(src=eth_src, dst=eth_dst, payload=new_payload)
 
     # ------------------------------------------------------- layer accessors
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.edge.services import ServiceBehavior
+from repro.metrics.stats import StreamingStats, Summary, summarize
 from repro.simcore.rng import RandomStreams
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,10 +30,38 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class LoadResult:
-    """What a generator collected."""
+    """What a generator collected.
+
+    Two modes:
+
+    * ``keep_timings=True`` (the default, used by every existing
+      experiment): every :class:`RequestTiming` is retained in ``timings``
+      and the list-based accessors behave exactly as they always have.
+    * ``keep_timings=False`` (the scale path): per-request objects are
+      dropped after aggregation — counters plus a
+      :class:`~repro.metrics.stats.StreamingStats` over ``time_total`` of
+      the successful requests. Memory stays constant at any request count.
+    """
 
     timings: List["RequestTiming"] = field(default_factory=list)
     issued: int = 0
+    keep_timings: bool = True
+    #: streaming aggregate over ok-request total latencies (streaming mode)
+    stream: Optional[StreamingStats] = None
+    #: counters maintained in both modes by :meth:`record`
+    completed_count: int = 0
+    ok_count: int = 0
+
+    def record(self, timing: Optional["RequestTiming"]) -> None:
+        """Account one finished request (``None``: the request errored)."""
+        if timing is not None:
+            self.completed_count += 1
+            if timing.ok:
+                self.ok_count += 1
+                if self.stream is not None:
+                    self.stream.add(timing.time_total)
+        if self.keep_timings:
+            self.timings.append(timing)
 
     @property
     def completed(self) -> List["RequestTiming"]:
@@ -44,10 +73,24 @@ class LoadResult:
 
     @property
     def failed(self) -> int:
-        return len(self.completed) - len(self.ok)
+        if self.keep_timings:
+            return len(self.completed) - len(self.ok)
+        return self.completed_count - self.ok_count
 
     def totals(self) -> List[float]:
+        if not self.keep_timings:
+            raise ValueError(
+                "exact per-request timings were not retained "
+                "(keep_timings=False); use .stream / .summary() instead")
         return [t.time_total for t in self.ok]
+
+    def summary(self) -> Summary:
+        """Latency summary of the ok requests, exact or streaming."""
+        if self.keep_timings:
+            return summarize(self.totals())
+        if self.stream is None or self.stream.count == 0:
+            raise ValueError("no successful requests aggregated")
+        return self.stream.summary()
 
 
 class OpenLoopGenerator:
@@ -56,7 +99,7 @@ class OpenLoopGenerator:
     def __init__(self, testbed: "Testbed", service: "EdgeService",
                  behavior: Optional[ServiceBehavior] = None,
                  rate_rps: float = 1.0, poisson: bool = False,
-                 seed: int = 0):
+                 seed: int = 0, keep_timings: bool = True):
         if rate_rps <= 0:
             raise ValueError("rate must be positive")
         self.testbed = testbed
@@ -65,7 +108,9 @@ class OpenLoopGenerator:
         self.rate_rps = rate_rps
         self.poisson = poisson
         self._rng = RandomStreams(seed).stream("loadgen.open")
-        self.result = LoadResult()
+        self.result = LoadResult(
+            keep_timings=keep_timings,
+            stream=None if keep_timings else StreamingStats())
         self._processes: List = []
 
     def start(self, duration_s: float) -> LoadResult:
@@ -92,14 +137,17 @@ class OpenLoopGenerator:
             process = client.fetch(self.service.service_id.addr,
                                    self.service.service_id.port)
         self.result.issued += 1
-        self._processes.append(process)
+        if self.result.keep_timings:
+            # Streaming mode skips the retention list — the whole point is
+            # constant memory across millions of in-flight histories.
+            self._processes.append(process)
         process._wait_subscribe(lambda p: self._done(p))
 
     def _done(self, process) -> None:
         try:
-            self.result.timings.append(process.result)
+            self.result.record(process.result)
         except Exception:  # noqa: BLE001 - failed request process
-            self.result.timings.append(None)
+            self.result.record(None)
 
 
 class ClosedLoopGenerator:
@@ -107,7 +155,8 @@ class ClosedLoopGenerator:
 
     def __init__(self, testbed: "Testbed", service: "EdgeService",
                  behavior: Optional[ServiceBehavior] = None,
-                 users: int = 4, think_time_s: float = 1.0):
+                 users: int = 4, think_time_s: float = 1.0,
+                 keep_timings: bool = True):
         if users <= 0:
             raise ValueError("need at least one user")
         self.testbed = testbed
@@ -115,7 +164,9 @@ class ClosedLoopGenerator:
         self.behavior = behavior
         self.users = users
         self.think_time_s = think_time_s
-        self.result = LoadResult()
+        self.result = LoadResult(
+            keep_timings=keep_timings,
+            stream=None if keep_timings else StreamingStats())
 
     def start(self, duration_s: float) -> LoadResult:
         sim = self.testbed.sim
@@ -138,7 +189,7 @@ class ClosedLoopGenerator:
             self.result.issued += 1
             try:
                 timing = yield process
-                self.result.timings.append(timing)
+                self.result.record(timing)
             except Exception:  # noqa: BLE001
-                self.result.timings.append(None)
+                self.result.record(None)
             yield sim.timeout(self.think_time_s)

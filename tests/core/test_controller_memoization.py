@@ -1,0 +1,107 @@
+"""Slow-path memoization must be invisible to packet disposition.
+
+The controller memoizes its per-``(client, service, cluster)`` slow path —
+registry hit, dispatch decision, install plan — behind generation-counter
+invalidation (:attr:`ControllerConfig.memoize_slow_path`). These tests run
+the *same randomized scenario twice*, memo on vs. off, and require the two
+runs to be indistinguishable from the outside: identical trace streams
+(every flow install, packet-out and app log in the same order at the same
+simulated times), identical installed flows, identical client timings.
+Only the memo-internal counters (``plan_hits``/``plan_misses``/…) may
+differ.
+"""
+
+import random
+
+from repro.experiments import build_testbed
+from repro.simcore import TraceLog
+
+#: stats keys that exist only to observe the memo itself
+MEMO_ONLY_STATS = ("slow_path_plan_hits", "slow_path_plan_misses")
+
+
+def _flow_snapshot(tb):
+    """Stable view of every installed flow on the testbed's switch."""
+    return [
+        (str(entry.match), entry.priority, entry.cookie,
+         entry.idle_timeout, entry.hard_timeout,
+         tuple(str(action) for action in entry.actions))
+        for entry in tb.switch.table.entries
+    ]
+
+
+def _run_scenario(memoize: bool, seed: int):
+    """One randomized multi-client run; returns everything observable."""
+    trace = TraceLog(enabled=True)
+    tb = build_testbed(seed=seed, n_clients=4, cluster_types=("docker",),
+                       switch_idle_timeout_s=0.8, memory_idle_timeout_s=2.5,
+                       trace=trace)
+    tb.controller.cfg.memoize_slow_path = memoize
+    svc = tb.register_catalog_service("nginx")
+
+    # Randomized but seed-determined schedule. The gap choices straddle both
+    # idle timeouts, so the same (client, service) pair repeatedly re-enters
+    # the slow path via every route: pending coalescing, FlowMemory hit,
+    # memory expiry, full dispatch.
+    rng = random.Random(seed * 7919 + 17)
+    t = 0.05
+    fetches = []
+    for _ in range(24):
+        client = rng.randrange(4)
+        fetches.append((t, client))
+        t += rng.choice((0.005, 0.05, 0.4, 1.0, 3.1))
+
+    results = []
+    for when, client_index in fetches:
+        def start(index=client_index):
+            results.append(tb.client(index).fetch(
+                svc.service_id.addr, svc.service_id.port))
+        tb.sim.schedule_at(when, start)
+    tb.run(until=t + 30.0)
+    mid_flows = _flow_snapshot(tb)
+    tb.run()  # quiescence: all idle timers fire
+
+    timings = [p.result for p in results]
+    assert all(timing.ok for timing in timings), timings
+    stats = dict(tb.controller.stats)
+    memo_stats = {k: stats.pop(k, 0) for k in MEMO_ONLY_STATS}
+    return {
+        "trace": [str(record) for record in trace.records],
+        "mid_flows": mid_flows,
+        "final_flows": _flow_snapshot(tb),
+        "timings": [(round(x.t_start, 9), round(x.time_connect, 9),
+                     round(x.time_total, 9), x.status) for x in timings],
+        "stats": stats,
+        "memo_stats": memo_stats,
+        "packet_ins": tb.switch.packet_ins,
+        "tx_frames": tb.switch.tx_frames,
+    }
+
+
+class TestMemoizationInvisibility:
+    def test_differential_memo_on_off(self):
+        """Byte-for-byte identical externally observable behavior."""
+        on = _run_scenario(memoize=True, seed=11)
+        off = _run_scenario(memoize=False, seed=11)
+        assert on["trace"] == off["trace"]
+        assert on["mid_flows"] == off["mid_flows"]
+        assert on["final_flows"] == off["final_flows"]
+        assert on["timings"] == off["timings"]
+        assert on["stats"] == off["stats"]
+        assert on["packet_ins"] == off["packet_ins"]
+        assert on["tx_frames"] == off["tx_frames"]
+
+    def test_memo_actually_engages(self):
+        """The memo isn't vacuous: repeated slow-path visits hit the cache
+        when on, and never do when off."""
+        on = _run_scenario(memoize=True, seed=11)
+        off = _run_scenario(memoize=False, seed=11)
+        assert on["memo_stats"]["slow_path_plan_hits"] > 0
+        assert off["memo_stats"]["slow_path_plan_hits"] == 0
+
+    def test_differential_other_seed(self):
+        on = _run_scenario(memoize=True, seed=29)
+        off = _run_scenario(memoize=False, seed=29)
+        assert on["trace"] == off["trace"]
+        assert on["final_flows"] == off["final_flows"]
+        assert on["timings"] == off["timings"]

@@ -1,0 +1,118 @@
+"""StreamingStats vs. the exact ``summarize()`` it replaces at scale.
+
+The contract: exact count/mean/std/min/max (Welford, ddof=1), quantiles
+within one log-histogram bin (``10**(1/32) - 1`` ≈ 7.5% relative) of the
+exact answer, O(1) memory. Property-tested over randomized samples in the
+histogram span, plus directed edge cases (out-of-span values, single
+sample, empty).
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+import pytest
+
+from repro.metrics.stats import StreamingStats, summarize
+
+#: worst-case relative quantile error: one bin width
+BIN_REL_ERROR = 10 ** (1 / StreamingStats.BINS_PER_DECADE) - 1
+
+in_span = st.floats(min_value=StreamingStats.LOW * 1.001,
+                    max_value=StreamingStats.HIGH * 0.999,
+                    allow_nan=False, allow_infinity=False)
+samples_lists = st.lists(in_span, min_size=2, max_size=300)
+
+
+def _fill(values):
+    stream = StreamingStats()
+    for value in values:
+        stream.add(value)
+    return stream
+
+
+class TestExactMoments:
+    @given(samples_lists)
+    def test_mean_std_min_max_match_summarize(self, values):
+        stream = _fill(values)
+        exact = summarize(values)
+        assert stream.count == exact.count
+        assert math.isclose(stream.mean, exact.mean, rel_tol=1e-9)
+        assert math.isclose(stream.std, exact.std,
+                            rel_tol=1e-6, abs_tol=1e-12)
+        assert stream.minimum == exact.minimum
+        assert stream.maximum == exact.maximum
+
+    @given(in_span)
+    def test_single_sample(self, value):
+        stream = _fill([value])
+        summary = stream.summary()
+        assert summary.count == 1
+        assert summary.mean == value
+        assert summary.std == 0.0
+        assert summary.median == pytest.approx(value, rel=BIN_REL_ERROR)
+
+
+class TestQuantiles:
+    @given(samples_lists)
+    def test_quantiles_within_one_bin_of_exact(self, values):
+        """The histogram answers a nearest-rank quantile, so the truth it
+        must track is the pair of order statistics bracketing the rank —
+        within one bin width on either side. (``summarize()`` interpolates
+        *between* those two samples, so it lies in the same bracket.)"""
+        stream = _fill(values)
+        ranked = sorted(values)
+        for q in (0.25, 0.5, 0.75, 0.95):
+            got = stream.quantile(q)
+            target = q * (len(ranked) - 1)
+            lower = ranked[math.floor(target)]
+            upper = ranked[math.ceil(target)]
+            assert got >= lower / (1 + BIN_REL_ERROR) ** 2, q
+            assert got <= upper * (1 + BIN_REL_ERROR) ** 2, q
+
+    def test_uniform_grid_summary_close_to_exact(self):
+        """On a duplicate-free evenly spread sample, interpolation and
+        nearest rank agree, so the streaming summary must track
+        ``summarize`` to within a couple of bin widths relative."""
+        values = [0.001 + 0.0001 * i for i in range(500)]
+        approx = _fill(values).summary()
+        exact = summarize(values)
+        for name in ("median", "p25", "p75", "p95"):
+            got, want = getattr(approx, name), getattr(exact, name)
+            assert got == pytest.approx(want, rel=3 * BIN_REL_ERROR), name
+
+    @given(samples_lists)
+    def test_quantiles_monotone_and_bounded(self, values):
+        stream = _fill(values)
+        qs = [stream.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[0] >= stream.minimum
+        assert qs[-1] <= stream.maximum
+
+
+class TestEdges:
+    def test_out_of_span_values_answered_with_exact_extremes(self):
+        stream = _fill([1e-9, 1e-8, 5e3, 7e3])
+        assert stream.minimum == 1e-9
+        assert stream.maximum == 7e3
+        assert stream.quantile(0.0) == 1e-9
+        assert stream.quantile(1.0) == 7e3
+
+    def test_empty_raises_like_summarize(self):
+        stream = StreamingStats()
+        with pytest.raises(ValueError):
+            stream.summary()
+        with pytest.raises(ValueError):
+            stream.quantile(0.5)
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_bad_quantile_rejected(self):
+        stream = _fill([0.1])
+        with pytest.raises(ValueError):
+            stream.quantile(1.5)
+
+    def test_memory_is_constant(self):
+        """No attribute grows with the sample count (the whole point)."""
+        stream = _fill([0.001 * (i % 97 + 1) for i in range(50_000)])
+        assert len(stream._bins) == StreamingStats.N_BINS
+        assert not hasattr(stream, "__dict__")  # __slots__ enforced

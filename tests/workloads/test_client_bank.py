@@ -1,0 +1,168 @@
+"""ClientBank wire fidelity and scale behavior.
+
+The headline test taps the client-side port in two otherwise identical
+warm testbeds — one driving a real :class:`~repro.netsim.host.Host` +
+``TimedHTTPClient``, one driving a single-client :class:`ClientBank` —
+and requires the TCP frame sequences to match field-for-field (flags,
+seq/ack, payload bytes, fragment marking, payload kind) in both
+directions. That is the contract scale results rest on: A6 numbers are
+about *many* clients, not *different* clients.
+"""
+
+from repro.experiments import build_testbed
+from repro.netsim import ETH_TYPE_IP
+from repro.workloads.scale import (
+    BANK_NET,
+    ClientBank,
+    attach_client_bank,
+    run_client_bank,
+)
+
+
+def _warm_testbed(seed=3):
+    tb = build_testbed(seed=seed, n_clients=1, cluster_types=("docker",),
+                       switch_idle_timeout_s=0.5, memory_idle_timeout_s=2.0)
+    svc = tb.register_catalog_service("nginx")
+    warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+    tb.run(until=tb.sim.now + 60.0)
+    assert warm.done and warm.exception is None
+    return tb, svc
+
+
+def _normalize(frame):
+    """Everything about a TCP frame except who sent it."""
+    seg = frame.payload.payload
+    payload = seg.payload
+    return (int(seg.flags), seg.seq, seg.ack, seg.payload_bytes,
+            bool(seg.last_fragment), type(payload).__name__,
+            getattr(payload, "status", None))
+
+
+def _tap_tcp(device, log):
+    """Record every TCP frame the device sends ("tx") or receives ("rx")."""
+    original_transmit = device.transmit
+    original_on_frame = device.on_frame
+
+    def transmit(port_no, frame):
+        if frame.ethertype == ETH_TYPE_IP:
+            log.append(("tx",) + _normalize(frame))
+        return original_transmit(port_no, frame)
+
+    def on_frame(port_no, frame):
+        if frame.ethertype == ETH_TYPE_IP:
+            log.append(("rx",) + _normalize(frame))
+        return original_on_frame(port_no, frame)
+
+    device.transmit = transmit
+    device.on_frame = on_frame
+
+
+class TestWireFidelity:
+    def test_bank_replays_real_host_frame_sequence(self):
+        # Reference: a real Host issuing one warm GET.
+        tb_ref, svc_ref = _warm_testbed()
+        host_log = []
+        _tap_tcp(tb_ref.clients[0], host_log)
+        proc = tb_ref.client(0).fetch(svc_ref.service_id.addr,
+                                      svc_ref.service_id.port)
+        tb_ref.run(until=tb_ref.sim.now + 10.0)
+        assert proc.done and proc.result.ok
+
+        # Candidate: a one-client bank in an identical testbed.
+        tb, svc = _warm_testbed()
+        bank = attach_client_bank(tb, svc, n_clients=1, window=1)
+        bank_log = []
+        _tap_tcp(bank, bank_log)
+        result = run_client_bank(tb, bank)
+        assert result.ok_count == 1 and result.failed == 0
+
+        # The real host answers the server's stray post-close RST at the
+        # stack level (no frame), so it never reaches the HTTP layer; the
+        # bank *sees* and ignores it. Frames the client SENDS must match
+        # exactly; received frames may include that trailing RST.
+        host_tx = [entry for entry in host_log if entry[0] == "tx"]
+        bank_tx = [entry for entry in bank_log if entry[0] == "tx"]
+        assert bank_tx == host_tx
+        host_rx = [entry for entry in host_log if entry[0] == "rx"]
+        bank_rx = [entry for entry in bank_log if entry[0] == "rx"]
+        assert bank_rx[:len(host_rx)] == host_rx
+        assert len(bank_rx) - len(host_rx) <= 1  # at most the stray RST
+
+    def test_bank_latency_matches_real_host(self):
+        """Same links, same slow path — the measured latency must agree.
+
+        The bank addresses the gateway MAC directly (a real client resolves
+        it once and caches it forever), so pre-seed the reference host's
+        ARP cache to compare the post-resolution steady state both model.
+        """
+        tb_ref, svc_ref = _warm_testbed()
+        host = tb_ref.clients[0]
+        host.arp_cache[host.gateway] = tb_ref.controller.cfg.vgw_mac
+        first = tb_ref.client(0).fetch(svc_ref.service_id.addr,
+                                       svc_ref.service_id.port)
+        tb_ref.run(until=tb_ref.sim.now + 10.0)
+        assert first.done and first.result.ok
+
+        tb, svc = _warm_testbed()
+        bank = attach_client_bank(tb, svc, n_clients=1, window=1)
+        result = run_client_bank(tb, bank)
+        summary = result.summary()
+        # Streaming summary of a single sample: mean == that sample.
+        assert abs(summary.mean - first.result.time_total) < 1e-4
+
+
+class TestBankMechanics:
+    def test_unique_addresses_and_window(self):
+        tb, svc = _warm_testbed()
+        bank = attach_client_bank(tb, svc, n_clients=300, window=16)
+        assert len({bank.client_ip(i) for i in range(300)}) == 300
+        assert len({bank.client_mac(i) for i in range(300)}) == 300
+        assert all(int(bank.client_ip(i)) >> (32 - 10) ==
+                   int(BANK_NET) >> (32 - 10) for i in range(300))
+        result = run_client_bank(tb, bank)
+        assert result.ok_count == 300
+        assert result.failed == 0
+        assert bank.aborted == 0
+        # every conversation hit the dispatch slow path (unique client IPs)
+        assert tb.controller.stats["service_dispatches"] == 300
+
+    def test_state_is_bounded_by_window_not_clients(self):
+        tb, svc = _warm_testbed()
+        bank = attach_client_bank(tb, svc, n_clients=200, window=8)
+        seen_active = []
+
+        def probe():
+            seen_active.append(len(bank._active))
+            if not bank.done:
+                tb.sim.schedule(0.01, probe)
+
+        tb.sim.schedule(0.0, probe)
+        result = run_client_bank(tb, bank)
+        assert result.ok_count == 200
+        assert max(seen_active) <= 8
+        assert len(bank._active) == 0  # all conversations drained
+
+    def test_streaming_result_has_no_timing_list(self):
+        tb, svc = _warm_testbed()
+        bank = attach_client_bank(tb, svc, n_clients=50, window=8)
+        result = run_client_bank(tb, bank)
+        assert result.timings == []
+        assert result.completed_count == 50
+        summary = result.summary()
+        assert summary.count == 50
+        assert summary.mean > 0
+
+    def test_watchdog_records_failure(self):
+        """A conversation that never gets a SYN-ACK times out and is
+        counted as failed, and the window refills."""
+        tb, svc = _warm_testbed()
+        bank = ClientBank(tb.sim, "lonely-bank", n_clients=2,
+                          service_addr=svc.service_id.addr,
+                          service_port=svc.service_id.port,
+                          vgw_mac=tb.controller.cfg.vgw_mac)
+        # Deliberately NOT attached to the switch: every SYN goes nowhere.
+        bank.start()
+        tb.run(until=tb.sim.now + 120.0)
+        assert bank.done
+        assert bank.result.ok_count == 0
+        assert bank.result.failed == 2
