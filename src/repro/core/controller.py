@@ -26,9 +26,18 @@ Implements the transparent-access data path of the paper:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
 
+from repro.core.cookies import (
+    KIND_MISS,
+    KIND_ROUTE,
+    KIND_SERVICE,
+    cookie_kind,
+    is_controller_cookie,
+    make_cookie,
+)
 from repro.core.dispatcher import Dispatcher, DispatchResult
 from repro.core.fabric import FabricTopology
 from repro.core.flowmemory import FlowMemory, MemorizedFlow
@@ -37,17 +46,23 @@ from repro.core.serviceid import ServiceID
 from repro.edge.cluster import EdgeCluster, Endpoint
 from repro.netsim.addresses import MAC, IPv4
 from repro.netsim.packet import ETH_TYPE_ARP, ETH_TYPE_IP, ArpOp, ArpPacket, EthernetFrame
+from repro.openflow.actions import SetFieldAction
 from repro.ryuapp import (
+    DEAD_DISPATCHER,
     MAIN_DISPATCHER,
+    EventOFPBarrierReply,
     EventOFPFlowRemoved,
+    EventOFPFlowStatsReply,
     EventOFPPacketIn,
     EventOFPStateChange,
     RyuApp,
     set_ev_cls,
 )
+from repro.simcore.errors import ProcessKilled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ryuapp.datapath import Datapath
+    from repro.simcore import Process
 
 
 @dataclass(frozen=True)
@@ -173,8 +188,29 @@ class ControllerConfig:
     evict_dead_instances: bool = True
 
 
-#: cookie tag for service redirection flows (upstream direction)
-SERVICE_FLOW_COOKIE_BASE = 1 << 16
+#: packet-ins held per datapath while its resync is in flight; beyond this
+#: the oldest buffered packet-in is expired (the client retransmits)
+RESYNC_BUFFER_CAPACITY = 128
+
+
+@dataclass
+class _ResyncState:
+    """One datapath's in-flight flow-state reconciliation (docs/faults.md).
+
+    Created when a MAIN state-change arrives for an already-known datapath
+    (controller warm restart, channel revival); closed by the BarrierReply
+    that trails the FlowStatsRequest. Packet-ins from the datapath are
+    buffered here meanwhile and replayed once reconciliation is done, so
+    redirection decisions never race the adopted flow state."""
+
+    started_at: float
+    buffered: Deque = field(default_factory=deque)
+    dropped: int = 0
+    flows_seen: int = 0
+    reconciled: int = 0
+    gcd: int = 0
+    #: the FlowStatsReply was processed (a barrier without stats is stale)
+    stats_done: bool = False
 
 
 class TransparentEdgeController(RyuApp):
@@ -213,9 +249,24 @@ class TransparentEdgeController(RyuApp):
         self._plan_cache: Dict[Tuple, _InstallPlan] = {}
         #: pending dispatches: (client, service_id) -> buffered packet-ins
         self._pending: Dict[Tuple[IPv4, ServiceID], List] = {}
-        #: cookie -> cluster name (for load bookkeeping on FlowRemoved)
+        #: cookie -> cluster name (for load bookkeeping on FlowRemoved and
+        #: for reclaiming stale flows after a resync round)
         self._cookie_cluster: Dict[int, str] = {}
-        self._next_cookie = SERVICE_FLOW_COOKIE_BASE
+        #: controller incarnation, embedded in every cookie; bumped on
+        #: warm restart so pre-crash flows are recognizable on the wire
+        self.epoch = 1
+        self._next_plan_id = 1
+        #: dpids that completed their first connect (a later MAIN
+        #: state-change for them means reconnection -> resync)
+        self._seen_dpids: Set[int] = set()
+        #: in-flight dispatch processes, killed on crash
+        self._dispatch_procs: Dict[Tuple[IPv4, ServiceID], "Process"] = {}
+        #: per-dpid in-flight reconciliations + round bookkeeping
+        self._resync: Dict[int, _ResyncState] = {}
+        self._resync_round_dpids: Set[int] = set()
+        self._resync_round_candidates: Set[int] = set()
+        self._resync_seen_cookies: Set[int] = set()
+        self._resync_round_aborted = False
         #: diagnostics
         self.stats = {
             "packet_ins": 0,
@@ -230,18 +281,46 @@ class TransparentEdgeController(RyuApp):
             "instances_evicted": 0,
             "slow_path_plan_hits": 0,
             "slow_path_plan_misses": 0,
+            "packet_ins_buffered_resync": 0,
+            "packet_ins_dropped_resync": 0,
+            "flows_reconciled": 0,
+            "flows_gcd": 0,
+            "pending_lost_on_crash": 0,
         }
+
+    def _alloc_cookie(self, kind: int) -> int:
+        """A fresh cookie stamped with the current controller epoch."""
+        cookie = make_cookie(self.epoch, kind, self._next_plan_id)
+        self._next_plan_id += 1
+        return cookie
 
     # ------------------------------------------------------------- datapaths
 
     @set_ev_cls(EventOFPStateChange, MAIN_DISPATCHER)
     def on_state_change(self, ev) -> None:
         datapath = ev.datapath
-        # Install the table-miss entry (send to controller).
+        if ev.state == DEAD_DISPATCHER:
+            # Heartbeat declared the datapath unreachable: any resync in
+            # flight toward it can never finish — abandon it.
+            self._abort_resync(datapath.id)
+            self.log("switch-dead", dpid=datapath.id)
+            return
+        if ev.state != MAIN_DISPATCHER:
+            return
+        # (Re-)install the table-miss entry (send to controller). Harmless
+        # on reconnect: the switch kept its tables, the entry is refreshed.
         parser, ofp = datapath.ofproto_parser, datapath.ofproto
         datapath.send_msg(parser.OFPFlowMod(
             datapath, match=parser.OFPMatch(), priority=0,
-            actions=[parser.OFPActionOutput(ofp.OFPP_CONTROLLER)]))
+            actions=[parser.OFPActionOutput(ofp.OFPP_CONTROLLER)],
+            cookie=self._alloc_cookie(KIND_MISS)))
+        if datapath.id in self._seen_dpids:
+            # Not the first MAIN transition: we reconnected after a crash,
+            # channel outage, or liveness revival. The switch kept forwarding
+            # on its installed flows; reconcile before taking new decisions.
+            self._start_resync(datapath)
+        else:
+            self._seen_dpids.add(datapath.id)
         self.log("switch-connected", dpid=datapath.id)
 
     # -------------------------------------------------------------- packet-in
@@ -250,6 +329,21 @@ class TransparentEdgeController(RyuApp):
     def on_packet_in(self, ev) -> None:
         msg = ev.msg
         self.stats["packet_ins"] += 1
+        state = self._resync.get(msg.datapath.id)
+        if state is not None:
+            # Reconciliation in flight for this datapath: hold the packet-in
+            # until the adopted flow state is known, bounded so a miss storm
+            # cannot pin unbounded memory (expired clients retransmit).
+            if len(state.buffered) >= RESYNC_BUFFER_CAPACITY:
+                state.buffered.popleft()
+                state.dropped += 1
+                self.stats["packet_ins_dropped_resync"] += 1
+            state.buffered.append(msg)
+            self.stats["packet_ins_buffered_resync"] += 1
+            return
+        self._process_packet_in(msg)
+
+    def _process_packet_in(self, msg) -> None:
         frame: EthernetFrame = msg.frame
         datapath = msg.datapath
         self._learn(datapath.id, msg.in_port, frame)
@@ -381,31 +475,39 @@ class TransparentEdgeController(RyuApp):
 
         self.stats["service_dispatches"] += 1
         self._pending[key] = [(datapath, msg)]
-        self.spawn(self._dispatch_and_install(client, service, key),
-                   name=f"edge-dispatch:{client}:{service.name}")
+        self._dispatch_procs[key] = self.spawn(
+            self._dispatch_and_install(client, service, key),
+            name=f"edge-dispatch:{client}:{service.name}")
 
     def _dispatch_and_install(self, client: IPv4, service: EdgeService, key):
         try:
-            result: DispatchResult = yield self.dispatcher.dispatch(client, service)
-        except Exception as exc:  # noqa: BLE001 - unexpected dispatch error
-            # Guaranteed disposition: buffered packets are NEVER dropped on
-            # a failed dispatch — they continue toward the cloud origin,
-            # which is where the client thinks it is talking to anyway.
-            self.log("dispatch-failed", client=str(client),
-                     service=service.name, error=repr(exc))
-            self.stats["dispatch_failures"] += 1
-            self._release_toward_cloud(self._pending.pop(key, []))
-            return
-        pending = self._pending.pop(key, [])
-        if result.deploy_failed:
-            self.stats["dispatch_failures"] += 1
-        if result.toward_cloud:
-            self._release_toward_cloud(pending)
-            return
-        if self.cfg.use_flow_memory:
-            self.memory.remember(client, service.service_id,
-                                 result.cluster, result.endpoint)
-        self._install_and_release(service, pending, result.cluster, result.endpoint)
+            try:
+                result: DispatchResult = yield self.dispatcher.dispatch(client, service)
+            except ProcessKilled:
+                # The hosting controller crashed mid-dispatch; the pending
+                # packets were already accounted as lost by on_crash.
+                raise
+            except Exception as exc:  # noqa: BLE001 - unexpected dispatch error
+                # Guaranteed disposition: buffered packets are NEVER dropped on
+                # a failed dispatch — they continue toward the cloud origin,
+                # which is where the client thinks it is talking to anyway.
+                self.log("dispatch-failed", client=str(client),
+                         service=service.name, error=repr(exc))
+                self.stats["dispatch_failures"] += 1
+                self._release_toward_cloud(self._pending.pop(key, []))
+                return
+            pending = self._pending.pop(key, [])
+            if result.deploy_failed:
+                self.stats["dispatch_failures"] += 1
+            if result.toward_cloud:
+                self._release_toward_cloud(pending)
+                return
+            if self.cfg.use_flow_memory:
+                self.memory.remember(client, service.service_id,
+                                     result.cluster, result.endpoint)
+            self._install_and_release(service, pending, result.cluster, result.endpoint)
+        finally:
+            self._dispatch_procs.pop(key, None)
 
     def _release_toward_cloud(self, pending) -> None:
         """Send buffered packet-ins on toward their original (cloud) dst."""
@@ -551,8 +653,7 @@ class TransparentEdgeController(RyuApp):
             self._release_toward_cloud(pending)
             return
 
-        cookie = self._next_cookie
-        self._next_cookie += 1
+        cookie = self._alloc_cookie(KIND_SERVICE)
         self._cookie_cluster[cookie] = cluster.name
         if count_load:
             self.dispatcher.note_flow_installed(cluster)
@@ -673,7 +774,8 @@ class TransparentEdgeController(RyuApp):
             hop_dp.send_msg(parser.OFPFlowMod(
                 hop_dp, match=match, actions=actions,
                 priority=self.cfg.route_flow_priority,
-                idle_timeout=self.cfg.route_idle_timeout_s))
+                idle_timeout=self.cfg.route_idle_timeout_s,
+                cookie=make_cookie(self.epoch, KIND_ROUTE, 0)))
             if index == 0:
                 first_hop_actions = actions
         datapath.send_msg(parser.OFPPacketOut(
@@ -692,6 +794,260 @@ class TransparentEdgeController(RyuApp):
                 if cluster.name == cluster_name:
                     self.dispatcher.note_flow_removed(cluster)
                     break
+
+    # ------------------------------------------------- crash / warm restart
+
+    def on_crash(self) -> None:
+        """Drop ALL volatile state (docs/faults.md): a warm-restarted
+        controller remembers nothing and must reconcile from the switches.
+        Buffered packet-ins die with the process — the accounting survives
+        in :attr:`stats` because the experiment driver owns this object."""
+        for proc in list(self._dispatch_procs.values()):
+            if proc.alive:
+                proc.kill("controller crashed")
+        self._dispatch_procs.clear()
+        lost = sum(len(msgs) for msgs in self._pending.values())
+        self.stats["pending_lost_on_crash"] += lost
+        self._pending.clear()
+        self.memory.clear()
+        self.hosts.clear()
+        for addr, attachment in self.cfg.static_hosts.items():
+            self.hosts[addr] = (attachment.dpid, attachment.port_no,
+                                attachment.mac)
+        self._service_cache.clear()
+        self._service_cache_gen = -1
+        self._plan_cache.clear()
+        self._cookie_cluster.clear()
+        for cluster in self.dispatcher.clusters:
+            self.dispatcher.load[cluster.name] = 0
+        for dpid in list(self._resync):
+            self._abort_resync(dpid)
+        self._resync_round_dpids.clear()
+        self._resync_round_candidates.clear()
+        self._resync_seen_cookies.clear()
+        self._resync_round_aborted = False
+        self.log("crash", pending_lost=lost)
+
+    def on_restart(self) -> None:
+        """New incarnation: cookies minted from here on carry the new epoch,
+        so reconciliation can tell adopted pre-crash flows apart."""
+        self.epoch += 1
+        self._next_plan_id = 1
+        self.log("restart", epoch=self.epoch)
+
+    # ------------------------------------------------ flow-state resync
+
+    def _start_resync(self, datapath: "Datapath") -> None:
+        """Snapshot the datapath's flow table and reconcile against it.
+
+        A *round* is the set of resyncs started while none was in flight;
+        stale-cookie reclaim only runs when a round covered every datapath
+        and none was aborted — otherwise a flow on an unreachable switch
+        would be misjudged as gone."""
+        old = self._resync.pop(datapath.id, None)
+        if old is not None:
+            # Restarted before the previous resync finished: its buffered
+            # packet-ins refer to pre-restart state — expire them.
+            self.stats["packet_ins_dropped_resync"] += len(old.buffered)
+        if not self._resync:
+            self._resync_round_dpids = set()
+            self._resync_round_aborted = False
+            self._resync_round_candidates = set(self._cookie_cluster)
+            self._resync_seen_cookies = set()
+        self._resync_round_dpids.add(datapath.id)
+        self._resync[datapath.id] = _ResyncState(started_at=self.sim.now)
+        parser = datapath.ofproto_parser
+        datapath.send_msg(parser.OFPFlowStatsRequest(datapath,
+                                                     match=parser.OFPMatch()))
+        # The channel is FIFO, so the barrier reply trails the stats reply:
+        # when it arrives, reconciliation (including GC deletes sent from
+        # the stats handler) is ordered before any replayed packet-in.
+        datapath.send_msg(parser.OFPBarrierRequest(datapath))
+        self.log("resync-start", dpid=datapath.id)
+
+    def _abort_resync(self, dpid: int) -> None:
+        state = self._resync.pop(dpid, None)
+        if state is None:
+            return
+        self.stats["packet_ins_dropped_resync"] += len(state.buffered)
+        self._resync_round_aborted = True
+        self.log("resync-aborted", dpid=dpid)
+
+    @set_ev_cls(EventOFPFlowStatsReply, MAIN_DISPATCHER)
+    def on_flow_stats_reply(self, ev) -> None:
+        datapath = ev.msg.datapath
+        state = self._resync.get(datapath.id)
+        if state is None or state.stats_done:
+            return  # unsolicited or duplicate snapshot
+        state.stats_done = True
+        self._reconcile(datapath, ev.msg.stats, state)
+
+    @set_ev_cls(EventOFPBarrierReply, MAIN_DISPATCHER)
+    def on_barrier_reply(self, ev) -> None:
+        datapath = ev.msg.datapath
+        state = self._resync.pop(datapath.id, None)
+        if state is None:
+            return
+        self.manager.recovery.record_resync(
+            dpid=datapath.id, epoch=self.epoch,
+            started_at=state.started_at, finished_at=self.sim.now,
+            flows_seen=state.flows_seen, flows_reconciled=state.reconciled,
+            flows_gcd=state.gcd, packet_ins_buffered=len(state.buffered),
+            packet_ins_dropped=state.dropped)
+        self.stats["flows_reconciled"] += state.reconciled
+        self.stats["flows_gcd"] += state.gcd
+        if not self._resync:
+            # Round complete. Reclaim bookkeeping for cookies no switch
+            # reported — their flows are gone (expired during the outage) —
+            # but only from a full, unaborted round.
+            if (not self._resync_round_aborted
+                    and self._resync_round_dpids == set(self.manager.datapaths)):
+                self._reclaim_stale_cookies()
+            self._resync_round_dpids = set()
+            self._resync_round_candidates = set()
+            self._resync_seen_cookies = set()
+            self._resync_round_aborted = False
+        self.log("resync-done", dpid=datapath.id, seen=state.flows_seen,
+                 reconciled=state.reconciled, gcd=state.gcd,
+                 replayed=len(state.buffered), dropped=state.dropped)
+        while state.buffered:
+            self._process_packet_in(state.buffered.popleft())
+
+    def _reclaim_stale_cookies(self) -> None:
+        stale = [cookie for cookie in self._resync_round_candidates
+                 if cookie in self._cookie_cluster
+                 and cookie not in self._resync_seen_cookies]
+        for cookie in sorted(stale):
+            cluster_name = self._cookie_cluster.pop(cookie, None)
+            if cluster_name is None:
+                continue
+            for cluster in self.dispatcher.clusters:
+                if cluster.name == cluster_name:
+                    self.dispatcher.note_flow_removed(cluster)
+                    break
+        if stale:
+            self.log("reclaimed-stale-cookies", count=len(stale))
+
+    def _live_endpoints(self) -> Dict[Endpoint, Tuple[EdgeCluster, EdgeService]]:
+        """Every currently-servable instance endpoint across all clusters."""
+        live: Dict[Endpoint, Tuple[EdgeCluster, EdgeService]] = {}
+        for service in self.registry.services():
+            for cluster in self.dispatcher.clusters:
+                if not cluster.is_ready(service.spec):
+                    continue
+                endpoint = cluster.endpoint(service.spec)
+                if endpoint is not None:
+                    live[endpoint] = (cluster, service)
+        return live
+
+    def _reconcile(self, datapath: "Datapath", stats: List[Dict],
+                   state: _ResyncState) -> None:
+        """Adopt or GC every controller-stamped flow in the snapshot.
+
+        Adopt: the flow redirects to an instance that is still live —
+        FlowMemory and load bookkeeping are rebuilt from it, so established
+        clients keep their pre-crash instance without a new dispatch.
+        GC: the instance is dead or the flow is unrecognizable — strict
+        delete (cookie-filtered, so a same-match current-epoch replacement
+        is never collateral damage)."""
+        state.flows_seen = len(stats)
+        parser, ofp = datapath.ofproto_parser, datapath.ofproto
+        live = self._live_endpoints()
+        for stat in stats:
+            cookie = stat.get("cookie", 0)
+            if not is_controller_cookie(cookie):
+                continue  # not ours (pre-cookie tooling, test fixtures)
+            kind = cookie_kind(cookie)
+            if kind != KIND_SERVICE:
+                continue  # table-miss / route flows carry no instance state
+            verdict = self._classify_service_flow(stat["match"],
+                                                  stat.get("actions", []), live)
+            if verdict is None:
+                datapath.send_msg(parser.OFPFlowMod(
+                    datapath, match=stat["match"],
+                    command=ofp.OFPFC_DELETE_STRICT,
+                    priority=stat["priority"], cookie=cookie))
+                state.gcd += 1
+                continue
+            first_hop, client, service, cluster, endpoint = verdict
+            if first_hop:
+                self._resync_seen_cookies.add(cookie)
+            if cookie not in self._cookie_cluster:
+                self._cookie_cluster[cookie] = cluster.name
+                self.dispatcher.note_flow_installed(cluster)
+            if (self.cfg.use_flow_memory and client is not None
+                    and self.memory.peek(client, service.service_id) is None):
+                self.memory.remember(client, service.service_id,
+                                     cluster, endpoint)
+            state.reconciled += 1
+
+    def _classify_service_flow(self, match, actions, live):
+        """Recognize one of the three flow shapes `_install_and_release`
+        wires and check its instance is still live. Returns ``(first_hop,
+        client, service, cluster, endpoint)`` or None (-> GC)."""
+        src = match.exact_value("ipv4_src")
+        dst = match.exact_value("ipv4_dst")
+        tcp_dst = match.exact_value("tcp_dst")
+        tcp_src = match.exact_value("tcp_src")
+        if dst is not None and tcp_dst is not None:
+            service = self.registry.lookup(dst, tcp_dst)
+            if service is not None:
+                # First-hop upstream: matches the service address, rewrites
+                # to the instance endpoint in its set-field actions.
+                endpoint = self._endpoint_from_actions(actions)
+                if endpoint is None or endpoint not in live:
+                    return None
+                cluster, live_service = live[endpoint]
+                if live_service.service_id != service.service_id:
+                    return None  # endpoint now serves a different service
+                return (True, src, service, cluster, endpoint)
+            candidate = Endpoint(ip=dst, port=tcp_dst)
+            if candidate in live:
+                # Transit/egress upstream: matches the rewritten endpoint.
+                cluster, service = live[candidate]
+                return (False, src, service, cluster, candidate)
+            return None
+        if src is not None and tcp_src is not None:
+            candidate = Endpoint(ip=src, port=tcp_src)
+            if candidate in live:
+                # Downstream: source is the instance endpoint.
+                cluster, service = live[candidate]
+                return (False, dst, service, cluster, candidate)
+        return None
+
+    def audit_stale_service_flows(self) -> int:
+        """Count installed service flows that redirect to an endpoint that
+        is no longer live. The reconciliation invariant (docs/faults.md):
+        after a completed resync round this is 0 — no client is being
+        switched into a dead instance."""
+        live = self._live_endpoints()
+        stale = 0
+        for datapath in self.manager.datapaths.values():
+            for stat in datapath.switch.table.stats():
+                cookie = stat.get("cookie", 0)
+                if (not is_controller_cookie(cookie)
+                        or cookie_kind(cookie) != KIND_SERVICE):
+                    continue
+                if self._classify_service_flow(stat["match"],
+                                               stat.get("actions", []),
+                                               live) is None:
+                    stale += 1
+        return stale
+
+    @staticmethod
+    def _endpoint_from_actions(actions) -> Optional[Endpoint]:
+        """The (ipv4_dst, tcp_dst) rewrite target of a first-hop upstream
+        flow's action list, if both set-fields are present."""
+        ip = port = None
+        for action in actions:
+            if isinstance(action, SetFieldAction):
+                if action.field == "ipv4_dst":
+                    ip = action.value
+                elif action.field == "tcp_dst":
+                    port = action.value
+        if ip is None or port is None:
+            return None
+        return Endpoint(ip=ip, port=port)
 
     # -------------------------------------------------------- idle scaledown
 

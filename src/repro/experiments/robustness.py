@@ -1,4 +1,4 @@
-"""Robustness under injected failures (R1/R2).
+"""Robustness under injected failures (R1–R4).
 
 The paper's prototype was only ever evaluated on a healthy testbed; these
 drivers measure what the *platform promise* — the client never notices the
@@ -17,6 +17,17 @@ edge — costs to keep when the edge misbehaves (docs/faults.md):
   ``failure_threshold`` consecutive failures and requests go straight to
   the cloud path until a probation probe succeeds. The tail (p99) shows
   the difference.
+* **R3** — controller crash/warm-restart chaos: seeded crashes land while a
+  :class:`~repro.workloads.scale.ClientBank` drives traffic. A restarted
+  controller remembers nothing; it must reconcile from switch flow state
+  (docs/faults.md). Measured: liveness detection, resync duration,
+  flows reconciled vs. GC'd, packet-ins lost, and two invariants that must
+  read 0 — clients permanently blackholed and flows serving a dead instance
+  after the last resync.
+* **R4** — mixed chaos sweep: per seed, a :class:`FaultSchedule` of
+  controller crashes, control-channel outages, and client-link flaps plays
+  over bank traffic. Same invariants as R3; byte-identical per seed (the
+  chaos layer draws only from the seeded driver RNG).
 """
 
 from __future__ import annotations
@@ -31,7 +42,14 @@ from repro.experiments.topologies import Testbed, build_testbed
 from repro.metrics import Table
 from repro.metrics.failures import snapshot_failures
 from repro.openflow import Match
-from repro.simcore.faults import FaultSchedule, cluster_outage
+from repro.simcore.faults import (
+    FaultSchedule,
+    channel_outage,
+    cluster_outage,
+    controller_outage,
+    link_flap,
+)
+from repro.workloads.scale import attach_client_bank, run_client_bank
 
 
 def _run_until_done(tb: Testbed, process, cap_s: float, step_s: float = 1.0) -> bool:
@@ -209,3 +227,191 @@ def r2_breaker_cell(use_breaker: bool, requests: int, gap_s: float,
             "retries": counters.retries,
             "gave_up": counters.deploy_exhausted,
             "cloud_fallbacks": counters.cloud_fallbacks}
+
+
+# --------------------------------------------------------------------------
+# R3 — controller crash / warm-restart chaos
+# --------------------------------------------------------------------------
+
+
+def _chaos_testbed(seed: int, heartbeat_s: float = 0.5):
+    """A warm single-switch testbed with liveness armed on both sides."""
+    tb = build_testbed(seed=seed, n_clients=2, cluster_types=("docker",),
+                       use_flow_memory=True, switch_idle_timeout_s=10.0)
+    svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+    warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+    _run_until_done(tb, warm, cap_s=120.0)
+    assert warm.done and warm.exception is None
+    tb.manager.enable_heartbeat(interval_s=heartbeat_s, miss_limit=3)
+    tb.switch.enable_liveness(interval_s=heartbeat_s, miss_limit=3)
+    return tb, svc
+
+
+def _chaos_row(tb, bank, crashes_scheduled: int) -> dict:
+    """The shared measurement/invariant tail of an R3/R4 cell."""
+    recovery = tb.manager.recovery.summary()
+    stats = tb.controller.stats
+    counters = snapshot_failures(controller=tb.controller)
+    result = bank.result
+    return {
+        "clients": bank.n_clients,
+        "served_ok": result.ok_count,
+        "aborted": bank.aborted,
+        # Invariant: every conversation terminated (served or watchdogged);
+        # a nonzero count means a client was permanently blackholed.
+        "blackholed": bank.n_clients - result.completed_count,
+        "crashes": tb.manager.crashes,
+        "crashes_scheduled": crashes_scheduled,
+        "detect_switch": tb.switch.stats()["controller_outages_detected"],
+        "detections": int(recovery["detections"]),
+        "resyncs": int(recovery["resyncs"]),
+        "resync_mean_s": recovery["resync_mean_s"],
+        "flows_reconciled": stats["flows_reconciled"],
+        "flows_gcd": stats["flows_gcd"],
+        "packet_ins_lost": (tb.manager.events_lost
+                            + stats["packet_ins_dropped_resync"]
+                            + stats["pending_lost_on_crash"]),
+        "ctrl_drops_up": counters.control_msgs_dropped_up,
+        "ctrl_drops_down": counters.control_msgs_dropped_down,
+        # Invariant: no installed flow redirects to a dead instance.
+        "stale_flows": tb.controller.audit_stale_service_flows(),
+    }
+
+
+def r3_controller_crash_chaos(
+        crash_counts: Tuple[int, ...] = (0, 1, 2),
+        n_clients: int = 240,
+        window: int = 16,
+        seed: int = 101) -> Table:
+    """Warm-restart chaos: ``crashes`` controller crashes land while the
+    client bank runs; each crash wipes the controller's volatile state and
+    the restart must reconcile it back from the switches."""
+    table = Table(
+        title="R3 — Controller crash/warm-restart chaos "
+              f"({n_clients} clients, window {window})",
+        columns=["crashes", "clients", "served_ok", "aborted", "blackholed",
+                 "detect_switch", "resyncs", "resync_mean_s",
+                 "flows_reconciled", "flows_gcd", "packet_ins_lost",
+                 "stale_flows"],
+        note="blackholed and stale_flows are invariants (must be 0): every "
+             "client terminates and no flow serves a dead instance after "
+             "the post-restart resync",
+    )
+    cells = [Cell(fn=r3_crash_cell, seed=seed,
+                  kwargs=dict(crashes=crashes, n_clients=n_clients,
+                              window=window, seed=seed))
+             for crashes in crash_counts]
+    for row in run_cells(cells):
+        row.pop("crashes_scheduled", None)
+        row.pop("ctrl_drops_up", None)
+        row.pop("ctrl_drops_down", None)
+        row.pop("detections", None)
+        table.add(**row)
+    return table
+
+
+def r3_crash_cell(crashes: int, n_clients: int, window: int,
+                  seed: int = 101) -> dict:
+    """One arm of R3: ``crashes`` crashes triggered at seeded progress
+    thresholds of the bank (guaranteed to land mid-traffic), each with a
+    seeded downtime before the warm restart."""
+    tb, svc = _chaos_testbed(seed)
+    bank = attach_client_bank(tb, svc, n_clients=n_clients, window=window)
+
+    rng = np.random.default_rng([seed, crashes])
+    thresholds = sorted(int(f * n_clients)
+                        for f in rng.uniform(0.10, 0.75, size=crashes))
+    downtimes = list(rng.uniform(1.0, 4.0, size=crashes))
+
+    bank.start(spacing_s=0.0005)
+    fired = 0
+    chunks = 0
+    while not bank.done:
+        # Fine-grained chunks: the crash must land MID-traffic, between two
+        # launches, not after the bank drained (healthy conversations are
+        # a few ms end-to-end).
+        tb.run(until=tb.sim.now + 0.002)
+        chunks += 1
+        assert chunks < 200_000, "R3 bank stalled (blackholed clients?)"
+        if (fired < crashes and bank.launched >= thresholds[fired]
+                and tb.manager.alive):
+            tb.manager.crash()
+            tb.sim.schedule(downtimes[fired], tb.manager.restart)
+            fired += 1
+    # Let the last resync (and any straggling watchdogs) settle.
+    tb.run(until=tb.sim.now + 5.0)
+    return _chaos_row(tb, bank, crashes)
+
+
+# --------------------------------------------------------------------------
+# R4 — mixed chaos sweep (crashes + channel outages + link flaps)
+# --------------------------------------------------------------------------
+
+
+def r4_mixed_chaos_sweep(
+        seeds: Tuple[int, ...] = (211, 223, 227),
+        n_clients: int = 240,
+        window: int = 16) -> Table:
+    """Per seed: a declarative :class:`FaultSchedule` of one controller
+    crash, two control-channel outages, and two client-link flaps plays
+    over bank traffic. All times/durations come from the seeded driver
+    RNG, so a seed fully determines the run (byte-identical traces)."""
+    table = Table(
+        title=f"R4 — Mixed chaos sweep ({n_clients} clients, "
+              "crash + channel outages + link flaps)",
+        columns=["seed", "served_ok", "aborted", "blackholed", "crashes",
+                 "detections", "resyncs", "flows_reconciled", "flows_gcd",
+                 "packet_ins_lost", "ctrl_drops_up", "ctrl_drops_down",
+                 "stale_flows"],
+        note="same invariants as R3; detections = controller-side heartbeat "
+             "declarations of an unreachable switch",
+    )
+    cells = [Cell(fn=r4_chaos_cell, seed=seed,
+                  kwargs=dict(seed=seed, n_clients=n_clients, window=window))
+             for seed in seeds]
+    for row in run_cells(cells):
+        row["seed"] = row.pop("cell_seed")
+        row.pop("clients", None)
+        row.pop("crashes_scheduled", None)
+        row.pop("detect_switch", None)
+        row.pop("resync_mean_s", None)
+        table.add(**row)
+    return table
+
+
+def r4_chaos_cell(seed: int, n_clients: int, window: int) -> dict:
+    """One seed of R4: the full mixed fault schedule over bank traffic."""
+    tb, svc = _chaos_testbed(seed)
+    # Throttled shared link: the closed-loop bank drains a 1 Gbps link in
+    # tens of milliseconds, faster than any fault window can land — at a
+    # few hundred kbit/s the traffic span stretches over several seconds
+    # so every window overlaps live conversations.
+    bank = attach_client_bank(tb, svc, n_clients=n_clients, window=window,
+                              bandwidth_bps=4e5)
+    bank_link = tb.net.links[-1]  # the link attach_client_bank just wired
+    channel = tb.manager.datapaths[tb.switch.dpid].channel
+
+    rng = np.random.default_rng([seed, 4])
+    start = tb.sim.now
+    # Windows may overlap each other and the crash — exactly the
+    # composition the refcounted FaultSchedule must get right.
+    schedule = FaultSchedule()
+    schedule.add(controller_outage(
+        tb.manager, at=start + float(rng.uniform(0.2, 0.8)),
+        duration_s=float(rng.uniform(1.0, 2.5))))
+    # Long enough that the 3-miss heartbeat can declare the switch dead
+    # (-> DEAD state change, revival resync when it comes back).
+    for at in rng.uniform(0.3, 3.5, size=2):
+        schedule.add(channel_outage(channel, at=start + float(at),
+                                    duration_s=float(rng.uniform(0.8, 3.5))))
+    for at in rng.uniform(0.3, 3.5, size=2):
+        schedule.add(link_flap(bank_link, at=start + float(at),
+                               duration_s=float(rng.uniform(0.1, 0.4))))
+    schedule.install(tb.sim)
+
+    run_client_bank(tb, bank, spacing_s=0.0005, chunk_s=0.5)
+    # Heartbeat/liveness recovery slack past the last window.
+    tb.run(until=tb.sim.now + 5.0)
+
+    row = _chaos_row(tb, bank, crashes_scheduled=1)
+    return {"cell_seed": seed, **row}

@@ -79,6 +79,8 @@ def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
         ("ext", "E5 autoscaling", extensions.e5_autoscaling_under_load),
         ("robustness", "R1 availability", robustness.r1_availability_vs_pull_failures),
         ("robustness", "R2 breaker", robustness.r2_breaker_outage_ablation),
+        ("robustness", "R3 crash chaos", robustness.r3_controller_crash_chaos),
+        ("robustness", "R4 mixed chaos", robustness.r4_mixed_chaos_sweep),
     ]
     _check_csv_collisions(entries)
     return entries

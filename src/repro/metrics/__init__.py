@@ -2,6 +2,7 @@
 
 from repro.metrics import perf
 from repro.metrics.failures import FailureCounters, snapshot_failures
+from repro.metrics.recovery import DetectionEvent, RecoveryLog, ResyncEvent
 from repro.metrics.report import (
     Series,
     Table,
@@ -25,6 +26,9 @@ __all__ = [
     "RunReport",
     "FailureCounters",
     "snapshot_failures",
+    "RecoveryLog",
+    "DetectionEvent",
+    "ResyncEvent",
     "Table",
     "Series",
     "render_table",

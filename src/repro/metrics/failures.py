@@ -40,6 +40,12 @@ class FailureCounters:
     containers_crashed: int = 0
     #: edge-cluster outage events
     cluster_outages: int = 0
+    #: control-channel messages dropped switch->controller (outage windows)
+    control_msgs_dropped_up: int = 0
+    #: control-channel messages dropped controller->switch
+    control_msgs_dropped_down: int = 0
+    #: controller process crashes (injected or scheduled)
+    controller_crashes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -52,6 +58,9 @@ class FailureCounters:
             "pull_failures": self.pull_failures,
             "containers_crashed": self.containers_crashed,
             "cluster_outages": self.cluster_outages,
+            "control_msgs_dropped_up": self.control_msgs_dropped_up,
+            "control_msgs_dropped_down": self.control_msgs_dropped_down,
+            "controller_crashes": self.controller_crashes,
         }
 
 
@@ -80,6 +89,13 @@ def snapshot_failures(controller: Any = None,
         pull_failures += getattr(runtime, "pull_failures", 0)
         crashed += getattr(runtime, "containers_crashed", 0)
         outages += getattr(cluster, "outages", 0)
+    manager = getattr(controller, "manager", None) if controller is not None else None
+    dropped_up = 0
+    dropped_down = 0
+    for datapath in getattr(manager, "datapaths", {}).values():
+        channel = getattr(datapath, "channel", None)
+        dropped_up += getattr(channel, "drops_up", 0)
+        dropped_down += getattr(channel, "drops_down", 0)
     return FailureCounters(
         dispatch_failures=stats.get(
             "dispatch_failures", getattr(dispatcher, "deploy_failures", 0)),
@@ -91,4 +107,7 @@ def snapshot_failures(controller: Any = None,
         pull_failures=pull_failures,
         containers_crashed=crashed,
         cluster_outages=outages,
+        control_msgs_dropped_up=dropped_up,
+        control_msgs_dropped_down=dropped_down,
+        controller_crashes=getattr(manager, "crashes", 0),
     )

@@ -1,0 +1,107 @@
+"""Control-plane recovery metrics (detection, resync, reconciliation).
+
+One :class:`RecoveryLog` per controller runtime (owned by the
+:class:`~repro.ryuapp.manager.AppManager`) records two kinds of event:
+
+* **detections** — the heartbeat declared a datapath unreachable.
+  ``detection_s`` is the lag between the channel actually going down and
+  the heartbeat noticing (``None`` when the channel object exposes no
+  outage timestamp — e.g. the controller process itself crashed, so
+  nobody was watching).
+* **resyncs** — a warm-restarted (or channel-revived) controller finished
+  reconciling one datapath's flow state: how long it took, how many flows
+  the stats snapshot contained, how many were adopted back into
+  FlowMemory, how many were garbage-collected, and how many packet-ins
+  were buffered/expired while the resync was in flight.
+
+Everything is plain data so experiment drivers can aggregate across runs;
+:meth:`RecoveryLog.summary` flattens the common aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """The heartbeat declared one datapath dead."""
+
+    dpid: int
+    at: float
+    #: seconds between the channel going down and detection (None when
+    #: the outage start was not observable)
+    detection_s: Optional[float]
+
+
+@dataclass(frozen=True)
+class ResyncEvent:
+    """One datapath finished flow-state reconciliation."""
+
+    dpid: int
+    #: controller epoch the resync ran under
+    epoch: int
+    started_at: float
+    finished_at: float
+    #: flow entries in the stats snapshot
+    flows_seen: int
+    #: prior-epoch flows adopted (kept serving, re-memorized)
+    flows_reconciled: int
+    #: prior-epoch flows deleted (dead instance / unrecognizable)
+    flows_gcd: int
+    #: packet-ins buffered during the resync and replayed after it
+    packet_ins_buffered: int
+    #: packet-ins expired because the resync buffer was full
+    packet_ins_dropped: int
+
+    @property
+    def resync_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class RecoveryLog:
+    """Accumulating log of liveness detections and resync completions."""
+
+    detections: List[DetectionEvent] = field(default_factory=list)
+    resyncs: List[ResyncEvent] = field(default_factory=list)
+
+    def record_detection(self, dpid: int, at: float,
+                         detection_s: Optional[float]) -> None:
+        self.detections.append(DetectionEvent(dpid=dpid, at=at,
+                                              detection_s=detection_s))
+
+    def record_resync(self, dpid: int, epoch: int, started_at: float,
+                      finished_at: float, flows_seen: int,
+                      flows_reconciled: int, flows_gcd: int,
+                      packet_ins_buffered: int,
+                      packet_ins_dropped: int) -> None:
+        self.resyncs.append(ResyncEvent(
+            dpid=dpid, epoch=epoch, started_at=started_at,
+            finished_at=finished_at, flows_seen=flows_seen,
+            flows_reconciled=flows_reconciled, flows_gcd=flows_gcd,
+            packet_ins_buffered=packet_ins_buffered,
+            packet_ins_dropped=packet_ins_dropped))
+
+    # ------------------------------------------------------------ aggregates
+
+    def summary(self) -> Dict[str, float]:
+        """Flat aggregates for run reports and experiment CSV rows."""
+        detection_samples = [d.detection_s for d in self.detections
+                             if d.detection_s is not None]
+        resync_samples = [r.resync_s for r in self.resyncs]
+        return {
+            "detections": float(len(self.detections)),
+            "detection_mean_s": (sum(detection_samples) / len(detection_samples)
+                                 if detection_samples else 0.0),
+            "detection_max_s": max(detection_samples, default=0.0),
+            "resyncs": float(len(self.resyncs)),
+            "resync_mean_s": (sum(resync_samples) / len(resync_samples)
+                              if resync_samples else 0.0),
+            "resync_max_s": max(resync_samples, default=0.0),
+            "flows_reconciled": float(sum(r.flows_reconciled for r in self.resyncs)),
+            "flows_gcd": float(sum(r.flows_gcd for r in self.resyncs)),
+            "packet_ins_buffered": float(sum(r.packet_ins_buffered for r in self.resyncs)),
+            "packet_ins_dropped": float(sum(r.packet_ins_dropped for r in self.resyncs)),
+        }

@@ -5,11 +5,18 @@ to its controller as a FIFO pipe with fixed one-way latency (and optional
 bandwidth). Experiment A2's "first-packet overhead" is two traversals of
 this channel plus controller processing time, so its latency is a first-class
 experiment parameter.
+
+Outage accounting: :meth:`disconnect`/:meth:`reconnect` sever and restore the
+pipe. Messages sent while down — and messages that were in flight when the
+cut happened — are dropped, but never silently: they are counted per
+direction (``drops_up``/``drops_down``) and every outage window is recorded
+(``outages``, ``down_since``, ``total_outage_s``), so liveness detectors and
+failure reports can see exactly what an outage cost.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Dict, Optional, Protocol, runtime_checkable
 
 from repro.openflow.messages import Message
 
@@ -55,6 +62,15 @@ class ControlChannel:
         self.messages_up = 0  # switch -> controller
         self.messages_down = 0  # controller -> switch
         self.messages_lost = 0  # injected control-message losses
+        #: messages dropped because the channel was down — sends while
+        #: severed plus deliveries whose flight straddled the cut
+        self.drops_up = 0  # switch -> controller
+        self.drops_down = 0  # controller -> switch
+        #: outage bookkeeping (None while the channel is up)
+        self.down_since: Optional[float] = None
+        self.outages = 0
+        self.total_outage_s = 0.0
+        self.last_outage_s = 0.0
 
     def bind(self, switch: "OpenFlowSwitch", controller: ControllerEndpoint) -> None:
         self.switch = switch
@@ -78,7 +94,10 @@ class ControlChannel:
 
     def to_controller(self, message: Message) -> None:
         """Deliver ``message`` from the switch to the controller."""
-        if not self.connected or self.controller is None:
+        if not self.connected:
+            self.drops_up += 1
+            return
+        if self.controller is None:
             return
         spike = self._fault_delay()
         if spike is None:
@@ -88,12 +107,18 @@ class ControlChannel:
         self.sim.schedule(delay, self._deliver_up, message)
 
     def _deliver_up(self, message: Message) -> None:
-        if self.connected and self.controller is not None and self.switch is not None:
+        if not self.connected:
+            self.drops_up += 1  # was in flight when the channel went down
+            return
+        if self.controller is not None and self.switch is not None:
             self.controller.on_switch_message(self.switch, message)
 
     def to_switch(self, message: Message) -> None:
         """Deliver ``message`` from the controller to the switch."""
-        if not self.connected or self.switch is None:
+        if not self.connected:
+            self.drops_down += 1
+            return
+        if self.switch is None:
             return
         spike = self._fault_delay()
         if spike is None:
@@ -103,12 +128,44 @@ class ControlChannel:
         self.sim.schedule(delay, self._deliver_down, message)
 
     def _deliver_down(self, message: Message) -> None:
-        if self.connected and self.switch is not None:
+        if not self.connected:
+            self.drops_down += 1  # was in flight when the channel went down
+            return
+        if self.switch is not None:
             self.switch.on_controller_message(message)
 
     def disconnect(self) -> None:
-        """Sever the channel (failure injection: packets in flight are lost)."""
+        """Sever the channel (failure injection: packets in flight are lost).
+
+        Idempotent — a second ``disconnect`` inside an open window does not
+        start a new outage record."""
+        if not self.connected:
+            return
         self.connected = False
+        self.outages += 1
+        self.down_since = self.sim.now
 
     def reconnect(self) -> None:
+        """Restore the channel; closes the current outage record."""
+        if self.connected:
+            return
         self.connected = True
+        if self.down_since is not None:
+            self.last_outage_s = self.sim.now - self.down_since
+            self.total_outage_s += self.last_outage_s
+        self.down_since = None
+
+    def stats(self) -> Dict[str, Any]:
+        """Channel diagnostics, including outage windows and drop counts."""
+        return {
+            "connected": self.connected,
+            "messages_up": self.messages_up,
+            "messages_down": self.messages_down,
+            "messages_lost": self.messages_lost,
+            "drops_up": self.drops_up,
+            "drops_down": self.drops_down,
+            "outages": self.outages,
+            "total_outage_s": self.total_outage_s,
+            "last_outage_s": self.last_outage_s,
+            "down_since": self.down_since,
+        }

@@ -356,6 +356,8 @@ class FlowTable:
                 "match": entry.match,
                 "priority": entry.priority,
                 "cookie": entry.cookie,
+                "flags": entry.flags,
+                "actions": list(entry.actions),
                 "packet_count": entry.packet_count,
                 "byte_count": entry.byte_count,
                 "duration": entry.duration,

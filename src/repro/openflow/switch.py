@@ -94,6 +94,14 @@ class OpenFlowSwitch(Device):
         self.packets_forwarded = 0
         self.packets_dropped = 0
         self.buffer_overflows = 0
+        # ---- switch-side controller liveness (off unless enable_liveness()
+        # is called: a disabled probe schedules nothing and draws nothing)
+        self.controller_alive = True
+        self.controller_outages_detected = 0
+        self._liveness_interval_s: Optional[float] = None
+        self._liveness_miss_limit = 3
+        self._echo_outstanding = 0
+        self._liveness_handle: Optional[Any] = None
         # ---- microflow cache: canonical packet field-tuple -> winning entry
         # (or None for a known drop). Validity is keyed on the flow table's
         # generation counter, so *any* table mutation — install, delete,
@@ -115,6 +123,51 @@ class OpenFlowSwitch(Device):
         xid = self._next_xid
         self._next_xid += 1
         return xid
+
+    # ------------------------------------------------------------- liveness
+
+    def enable_liveness(self, interval_s: float = 1.0, miss_limit: int = 3) -> None:
+        """Probe the controller with EchoRequests every ``interval_s``
+        simulated seconds; after ``miss_limit`` unanswered probes the
+        controller is considered down (``controller_alive`` False). Any
+        message from the controller — echo reply or otherwise — proves
+        liveness and resets the miss count.
+
+        Off by default: an un-enabled switch schedules no probe events, so
+        existing runs stay bit-identical."""
+        if interval_s <= 0:
+            raise ValueError("liveness interval must be positive")
+        if miss_limit < 1:
+            raise ValueError("miss limit must be >= 1")
+        self._liveness_interval_s = interval_s
+        self._liveness_miss_limit = miss_limit
+        if self._liveness_handle is None:
+            self._liveness_handle = self.sim.schedule(interval_s, self._liveness_tick)
+
+    def _liveness_tick(self) -> None:
+        assert self._liveness_interval_s is not None
+        self._liveness_handle = self.sim.schedule(self._liveness_interval_s,
+                                                  self._liveness_tick)
+        if self._echo_outstanding >= self._liveness_miss_limit and self.controller_alive:
+            self.controller_alive = False
+            self.controller_outages_detected += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(self.sim.now, "of", "controller-down",
+                                    {"switch": self.name,
+                                     "missed": self._echo_outstanding})
+        if self.channel is not None:
+            self._echo_outstanding += 1
+            self.channel.to_controller(EchoRequest(payload=self.dpid,
+                                                   xid=self._alloc_xid()))
+
+    def _note_controller_liveness(self) -> None:
+        """Any controller message resets the probe miss count."""
+        self._echo_outstanding = 0
+        if not self.controller_alive:
+            self.controller_alive = True
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(self.sim.now, "of", "controller-up",
+                                    {"switch": self.name})
 
     # ------------------------------------------------------------ data path
 
@@ -205,6 +258,7 @@ class OpenFlowSwitch(Device):
     # --------------------------------------------------- controller messages
 
     def on_controller_message(self, message: Message) -> None:
+        self._note_controller_liveness()
         if isinstance(message, FlowMod):
             self._handle_flow_mod(message)
         elif isinstance(message, PacketOut):
@@ -216,6 +270,8 @@ class OpenFlowSwitch(Device):
             self.channel.to_controller(reply)  # type: ignore[union-attr]
         elif isinstance(message, EchoRequest):
             self.channel.to_controller(EchoReply(payload=message.payload, xid=message.xid))  # type: ignore[union-attr]
+        elif isinstance(message, EchoReply):
+            pass  # our own probe answered; liveness already noted above
         elif isinstance(message, BarrierRequest):
             self.channel.to_controller(BarrierReply(xid=message.xid))  # type: ignore[union-attr]
         else:  # pragma: no cover - unknown message types ignored like OVS
@@ -307,6 +363,8 @@ class OpenFlowSwitch(Device):
             "table_lookups": self.table.lookups,
             "table_hits": self.table.hits,
             "flows": len(self.table),
+            "controller_alive": self.controller_alive,
+            "controller_outages_detected": self.controller_outages_detected,
         }
 
     # -------------------------------------------------------------- helpers

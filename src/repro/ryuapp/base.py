@@ -51,7 +51,7 @@ class RyuApp:
 
     # ----------------------------------------------------------- utilities
 
-    def spawn(self, generator, name: str = "") -> "Process":
+    def spawn(self, generator: Any, name: str = "") -> "Process":
         """Start a green-thread-style process (Ryu's ``hub.spawn``)."""
         return self.sim.spawn(generator, name=name or f"{self.name}.task")
 
@@ -79,3 +79,13 @@ class RyuApp:
 
     def stop(self) -> None:
         """Called when the manager shuts the app down."""
+
+    def on_crash(self) -> None:
+        """Called when the hosting controller process crashes
+        (:meth:`AppManager.crash`): drop all volatile state — a restarted
+        controller must rebuild it by reconciliation, not remember it."""
+
+    def on_restart(self) -> None:
+        """Called when the crashed controller comes back up
+        (:meth:`AppManager.restart`), *before* the per-datapath
+        reconnect state-change events fire."""

@@ -28,6 +28,12 @@ class Datapath:
         self.ofproto_parser = ofproto_v1_3_parser
         #: diagnostics
         self.msgs_sent = 0
+        # ---- controller-side liveness (driven by AppManager's heartbeat;
+        # without a heartbeat these never change)
+        #: False once the heartbeat declares the switch unreachable
+        self.alive = True
+        #: unanswered heartbeat echoes (reset by any message from the switch)
+        self.echo_outstanding = 0
 
     def send_msg(self, message: Message) -> None:
         self.msgs_sent += 1

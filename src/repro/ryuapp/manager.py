@@ -6,22 +6,42 @@ FIFO queue and a dispatcher process charges a configurable per-event service
 time before running the handlers. Controller CPU time is therefore a shared,
 contended resource — which is exactly what experiment A3 measures when many
 new flows arrive at once.
+
+Resilience (docs/faults.md): the manager also models the controller
+*process*. :meth:`crash` kills it — queued events are lost, every control
+channel drops, apps get their ``on_crash`` hook — and :meth:`restart` brings
+it back (channels reconnect, apps get ``on_restart``, and a MAIN state-change
+fires per datapath so apps can resynchronize). The ``controller.crash``
+fault point rolls per dispatched event; ``controller.restart`` sets the
+injected downtime. :meth:`enable_heartbeat` arms the controller-side echo
+heartbeat that detects switch/channel outages.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Dict, List, Optional, Type
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Type
 
+from repro.metrics.recovery import RecoveryLog
 from repro.openflow.channel import ControlChannel
-from repro.openflow.messages import Message
+from repro.openflow.messages import EchoReply, EchoRequest, Message
 from repro.openflow.switch import OpenFlowSwitch
 from repro.ryuapp.base import RyuApp
 from repro.ryuapp.datapath import Datapath
-from repro.ryuapp.events import MAIN_DISPATCHER, MESSAGE_EVENTS, EventBase, EventOFPStateChange
+from repro.ryuapp.events import (
+    DEAD_DISPATCHER,
+    MAIN_DISPATCHER,
+    MESSAGE_EVENTS,
+    EventBase,
+    EventOFPStateChange,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore import Simulator
+
+#: injected downtime of a ``controller.crash`` when the ``controller.restart``
+#: fault point does not specify one
+DEFAULT_RESTART_DELAY_S = 1.0
 
 
 class AppManager:
@@ -43,13 +63,24 @@ class AppManager:
         self.datapaths: Dict[int, Datapath] = {}
         self._queue: deque = deque()
         self._pump_running = False
+        #: False while the controller process is crashed
+        self.alive = True
+        #: recovery measurement (detections + resyncs; see repro.metrics)
+        self.recovery = RecoveryLog()
+        # ---- heartbeat (off unless enable_heartbeat() is called)
+        self._heartbeat_interval_s: Optional[float] = None
+        self._heartbeat_miss_limit = 3
+        self._heartbeat_handle: Optional[Any] = None
+        self._next_echo_xid = 1
         #: diagnostics
         self.events_dispatched = 0
         self.max_queue_depth = 0
+        self.crashes = 0
+        self.events_lost = 0
 
     # ---------------------------------------------------------------- apps
 
-    def register(self, app_class: Type[RyuApp], **config) -> RyuApp:
+    def register(self, app_class: Type[RyuApp], **config: Any) -> RyuApp:
         """Instantiate ``app_class`` and wire up its declared handlers."""
         app = app_class(self, **config)
         self.apps.append(app)
@@ -77,18 +108,125 @@ class AppManager:
     # ControllerEndpoint protocol ----------------------------------------
 
     def on_switch_message(self, switch: OpenFlowSwitch, message: Message) -> None:
+        if not self.alive:
+            return  # crashed process reads nothing off its sockets
         datapath = self.datapaths.get(switch.dpid)
         if datapath is None:
             return  # message from a switch that was never connected
+        # Any message from the switch proves the channel is alive.
+        datapath.echo_outstanding = 0
+        if not datapath.alive:
+            self._revive_datapath(datapath)
+        if isinstance(message, EchoRequest):
+            # Answered at the protocol layer (like Ryu's OF handshake code),
+            # not queued through app dispatch.
+            datapath.channel.to_switch(EchoReply(payload=message.payload,
+                                                 xid=message.xid))
+            return
         message.datapath = datapath  # type: ignore[attr-defined]
         event_class = MESSAGE_EVENTS.get(type(message).__name__)
         if event_class is None:
             return
         self._enqueue(event_class(message))
 
+    # ------------------------------------------------------------ heartbeat
+
+    def enable_heartbeat(self, interval_s: float = 1.0, miss_limit: int = 3) -> None:
+        """Probe every datapath with an EchoRequest each ``interval_s``;
+        after ``miss_limit`` unanswered probes the datapath is declared
+        dead (``EventOFPStateChange(DEAD_DISPATCHER)``); the first message
+        it sends afterwards revives it (``MAIN_DISPATCHER`` fires again so
+        apps can resynchronize).
+
+        Off by default — an un-enabled heartbeat schedules nothing, so
+        existing runs stay bit-identical."""
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if miss_limit < 1:
+            raise ValueError("miss limit must be >= 1")
+        self._heartbeat_interval_s = interval_s
+        self._heartbeat_miss_limit = miss_limit
+        if self._heartbeat_handle is None:
+            self._heartbeat_handle = self.sim.schedule(interval_s, self._heartbeat_tick)
+
+    def _heartbeat_tick(self) -> None:
+        assert self._heartbeat_interval_s is not None
+        self._heartbeat_handle = self.sim.schedule(self._heartbeat_interval_s,
+                                                   self._heartbeat_tick)
+        if not self.alive:
+            return  # a crashed controller probes nothing
+        for dpid in sorted(self.datapaths):
+            datapath = self.datapaths[dpid]
+            if (datapath.alive
+                    and datapath.echo_outstanding >= self._heartbeat_miss_limit):
+                datapath.alive = False
+                down_since = getattr(datapath.channel, "down_since", None)
+                self.recovery.record_detection(
+                    dpid=dpid, at=self.sim.now,
+                    detection_s=(self.sim.now - down_since
+                                 if down_since is not None else None))
+                self.sim.trace.emit(self.sim.now, "ryu", "datapath-dead",
+                                    {"dpid": dpid,
+                                     "missed": datapath.echo_outstanding})
+                self._enqueue(EventOFPStateChange(datapath, DEAD_DISPATCHER))
+            datapath.echo_outstanding += 1
+            self._next_echo_xid += 1
+            datapath.channel.to_switch(EchoRequest(payload=dpid,
+                                                   xid=self._next_echo_xid))
+
+    def _revive_datapath(self, datapath: Datapath) -> None:
+        datapath.alive = True
+        self.sim.trace.emit(self.sim.now, "ryu", "datapath-revived",
+                            {"dpid": datapath.id})
+        self._enqueue(EventOFPStateChange(datapath, MAIN_DISPATCHER))
+
+    # --------------------------------------------------------- crash/restart
+
+    def crash(self) -> None:
+        """The controller process dies: queued events are lost, every
+        control channel drops, apps lose their volatile state
+        (:meth:`RyuApp.on_crash`). Idempotent while already crashed."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self.events_lost += len(self._queue)
+        self._queue.clear()
+        self._pump_running = False
+        for datapath in self.datapaths.values():
+            datapath.channel.disconnect()
+            datapath.alive = False
+            datapath.echo_outstanding = 0
+        self.sim.trace.emit(self.sim.now, "ryu", "controller-crash",
+                            {"events_lost": self.events_lost})
+        for app in self.apps:
+            app.on_crash()
+
+    def restart(self) -> None:
+        """Warm restart after :meth:`crash`: channels reconnect, apps get
+        :meth:`RyuApp.on_restart`, then a MAIN state-change fires per
+        datapath (apps reconcile from there). Idempotent while alive."""
+        if self.alive:
+            return
+        self.alive = True
+        for dpid in sorted(self.datapaths):
+            datapath = self.datapaths[dpid]
+            datapath.channel.reconnect()
+            datapath.alive = True
+            datapath.echo_outstanding = 0
+        self.sim.trace.emit(self.sim.now, "ryu", "controller-restart", {})
+        for app in self.apps:
+            app.on_restart()
+        for dpid in sorted(self.datapaths):
+            self._enqueue(EventOFPStateChange(self.datapaths[dpid],
+                                              MAIN_DISPATCHER))
+
     # ------------------------------------------------------------- dispatch
 
     def _enqueue(self, event: EventBase) -> None:
+        if not self.alive:
+            self.events_lost += 1
+            return
         self._queue.append(event)
         if len(self._queue) > self.max_queue_depth:
             self.max_queue_depth = len(self._queue)
@@ -97,8 +235,18 @@ class AppManager:
             self.sim.schedule(self.service_time_s, self._pump)
 
     def _pump(self) -> None:
+        if not self.alive:
+            self._pump_running = False
+            return
         if not self._queue:
             self._pump_running = False
+            return
+        if self.sim.faults.roll("controller.crash"):
+            # The process dies mid-event-loop; the injected downtime comes
+            # from the controller.restart point (defaulting to 1 s).
+            self.crash()
+            delay = self.sim.faults.stall("controller.restart") or DEFAULT_RESTART_DELAY_S
+            self.sim.schedule(delay, self.restart)
             return
         event = self._queue.popleft()
         self._dispatch(event)

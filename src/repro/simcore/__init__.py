@@ -31,6 +31,7 @@ from repro.simcore.faults import (
     TimedFault,
     channel_outage,
     cluster_outage,
+    controller_outage,
     link_flap,
 )
 from repro.simcore.loop import EventHandle, Simulator
@@ -49,6 +50,7 @@ __all__ = [
     "TimedFault",
     "channel_outage",
     "cluster_outage",
+    "controller_outage",
     "link_flap",
     "Signal",
     "Process",

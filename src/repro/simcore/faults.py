@@ -27,6 +27,10 @@ Fault points wired into the library
 ``channel.loss``             a control-channel message is silently dropped
 ``channel.delay``            a control message pays an extra ``stall_s`` spike
 ``link.loss``                a data-plane frame is dropped in flight
+``controller.crash``         the controller process crashes mid-event-loop
+                             (rolled per dispatched event; see AppManager)
+``controller.restart``       downtime of an injected controller crash
+                             (``stall_s`` seconds; default 1.0)
 ===========================  ====================================================
 """
 
@@ -170,13 +174,24 @@ class FaultPlane:
 @dataclass(frozen=True)
 class TimedFault:
     """One scheduled fault window: ``apply()`` at ``at``, ``revert()`` at
-    ``at + duration_s`` (``duration_s=None`` → never reverted)."""
+    ``at + duration_s`` (``duration_s=None`` → never reverted).
+
+    ``target``/``kind`` identify what the window degrades; overlapping
+    windows on the same (target, kind) are refcounted by the schedule so the
+    revert only happens when the LAST open window closes. Without them each
+    fault refcounts against itself (pre-existing behaviour, correct for
+    non-overlapping use)."""
 
     at: float
     apply: Callable[[], Any]
     revert: Optional[Callable[[], Any]] = None
     duration_s: Optional[float] = None
     label: str = ""
+    #: the degraded object (cluster, link, channel, manager); used only as
+    #: an identity key for overlap refcounting
+    target: Any = None
+    #: which aspect of the target this window degrades
+    kind: str = ""
 
 
 @dataclass
@@ -184,12 +199,20 @@ class FaultSchedule:
     """A declarative list of timed fault windows.
 
     Build it with the helpers below (:func:`cluster_outage`,
-    :func:`link_flap`, :func:`channel_outage`) or raw :class:`TimedFault`
-    entries, then :meth:`install` it onto a simulator. Scheduling uses plain
-    simulator events, so an installed-but-empty schedule changes nothing.
+    :func:`link_flap`, :func:`channel_outage`, :func:`controller_outage`) or
+    raw :class:`TimedFault` entries, then :meth:`install` it onto a
+    simulator. Scheduling uses plain simulator events, so an
+    installed-but-empty schedule changes nothing.
+
+    Overlapping windows on the same (target, kind) compose correctly: the
+    fault stays applied until the last window closes. [0, 10) and [5, 8)
+    outages of one cluster yield a single [0, 10) degradation, not a
+    spurious recovery at t=8.
     """
 
     entries: List[TimedFault] = field(default_factory=list)
+    #: open-window refcount per (target identity, kind)
+    _active: Dict[Any, int] = field(default_factory=dict, repr=False)
 
     def add(self, fault: TimedFault) -> "FaultSchedule":
         self.entries.append(fault)
@@ -200,18 +223,35 @@ class FaultSchedule:
             sim.schedule_at(fault.at, self._fire, sim, fault)
 
     @staticmethod
-    def _fire(sim: "Simulator", fault: TimedFault) -> None:
+    def _key(fault: TimedFault) -> Any:
+        if fault.target is not None:
+            return (id(fault.target), fault.kind)
+        return id(fault)  # untargeted: refcount against the fault itself
+
+    def _fire(self, sim: "Simulator", fault: TimedFault) -> None:
         sim.trace.emit(sim.now, "faults", "apply",
                        {"label": fault.label or repr(fault.apply)})
+        key = self._key(fault)
+        self._active[key] = self._active.get(key, 0) + 1
         fault.apply()
         if fault.revert is not None and fault.duration_s is not None:
-            sim.schedule(fault.duration_s, FaultSchedule._revert, sim, fault)
+            sim.schedule(fault.duration_s, self._revert, sim, fault)
 
-    @staticmethod
-    def _revert(sim: "Simulator", fault: TimedFault) -> None:
+    def _revert(self, sim: "Simulator", fault: TimedFault) -> None:
+        assert fault.revert is not None
+        key = self._key(fault)
+        remaining = self._active.get(key, 1) - 1
+        if remaining > 0:
+            # Another window on the same target is still open: closing this
+            # one must not un-degrade it.
+            self._active[key] = remaining
+            sim.trace.emit(sim.now, "faults", "revert-deferred",
+                           {"label": fault.label or repr(fault.revert),
+                            "open_windows": remaining})
+            return
+        self._active.pop(key, None)
         sim.trace.emit(sim.now, "faults", "revert",
                        {"label": fault.label or repr(fault.revert)})
-        assert fault.revert is not None
         fault.revert()
 
 
@@ -220,7 +260,8 @@ def cluster_outage(cluster: Any, at: float, duration_s: float) -> TimedFault:
     window: deployments fail fast, readiness reads False."""
     return TimedFault(at=at, duration_s=duration_s,
                       apply=cluster.fail, revert=cluster.recover,
-                      label=f"outage:{cluster.name}")
+                      label=f"outage:{cluster.name}",
+                      target=cluster, kind="outage")
 
 
 def link_flap(link: Any, at: float, duration_s: float) -> TimedFault:
@@ -228,11 +269,24 @@ def link_flap(link: Any, at: float, duration_s: float) -> TimedFault:
     return TimedFault(at=at, duration_s=duration_s,
                       apply=lambda: link.set_up(False),
                       revert=lambda: link.set_up(True),
-                      label=f"flap:{link.name}")
+                      label=f"flap:{link.name}",
+                      target=link, kind="flap")
 
 
 def channel_outage(channel: Any, at: float, duration_s: float) -> TimedFault:
     """The switch–controller control channel is severed for a window."""
     return TimedFault(at=at, duration_s=duration_s,
                       apply=channel.disconnect, revert=channel.reconnect,
-                      label="channel-outage")
+                      label="channel-outage",
+                      target=channel, kind="outage")
+
+
+def controller_outage(manager: Any, at: float, duration_s: float) -> TimedFault:
+    """The controller *process* crashes for a window: queued events are
+    lost, every control channel drops, apps drop volatile state; the warm
+    restart at window end triggers flow-state reconciliation (see
+    :meth:`~repro.ryuapp.manager.AppManager.crash` and docs/faults.md)."""
+    return TimedFault(at=at, duration_s=duration_s,
+                      apply=manager.crash, revert=manager.restart,
+                      label="controller-outage",
+                      target=manager, kind="controller")

@@ -1,0 +1,134 @@
+"""Control-channel outage accounting and switch-side liveness detection."""
+
+import pytest
+
+from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSegment, ip, mac
+from repro.netsim.packet import IP_PROTO_TCP
+from repro.openflow import ControlChannel, OpenFlowSwitch
+from repro.openflow.messages import EchoRequest, PacketIn
+from repro.ryuapp import AppManager
+
+
+def tcp_frame():
+    seg = TCPSegment(src_port=40000, dst_port=80)
+    pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip("1.2.3.4"),
+                     proto=IP_PROTO_TCP, payload=seg)
+    return EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP,
+                         payload=pkt)
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    sw = OpenFlowSwitch(net.sim, "sw", dpid=1)
+    sw.install_table_miss()
+    net.add_device(sw)
+    mgr = AppManager(net.sim, service_time_s=0.0002)
+    chan = ControlChannel(net.sim, latency_s=0.001)
+    mgr.connect_switch(sw, chan)
+    net.run()  # drain the connect state-change
+    return net, sw, mgr, chan
+
+
+class TestChannelAccounting:
+    def test_drops_counted_per_direction(self, rig):
+        net, sw, mgr, chan = rig
+        chan.disconnect()
+        chan.to_controller(PacketIn(buffer_id=1, in_port=1,
+                                    frame=tcp_frame()))
+        chan.to_switch(EchoRequest(payload=1))
+        net.run()
+        assert chan.drops_up == 1
+        assert chan.drops_down == 1
+        assert chan.messages_up == 0
+
+    def test_in_flight_messages_dropped_on_disconnect(self, rig):
+        net, sw, mgr, chan = rig
+        dispatched = mgr.events_dispatched
+        chan.to_controller(PacketIn(buffer_id=1, in_port=1,
+                                    frame=tcp_frame()))
+        chan.disconnect()  # before the 1 ms latency elapses
+        net.run()
+        assert chan.drops_up == 1
+        # The message never reached the controller's event loop.
+        assert mgr.events_dispatched == dispatched
+
+    def test_outage_durations_accumulate(self, rig):
+        net, sw, mgr, chan = rig
+        t0 = net.now
+        chan.disconnect()
+        assert chan.down_since == t0
+        net.run(until=t0 + 2.0)
+        chan.reconnect()
+        assert chan.last_outage_s == pytest.approx(2.0)
+        assert chan.total_outage_s == pytest.approx(2.0)
+        assert chan.down_since is None
+        chan.disconnect()
+        net.run(until=net.now + 1.0)
+        chan.reconnect()
+        assert chan.outages == 2
+        assert chan.total_outage_s == pytest.approx(3.0)
+
+    def test_disconnect_and_reconnect_are_idempotent(self, rig):
+        net, sw, mgr, chan = rig
+        chan.reconnect()  # already connected: no-op
+        assert chan.outages == 0
+        chan.disconnect()
+        chan.disconnect()
+        assert chan.outages == 1
+
+    def test_stats_snapshot(self, rig):
+        net, sw, mgr, chan = rig
+        stats = chan.stats()
+        for key in ("connected", "messages_up", "messages_down", "drops_up",
+                    "drops_down", "outages", "total_outage_s"):
+            assert key in stats
+        assert stats["connected"] is True
+
+
+class TestSwitchLiveness:
+    def test_no_liveness_schedules_nothing(self, rig):
+        net, sw, mgr, chan = rig
+        # Without enable_liveness the switch never probes: advancing time
+        # produces no echo traffic at all.
+        base = chan.messages_up
+        net.run(until=net.now + 10.0)
+        assert chan.messages_up == base
+        assert sw.controller_alive
+
+    def test_validates_arguments(self, rig):
+        _, sw, _, _ = rig
+        with pytest.raises(ValueError):
+            sw.enable_liveness(interval_s=0.0)
+        with pytest.raises(ValueError):
+            sw.enable_liveness(miss_limit=0)
+
+    def test_detects_outage_and_recovery(self, rig):
+        net, sw, mgr, chan = rig
+        sw.enable_liveness(interval_s=0.5, miss_limit=3)
+        net.run(until=net.now + 3.0)
+        assert sw.controller_alive  # echoes answered
+        chan.disconnect()
+        net.run(until=net.now + 3.0)
+        assert not sw.controller_alive
+        assert sw.controller_outages_detected == 1
+        chan.reconnect()
+        net.run(until=net.now + 2.0)
+        assert sw.controller_alive
+        assert sw.stats()["controller_outages_detected"] == 1
+
+    def test_echo_reply_answered_by_manager(self, rig):
+        net, sw, mgr, chan = rig
+        sw.enable_liveness(interval_s=0.5, miss_limit=3)
+        net.run(until=net.now + 1.6)
+        # The manager answers echo requests at the protocol layer without
+        # queueing app events.
+        assert sw._echo_outstanding == 0
+
+    def test_switch_answers_controller_echo(self, rig):
+        net, sw, mgr, chan = rig
+        base_up = chan.messages_up
+        sw.on_controller_message(EchoRequest(payload=7, xid=3))
+        net.run()
+        # The switch answered up the channel (one EchoReply delivered).
+        assert chan.messages_up == base_up + 1

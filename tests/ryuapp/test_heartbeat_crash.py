@@ -1,0 +1,169 @@
+"""Controller-side heartbeat, crash/warm-restart, and the crash fault point."""
+
+import pytest
+
+from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSegment, ip, mac
+from repro.netsim.packet import IP_PROTO_TCP
+from repro.openflow import ControlChannel, OpenFlowSwitch
+from repro.ryuapp import (
+    DEAD_DISPATCHER,
+    MAIN_DISPATCHER,
+    AppManager,
+    EventOFPPacketIn,
+    EventOFPStateChange,
+    RyuApp,
+    set_ev_cls,
+)
+
+
+def tcp_frame():
+    seg = TCPSegment(src_port=40000, dst_port=80)
+    pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip("1.2.3.4"),
+                     proto=IP_PROTO_TCP, payload=seg)
+    return EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP,
+                         payload=pkt)
+
+
+class ProbeApp(RyuApp):
+    def __init__(self, manager, **config):
+        super().__init__(manager, **config)
+        self.states = []
+        self.packet_ins = 0
+        self.crashes = 0
+        self.restarts = 0
+
+    @set_ev_cls(EventOFPStateChange, MAIN_DISPATCHER)
+    def on_state(self, ev):
+        self.states.append((ev.datapath.id, ev.state))
+
+    @set_ev_cls(EventOFPPacketIn, MAIN_DISPATCHER)
+    def on_packet_in(self, ev):
+        self.packet_ins += 1
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_restart(self):
+        self.restarts += 1
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=0)
+    sw = OpenFlowSwitch(net.sim, "sw", dpid=1)
+    sw.install_table_miss()
+    net.add_device(sw)
+    mgr = AppManager(net.sim, service_time_s=0.0002)
+    app = mgr.register(ProbeApp)
+    chan = ControlChannel(net.sim, latency_s=0.001)
+    mgr.connect_switch(sw, chan)
+    net.run()
+    return net, sw, mgr, app, chan
+
+
+class TestHeartbeat:
+    def test_disabled_heartbeat_sends_nothing(self, rig):
+        net, sw, mgr, app, chan = rig
+        base_down = chan.messages_down
+        net.run(until=net.now + 10.0)
+        assert chan.messages_down == base_down
+
+    def test_validates_arguments(self, rig):
+        _, _, mgr, _, _ = rig
+        with pytest.raises(ValueError):
+            mgr.enable_heartbeat(interval_s=-1.0)
+        with pytest.raises(ValueError):
+            mgr.enable_heartbeat(miss_limit=0)
+
+    def test_detects_dead_datapath_and_revives_it(self, rig):
+        net, sw, mgr, app, chan = rig
+        mgr.enable_heartbeat(interval_s=0.5, miss_limit=3)
+        net.run(until=net.now + 3.0)
+        datapath = mgr.datapaths[1]
+        assert datapath.alive
+        chan.disconnect()
+        net.run(until=net.now + 3.0)
+        assert not datapath.alive
+        assert app.states[-1] == (1, DEAD_DISPATCHER)
+        assert len(mgr.recovery.detections) == 1
+        # Detection lag is measured from the channel outage start.
+        assert mgr.recovery.detections[0].detection_s > 0
+        chan.reconnect()
+        net.run(until=net.now + 2.0)
+        assert datapath.alive
+        assert app.states[-1] == (1, MAIN_DISPATCHER)
+
+
+class TestCrashRestart:
+    def test_crash_loses_queue_and_drops_channels(self, rig):
+        net, sw, mgr, app, chan = rig
+        sw.deliver(1, tcp_frame())
+        # Crash while the packet-in is in flight / queued.
+        net.run(until=net.now + 0.0011)
+        mgr.crash()
+        net.run(until=net.now + 1.0)
+        assert not mgr.alive
+        assert mgr.crashes == 1
+        assert app.crashes == 1
+        assert not chan.connected
+        assert app.packet_ins == 0  # the event died with the process
+
+    def test_enqueue_while_dead_counts_events_lost(self, rig):
+        net, sw, mgr, app, chan = rig
+        mgr.crash()
+        # The channel is down too; deliver directly to the manager to show
+        # the event-loop guard by itself counts the loss.
+        mgr.on_switch_message(sw, tcp_frame())  # not even a Message: ignored
+        lost_before = mgr.events_lost
+        mgr._enqueue(EventOFPStateChange(mgr.datapaths[1], MAIN_DISPATCHER))
+        assert mgr.events_lost == lost_before + 1
+
+    def test_restart_reconnects_and_fires_main_state_change(self, rig):
+        net, sw, mgr, app, chan = rig
+        mgr.crash()
+        net.run(until=net.now + 1.0)
+        mgr.restart()
+        net.run(until=net.now + 1.0)
+        assert mgr.alive
+        assert chan.connected
+        assert app.restarts == 1
+        assert app.states[-1] == (1, MAIN_DISPATCHER)
+        # A packet-in after the restart flows normally again.
+        sw.deliver(1, tcp_frame())
+        net.run(until=net.now + 1.0)
+        assert app.packet_ins == 1
+
+    def test_crash_and_restart_are_idempotent(self, rig):
+        net, sw, mgr, app, chan = rig
+        mgr.restart()  # alive: no-op
+        assert app.restarts == 0
+        mgr.crash()
+        mgr.crash()
+        assert mgr.crashes == 1
+        assert app.crashes == 1
+        mgr.restart()
+        mgr.restart()
+        assert app.restarts == 1
+
+    def test_crash_fault_point_rolls_per_event(self):
+        net = Network(seed=42)
+        net.sim.faults.configure_many({
+            "controller.crash": 1.0,  # first dispatched event crashes it
+            "controller.restart": {"rate": 1.0, "stall_s": 2.0},
+        })
+        sw = OpenFlowSwitch(net.sim, "sw", dpid=1)
+        sw.install_table_miss()
+        net.add_device(sw)
+        mgr = AppManager(net.sim, service_time_s=0.0002)
+        app = mgr.register(ProbeApp)
+        chan = ControlChannel(net.sim, latency_s=0.001)
+        mgr.connect_switch(sw, chan)
+        net.run(until=1.0)
+        # The connect state-change itself triggered the crash...
+        assert mgr.crashes == 1
+        assert net.sim.faults.injected["controller.crash"] >= 1
+        # ...and the injected 2 s downtime ended in a restart.
+        net.sim.faults.clear()
+        net.run(until=5.0)
+        assert mgr.alive
+        assert app.restarts == 1

@@ -160,3 +160,76 @@ class TestFaultSchedule:
         sim = Simulator()
         FaultSchedule().install(sim)
         assert sim.run() == 0.0
+
+    def test_overlapping_windows_on_same_target_defer_revert(self):
+        # [0, 10) and [5, 8) on the same cluster: the inner window's end
+        # must NOT bring the cluster back at t=8 — the outer window still
+        # holds it down until t=10. (Regression: reverts used to fire
+        # unconditionally, ending the outage at the *earliest* close.)
+        sim = Simulator()
+        cluster = _FakeCluster()
+        FaultSchedule([
+            cluster_outage(cluster, at=0.0, duration_s=10.0),
+            cluster_outage(cluster, at=5.0, duration_s=3.0),
+        ]).install(sim)
+        states = []
+        for at in (6.0, 9.0, 11.0):
+            sim.schedule(at, lambda: states.append((sim.now, cluster.up)))
+        sim.run()
+        assert states == [(6.0, False), (9.0, False), (11.0, True)]
+
+    def test_back_to_back_windows_on_same_target_still_revert(self):
+        # Non-overlapping windows must each revert normally.
+        sim = Simulator()
+        cluster = _FakeCluster()
+        FaultSchedule([
+            cluster_outage(cluster, at=1.0, duration_s=2.0),
+            cluster_outage(cluster, at=5.0, duration_s=2.0),
+        ]).install(sim)
+        states = []
+        for at in (2.0, 4.0, 6.0, 8.0):
+            sim.schedule(at, lambda: states.append((sim.now, cluster.up)))
+        sim.run()
+        assert states == [(2.0, False), (4.0, True),
+                          (6.0, False), (8.0, True)]
+
+    def test_overlap_on_different_targets_is_independent(self):
+        sim = Simulator()
+        one, two = _FakeCluster(), _FakeCluster()
+        FaultSchedule([
+            cluster_outage(one, at=0.0, duration_s=10.0),
+            cluster_outage(two, at=2.0, duration_s=2.0),
+        ]).install(sim)
+        states = []
+        sim.schedule(5.0, lambda: states.append((one.up, two.up)))
+        sim.run()
+        assert states == [(False, True)]
+
+    def test_untargeted_overlapping_faults_revert_independently(self):
+        # Faults with no target/kind key off their own identity: two
+        # overlapping anonymous windows never defer each other.
+        sim = Simulator()
+        log = []
+        FaultSchedule([
+            TimedFault(at=0.0, duration_s=10.0,
+                       apply=lambda: log.append(("a-down", sim.now)),
+                       revert=lambda: log.append(("a-up", sim.now))),
+            TimedFault(at=5.0, duration_s=3.0,
+                       apply=lambda: log.append(("b-down", sim.now)),
+                       revert=lambda: log.append(("b-up", sim.now))),
+        ]).install(sim)
+        sim.run()
+        assert log == [("a-down", 0.0), ("b-down", 5.0),
+                       ("b-up", 8.0), ("a-up", 10.0)]
+
+    def test_deferred_revert_is_traced(self):
+        sim = Simulator()
+        sim.trace.enabled = True
+        cluster = _FakeCluster()
+        FaultSchedule([
+            cluster_outage(cluster, at=0.0, duration_s=10.0),
+            cluster_outage(cluster, at=5.0, duration_s=3.0),
+        ]).install(sim)
+        sim.run()
+        deferred = sim.trace.filter("faults", "revert-deferred")
+        assert len(deferred) == 1 and deferred[0].time == 8.0
