@@ -1,4 +1,4 @@
-"""The determinism rule set (``REP001``..``REP006``).
+"""The determinism rule set (``REP001``..``REP007``).
 
 Each rule is a small AST visitor registered in :data:`RULES`. Rules are
 deliberately *repo-specific*: they encode the determinism contract of
@@ -371,6 +371,56 @@ class NonNegativeDelay(Rule):
                   and isinstance(delay.value, (int, float))
                   and delay.value < 0):
                 yield delay, "schedule() delay is a negative constant"
+
+
+# ---------------------------------------------------------------------------
+# REP007 — id()-keyed mappings
+# ---------------------------------------------------------------------------
+
+
+@register
+class NoIdKeyedDict(Rule):
+    """Key identity maps by the object, not by ``id(object)``."""
+
+    code = "REP007"
+    name = "no-id-keyed-dict"
+    rationale = ("id() values are memory addresses: they differ run-to-run "
+                 "(so any ordering or trace that sees them is "
+                 "nondeterministic) and can alias once the object is "
+                 "collected and the address reused; key the mapping by the "
+                 "object itself (or a stable attribute like .name/.dpid)")
+
+    #: mapping methods whose first positional argument is a key
+    KEY_METHODS = frozenset({"get", "setdefault", "pop"})
+
+    def _is_id_call(self, node: ast.AST, ctx: FileContext) -> bool:
+        return (isinstance(node, ast.Call)
+                and ctx.imports.canonical(node.func) == "id")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None and self._is_id_call(key, ctx):
+                        yield key, ("dict literal keyed by id(...) — key by "
+                                    "the object itself")
+            elif isinstance(node, ast.DictComp):
+                if self._is_id_call(node.key, ctx):
+                    yield node.key, ("dict comprehension keyed by id(...) — "
+                                     "key by the object itself")
+            elif isinstance(node, ast.Subscript):
+                if self._is_id_call(node.slice, ctx):
+                    yield node.slice, ("subscript keyed by id(...) — key by "
+                                       "the object itself")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in self.KEY_METHODS
+                        and node.args
+                        and self._is_id_call(node.args[0], ctx)):
+                    yield node.args[0], (
+                        f".{func.attr}() keyed by id(...) — key by the "
+                        f"object itself")
 
 
 def iter_rule_docs() -> Iterable[str]:

@@ -27,11 +27,19 @@ Checks
 * **RNG draw-count ledger** — every draw on a named stream is counted, so a
   determinism diff can name the stream that diverged instead of just
   "the traces differ".
+* **Post-resync data-plane verification** — after every completed
+  crash-recovery/revival resync round, the static verifier
+  (:mod:`repro.verify`, docs/verification.md) re-checks invariants V1–V5
+  over the controller's reconciled view. The check fires a short grace
+  delay after the barrier so GC FlowMods still in flight on the channel
+  can land first, and runs with ``strict_cookies=False`` (a FlowRemoved
+  lost to the outage is legitimate until the next resync reclaims it).
 """
 
 from __future__ import annotations
 
 import contextlib
+import functools
 import math
 import os
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
@@ -40,6 +48,14 @@ import weakref
 
 class SanitizerError(AssertionError):
     """A runtime determinism/integrity invariant was violated."""
+
+
+#: grace delay between a completed resync barrier and its verification:
+#: the GC FlowMods the stats handler emitted are still in flight on the
+#: control channel at barrier time (one-way latency ~0.2 ms, but outage
+#: replays can stack) — verifying instantly would flag rules the
+#: controller already deleted.
+VERIFY_GRACE_S = 0.25
 
 
 _active: Optional["Sanitizer"] = None
@@ -63,7 +79,7 @@ class Sanitizer:
         self.rng_ledger: Dict[str, int] = {}
         #: diagnostic counters per check
         self.checks_run: Dict[str, int] = {
-            "event_order": 0, "schedule": 0, "flowmemory": 0}
+            "event_order": 0, "schedule": 0, "flowmemory": 0, "verify": 0}
         self._originals: Dict[Tuple[type, str], Any] = {}
         #: sim -> (time, seq) of the last executed event
         self._last_event: "weakref.WeakKeyDictionary[Any, Tuple[float, int]]" = (
@@ -84,6 +100,7 @@ class Sanitizer:
             return self
         if _active is not None:
             raise SanitizerError("another Sanitizer is already installed")
+        from repro.core.controller import TransparentEdgeController
         from repro.core.flowmemory import FlowMemory
         from repro.simcore.loop import Simulator
         from repro.simcore.rng import RandomStreams
@@ -91,6 +108,7 @@ class Sanitizer:
         self._install_simulator(Simulator)
         self._install_rng(RandomStreams)
         self._install_flowmemory(FlowMemory)
+        self._install_controller(TransparentEdgeController)
         self.installed = True
         _active = self
         return self
@@ -210,6 +228,43 @@ class Sanitizer:
                 raise SanitizerError(
                     f"FlowMemory integrity: forget_endpoint({endpoint!r}) "
                     f"left dangling flows {dangling!r}")
+
+
+    # ------------------------------------------- post-resync verification
+
+    def _install_controller(self, controller_cls: type) -> None:
+        sanitizer = self
+        orig_barrier = controller_cls.on_barrier_reply
+
+        # functools.wraps copies __dict__, carrying the @set_ev_cls handler
+        # marker — without it the AppManager would no longer recognise the
+        # patched method as the BarrierReply handler.
+        @functools.wraps(orig_barrier)
+        def on_barrier_reply(ctrl: Any, ev: Any) -> Any:
+            # A round is complete when this barrier pops the last pending
+            # per-datapath resync state.
+            in_resync = ev.msg.datapath.id in ctrl._resync
+            result = orig_barrier(ctrl, ev)
+            if in_resync and not ctrl._resync:
+                ctrl.sim.schedule(VERIFY_GRACE_S,
+                                  sanitizer._verify_after_resync, ctrl)
+            return result
+
+        self._patch(controller_cls, "on_barrier_reply", on_barrier_reply)
+
+    def _verify_after_resync(self, ctrl: Any) -> None:
+        if not self.installed:
+            return  # uninstalled while the grace delay was pending
+        if not ctrl.manager.alive or ctrl._resync:
+            return  # crashed again / resyncing again; that round re-arms us
+        self.checks_run["verify"] += 1
+        from repro.verify import verify_control_plane
+        report = verify_control_plane(ctrl.manager, ctrl,
+                                      strict_cookies=False)
+        if not report.ok:
+            raise SanitizerError(
+                f"post-resync data-plane verification failed:\n"
+                f"{report.to_text()}")
 
 
 class _LedgerGenerator:

@@ -36,6 +36,7 @@ __all__ = [
     "bench_packet_rewrite",
     "bench_controller_slow_path",
     "bench_a6_scale",
+    "bench_verify",
     "bench_end_to_end",
     "run_benchmarks",
     "write_record",
@@ -464,6 +465,116 @@ def bench_a6_scale(clients: int = 101_000, window: int = 64,
     }
 
 
+def _synthetic_snapshot(rules: int, switches: int = 4) -> Any:
+    """A frozen snapshot with ``rules`` exact-match entries spread over
+    ``switches`` independent switches — no services, so the verifier cost
+    is pure class enumeration + symbolic tracing against table size."""
+    from repro.netsim.addresses import IPv4, MAC
+    from repro.openflow.actions import OutputAction
+    from repro.openflow.constants import OFPP_CONTROLLER
+    from repro.openflow.match import Match
+    from repro.verify.snapshot import (
+        ControlView, HostView, NetworkSnapshot, RuleView, SwitchView)
+
+    switch_views = []
+    hosts = []
+    per_switch = max(1, rules // switches)
+    for dpid in range(1, switches + 1):
+        rule_views = [RuleView(match=Match(), priority=0, seq=1, cookie=0,
+                               flags=0,
+                               actions=(OutputAction(OFPP_CONTROLLER),))]
+        for i in range(per_switch):
+            match = Match(eth_type=0x0800, ip_proto=6,
+                          ipv4_src=f"10.{dpid}.{i // 256 % 256}.{i % 256}",
+                          ipv4_dst=f"172.{dpid}.{i // 256 % 256}.{i % 256}",
+                          tcp_dst=80)
+            rule_views.append(RuleView(match=match, priority=100, seq=i + 2,
+                                       cookie=0, flags=0,
+                                       actions=(OutputAction(1),)))
+        switch_views.append(SwitchView(
+            dpid=dpid, name=f"s{dpid}", generation=per_switch,
+            microflow_generation=-1, rules=tuple(rule_views),
+            stale_cache=()))
+        hosts.append(HostView(ip=IPv4(f"192.168.{dpid}.1"), dpid=dpid,
+                              port_no=1, mac=MAC(f"02:00:00:00:{dpid:02x}:01")))
+    control = ControlView(alive=True, epoch=1, use_flow_memory=False,
+                          vgw_ip=IPv4("10.255.255.254"),
+                          vgw_mac=MAC("02:ed:9e:00:00:01"),
+                          services=(), live_endpoints=(), memory=(),
+                          cookie_cluster=())
+    return NetworkSnapshot(switches=tuple(switch_views), adjacency=(),
+                           hosts=tuple(hosts), control=control)
+
+
+def _touch_one_switch(snapshot: Any) -> Any:
+    """A copy of ``snapshot`` with one switch's table mutated (one extra
+    rule, generation bumped) — the incremental checker's common case."""
+    from repro.openflow.actions import OutputAction
+    from repro.openflow.match import Match
+    from repro.verify.snapshot import RuleView
+
+    view = snapshot.switches[0]
+    extra = RuleView(
+        match=Match(eth_type=0x0800, ip_proto=6, ipv4_src="10.250.0.1",
+                    ipv4_dst="172.250.0.1", tcp_dst=80),
+        priority=100, seq=len(view.rules) + 2, cookie=0, flags=0,
+        actions=(OutputAction(1),))
+    touched = dataclasses.replace(
+        view, rules=view.rules + (extra,), generation=view.generation + 1)
+    return dataclasses.replace(
+        snapshot, switches=(touched,) + snapshot.switches[1:])
+
+
+def bench_verify(sizes: Tuple[int, ...] = (1_000, 10_000, 100_000),
+                 switches: int = 4) -> Dict[str, Any]:
+    """Full vs incremental data-plane verification cost vs table size.
+
+    For each size: one cold full check, one incremental re-check of the
+    unchanged snapshot (pure cache-hit path), and one incremental check
+    after a single-switch table mutation (the steady-state case — only the
+    touched switch's classes re-trace). docs/verification.md describes the
+    cache model; ``tests/verify`` proves incremental output is
+    byte-identical to the full checker's.
+    """
+    from repro.verify import IncrementalVerifier, verify_snapshot
+
+    out: Dict[str, Any] = {"switches": switches, "sizes": {}}
+    for size in sizes:
+        snapshot = _synthetic_snapshot(size, switches)
+        started = _now()
+        full_report = verify_snapshot(snapshot)
+        full_s = _now() - started
+
+        verifier = IncrementalVerifier()
+        verifier.verify(snapshot)  # populate caches (timed run is next)
+        started = _now()
+        unchanged_report = verifier.verify(snapshot)
+        unchanged_s = _now() - started
+
+        touched = _touch_one_switch(snapshot)
+        started = _now()
+        touched_report = verifier.verify(touched)
+        touched_s = _now() - started
+
+        classes = full_report.classes_checked
+        out["sizes"][str(size)] = {
+            "rules": full_report.rules_checked,
+            "classes": classes,
+            "violations": len(full_report.violations)
+                          + len(unchanged_report.violations)
+                          + len(touched_report.violations),
+            "full_ms": round(full_s * 1e3, 2),
+            "incremental_unchanged_ms": round(unchanged_s * 1e3, 2),
+            "incremental_touched_ms": round(touched_s * 1e3, 2),
+            "us_per_class_full": round(full_s / classes * 1e6, 3),
+            "classes_reused_touched": verifier.classes_reused,
+            "classes_traced_touched": verifier.classes_traced,
+            "speedup_unchanged": round(full_s / unchanged_s, 1)
+                                 if unchanged_s > 0 else float("inf"),
+        }
+    return out
+
+
 def bench_end_to_end() -> Dict[str, Any]:
     """Wall time of representative experiment drivers (serial, in-process),
     with the hot-path work they cost (from :mod:`repro.metrics.perf`)."""
@@ -515,6 +626,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         rewrite = bench_packet_rewrite(packets=10_000, timing_rounds=20_000)
         slow_path = bench_controller_slow_path(packet_ins=2_000)
         a6 = bench_a6_scale(clients=2_000, budget_mb=A6_SMOKE_BUDGET_MB)
+        verify = bench_verify(sizes=(500, 2_000))
     else:
         packet = bench_packet_path()
         microflow = bench_microflow_forwarding()
@@ -523,6 +635,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         rewrite = bench_packet_rewrite()
         slow_path = bench_controller_slow_path()
         a6 = bench_a6_scale()
+        verify = bench_verify()
     return {
         "schema": SCHEMA,
         "pr": 5,
@@ -548,6 +661,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
             "packet_rewrite": rewrite,
             "controller_slow_path": slow_path,
             "a6_scale": a6,
+            "verify": verify,
             "end_to_end": bench_end_to_end(),
         },
     }

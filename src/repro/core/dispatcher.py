@@ -146,10 +146,12 @@ class Dispatcher:
         """Feed a background deployment's outcome into the cluster breaker."""
         if not self.use_breaker or id(process) in self._watched:
             return
-        self._watched[id(process)] = None
+        # id-keyed on purpose: a dedup marker that must not pin the process
+        # object alive, never iterated or traced.
+        self._watched[id(process)] = None  # repro: noqa[REP007]
 
         def done(proc: "Process") -> None:
-            self._watched.pop(id(proc), None)
+            self._watched.pop(id(proc), None)  # repro: noqa[REP007]
             exc = proc.exception
             if isinstance(exc, ProcessKilled):
                 return  # cancelled, not a health signal

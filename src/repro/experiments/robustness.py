@@ -249,6 +249,14 @@ def _chaos_testbed(seed: int, heartbeat_s: float = 0.5):
 
 def _chaos_row(tb, bank, crashes_scheduled: int) -> dict:
     """The shared measurement/invariant tail of an R3/R4 cell."""
+    # Full data-plane verification at the quiesce point (V1–V5, strict
+    # cookie accounting): a chaos cell must settle into a state the static
+    # verifier certifies, not merely one whose counters look right. Local
+    # import — repro.verify's scenario helpers import this module.
+    from repro.verify import verify_testbed
+    report = verify_testbed(tb)
+    assert report.ok, \
+        f"data-plane invariant violations at quiesce:\n{report.to_text()}"
     recovery = tb.manager.recovery.summary()
     stats = tb.controller.stats
     counters = snapshot_failures(controller=tb.controller)

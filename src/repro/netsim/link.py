@@ -57,8 +57,9 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.name = name or f"{a.name}:{a_port}<->{b.name}:{b_port}"
         self.up = True
-        # Independent serialization clocks per direction (full duplex).
-        self._busy_until = {id(a): 0.0, id(b): 0.0}
+        # Independent serialization clocks per direction (full duplex),
+        # keyed by the sending device (identity hash — never iterated).
+        self._busy_until: dict["Device", float] = {a: 0.0, b: 0.0}
         #: delivered frame count (diagnostics)
         self.frames_delivered = 0
         self.bytes_delivered = 0
@@ -90,9 +91,9 @@ class Link:
                                 {"link": self.name, "frame": frame.describe()})
             return
         receiver, rx_port = self.other_end(sender)
-        start = max(self.sim.now, self._busy_until[id(sender)])
+        start = max(self.sim.now, self._busy_until[sender])
         done_serializing = start + self.tx_time(frame)
-        self._busy_until[id(sender)] = done_serializing
+        self._busy_until[sender] = done_serializing
         arrival_delay = (done_serializing - self.sim.now) + self.latency_s
         self.sim.schedule(arrival_delay, self._deliver, receiver, rx_port, frame)
 

@@ -342,6 +342,46 @@ class FlowTable:
 
     # ---------------------------------------------------------------- stats
 
+    def shadowed_entries(self) -> List[FlowEntry]:
+        """Entries that can never match: fully covered by an earlier rule.
+
+        "Earlier" is lookup order — higher priority, or same priority and
+        lower seq. Uses the same four-bucket pruning as :meth:`lookup`
+        (a covering rule's exact src/dst is either equal to the covered
+        rule's or unconstrained), so the scan stays near-linear on the
+        service tables this runs against. The verifier's V5 invariant
+        (repro.verify.invariants.shadowing_violations) applies the same
+        algorithm to a frozen snapshot; this live variant feeds
+        ``OpenFlowSwitch.stats()``.
+        """
+        buckets: Dict[BucketKey, List[FlowEntry]] = {}
+        for entry in self._entries:
+            key = (entry.match.exact_value("ipv4_src"),
+                   entry.match.exact_value("ipv4_dst"))
+            buckets.setdefault(key, []).append(entry)
+        shadowed: List[FlowEntry] = []
+        for entry in self._entries:
+            src = entry.match.exact_value("ipv4_src")
+            dst = entry.match.exact_value("ipv4_dst")
+            found = False
+            for key in ((src, dst), (src, None), (None, dst), (None, None)):
+                for candidate in buckets.get(key, ()):  # table order
+                    if candidate is entry:
+                        continue
+                    earlier = (candidate.priority > entry.priority
+                               or (candidate.priority == entry.priority
+                                   and candidate.seq < entry.seq))
+                    if earlier and candidate.match.covers(entry.match):
+                        shadowed.append(entry)
+                        found = True
+                        break
+                if found:
+                    break
+        return shadowed
+
+    def shadowed_count(self) -> int:
+        return len(self.shadowed_entries())
+
     @property
     def entries(self) -> List[FlowEntry]:
         return list(self._entries)

@@ -363,6 +363,10 @@ class OpenFlowSwitch(Device):
             "table_lookups": self.table.lookups,
             "table_hits": self.table.hits,
             "flows": len(self.table),
+            "shadowed_rules": self.table.shadowed_count(),
+            "microflow_entries": len(self._microflow),
+            "microflow_generation": self._microflow_generation,
+            "table_generation": self.table.generation,
             "controller_alive": self.controller_alive,
             "controller_outages_detected": self.controller_outages_detected,
         }

@@ -1,0 +1,248 @@
+"""Header-space partitioning into traceable equivalence classes.
+
+Veriflow-style verification needs one representative packet per behavioural
+equivalence class. Instead of manipulating symbolic wildcard expressions,
+this module materialises each class as a *concrete field-dict* — the same
+shape :func:`repro.openflow.match.extract_fields` produces — so the tracer
+can reuse the production ``Match.matches`` semantics verbatim (no parallel
+match implementation to drift out of sync).
+
+Per match field the installed rule set induces a finite set of *atoms*: the
+exact values that appear in any match condition, plus one ``OTHER`` value
+chosen outside every atom and every masked prefix (deterministically, from
+reserved ranges: TEST-NET-3 for IPs, 61000+ for ports). Two packets whose
+fields pick the same atoms traverse identical rule sequences, so one
+representative per combination suffices. Enumerated combinations are:
+
+* **service classes** — every (host, registered service) pair as the host
+  would emit it: gateway-addressed TCP to the service vIP:port. These carry
+  invariant V1 (no blackhole).
+* **rule-seeded classes** — one representative per installed rule,
+  projecting the rule's own conditions and filling the rest with ``OTHER``
+  atoms. These pull stale/transit/downstream rules into tracing coverage
+  even when no live host would currently emit the header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.netsim.addresses import IPv4, ip
+from repro.netsim.packet import ETH_TYPE_ARP, ETH_TYPE_IP, IP_PROTO_TCP, IP_PROTO_UDP
+
+from repro.verify.snapshot import NetworkSnapshot
+
+#: canonical field-dict as a hashable tuple, sorted by field name
+FieldsKey = Tuple[Tuple[str, Any], ...]
+
+#: deterministic OTHER scan origins, per field kind
+_OTHER_IP_START = ip("203.0.113.1")  # TEST-NET-3, unused by the testbeds
+_OTHER_PORT_START = 61000
+_OTHER_ETH_TYPE_START = 0x88B5  # IEEE 802 local experimental
+_OTHER_IP_PROTO_START = 143  # unassigned range
+
+
+def canonical(fields: Dict[str, Any]) -> FieldsKey:
+    return tuple(sorted(fields.items(), key=lambda kv: kv[0]))
+
+
+@dataclass(frozen=True)
+class HeaderClass:
+    """One equivalence class: a concrete packet at a concrete ingress."""
+
+    dpid: int
+    fields: FieldsKey
+    origin: str  # "service" or "rule"
+
+    def field_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+    def subject(self) -> str:
+        """Stable identifier used in violation reports."""
+        f = self.field_dict()
+        in_port = f.get("in_port", 0)
+        if f.get("eth_type") == ETH_TYPE_IP:
+            dst_port = f.get("tcp_dst", f.get("udp_dst"))
+            suffix = f":{dst_port}" if dst_port is not None else ""
+            flow = f"{f.get('ipv4_src')}->{f.get('ipv4_dst')}{suffix}"
+        else:
+            flow = f"eth=0x{f.get('eth_type', 0):04x}"
+        return f"class[{flow} @dpid{self.dpid}:in{in_port}]"
+
+
+class AtomUniverse:
+    """Per-field atom sets plus deterministic ``OTHER`` representatives."""
+
+    def __init__(self, snapshot: NetworkSnapshot):
+        self._exact: Dict[str, Set[Any]] = {}
+        self._masked: Dict[str, List[Tuple[IPv4, int]]] = {}
+        self._others: Dict[str, Any] = {}
+        for view in snapshot.switches:
+            for rule in view.rules:
+                for fld, value in rule.match.items():
+                    if isinstance(value, tuple):
+                        self._masked.setdefault(fld, []).append(value)
+                    else:
+                        self._exact.setdefault(fld, set()).add(value)
+        # Values live in the network also count as used, so an OTHER pick
+        # can never alias a real host/service/endpoint.
+        for host in snapshot.hosts:
+            self._note_ip(host.ip)
+        control = snapshot.control
+        self._note_ip(control.vgw_ip)
+        for svc in control.services:
+            self._note_ip(svc.addr)
+            self._exact.setdefault("tcp_dst", set()).add(svc.port)
+        for endpoint in control.live_endpoints:
+            self._note_ip(endpoint.ip)
+            self._exact.setdefault("tcp_dst", set()).add(endpoint.port)
+
+    def _note_ip(self, addr: IPv4) -> None:
+        for fld in ("ipv4_src", "ipv4_dst"):
+            self._exact.setdefault(fld, set()).add(addr)
+
+    def _used(self, field: str, value: Any) -> bool:
+        if value in self._exact.get(field, ()):
+            return True
+        if isinstance(value, IPv4):
+            for network, prefix_len in self._masked.get(field, ()):
+                if value.in_subnet(network, prefix_len):
+                    return True
+        return False
+
+    def other(self, field: str) -> Any:
+        """A deterministic value outside every atom of ``field``."""
+        cached = self._others.get(field)
+        if cached is not None:
+            return cached
+        value: Any
+        if field in ("ipv4_src", "ipv4_dst", "arp_spa", "arp_tpa"):
+            value = _OTHER_IP_START
+            while self._used(field, value):
+                value = value + 1
+        elif field in ("tcp_src", "tcp_dst", "udp_src", "udp_dst"):
+            value = _OTHER_PORT_START
+            while self._used(field, value):
+                value += 1
+        elif field == "eth_type":
+            value = _OTHER_ETH_TYPE_START
+            while self._used(field, value):
+                value += 1
+        elif field == "ip_proto":
+            value = _OTHER_IP_PROTO_START
+            while self._used(field, value):
+                value += 1
+        else:
+            raise ValueError(f"no OTHER generator for field {field!r}")
+        self._others[field] = value
+        return value
+
+    def masked_representative(self, field: str,
+                              network: IPv4, prefix_len: int) -> IPv4:
+        """A concrete address inside a masked condition's prefix."""
+        value = network
+        exact = self._exact.get(field, set())
+        # Stay within the prefix; give up on collision after a short scan
+        # (masked matches do not occur in the shipped controller).
+        for _ in range(64):
+            if value not in exact:
+                break
+            value = value + 1
+        return value
+
+
+def _service_classes(snapshot: NetworkSnapshot,
+                     atoms: AtomUniverse) -> List[HeaderClass]:
+    classes: List[HeaderClass] = []
+    vgw_mac = snapshot.control.vgw_mac
+    for host in snapshot.hosts:
+        for svc in snapshot.control.services:
+            if host.ip == svc.addr:
+                continue  # the cloud origin does not dial itself
+            fields = {
+                "in_port": host.port_no,
+                "eth_src": host.mac,
+                "eth_dst": vgw_mac,
+                "eth_type": ETH_TYPE_IP,
+                "ipv4_src": host.ip,
+                "ipv4_dst": svc.addr,
+                "ip_proto": IP_PROTO_TCP,
+                "tcp_src": atoms.other("tcp_src"),
+                "tcp_dst": svc.port,
+            }
+            classes.append(HeaderClass(dpid=host.dpid,
+                                       fields=canonical(fields),
+                                       origin="service"))
+    return classes
+
+
+def _rule_class(snapshot: NetworkSnapshot, atoms: AtomUniverse,
+                dpid: int, match: Any) -> Optional[HeaderClass]:
+    conds = dict(match.items())
+
+    def pick(field: str) -> Any:
+        value = conds.get(field)
+        if value is None:
+            return atoms.other(field)
+        if isinstance(value, tuple):
+            return atoms.masked_representative(field, value[0], value[1])
+        return value
+
+    ip_like = any(fld in conds for fld in (
+        "ipv4_src", "ipv4_dst", "ip_proto",
+        "tcp_src", "tcp_dst", "udp_src", "udp_dst"))
+    eth_type = conds.get("eth_type")
+    if eth_type is None:
+        eth_type = ETH_TYPE_IP if ip_like else atoms.other("eth_type")
+
+    fields: Dict[str, Any] = {"eth_type": eth_type}
+    if eth_type == ETH_TYPE_IP:
+        tcp_like = any(fld in conds for fld in ("tcp_src", "tcp_dst"))
+        udp_like = any(fld in conds for fld in ("udp_src", "udp_dst"))
+        ip_proto = conds.get("ip_proto")
+        if ip_proto is None:
+            ip_proto = (IP_PROTO_TCP if tcp_like or not udp_like
+                        else IP_PROTO_UDP)
+        fields["ip_proto"] = ip_proto
+        fields["ipv4_src"] = pick("ipv4_src")
+        fields["ipv4_dst"] = pick("ipv4_dst")
+        if ip_proto == IP_PROTO_TCP:
+            fields["tcp_src"] = pick("tcp_src")
+            fields["tcp_dst"] = pick("tcp_dst")
+        elif ip_proto == IP_PROTO_UDP:
+            fields["udp_src"] = pick("udp_src")
+            fields["udp_dst"] = pick("udp_dst")
+    elif eth_type == ETH_TYPE_ARP:
+        fields["arp_op"] = conds.get("arp_op", 1)
+        fields["arp_spa"] = pick("arp_spa")
+        fields["arp_tpa"] = pick("arp_tpa")
+
+    # Ingress: the rule's own in_port condition wins; else the attachment
+    # point of the source host when it lives on this switch; else port 0.
+    src_host = snapshot.host(fields.get("ipv4_src")) if "ipv4_src" in fields else None
+    in_port = conds.get("in_port")
+    if in_port is None:
+        in_port = (src_host.port_no
+                   if src_host is not None and src_host.dpid == dpid else 0)
+    fields["in_port"] = in_port
+    fields["eth_src"] = conds.get(
+        "eth_src",
+        src_host.mac if src_host is not None else snapshot.control.vgw_mac)
+    fields["eth_dst"] = conds.get("eth_dst", snapshot.control.vgw_mac)
+    return HeaderClass(dpid=dpid, fields=canonical(fields), origin="rule")
+
+
+def enumerate_classes(snapshot: NetworkSnapshot) -> Tuple[HeaderClass, ...]:
+    """All equivalence classes of a snapshot, deterministically ordered."""
+    atoms = AtomUniverse(snapshot)
+    unique: Dict[Tuple[int, FieldsKey], HeaderClass] = {}
+    for cls in _service_classes(snapshot, atoms):
+        unique.setdefault((cls.dpid, cls.fields), cls)
+    for view in snapshot.switches:
+        for rule in view.rules:
+            cls = _rule_class(snapshot, atoms, view.dpid, rule.match)
+            if cls is not None:
+                unique.setdefault((cls.dpid, cls.fields), cls)
+    return tuple(sorted(unique.values(),
+                        key=lambda c: (c.dpid, repr(c.fields))))

@@ -1,0 +1,75 @@
+"""Self-contained scenario drivers for CLI verification runs.
+
+``python -m repro.verify`` needs concrete, reproducible network states to
+verify. These builders run a compact part-A-style workload and an R4-style
+chaos window, settle the simulation at a quiesce point, and hand back the
+testbed for snapshotting. They intentionally reuse the robustness module's
+chaos testbed/fault recipe so the CLI exercises the same machinery the
+experiment drivers do.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.robustness import _chaos_testbed, _run_until_done
+from repro.experiments.topologies import Testbed, build_testbed
+from repro.simcore.faults import (
+    FaultSchedule,
+    channel_outage,
+    controller_outage,
+    link_flap,
+)
+from repro.workloads.scale import attach_client_bank, run_client_bank
+
+
+def run_parta_scenario(seed: int = 7, n_clients: int = 6,
+                       rounds: int = 12) -> Testbed:
+    """A healthy part-A-style run: warm service, rotating client fetches."""
+    tb = build_testbed(seed=seed, n_clients=n_clients,
+                       cluster_types=("docker",), use_flow_memory=True,
+                       switch_idle_timeout_s=30.0)
+    svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+    warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+    _run_until_done(tb, warm, cap_s=120.0)
+    assert warm.done and warm.exception is None
+    for index in range(rounds):
+        request = tb.client(index % n_clients).fetch(
+            svc.service_id.addr, svc.service_id.port)
+        _run_until_done(tb, request, cap_s=30.0)
+    tb.run(until=tb.sim.now + 2.0)  # quiesce: all handshakes settled
+    return tb
+
+
+def run_chaos_scenario(seed: int = 211, n_clients: int = 32,
+                       window: int = 8) -> Any:
+    """An R4-style mixed chaos window (crash + outages + flaps), settled.
+
+    Mirrors :func:`repro.experiments.robustness.r4_chaos_cell` at smoke
+    scale, but returns the testbed so the caller can snapshot it.
+    """
+    tb, svc = _chaos_testbed(seed)
+    bank = attach_client_bank(tb, svc, n_clients=n_clients, window=window,
+                              bandwidth_bps=4e5)
+    bank_link = tb.net.links[-1]
+    channel = tb.manager.datapaths[tb.switch.dpid].channel
+
+    rng = np.random.default_rng([seed, 4])
+    start = tb.sim.now
+    schedule = FaultSchedule()
+    schedule.add(controller_outage(
+        tb.manager, at=start + float(rng.uniform(0.2, 0.8)),
+        duration_s=float(rng.uniform(1.0, 2.5))))
+    for at in rng.uniform(0.3, 3.5, size=2):
+        schedule.add(channel_outage(channel, at=start + float(at),
+                                    duration_s=float(rng.uniform(0.8, 3.5))))
+    for at in rng.uniform(0.3, 3.5, size=2):
+        schedule.add(link_flap(bank_link, at=start + float(at),
+                               duration_s=float(rng.uniform(0.1, 0.4))))
+    schedule.install(tb.sim)
+
+    run_client_bank(tb, bank, spacing_s=0.0005, chunk_s=0.5)
+    tb.run(until=tb.sim.now + 5.0)  # recovery slack past the last window
+    return tb

@@ -25,7 +25,8 @@ def test_all_rules_registered_with_unique_codes():
     codes = [rule.code for rule in rules]
     assert codes == sorted(codes)
     assert len(set(codes)) == len(codes)
-    assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006"} <= set(codes)
+    assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007"} <= set(codes)
 
 
 def test_get_rule_unknown_code_raises():
@@ -130,6 +131,45 @@ def test_rep006_allows_guarded_delays():
     assert codes_in("sim.schedule(max(0.0, deadline - sim.now), cb)\n") == []
     assert codes_in("sim.schedule(0.0, cb)\n") == []
     assert codes_in("sim.schedule(delay, cb)\n") == []
+
+
+# ------------------------------------------------------------------- REP007
+
+
+def test_rep007_flags_id_keyed_dict_literal_and_comprehension():
+    assert codes_in("busy = {id(a): 0.0, id(b): 0.0}\n") == ["REP007", "REP007"]
+    assert codes_in("index = {id(x): x for x in items}\n") == ["REP007"]
+
+
+def test_rep007_flags_id_keyed_subscripts():
+    assert codes_in("table[id(proc)] = None\n") == ["REP007"]
+    assert codes_in("value = table[id(proc)]\n") == ["REP007"]
+    assert codes_in("del table[id(proc)]\n") == ["REP007"]
+
+
+def test_rep007_flags_id_keyed_mapping_methods():
+    assert codes_in("table.get(id(proc))\n") == ["REP007"]
+    assert codes_in("table.setdefault(id(proc), [])\n") == ["REP007"]
+    assert codes_in("table.pop(id(proc), None)\n") == ["REP007"]
+
+
+def test_rep007_ignores_object_keys_and_plain_id_calls():
+    assert codes_in("busy = {a: 0.0, b: 0.0}\n") == []
+    assert codes_in("table[key] = id(proc)\n") == []  # id as a value is fine
+    assert codes_in("marker = id(proc)\n") == []
+    assert codes_in("seen.add(id(proc))\n") == []  # sets are out of scope
+
+
+def test_rep007_resolves_shadowed_id():
+    # a local function named id() is not the builtin
+    assert codes_in("from mymod import foo as id\ntable[id(x)] = 1\n") == []
+
+
+def test_rep007_honours_noqa():
+    source = "table[id(proc)] = None  # repro: noqa[REP007]\n"
+    report = check_source(source, "snippet.py", AnalysisConfig())
+    assert report.violations == []
+    assert report.suppressed == 1
 
 
 # -------------------------------------------------------------- suppressions

@@ -1,0 +1,136 @@
+"""Property-based tests for the Match algebra (repro.openflow.match).
+
+The verifier's shadowing invariant (V5) and OFPFC_DELETE both lean on
+``Match.covers`` being a *sound* approximation of header-space inclusion:
+whenever ``a.covers(b)`` holds, every concrete packet matching ``b`` must
+match ``a``. These properties exercise that contract over randomized
+matches — including masked (prefix) conditions, which the older openflow
+property suite leaves out — against randomly sampled field dictionaries.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import ip, mac
+from repro.openflow.match import Match
+
+PREFIXES = (8, 16, 24, 32)
+
+octets = st.integers(min_value=0, max_value=255)
+small_ips = st.builds(lambda a, b: ip(f"10.{a // 2}.{b // 16}.{b % 16}"),
+                      octets, octets)
+ports = st.sampled_from((80, 443, 8080, 32768, 61000))
+
+
+def field_dicts():
+    """Sampled concrete packet field dictionaries (always a TCP/IPv4 shape,
+    sometimes with fields deleted to exercise absent-field semantics)."""
+    base = st.builds(
+        lambda src, dst, sport, dport, port_no: {
+            "in_port": port_no,
+            "eth_src": mac(1), "eth_dst": mac(2), "eth_type": 0x0800,
+            "ip_proto": 6,
+            "ipv4_src": src, "ipv4_dst": dst,
+            "tcp_src": sport, "tcp_dst": dport,
+        },
+        small_ips, small_ips, ports, ports,
+        st.integers(min_value=1, max_value=8))
+
+    def drop_some(fields, drops):
+        return {k: v for k, v in fields.items() if k not in drops}
+
+    return st.builds(
+        drop_some, base,
+        st.sets(st.sampled_from(("tcp_src", "tcp_dst", "ipv4_src"))))
+
+
+def matches():
+    """Randomized matches mixing exact and masked (prefix) conditions."""
+    exact_part = st.fixed_dictionaries(
+        {},
+        optional={
+            "eth_type": st.just(0x0800),
+            "ip_proto": st.just(6),
+            "ipv4_src": small_ips,
+            "ipv4_dst": small_ips,
+            "tcp_src": ports,
+            "tcp_dst": ports,
+            "in_port": st.integers(min_value=1, max_value=8),
+        })
+    masked_part = st.fixed_dictionaries(
+        {},
+        optional={
+            "ipv4_src": st.tuples(small_ips, st.sampled_from(PREFIXES)),
+            "ipv4_dst": st.tuples(small_ips, st.sampled_from(PREFIXES)),
+        })
+
+    def build(exact, masked):
+        # A masked condition replaces an exact one on the same field.
+        conditions = dict(exact)
+        conditions.update(masked)
+        return Match(**conditions)
+
+    return st.builds(build, exact_part, masked_part)
+
+
+class TestCoversSoundness:
+    @given(matches(), matches(), field_dicts())
+    @settings(max_examples=300)
+    def test_covers_implies_match_containment(self, a, b, fields):
+        """a.covers(b) ⇒ matches(b) ⊆ matches(a) on sampled packets."""
+        if a.covers(b) and b.matches(fields):
+            assert a.matches(fields)
+
+    @given(matches(), field_dicts())
+    def test_wildcard_covers_and_matches_everything(self, m, fields):
+        assert Match().covers(m)
+        assert Match().matches(fields)
+
+    @given(matches(), matches(), field_dicts())
+    @settings(max_examples=200)
+    def test_mutual_covers_means_extensional_equality(self, a, b, fields):
+        """If a and b cover each other they accept the same packets."""
+        if a.covers(b) and b.covers(a):
+            assert a.matches(fields) == b.matches(fields)
+
+
+class TestCoversOrder:
+    @given(matches())
+    def test_reflexive(self, m):
+        assert m.covers(m)
+
+    @given(matches(), matches(), matches())
+    @settings(max_examples=300)
+    def test_transitive(self, a, b, c):
+        if a.covers(b) and b.covers(c):
+            assert a.covers(c)
+
+    @given(small_ips, st.sampled_from(PREFIXES), st.sampled_from(PREFIXES))
+    def test_shorter_prefix_covers_longer(self, addr, len_a, len_b):
+        broad = Match(ipv4_dst=(addr, min(len_a, len_b)))
+        narrow = Match(ipv4_dst=(addr, max(len_a, len_b)))
+        assert broad.covers(narrow)
+
+    @given(small_ips, st.sampled_from(PREFIXES))
+    def test_prefix_covers_member_exact(self, addr, prefix_len):
+        masked = Match(ipv4_dst=(addr, prefix_len))
+        exact = Match(ipv4_dst=addr)
+        assert masked.covers(exact)
+        if prefix_len < 32:
+            # the exact match cannot cover the wider prefix
+            assert not exact.covers(masked)
+
+
+class TestMatchSemantics:
+    @given(matches(), field_dicts())
+    @settings(max_examples=200)
+    def test_absent_field_never_matches(self, m, fields):
+        """OXM prerequisite semantics: a condition on a missing key fails."""
+        conditioned = set(m.conditions)
+        if any(key not in fields for key in conditioned):
+            assert not m.matches(fields)
+
+    @given(matches(), matches())
+    def test_equality_consistent_with_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+            assert a.covers(b) and b.covers(a)

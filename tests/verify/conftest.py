@@ -1,0 +1,34 @@
+"""Shared fixtures: one settled part-A testbed per test session.
+
+Building and warming a testbed costs a couple of simulated minutes; the
+verifier itself is pure (snapshots never mutate the simulation), so every
+read-only test can share one instance. Tests that mutate live switch state
+build their own.
+"""
+
+import pytest
+
+from repro.experiments.topologies import build_testbed
+
+
+def make_parta_testbed(seed=7, n_clients=4, rounds=6):
+    """A healthy settled workload: warm service + a few client fetches."""
+    tb = build_testbed(seed=seed, n_clients=n_clients,
+                       cluster_types=("docker",), use_flow_memory=True,
+                       switch_idle_timeout_s=30.0)
+    svc = tb.register_catalog_service("nginx", with_cloud_origin=True)
+    warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+    tb.run(until=tb.sim.now + 60.0)
+    assert warm.result is not None
+    for index in range(rounds):
+        proc = tb.client(index % n_clients).fetch(
+            svc.service_id.addr, svc.service_id.port)
+        tb.run(until=tb.sim.now + 1.0)
+        assert proc.result is not None and proc.result.error is None
+    tb.run(until=tb.sim.now + 2.0)  # quiesce: all handshakes settled
+    return tb, svc
+
+
+@pytest.fixture(scope="session")
+def parta_testbed():
+    return make_parta_testbed()
