@@ -4,9 +4,10 @@
 hot path (indexed flow-table lookup vs. the reference linear scan,
 microflow-cached forwarding, flow churn through the exact-match index, raw
 event-loop throughput, allocation-lean header rewrites, the memoized
-controller slow path, and the million-frame A6 scale scenario with peak
+controller slow path, the prefix-trie service registry from 1k to 1M
+registered services, and the million-frame A6 scale scenario with peak
 memory) plus end-to-end experiment drivers, and writes a machine-readable
-record (``BENCH_5.json`` by default) so future PRs can compare against it
+record (``BENCH_6.json`` by default) so future PRs can compare against it
 (``python -m repro.bench --compare OLD.json``) instead of re-deriving a
 baseline.
 
@@ -37,12 +38,13 @@ __all__ = [
     "bench_controller_slow_path",
     "bench_a6_scale",
     "bench_verify",
+    "bench_registry_lookup",
     "bench_end_to_end",
     "run_benchmarks",
     "write_record",
 ]
 
-DEFAULT_OUT = "BENCH_5.json"
+DEFAULT_OUT = "BENCH_6.json"
 #: v2 adds the ``meta`` block (git commit, flow-table entry counts); the
 #: reader (`repro.bench.compare.load_record`) still accepts v1 records.
 SCHEMA = "repro-bench/2"
@@ -575,6 +577,127 @@ def bench_verify(sizes: Tuple[int, ...] = (1_000, 10_000, 100_000),
     return out
 
 
+def bench_registry_lookup(
+    sizes: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000),
+    lookups: int = 200_000,
+    churn_cycles: int = 2_000,
+    subnet_services: int = 256,
+) -> Dict[str, Any]:
+    """Packet-in decision cost vs. registered service count (ROADMAP 3).
+
+    Populates a :class:`~repro.core.registry.ServiceRegistry` with
+    cloud-prefix-shaped synthetic services (plus ``subnet_services``
+    subnet-registered prefixes) and measures, per size tier:
+
+    * ``us_per_decision_hit`` — ``lookup_prefix`` on registered host
+      services: THE packet-in decision. The acceptance bar is that this
+      stays *flat within 2×* from the smallest to the largest tier — no
+      linear blow-up with registry size (``flat_within_2x`` at the top).
+    * ``us_per_lpm_hit`` — covered (non-exact) addresses resolved through
+      the trie's longest-prefix walk;
+    * ``us_per_miss`` — unregistered destinations (the common plain-L3
+      case; negative answers are what the controller's memo caches);
+    * ``us_per_register`` / ``us_per_churn_op`` — registration bulk rate
+      and steady-state deregister+re-register churn.
+    """
+    from random import Random
+
+    from repro.core.registry import ServiceRegistry
+    from repro.netsim.addresses import IPv4
+    from repro.workloads.cloudprefix import (
+        bulk_register,
+        subnet_service,
+        synth_cloud_prefixes,
+        synth_service_ids,
+        synthetic_service,
+    )
+
+    out: Dict[str, Any] = {"sizes": {}}
+    decision_costs: Dict[int, float] = {}
+    for size in sizes:
+        # Prefix count grows with the tier but is capped: the provider
+        # supernets hold ~44M addresses and the weighted length mix averages
+        # ~4k addresses per prefix, so 4096 prefixes stays comfortably
+        # inside while still spreading 1M services cloud-like.
+        prefixes = synth_cloud_prefixes(seed=5,
+                                        count=max(16, min(size // 64, 4_096)))
+        service_ids = synth_service_ids(6, size, prefixes, udp_share=0.2)
+        registry = ServiceRegistry()
+
+        started = _now()
+        bulk_register(registry, service_ids)
+        register_s = _now() - started
+        for prefix in prefixes[:subnet_services]:
+            candidate = subnet_service(prefix)
+            # A sampled host id can land exactly on the prefix's network
+            # address and port — identity is the triple, so skip the clash.
+            if candidate.service_id not in registry:
+                registry.register_service(candidate)
+
+        rng = Random(7)
+        sample = [service_ids[rng.randrange(size)] for _ in range(2_000)]
+        rounds = max(1, lookups // len(sample))
+
+        # THE decision: registered (addr, port, protocol) -> service.
+        started = _now()
+        for _ in range(rounds):
+            for sid in sample:
+                registry.lookup_prefix(sid.addr, sid.port, sid.protocol)
+        hit_s = _now() - started
+        n_hits = rounds * len(sample)
+
+        # Covered-but-not-exact addresses: the trie LPM walk (offset >= 1
+        # so the probe never coincides with the subnet service's own /32
+        # identity and short-circuits on the exact dict).
+        covered = []
+        for prefix in prefixes[:subnet_services]:
+            span = 1 << (32 - prefix.prefix_len)
+            covered.append(IPv4(prefix.network.value + 1
+                                + rng.randrange(max(1, span - 1))))
+        started = _now()
+        for _ in range(max(1, n_hits // len(covered) // 4)):
+            for addr in covered:
+                registry.lookup_prefix(addr, 443, "TCP")
+        lpm_s = _now() - started
+        n_lpm = max(1, n_hits // len(covered) // 4) * len(covered)
+
+        # Unregistered destinations (TEST-NET-3: outside every supernet).
+        misses = [IPv4(f"203.0.113.{i % 256}") for i in range(256)]
+        started = _now()
+        for _ in range(max(1, n_hits // len(misses) // 4)):
+            for addr in misses:
+                registry.lookup_prefix(addr, 80, "TCP")
+        miss_s = _now() - started
+        n_miss = max(1, n_hits // len(misses) // 4) * len(misses)
+
+        # Steady-state churn: deregister + re-register a rotating sample.
+        started = _now()
+        for i in range(churn_cycles):
+            sid = service_ids[(i * 127) % size]
+            service = registry.deregister(sid)
+            assert service is not None
+            registry.register_service(synthetic_service(sid))
+        churn_s = _now() - started
+
+        decision_costs[size] = hit_s / n_hits * 1e6
+        out["sizes"][str(size)] = {
+            "registered": len(registry),
+            "trie_prefixes": len(registry._trie),
+            "trie_nodes": registry._trie.node_count(),
+            "us_per_register": round(register_s / size * 1e6, 3),
+            "us_per_decision_hit": round(hit_s / n_hits * 1e6, 3),
+            "us_per_lpm_hit": round(lpm_s / n_lpm * 1e6, 3),
+            "us_per_miss": round(miss_s / n_miss * 1e6, 3),
+            "us_per_churn_op": round(churn_s / (2 * churn_cycles) * 1e6, 3),
+        }
+
+    smallest, largest = min(decision_costs), max(decision_costs)
+    ratio = decision_costs[largest] / decision_costs[smallest]
+    out["decision_cost_ratio_max_vs_min"] = round(ratio, 3)
+    out["flat_within_2x"] = ratio <= 2.0
+    return out
+
+
 def bench_end_to_end() -> Dict[str, Any]:
     """Wall time of representative experiment drivers (serial, in-process),
     with the hot-path work they cost (from :mod:`repro.metrics.perf`)."""
@@ -627,6 +750,8 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         slow_path = bench_controller_slow_path(packet_ins=2_000)
         a6 = bench_a6_scale(clients=2_000, budget_mb=A6_SMOKE_BUDGET_MB)
         verify = bench_verify(sizes=(500, 2_000))
+        registry = bench_registry_lookup(sizes=(1_000, 10_000),
+                                         lookups=20_000, churn_cycles=500)
     else:
         packet = bench_packet_path()
         microflow = bench_microflow_forwarding()
@@ -636,9 +761,10 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         slow_path = bench_controller_slow_path()
         a6 = bench_a6_scale()
         verify = bench_verify()
+        registry = bench_registry_lookup()
     return {
         "schema": SCHEMA,
-        "pr": 5,
+        "pr": 6,
         "smoke": smoke,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -662,6 +788,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
             "controller_slow_path": slow_path,
             "a6_scale": a6,
             "verify": verify,
+            "registry_lookup": registry,
             "end_to_end": bench_end_to_end(),
         },
     }

@@ -240,9 +240,13 @@ class TransparentEdgeController(RyuApp):
         self.hosts: _HostTable = _HostTable()
         for addr, attachment in self.cfg.static_hosts.items():
             self.hosts[addr] = (attachment.dpid, attachment.port_no, attachment.mac)
-        #: memoized registry lookups: (dst ip, dst port) -> EdgeService | None,
-        #: valid while the registry generation is unchanged
-        self._service_cache: Dict[Tuple[IPv4, int], Optional[EdgeService]] = {}
+        #: memoized registry lookups: (dst ip, dst port, protocol) ->
+        #: EdgeService | None, valid while the registry generation is
+        #: unchanged. Protocol is part of the key — a TCP and a UDP service
+        #: on the same address:port are distinct registrations and must not
+        #: collide in the memo.
+        self._service_cache: Dict[Tuple[IPv4, int, str],
+                                  Optional[EdgeService]] = {}
         self._service_cache_gen = -1
         #: memoized install plans: (client, service_id, cluster name,
         #: endpoint) -> _InstallPlan, validated per entry by its epoch
@@ -252,6 +256,10 @@ class TransparentEdgeController(RyuApp):
         #: cookie -> cluster name (for load bookkeeping on FlowRemoved and
         #: for reclaiming stale flows after a resync round)
         self._cookie_cluster: Dict[int, str] = {}
+        #: cookie -> client (when known): lets a handover release the
+        #: client's load bookkeeping synchronously instead of waiting for
+        #: the switches' FlowRemoved notifications
+        self._cookie_client: Dict[int, IPv4] = {}
         #: controller incarnation, embedded in every cookie; bumped on
         #: warm restart so pre-crash flows are recognizable on the wire
         self.epoch = 1
@@ -360,26 +368,36 @@ class TransparentEdgeController(RyuApp):
         fields = msg.fields
         dst_port = fields.get("tcp_dst")
         if dst_port is not None:
-            service = self._lookup_service(packet.dst, dst_port)
+            service = self._lookup_service(packet.dst, dst_port, "TCP")
             if service is not None:
                 self._handle_service_packet(datapath, msg, service)
                 return
         self._handle_plain_routing(datapath, msg)
 
-    def _lookup_service(self, dst: IPv4, dst_port: int) -> Optional[EdgeService]:
-        """Registry lookup, memoized per (dst, port) while the registry is
-        unchanged. Negative answers are cached too — the common miss is
-        plain L3 traffic hammering the same non-service destination."""
+    def service_decision(self, dst: IPv4, dst_port: int,
+                         protocol: str = "TCP") -> Optional[EdgeService]:
+        """Public probe of the packet-in service decision (memoized exactly
+        like the data path): invariant checks compare this against the live
+        registry to prove the memo never leaks a stale answer under churn."""
+        return self._lookup_service(dst, dst_port, protocol)
+
+    def _lookup_service(self, dst: IPv4, dst_port: int,
+                        protocol: str = "TCP") -> Optional[EdgeService]:
+        """Registry lookup, memoized per (dst, port, protocol) while the
+        registry is unchanged. Negative answers are cached too — the common
+        miss is plain L3 traffic hammering the same non-service destination.
+        Prefix-aware: an address inside a subnet-registered prefix resolves
+        to that service (longest match wins)."""
         if not self.cfg.memoize_slow_path:
-            return self.registry.lookup(dst, dst_port)
+            return self.registry.lookup_prefix(dst, dst_port, protocol)
         if self._service_cache_gen != self.registry.generation:
             self._service_cache.clear()
             self._service_cache_gen = self.registry.generation
-        key = (dst, dst_port)
+        key = (dst, dst_port, protocol)
         try:
             return self._service_cache[key]
         except KeyError:
-            service = self.registry.lookup(dst, dst_port)
+            service = self.registry.lookup_prefix(dst, dst_port, protocol)
             if len(self._service_cache) >= PLAN_CACHE_CAPACITY:
                 self._service_cache.clear()
             self._service_cache[key] = service
@@ -460,8 +478,7 @@ class TransparentEdgeController(RyuApp):
             # the decision — reinstall without dispatching (§V).
             self.stats["service_hits_memory"] += 1
             self._install_and_release(service, [(datapath, msg)],
-                                      remembered.cluster, remembered.endpoint,
-                                      count_load=False)
+                                      remembered.cluster, remembered.endpoint)
             return
         if remembered is not None:
             # Instance vanished (crashed, cluster outage, or scaled down
@@ -523,7 +540,8 @@ class TransparentEdgeController(RyuApp):
                 self.hosts.version, cluster.generation)
 
     def _build_install_plan(self, service: EdgeService, client: IPv4,
-                            cluster: EdgeCluster, endpoint: Endpoint,
+                            dst_addr: IPv4, cluster: EdgeCluster,
+                            endpoint: Endpoint,
                             parser, ofp) -> Optional[_InstallPlan]:
         """The pure-CPU half of `_install_and_release`: host/attachment
         lookups, path computation, and the per-hop matches + action lists.
@@ -556,9 +574,12 @@ class TransparentEdgeController(RyuApp):
                 return fabric.port_toward(dpid, path[index - 1])
             return client_port
 
+        # Match/rewrite on the address the client actually addressed: for a
+        # host-registered service that IS service_id.addr; for a
+        # subnet-registered service it is some address inside the prefix.
         upstream_match = parser.OFPMatch(
             eth_type=ETH_TYPE_IP, ip_proto=6,
-            ipv4_src=client, ipv4_dst=service_id.addr, tcp_dst=service_id.port)
+            ipv4_src=client, ipv4_dst=dst_addr, tcp_dst=service_id.port)
         downstream_match = parser.OFPMatch(
             eth_type=ETH_TYPE_IP, ip_proto=6,
             ipv4_src=endpoint.ip, tcp_src=endpoint.port, ipv4_dst=client)
@@ -580,7 +601,7 @@ class TransparentEdgeController(RyuApp):
             down_actions = []
             if first:
                 down_actions += [
-                    parser.OFPActionSetField(ipv4_src=service_id.addr),
+                    parser.OFPActionSetField(ipv4_src=dst_addr),
                     parser.OFPActionSetField(tcp_src=service_id.port),
                     parser.OFPActionSetField(eth_src=self.cfg.vgw_mac),
                     parser.OFPActionSetField(eth_dst=client_mac),
@@ -612,12 +633,12 @@ class TransparentEdgeController(RyuApp):
                             release_actions=release_actions)
 
     def _install_and_release(self, service: EdgeService, pending,
-                             cluster: EdgeCluster, endpoint: Endpoint,
-                             count_load: bool = True) -> None:
+                             cluster: EdgeCluster, endpoint: Endpoint) -> None:
         if not pending:
             return
         datapath, first_msg = pending[0]
         client = first_msg.frame.ipv4.src
+        dst_addr = first_msg.frame.ipv4.dst
         parser, ofp = datapath.ofproto_parser, datapath.ofproto
 
         # Memoized slow path: identical re-misses (same client, service,
@@ -630,14 +651,15 @@ class TransparentEdgeController(RyuApp):
         plan: Optional[_InstallPlan] = None
         plan_key = None
         if self.cfg.memoize_slow_path:
-            plan_key = (client, service.service_id, cluster.name, endpoint)
+            plan_key = (client, dst_addr, service.service_id,
+                        cluster.name, endpoint)
             cached = self._plan_cache.get(plan_key)
             if cached is not None and cached.epoch == self._plan_epoch(cluster):
                 plan = cached
                 self.stats["slow_path_plan_hits"] += 1
         if plan is None:
-            plan = self._build_install_plan(service, client, cluster,
-                                            endpoint, parser, ofp)
+            plan = self._build_install_plan(service, client, dst_addr,
+                                            cluster, endpoint, parser, ofp)
             if self.cfg.memoize_slow_path:
                 self.stats["slow_path_plan_misses"] += 1
                 if plan is not None:
@@ -654,9 +676,14 @@ class TransparentEdgeController(RyuApp):
             return
 
         cookie = self._alloc_cookie(KIND_SERVICE)
+        # Load accounting is keyed to the cookie ledger: EVERY registered
+        # cookie counts one installed service flow (re-miss reinstalls
+        # included — their removal decrements, so skipping the increment
+        # here would steal a count from the cluster), and every ledger pop
+        # (FlowRemoved, handover release, stale reclaim) releases it once.
         self._cookie_cluster[cookie] = cluster.name
-        if count_load:
-            self.dispatcher.note_flow_installed(cluster)
+        self._cookie_client[cookie] = client
+        self.dispatcher.note_flow_installed(cluster)
 
         # Install farthest-first and downstream-before-upstream: every
         # control channel has the same latency, so by the time the released
@@ -671,8 +698,8 @@ class TransparentEdgeController(RyuApp):
                 self.log("missing-datapath", dpid=dpid)
                 self.stats["dispatch_failures"] += 1
                 self._cookie_cluster.pop(cookie, None)
-                if count_load:
-                    self.dispatcher.note_flow_removed(cluster)
+                self._cookie_client.pop(cookie, None)
+                self.dispatcher.note_flow_removed(cluster)
                 self._release_toward_cloud(pending)
                 return
             hop_dp.send_msg(parser.OFPFlowMod(
@@ -789,11 +816,34 @@ class TransparentEdgeController(RyuApp):
     def on_flow_removed(self, ev) -> None:
         cookie = ev.msg.cookie
         cluster_name = self._cookie_cluster.pop(cookie, None)
+        self._cookie_client.pop(cookie, None)
         if cluster_name is not None:
             for cluster in self.dispatcher.clusters:
                 if cluster.name == cluster_name:
                     self.dispatcher.note_flow_removed(cluster)
                     break
+
+    def release_client_flows(self, client: IPv4) -> int:
+        """Release the load bookkeeping for every live service flow of
+        ``client`` (handover path): the caller is about to delete the
+        client's switch flows, so their per-cluster load must come back
+        *now* — synchronously — not whenever the switches' FlowRemoved
+        notifications arrive (or never, for an unreachable datapath).
+        Popping the cookie ledger here makes the later FlowRemoved a
+        no-op, so the release never double-counts. Returns the number of
+        flows released."""
+        cookies = sorted(cookie for cookie, owner in self._cookie_client.items()
+                         if owner == client)
+        for cookie in cookies:
+            self._cookie_client.pop(cookie, None)
+            cluster_name = self._cookie_cluster.pop(cookie, None)
+            if cluster_name is None:
+                continue
+            for cluster in self.dispatcher.clusters:
+                if cluster.name == cluster_name:
+                    self.dispatcher.note_flow_removed(cluster)
+                    break
+        return len(cookies)
 
     # ------------------------------------------------- crash / warm restart
 
@@ -818,6 +868,7 @@ class TransparentEdgeController(RyuApp):
         self._service_cache_gen = -1
         self._plan_cache.clear()
         self._cookie_cluster.clear()
+        self._cookie_client.clear()
         for cluster in self.dispatcher.clusters:
             self.dispatcher.load[cluster.name] = 0
         for dpid in list(self._resync):
@@ -919,6 +970,7 @@ class TransparentEdgeController(RyuApp):
                  and cookie not in self._resync_seen_cookies]
         for cookie in sorted(stale):
             cluster_name = self._cookie_cluster.pop(cookie, None)
+            self._cookie_client.pop(cookie, None)
             if cluster_name is None:
                 continue
             for cluster in self.dispatcher.clusters:
@@ -974,6 +1026,8 @@ class TransparentEdgeController(RyuApp):
                 self._resync_seen_cookies.add(cookie)
             if cookie not in self._cookie_cluster:
                 self._cookie_cluster[cookie] = cluster.name
+                if client is not None:
+                    self._cookie_client[cookie] = client
                 self.dispatcher.note_flow_installed(cluster)
             if (self.cfg.use_flow_memory and client is not None
                     and self.memory.peek(client, service.service_id) is None):
@@ -990,7 +1044,9 @@ class TransparentEdgeController(RyuApp):
         tcp_dst = match.exact_value("tcp_dst")
         tcp_src = match.exact_value("tcp_src")
         if dst is not None and tcp_dst is not None:
-            service = self.registry.lookup(dst, tcp_dst)
+            # Prefix-aware: a first-hop flow for a subnet-registered service
+            # matches a covered address, not the registration network.
+            service = self.registry.lookup_prefix(dst, tcp_dst)
             if service is not None:
                 # First-hop upstream: matches the service address, rewrites
                 # to the instance endpoint in its set-field actions.

@@ -111,6 +111,12 @@ class Dispatcher:
     def client_zone(self, client: IPv4) -> str:
         return self._client_locations.get(client) or self.zones.zone_of(client)
 
+    def set_client_zone(self, client: IPv4, zone: str) -> None:
+        """Authoritatively place ``client`` in ``zone`` (handover): updates
+        both the ZoneMap assignment and the tracked current location."""
+        self.zones.assign_client(client, zone)
+        self._client_locations[client] = zone
+
     # --------------------------------------------------------------- health
 
     def breaker_for(self, cluster: EdgeCluster) -> CircuitBreaker:

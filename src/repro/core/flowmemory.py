@@ -146,6 +146,10 @@ class FlowMemory:
     def flows_for_service(self, service_id: ServiceID) -> List[MemorizedFlow]:
         return [flow for flow in self._flows.values() if flow.service_id == service_id]
 
+    def flows_of(self, client: IPv4) -> List[MemorizedFlow]:
+        """Every memorized flow belonging to ``client`` (handover support)."""
+        return [flow for flow in self._flows.values() if flow.client == client]
+
     def flows_for_endpoint(self, endpoint: Endpoint) -> List[MemorizedFlow]:
         return [flow for flow in self._flows.values() if flow.endpoint == endpoint]
 

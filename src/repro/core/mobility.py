@@ -39,15 +39,21 @@ class MobilityManager:
         controller = self.controller
         dispatcher = controller.dispatcher
         if new_zone is not None:
-            dispatcher.zones.assign_client(client, new_zone)
-            dispatcher._client_locations[client] = new_zone
+            dispatcher.set_client_zone(client, new_zone)
 
         # 2. forget the client's memorized decisions
         invalidated = 0
-        for flow in list(dispatcher.memory._flows.values()):
-            if flow.client == client:
-                dispatcher.memory.forget(flow.client, flow.service_id)
-                invalidated += 1
+        for flow in dispatcher.memory.flows_of(client):
+            dispatcher.memory.forget(flow.client, flow.service_id)
+            invalidated += 1
+
+        # 2b. release the old cluster's load accounting for every still-
+        # installed flow of this client. The deletes below do trigger
+        # FlowRemoved notifications, but releasing synchronously via the
+        # cookie ledger (which makes those notifications no-ops) keeps the
+        # LoadAwareScheduler's view correct at the instant of the handover
+        # — and even when a datapath holding the flows is unreachable.
+        released = controller.release_client_flows(client)
 
         # 3. remove the client's redirection flows from every switch
         for datapath in controller.manager.datapaths.values():
@@ -62,5 +68,5 @@ class MobilityManager:
         self.handovers += 1
         controller.log("handover", client=str(client),
                        zone=new_zone or dispatcher.client_zone(client),
-                       invalidated=invalidated)
+                       invalidated=invalidated, released=released)
         return invalidated

@@ -4,17 +4,38 @@ Services are registered with the platform by their cloud address (IP +
 port); the network then intercepts any request from a client to a registered
 service. Registration runs the annotation pipeline once and stores the
 resulting cluster-neutral spec.
+
+At web scale the registered address space is cloud-shaped — millions of
+perceived-cloud addresses, whole provider prefixes — so the address-space
+index is a :class:`~repro.core.trie.PrefixTrie` (longest-prefix-match,
+O(address bits) per decision) rather than a flat set:
+
+* exact identity lookups (``lookup``) stay O(1) on the ServiceID dict — the
+  hot packet-in decision for host-registered services never walks the trie;
+* ``is_registered_address`` / ``covering_prefixes`` / ``lookup_prefix``
+  answer from the trie, which also admits *subnet-registered* services
+  (``prefix_len < 32``): one registration covers every address of a cloud
+  prefix, the LPM winner takes precedence.
+
+Churn contract: :attr:`ServiceRegistry.generation` bumps on **every**
+register/deregister.  Memoized consumers (the controller's slow-path caches,
+``repro.verify`` incremental snapshots) must revalidate against it — see
+docs/registry.md.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.annotate import AnnotatedService, AnnotationConfig, annotate_service, minimal_yaml
 from repro.core.serviceid import ServiceID
+from repro.core.trie import PrefixTrie, prefix_mask
 from repro.edge.cluster import DeploymentSpec
 from repro.netsim.addresses import IPv4
+
+#: key of a service within one trie node's per-address map
+_PortKey = Tuple[int, str]
 
 
 @dataclass
@@ -27,6 +48,10 @@ class EdgeService:
     #: predicted to exceed it and an alternative instance exists, the
     #: scheduler picks On-Demand Deployment *without* waiting (§IV-A2).
     max_initial_delay_s: Optional[float] = None
+    #: address-space width of the registration: 32 for a host service, less
+    #: for a subnet-registered (cloud-prefix) service whose single identity
+    #: covers every address in the prefix
+    prefix_len: int = 32
 
     @property
     def spec(self) -> DeploymentSpec:
@@ -46,8 +71,9 @@ class ServiceRegistry:
     def __init__(self, annotation_config: Optional[AnnotationConfig] = None):
         self.annotation_config = annotation_config or AnnotationConfig()
         self._services: Dict[ServiceID, EdgeService] = {}
-        #: secondary index: registered addresses (for proxy-ARP decisions)
-        self._addresses: Dict[IPv4, int] = {}
+        #: address-space index: prefix -> {(port, protocol) -> service};
+        #: host registrations live at /32, subnet registrations wider
+        self._trie: PrefixTrie[Dict[_PortKey, EdgeService]] = PrefixTrie()
         #: bumped on every register/deregister; memoized lookup results
         #: (controller slow-path caches) are valid only while it is unchanged
         self.generation = 0
@@ -59,41 +85,91 @@ class ServiceRegistry:
         image: Optional[str] = None,
         container_port: Optional[int] = None,
         max_initial_delay_s: Optional[float] = None,
+        prefix_len: int = 32,
     ) -> EdgeService:
         """Register a service from YAML (or from just an image name)."""
-        if service_id in self._services:
-            raise ValueError(f"service {service_id} already registered")
         if yaml_text is None:
             if image is None:
                 raise ValueError("register needs yaml_text or an image")
             yaml_text = minimal_yaml(image, container_port)
         annotated = annotate_service(yaml_text, service_id, self.annotation_config)
         service = EdgeService(service_id=service_id, annotated=annotated,
-                              max_initial_delay_s=max_initial_delay_s)
+                              max_initial_delay_s=max_initial_delay_s,
+                              prefix_len=prefix_len)
+        return self.register_service(service)
+
+    def register_service(self, service: EdgeService) -> EdgeService:
+        """Register an already-annotated service (bulk/synthetic path: the
+        churn workloads and benchmarks skip the per-service YAML pipeline)."""
+        service_id = service.service_id
+        if service_id in self._services:
+            raise ValueError(f"service {service_id} already registered")
+        network = self._network_of(service_id.addr, service.prefix_len)
+        ports = self._trie.get(network, service.prefix_len)
+        key = (service_id.port, service_id.protocol)
+        if ports is not None and key in ports:
+            raise ValueError(
+                f"{service_id.protocol}:{service_id.port} already registered "
+                f"on {IPv4(network)}/{service.prefix_len}")
         self._services[service_id] = service
-        self._addresses[service_id.addr] = self._addresses.get(service_id.addr, 0) + 1
+        if ports is None:
+            self._trie.insert(network, service.prefix_len, {key: service})
+        else:
+            ports[key] = service
         self.generation += 1
         return service
 
-    def deregister(self, service_id: ServiceID) -> Optional[EdgeService]:
-        service = self._services.pop(service_id, None)
-        if service is not None:
-            self.generation += 1
-            remaining = self._addresses.get(service_id.addr, 1) - 1
-            if remaining <= 0:
-                self._addresses.pop(service_id.addr, None)
-            else:
-                self._addresses[service_id.addr] = remaining
+    def deregister(self, service_id: ServiceID,
+                   prefix_len: Optional[int] = None) -> Optional[EdgeService]:
+        service = self._services.get(service_id)
+        if service is None:
+            return None
+        if prefix_len is not None and prefix_len != service.prefix_len:
+            return None
+        del self._services[service_id]
+        network = self._network_of(service_id.addr, service.prefix_len)
+        ports = self._trie.get(network, service.prefix_len)
+        if ports is not None:
+            ports.pop((service_id.port, service_id.protocol), None)
+            if not ports:
+                self._trie.remove(network, service.prefix_len)
+        self.generation += 1
         return service
 
     # ------------------------------------------------------------- lookups
 
     def lookup(self, addr: IPv4, port: int, protocol: str = "TCP") -> Optional[EdgeService]:
+        """Exact-identity lookup (host-registered services): O(1)."""
         return self._services.get(ServiceID(addr, port, protocol))
 
+    def lookup_prefix(self, addr: IPv4, port: int,
+                      protocol: str = "TCP") -> Optional[EdgeService]:
+        """The packet-in decision: exact host registration first (O(1)),
+        else the longest registered prefix covering ``addr`` that serves
+        ``(port, protocol)``."""
+        exact = self._services.get(ServiceID(addr, port, protocol))
+        if exact is not None:
+            return exact
+        if not self._trie:
+            return None
+        key = (port, protocol)
+        # Longest match wins: walk the covering chain most-specific first.
+        for _, _, ports in reversed(self._trie.covering(addr.value)):
+            service = ports.get(key)
+            if service is not None:
+                return service
+        return None
+
     def is_registered_address(self, addr: IPv4) -> bool:
-        """Any service registered on this IP (for proxy-ARP)?"""
-        return addr in self._addresses
+        """Any service registered on this IP (for proxy-ARP)?  True for any
+        address inside a subnet-registered prefix."""
+        return self._trie.covers(addr.value)
+
+    def covering_prefixes(self, addr: IPv4) -> List[Tuple[IPv4, int]]:
+        """Registered prefixes covering ``addr``, shortest first (the LPM
+        winner — what `lookup_prefix` prefers — is last)."""
+        return [(IPv4(network), plen)
+                for network, plen, _ in self._trie.covering(addr.value)]
 
     def services(self) -> List[EdgeService]:
         return list(self._services.values())
@@ -103,3 +179,11 @@ class ServiceRegistry:
 
     def __contains__(self, service_id: ServiceID) -> bool:
         return service_id in self._services
+
+    @staticmethod
+    def _network_of(addr: IPv4, prefix_len: int) -> int:
+        network = addr.value & prefix_mask(prefix_len)
+        if network != addr.value:
+            raise ValueError(
+                f"service address {addr} has host bits below /{prefix_len}")
+        return network

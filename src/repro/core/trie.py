@@ -1,0 +1,293 @@
+"""Binary longest-prefix-match trie over 32-bit addresses (ROADMAP item 3).
+
+The paper's interception model keys every packet-in decision on a registered
+``(IP, port, protocol)`` service identity.  At web scale the registered
+address space is not a handful of host routes but *millions* of cloud
+prefixes (the perceived-cloud addresses of §II), so the registry needs the
+same data structure a router uses for its FIB: a longest-prefix-match trie.
+
+:class:`PrefixTrie` is a TinyServiceTrie-style *path-compressed* binary trie
+(a Patricia trie) over 32-bit keys:
+
+* a node stores the prefix it represents as ``(network, plen)`` with
+  ``network`` already masked to ``plen`` bits;
+* an edge consumes the single bit after the parent's prefix; the child may
+  then *skip* an arbitrary run of bits (path compression), so the node count
+  is at most ``2·n - 1`` for ``n`` stored prefixes regardless of their
+  length;
+* every operation walks at most 32 nodes, independent of how many prefixes
+  are stored — lookups stay O(address bits) from 1k to 1M entries.
+
+The trie is value-generic: the :class:`~repro.core.registry.ServiceRegistry`
+stores per-address port/protocol maps, the
+:class:`~repro.core.zones.ZoneMap` stores zone names.  Keys are plain ints
+(callers pass ``IPv4.value``) so the structure stays dependency-free and
+mypy-strict.
+
+Determinism: iteration yields prefixes in ascending ``(network, prefix_len)``
+order — no hash-order anywhere — and :attr:`PrefixTrie.generation` bumps on
+every successful mutation so memoizing callers (the controller's slow-path
+caches, the incremental verifier) can detect churn without subscribing to
+individual updates.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+_BITS = 32
+_MAX = 0xFFFFFFFF
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """The 32-bit netmask of a ``/prefix_len`` prefix."""
+    if not 0 <= prefix_len <= _BITS:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    return (_MAX << (_BITS - prefix_len)) & _MAX if prefix_len else 0
+
+
+def _bit_after(key: int, plen: int) -> int:
+    """The key bit immediately after a ``plen``-bit prefix (0 or 1)."""
+    return (key >> (_BITS - 1 - plen)) & 1
+
+
+def _common_prefix_len(a: int, b: int, limit: int) -> int:
+    """Length of the longest common prefix of two 32-bit keys, capped."""
+    diff = a ^ b
+    if diff == 0:
+        return limit
+    return min(limit, _BITS - diff.bit_length())
+
+
+class _Node(Generic[V]):
+    """One trie node: a (possibly value-less) prefix with ≤ 2 children."""
+
+    __slots__ = ("network", "plen", "left", "right", "value", "has_value")
+
+    def __init__(self, network: int, plen: int) -> None:
+        self.network = network
+        self.plen = plen
+        self.left: Optional[_Node[V]] = None
+        self.right: Optional[_Node[V]] = None
+        self.value: Optional[V] = None
+        self.has_value = False
+
+    def child(self, bit: int) -> "Optional[_Node[V]]":
+        return self.right if bit else self.left
+
+    def set_child(self, bit: int, node: "Optional[_Node[V]]") -> None:
+        if bit:
+            self.right = node
+        else:
+            self.left = node
+
+
+class PrefixTrie(Generic[V]):
+    """Path-compressed binary LPM trie: ``(network, prefix_len) -> V``."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node(0, 0)
+        self._size = 0
+        #: bumped on every successful insert/remove — memoization contract
+        self.generation = 0
+
+    # ------------------------------------------------------------ mutation
+
+    def insert(self, network: int, prefix_len: int, value: V) -> Optional[V]:
+        """Store ``value`` at the prefix; returns the replaced value (or
+        None).  ``network`` must already be masked to ``prefix_len`` bits."""
+        self._check_key(network, prefix_len)
+        node = self._root
+        while True:
+            # Invariant: node's prefix is a (proper or equal) prefix of the
+            # target, so the walk only ever descends toward it.
+            if node.plen == prefix_len:
+                previous = node.value if node.has_value else None
+                node.value = value
+                node.has_value = True
+                if previous is None:
+                    self._size += 1
+                self.generation += 1
+                return previous
+            bit = _bit_after(network, node.plen)
+            child = node.child(bit)
+            if child is None:
+                leaf: _Node[V] = _Node(network, prefix_len)
+                leaf.value = value
+                leaf.has_value = True
+                node.set_child(bit, leaf)
+                self._size += 1
+                self.generation += 1
+                return None
+            shared = _common_prefix_len(child.network, network,
+                                        min(child.plen, prefix_len))
+            if shared == child.plen:
+                node = child  # child's prefix still covers the target
+                continue
+            # The target diverges inside the child's compressed run: split
+            # the edge at the shared length.
+            mid: _Node[V] = _Node(network & prefix_mask(shared), shared)
+            node.set_child(bit, mid)
+            mid.set_child(_bit_after(child.network, shared), child)
+            if shared == prefix_len:
+                mid.value = value
+                mid.has_value = True
+            else:
+                leaf = _Node(network, prefix_len)
+                leaf.value = value
+                leaf.has_value = True
+                mid.set_child(_bit_after(network, shared), leaf)
+            self._size += 1
+            self.generation += 1
+            return None
+
+    def remove(self, network: int, prefix_len: int) -> Optional[V]:
+        """Remove the exact prefix; returns its value or None if absent.
+        Structural nodes left value-less with ≤ 1 child are spliced out so
+        the node count stays proportional to the stored prefixes."""
+        self._check_key(network, prefix_len)
+        path: List[Tuple[_Node[V], int]] = []  # (parent, bit taken)
+        node = self._root
+        while node.plen < prefix_len:
+            bit = _bit_after(network, node.plen)
+            child = node.child(bit)
+            if child is None or child.plen > prefix_len:
+                return None
+            if child.network != network & prefix_mask(child.plen):
+                return None  # diverged inside a compressed run
+            path.append((node, bit))
+            node = child
+        if node.plen != prefix_len or node.network != network or not node.has_value:
+            return None
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        self.generation += 1
+        # Prune: splice value-less single-child (or leaf) nodes upward.
+        while path and not node.has_value and node.plen > 0:
+            parent, bit = path.pop()
+            if node.left is not None and node.right is not None:
+                break  # still a structural branch point
+            only = node.left if node.left is not None else node.right
+            parent.set_child(bit, only)
+            if only is not None:
+                break  # spliced the edge; parent unaffected
+            # Removed a leaf: the parent may have become redundant too.
+            node = parent
+        return value
+
+    # ------------------------------------------------------------- lookups
+
+    def get(self, network: int, prefix_len: int) -> Optional[V]:
+        """Exact-prefix fetch (no LPM semantics)."""
+        self._check_key(network, prefix_len)
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.plen < prefix_len:
+            if node.network != network & prefix_mask(node.plen):
+                return None
+            node = node.child(_bit_after(network, node.plen))
+        if (node is None or node.plen != prefix_len
+                or node.network != network or not node.has_value):
+            return None
+        return node.value
+
+    def lookup(self, addr: int) -> Optional[Tuple[int, int, V]]:
+        """Longest-prefix match for a host address: the most specific stored
+        prefix covering ``addr`` as ``(network, prefix_len, value)``."""
+        best: Optional[Tuple[int, int, V]] = None
+        node: Optional[_Node[V]] = self._root
+        while node is not None:
+            if node.network != addr & prefix_mask(node.plen):
+                break  # diverged inside a compressed run
+            if node.has_value:
+                best = (node.network, node.plen, node.value)  # type: ignore[arg-type]
+            if node.plen == _BITS:
+                break
+            node = node.child(_bit_after(addr, node.plen))
+        return best
+
+    def covering(self, addr: int) -> List[Tuple[int, int, V]]:
+        """Every stored prefix covering ``addr``, shortest first (the LPM
+        winner is the last element)."""
+        found: List[Tuple[int, int, V]] = []
+        node: Optional[_Node[V]] = self._root
+        while node is not None:
+            if node.network != addr & prefix_mask(node.plen):
+                break
+            if node.has_value:
+                found.append((node.network, node.plen, node.value))  # type: ignore[arg-type]
+            if node.plen == _BITS:
+                break
+            node = node.child(_bit_after(addr, node.plen))
+        return found
+
+    def covers(self, addr: int) -> bool:
+        """Any stored prefix covering ``addr``? (LPM hit/miss without
+        materializing the match.)"""
+        node: Optional[_Node[V]] = self._root
+        while node is not None:
+            if node.network != addr & prefix_mask(node.plen):
+                return False
+            if node.has_value:
+                return True
+            if node.plen == _BITS:
+                return False
+            node = node.child(_bit_after(addr, node.plen))
+        return False
+
+    # ------------------------------------------------------------ protocol
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        network, prefix_len = key
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.plen < prefix_len:
+            if node.network != network & prefix_mask(node.plen):
+                return False
+            node = node.child(_bit_after(network, node.plen))
+        return (node is not None and node.plen == prefix_len
+                and node.network == network and node.has_value)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, V]]:
+        """Deterministic DFS: ascending (network, prefix_len)."""
+        stack: List[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                yield (node.network, node.plen, node.value)  # type: ignore[misc]
+            # Right pushed first so the left (smaller) subtree pops first.
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def node_count(self) -> int:
+        """Total allocated nodes (diagnostics; ≤ 2·len + 1)."""
+        count = 0
+        stack: List[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return count
+
+    @staticmethod
+    def _check_key(network: int, prefix_len: int) -> None:
+        if not 0 <= prefix_len <= _BITS:
+            raise ValueError(f"prefix length out of range: {prefix_len}")
+        if not 0 <= network <= _MAX:
+            raise ValueError(f"network out of range: {network:#x}")
+        if network & ~prefix_mask(prefix_len) & _MAX:
+            raise ValueError(
+                f"network {network:#010x} has bits below /{prefix_len}")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.core.trie import PrefixTrie, prefix_mask
 from repro.netsim.addresses import IPv4
 
 
@@ -20,7 +21,8 @@ class ZoneMap:
     def __init__(self, default_rtt_s: float = 0.050):
         self._rtt: Dict[Tuple[str, str], float] = {}
         self._client_zone: Dict[IPv4, str] = {}
-        self._subnet_zone: list[tuple[IPv4, int, str]] = []
+        #: subnet -> zone assignment, longest-prefix-match semantics
+        self._subnet_zone: PrefixTrie[str] = PrefixTrie()
         self.default_rtt_s = default_rtt_s
         self._zones: set[str] = set()
 
@@ -52,18 +54,19 @@ class ZoneMap:
         self._client_zone[addr] = zone
 
     def assign_subnet(self, network: IPv4, prefix_len: int, zone: str) -> None:
+        """Assign a whole subnet to a zone (longest-prefix-match wins over
+        wider assignments; re-assigning an identical prefix replaces it)."""
         self._zones.add(zone)
-        self._subnet_zone.append((network, prefix_len, zone))
-        # Longest prefix first for lookups.
-        self._subnet_zone.sort(key=lambda entry: -entry[1])
+        self._subnet_zone.insert(network.value & prefix_mask(prefix_len),
+                                 prefix_len, zone)
 
     def zone_of(self, addr: IPv4, default: str = "default") -> str:
         zone = self._client_zone.get(addr)
         if zone is not None:
             return zone
-        for network, prefix_len, zone in self._subnet_zone:
-            if addr.in_subnet(network, prefix_len):
-                return zone
+        match = self._subnet_zone.lookup(addr.value)
+        if match is not None:
+            return match[2]
         return default
 
     def nearest(self, client_zone: str, candidates: Iterable[str]) -> Optional[str]:
@@ -71,6 +74,10 @@ class ZoneMap:
         best_rtt = float("inf")
         for zone in candidates:
             rtt = self.rtt(client_zone, zone)
-            if rtt < best_rtt:
+            # Ties break on the zone name, NOT on iteration order: callers
+            # pass sets, and "first seen wins" would make the winner depend
+            # on PYTHONHASHSEED (REP003).
+            if rtt < best_rtt or (rtt == best_rtt
+                                  and best is not None and zone < best):
                 best, best_rtt = zone, rtt
         return best

@@ -26,7 +26,7 @@ import sys
 import time
 from typing import Callable, List, Optional, Tuple
 
-from repro.experiments import ablations, extensions, parta, partb, robustness
+from repro.experiments import ablations, churn, extensions, parta, partb, robustness
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ArtifactCache
 from repro.experiments.pool import pooled
 from repro.metrics import ArtifactTiming, RunReport, Series, Table, perf, render_series, render_table
@@ -77,6 +77,7 @@ def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
         ("ext", "E3 proactive", extensions.e3_proactive_deployment),
         ("ext", "E4 hierarchy", extensions.e4_hierarchical_escape),
         ("ext", "E5 autoscaling", extensions.e5_autoscaling_under_load),
+        ("churn", "C1 registry churn", churn.c1_registry_churn),
         ("robustness", "R1 availability", robustness.r1_availability_vs_pull_failures),
         ("robustness", "R2 breaker", robustness.r2_breaker_outage_ablation),
         ("robustness", "R3 crash chaos", robustness.r3_controller_crash_chaos),
@@ -208,7 +209,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("--part",
-                        choices=["a", "b", "ablations", "ext", "robustness"],
+                        choices=["a", "b", "ablations", "ext", "churn",
+                                 "robustness"],
                         action="append", dest="parts",
                         help="restrict to one part (repeatable)")
     parser.add_argument("--full", action="store_true",

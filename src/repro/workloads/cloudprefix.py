@@ -1,0 +1,239 @@
+"""Synthetic cloud-prefix workloads (ROADMAP item 3).
+
+The perceived-cloud address space the platform intercepts is not a handful
+of host routes: it is shaped like the public ranges of the big cloud
+providers — a few large supernets per provider, carved into thousands of
+service prefixes of wildly mixed lengths (/16 … /28).  This module
+generates that shape deterministically (same seed -> byte-identical
+output) for the registry-churn experiment and the registry benchmarks:
+
+* :func:`synth_cloud_prefixes` — AWS/Azure/GCP-shaped CIDR mixes, carved
+  disjointly out of per-provider supernets;
+* :func:`synth_service_ids` — concrete ``(addr, port, protocol)`` service
+  identities sampled inside those prefixes;
+* :func:`synthetic_service` / :func:`bulk_register` — EdgeService objects
+  that skip the per-service YAML annotation pipeline (one shared template
+  spec), so a million registrations cost seconds, not hours.  Synthetic
+  services share one deployment spec and are never actually deployed —
+  they exist to exercise registration, lookup, and churn paths.
+
+Nothing here touches the global RNG: every function draws from its own
+``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import accumulate
+from random import Random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.annotate import AnnotatedService, annotate_service, minimal_yaml
+from repro.core.registry import EdgeService, ServiceRegistry
+from repro.core.serviceid import ServiceID
+from repro.core.trie import prefix_mask
+from repro.netsim.addresses import IPv4
+
+#: provider supernets the generator carves from — *shaped* like the public
+#: cloud ranges (providers, sizes, and mix), not an authoritative list
+PROVIDER_SUPERNETS: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "aws": (("52.0.0.0", 10), ("54.64.0.0", 11), ("3.0.0.0", 9),
+            ("13.32.0.0", 12), ("18.128.0.0", 9)),
+    "azure": (("20.64.0.0", 10), ("40.64.0.0", 10), ("52.224.0.0", 11),
+              ("104.40.0.0", 13)),
+    "gcp": (("34.0.0.0", 9), ("35.184.0.0", 13), ("104.154.0.0", 15),
+            ("130.211.0.0", 16)),
+}
+
+#: service-prefix lengths and their weights: mostly /24-ish service blocks,
+#: a tail of big /16 allocations and tiny /28 slices
+PREFIX_LEN_WEIGHTS: Tuple[Tuple[int, int], ...] = (
+    (16, 4), (18, 6), (20, 12), (22, 18), (24, 30), (26, 18), (28, 12),
+)
+
+#: the service ports cloud-shaped workloads register on
+SERVICE_PORTS: Tuple[int, ...] = (443, 80, 8080, 8443, 9000)
+
+
+@dataclass(frozen=True)
+class CloudPrefix:
+    """One carved service prefix of a provider's address space."""
+
+    provider: str
+    network: IPv4
+    prefix_len: int
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len} ({self.provider})"
+
+
+def synth_cloud_prefixes(seed: int, count: int,
+                         providers: Sequence[str] = ("aws", "azure", "gcp"),
+                         ) -> List[CloudPrefix]:
+    """Deterministically carve ``count`` disjoint service prefixes out of
+    the providers' supernets (first-fit cursor per supernet, so two calls
+    with the same seed return byte-identical lists)."""
+    rng = Random(seed)
+    pools: List[Tuple[str, int, int, int]] = []  # (provider, base, end, cursor)
+    for provider in providers:
+        supernets = PROVIDER_SUPERNETS.get(provider)
+        if supernets is None:
+            raise ValueError(f"unknown provider {provider!r}")
+        for net_str, plen in supernets:
+            base = IPv4(net_str).value
+            pools.append((provider, base, base + (1 << (32 - plen)), base))
+
+    lengths = [plen for plen, _ in PREFIX_LEN_WEIGHTS]
+    weights = [weight for _, weight in PREFIX_LEN_WEIGHTS]
+    prefixes: List[CloudPrefix] = []
+    while len(prefixes) < count:
+        plen = rng.choices(lengths, weights=weights, k=1)[0]
+        size = 1 << (32 - plen)
+        # Weight pools by remaining capacity so big supernets fill
+        # proportionally; skip pools that cannot fit this prefix.
+        open_pools = [index for index, (_, _, end, cursor) in enumerate(pools)
+                      if end - cursor >= size]
+        if not open_pools:
+            # The drawn length no longer fits anywhere: degrade to the
+            # weighted mix over lengths that still do (near exhaustion the
+            # tail naturally shifts toward small prefixes).
+            fitting = [(length, weight) for length, weight
+                       in zip(lengths, weights)
+                       if any(end - cursor >= 1 << (32 - length)
+                              for _, _, end, cursor in pools)]
+            if not fitting:
+                raise ValueError(
+                    f"supernets exhausted after {len(prefixes)} prefixes")
+            plen = rng.choices([length for length, _ in fitting],
+                               weights=[weight for _, weight in fitting],
+                               k=1)[0]
+            size = 1 << (32 - plen)
+            open_pools = [index for index, (_, _, end, cursor)
+                          in enumerate(pools) if end - cursor >= size]
+        index = rng.choices(
+            open_pools,
+            weights=[pools[i][2] - pools[i][3] for i in open_pools], k=1)[0]
+        provider, base, end, cursor = pools[index]
+        aligned = (cursor + size - 1) & prefix_mask(plen)
+        if aligned + size > end:
+            # Alignment pushed past the pool end: close the pool and retry.
+            pools[index] = (provider, base, end, end)
+            continue
+        pools[index] = (provider, base, end, aligned + size)
+        prefixes.append(CloudPrefix(provider=provider,
+                                    network=IPv4(aligned), prefix_len=plen))
+    return prefixes
+
+
+def synth_service_ids(seed: int, count: int,
+                      prefixes: Sequence[CloudPrefix],
+                      ports: Sequence[int] = SERVICE_PORTS,
+                      udp_share: float = 0.0) -> List[ServiceID]:
+    """Sample ``count`` distinct service identities inside ``prefixes``.
+
+    Addresses are drawn uniformly from the prefixes (weighted by size);
+    ``udp_share`` of the identities register UDP instead of TCP — the
+    registry keys on the full (addr, port, protocol) triple."""
+    if not prefixes:
+        raise ValueError("need at least one prefix")
+    rng = Random(seed)
+    # Cumulative weights: ``choices`` consumes one random() per draw either
+    # way (so seeds stay stable), but cum_weights makes each draw O(log n)
+    # instead of rebuilding the O(n) cumulative table — the difference
+    # between seconds and hours at the benchmark's 1M-service tier.
+    sizes = [1 << (32 - p.prefix_len) for p in prefixes]
+    cum = list(accumulate(sizes))
+    pool = list(prefixes)
+    port_pool = list(ports)
+    seen: set = set()
+    out: List[ServiceID] = []
+    while len(out) < count:
+        prefix = rng.choices(pool, cum_weights=cum, k=1)[0]
+        offset = rng.randrange(1 << (32 - prefix.prefix_len))
+        addr = IPv4(prefix.network.value + offset)
+        port = rng.choice(port_pool)
+        protocol = "UDP" if rng.random() < udp_share else "TCP"
+        key = (addr, port, protocol)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(ServiceID(addr=addr, port=port, protocol=protocol))
+    return out
+
+
+@lru_cache(maxsize=1)
+def _template() -> AnnotatedService:
+    """One shared annotation template for every synthetic service."""
+    sid = ServiceID(addr=IPv4("192.0.2.1"), port=80)
+    return annotate_service(minimal_yaml("nginx", 80), sid)
+
+
+def synthetic_service(service_id: ServiceID, prefix_len: int = 32) -> EdgeService:
+    """An EdgeService that skips the YAML pipeline: identity is real, the
+    deployment spec is a shared template (synthetic services are lookup/
+    churn fodder and are never deployed)."""
+    template = _template()
+    annotated = AnnotatedService(
+        service_id=service_id,
+        unique_name=f"edge-{service_id.slug}",
+        deployment_doc=template.deployment_doc,
+        service_doc=template.service_doc,
+        spec=template.spec,
+        service_doc_generated=True,
+    )
+    return EdgeService(service_id=service_id, annotated=annotated,
+                       prefix_len=prefix_len)
+
+
+def bulk_register(registry: ServiceRegistry,
+                  service_ids: Iterable[ServiceID],
+                  prefix_len: int = 32) -> List[EdgeService]:
+    """Register synthetic services for every identity; returns them."""
+    return [registry.register_service(synthetic_service(sid, prefix_len))
+            for sid in service_ids]
+
+
+def subnet_service(prefix: CloudPrefix, port: int = 443,
+                   protocol: str = "TCP") -> EdgeService:
+    """A *subnet-registered* synthetic service: one identity covering the
+    whole prefix (the registry's LPM answers for every address in it)."""
+    sid = ServiceID(addr=prefix.network, port=port, protocol=protocol)
+    return synthetic_service(sid, prefix_len=prefix.prefix_len)
+
+
+def churn_schedule(seed: int, service_ids: Sequence[ServiceID],
+                   ops: int, register_share: float = 0.5,
+                   ) -> List[Tuple[str, ServiceID]]:
+    """A deterministic register/deregister script over ``service_ids``.
+
+    Starts from "all registered"; each op deregisters a currently-registered
+    identity or re-registers a currently-absent one (``register_share`` of
+    the draws attempt a register).  The schedule is replayable: applying it
+    to a registry pre-loaded with ``service_ids`` never double-registers."""
+    rng = Random(seed)
+    registered = list(service_ids)
+    absent: List[ServiceID] = []
+    script: List[Tuple[str, ServiceID]] = []
+    for _ in range(ops):
+        do_register = absent and (not registered or rng.random() < register_share)
+        if do_register:
+            sid = absent.pop(rng.randrange(len(absent)))
+            registered.append(sid)
+            script.append(("register", sid))
+        else:
+            sid = registered.pop(rng.randrange(len(registered)))
+            absent.append(sid)
+            script.append(("deregister", sid))
+    return script
+
+
+def apply_churn_op(registry: ServiceRegistry, op: str,
+                   service_id: ServiceID,
+                   prefix_len: int = 32) -> Optional[EdgeService]:
+    """Apply one schedule entry to a live registry."""
+    if op == "register":
+        return registry.register_service(synthetic_service(service_id, prefix_len))
+    if op == "deregister":
+        return registry.deregister(service_id)
+    raise ValueError(f"unknown churn op {op!r}")

@@ -1,0 +1,140 @@
+"""ServiceRegistry churn edge cases and prefix (LPM) semantics.
+
+The trie-backed registry must behave exactly like the old flat one for
+host registrations — including across register/deregister churn — and
+additionally answer for subnet-registered services by longest prefix.
+"""
+
+import pytest
+
+from repro.core.registry import ServiceRegistry
+from repro.core.serviceid import ServiceID
+from repro.netsim.addresses import ip
+from repro.workloads.cloudprefix import synthetic_service
+
+SID = ServiceID(ip("198.51.100.1"), 80)
+
+
+class TestChurnEdges:
+    def test_re_register_after_deregister(self):
+        registry = ServiceRegistry()
+        first = registry.register(SID, image="nginx:1.23.2")
+        assert registry.deregister(SID) is first
+        second = registry.register(SID, image="nginx:1.23.2")
+        assert registry.lookup(SID.addr, 80) is second
+        assert registry.is_registered_address(SID.addr)
+        assert len(registry) == 1
+
+    def test_two_services_sharing_an_address(self):
+        registry = ServiceRegistry()
+        tcp = registry.register(SID, image="nginx:1.23.2")
+        udp_sid = ServiceID(SID.addr, 80, "UDP")
+        udp = registry.register(udp_sid, image="nginx:1.23.2")
+        assert registry.lookup(SID.addr, 80, "TCP") is tcp
+        assert registry.lookup(SID.addr, 80, "UDP") is udp
+
+    def test_is_registered_address_after_partial_deregister(self):
+        registry = ServiceRegistry()
+        registry.register(SID, image="nginx:1.23.2")
+        other = ServiceID(SID.addr, 8080)
+        registry.register(other, image="nginx:1.23.2")
+        registry.deregister(SID)
+        assert registry.is_registered_address(SID.addr)
+        assert registry.lookup(SID.addr, 80) is None
+        registry.deregister(other)
+        assert not registry.is_registered_address(SID.addr)
+
+    def test_deregister_absent_returns_none(self):
+        registry = ServiceRegistry()
+        assert registry.deregister(SID) is None
+
+    def test_generation_bumps_on_every_mutation(self):
+        registry = ServiceRegistry()
+        start = registry.generation
+        registry.register(SID, image="nginx:1.23.2")
+        assert registry.generation == start + 1
+        registry.lookup(SID.addr, 80)
+        registry.lookup_prefix(SID.addr, 80)
+        assert registry.generation == start + 1
+        registry.deregister(SID)
+        assert registry.generation == start + 2
+        registry.deregister(SID)  # absent: not a mutation
+        assert registry.generation == start + 2
+
+
+class TestSubnetRegistrations:
+    def prefix_service(self, dotted, plen, port=443, protocol="TCP"):
+        sid = ServiceID(ip(dotted), port, protocol)
+        return synthetic_service(sid, prefix_len=plen)
+
+    def test_lookup_prefix_covers_whole_subnet(self):
+        registry = ServiceRegistry()
+        service = registry.register_service(
+            self.prefix_service("203.0.113.0", 24))
+        assert registry.lookup_prefix(ip("203.0.113.77"), 443) is service
+        assert registry.lookup(ip("203.0.113.77"), 443) is None  # not exact
+        assert registry.lookup_prefix(ip("203.0.114.1"), 443) is None
+        assert registry.is_registered_address(ip("203.0.113.255"))
+
+    def test_longest_prefix_wins_and_exact_beats_all(self):
+        registry = ServiceRegistry()
+        wide = registry.register_service(self.prefix_service("52.0.0.0", 10))
+        narrow = registry.register_service(self.prefix_service("52.16.0.0", 16))
+        host_sid = ServiceID(ip("52.16.0.9"), 443)
+        host = registry.register(host_sid, image="nginx:1.23.2")
+        assert registry.lookup_prefix(ip("52.1.2.3"), 443) is wide
+        assert registry.lookup_prefix(ip("52.16.9.9"), 443) is narrow
+        assert registry.lookup_prefix(ip("52.16.0.9"), 443) is host
+        assert registry.covering_prefixes(ip("52.16.0.9")) == [
+            (ip("52.0.0.0"), 10), (ip("52.16.0.0"), 16), (ip("52.16.0.9"), 32)]
+
+    def test_lpm_falls_through_on_port_and_protocol(self):
+        """The LPM walk skips covering prefixes that don't serve the asked
+        (port, protocol) — the next-wider prefix answers."""
+        registry = ServiceRegistry()
+        wide = registry.register_service(
+            self.prefix_service("52.0.0.0", 10, port=443))
+        registry.register_service(
+            self.prefix_service("52.16.0.0", 16, port=80))
+        assert registry.lookup_prefix(ip("52.16.9.9"), 443) is wide
+        assert registry.lookup_prefix(ip("52.16.9.9"), 443, "UDP") is None
+
+    def test_duplicate_port_within_prefix_rejected(self):
+        registry = ServiceRegistry()
+        registry.register_service(self.prefix_service("203.0.113.0", 24))
+        with pytest.raises(ValueError):
+            registry.register_service(self.prefix_service("203.0.113.0", 24))
+        # Same prefix, different port: fine.
+        registry.register_service(
+            self.prefix_service("203.0.113.0", 24, port=80))
+
+    def test_host_bits_below_prefix_rejected(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ValueError):
+            registry.register_service(self.prefix_service("203.0.113.7", 24))
+
+    def test_deregister_with_mismatched_prefix_len(self):
+        registry = ServiceRegistry()
+        service = registry.register_service(
+            self.prefix_service("203.0.113.0", 24))
+        assert registry.deregister(service.service_id, prefix_len=32) is None
+        assert registry.lookup_prefix(ip("203.0.113.5"), 443) is service
+        assert registry.deregister(service.service_id, prefix_len=24) is service
+        assert registry.lookup_prefix(ip("203.0.113.5"), 443) is None
+
+    def test_host_and_subnet_share_network_address(self):
+        """Service identity is the (addr, port, protocol) triple — a host
+        service that collides with the subnet registration's own identity is
+        a duplicate; a different port at the network address coexists."""
+        registry = ServiceRegistry()
+        subnet = registry.register_service(self.prefix_service("203.0.113.0", 24))
+        with pytest.raises(ValueError):
+            registry.register(ServiceID(ip("203.0.113.0"), 443),
+                              image="nginx:1.23.2")
+        host_sid = ServiceID(ip("203.0.113.0"), 8080)
+        host = registry.register(host_sid, image="nginx:1.23.2")
+        assert registry.lookup_prefix(ip("203.0.113.0"), 8080) is host
+        assert registry.lookup_prefix(ip("203.0.113.1"), 443) is subnet
+        registry.deregister(host_sid)
+        assert registry.lookup_prefix(ip("203.0.113.0"), 8080) is None
+        assert registry.lookup_prefix(ip("203.0.113.0"), 443) is subnet

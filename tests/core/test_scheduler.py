@@ -97,6 +97,24 @@ class TestZoneMap:
         zones.set_rtt("c", "b", 0.002)
         assert zones.nearest("c", ["a", "b"]) == "b"
 
+    def test_nearest_tie_breaks_by_name_not_iteration_order(self):
+        """Equal RTTs: the lexicographically smallest zone wins no matter
+        how the candidates are ordered (callers pass sets — REP003)."""
+        zones = ZoneMap()
+        for zone in ("delta", "alpha", "charlie", "bravo"):
+            zones.set_rtt("client", zone, 0.005)
+        assert zones.nearest("client", ["delta", "alpha", "charlie"]) == "alpha"
+        assert zones.nearest("client", ["charlie", "alpha", "delta"]) == "alpha"
+        assert zones.nearest("client",
+                             {"delta", "bravo", "charlie"}) == "bravo"
+
+    def test_nearest_rtt_still_dominates_ties(self):
+        zones = ZoneMap()
+        zones.set_rtt("client", "zzz", 0.001)
+        zones.set_rtt("client", "aaa", 0.005)
+        zones.set_rtt("client", "bbb", 0.005)
+        assert zones.nearest("client", {"aaa", "bbb", "zzz"}) == "zzz"
+
     def test_negative_rtt_rejected(self):
         with pytest.raises(ValueError):
             ZoneMap().set_rtt("a", "b", -1)

@@ -1,0 +1,43 @@
+"""REP003-style regression: ZoneMap.nearest under two PYTHONHASHSEED values.
+
+``nearest`` is fed sets by its callers, so before the name tie-break the
+winner of an RTT tie depended on set iteration order — i.e. on the
+interpreter's hash seed.  This test replays the identical tied scenario in
+two child interpreters pinned to different ``PYTHONHASHSEED`` values and
+requires byte-identical winners (the same style of gate the determinism
+harness applies to whole scenarios).
+"""
+
+import os
+import subprocess
+import sys
+
+SNIPPET = """
+from repro.core.zones import ZoneMap
+
+zones = ZoneMap()
+candidates = {f"zone-{i:02d}" for i in range(16)}
+for zone in sorted(candidates):
+    zones.set_rtt("client", zone, 0.005)  # all tied
+print(zones.nearest("client", candidates))
+print(zones.nearest("client", candidates - {"zone-00"}))
+"""
+
+
+def run_child(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    result = subprocess.run([sys.executable, "-c", SNIPPET],
+                            capture_output=True, text=True, env=env,
+                            timeout=120)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_nearest_is_hash_seed_invariant():
+    first = run_child("1")
+    second = run_child("271828")
+    assert first == second
+    assert first.splitlines() == ["zone-00", "zone-01"]

@@ -23,7 +23,7 @@ HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
 class TestRegistry:
     def test_covers_all_parts(self):
         parts = {part for part, _, _ in artifact_registry(full=False)}
-        assert parts == {"a", "b", "ablations", "ext", "robustness"}
+        assert parts == {"a", "b", "ablations", "ext", "robustness", "churn"}
 
     def test_part_b_covers_every_figure(self):
         names = [name for part, name, _ in artifact_registry(full=False)

@@ -1,0 +1,110 @@
+"""Property tests: PrefixTrie vs. a brute-force dict oracle.
+
+The oracle stores ``{(network, plen): value}`` and answers LPM queries by
+scanning every stored prefix — O(n) per query, unarguably correct.  For ANY
+interleaved sequence of inserts and removes the trie must agree with it on
+exact gets, LPM lookups, covering chains, membership, size, and iteration
+order.  This is the correctness contract the registry and the zone map
+lean on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trie import PrefixTrie, prefix_mask
+
+plens = st.integers(min_value=0, max_value=32)
+addrs = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def prefix_keys(draw):
+    """A valid (network, plen) pair (host bits already masked off)."""
+    plen = draw(plens)
+    # Few distinct networks per length -> plenty of overlap/nesting.
+    raw = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return (raw & prefix_mask(plen), plen)
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove"]), prefix_keys(),
+              st.integers(min_value=0, max_value=999)),
+    min_size=0, max_size=60)
+
+
+def oracle_lpm(store, addr):
+    best = None
+    for (network, plen), value in store.items():
+        if addr & prefix_mask(plen) == network:
+            if best is None or plen > best[1]:
+                best = (network, plen, value)
+    return best
+
+
+def oracle_covering(store, addr):
+    found = [(network, plen, value) for (network, plen), value in store.items()
+             if addr & prefix_mask(plen) == network]
+    return sorted(found, key=lambda item: item[1])
+
+
+def apply_ops(op_list):
+    trie: PrefixTrie[int] = PrefixTrie()
+    store = {}
+    for op, key, value in op_list:
+        network, plen = key
+        if op == "insert":
+            previous = trie.insert(network, plen, value)
+            assert previous == store.get(key)
+            store[key] = value
+        else:
+            removed = trie.remove(network, plen)
+            assert removed == store.pop(key, None)
+    return trie, store
+
+
+class TestTrieMatchesOracle:
+    @given(ops, st.lists(addrs, min_size=1, max_size=20))
+    @settings(max_examples=150, deadline=None)
+    def test_lpm_and_covering(self, op_list, probes):
+        trie, store = apply_ops(op_list)
+        # Probe arbitrary addresses plus every stored network (the
+        # interesting boundaries).
+        for addr in probes + [network for network, _ in store]:
+            assert trie.lookup(addr) == oracle_lpm(store, addr)
+            assert trie.covering(addr) == oracle_covering(store, addr)
+            assert trie.covers(addr) == (oracle_lpm(store, addr) is not None)
+
+    @given(ops)
+    @settings(max_examples=150, deadline=None)
+    def test_exact_get_size_and_iteration(self, op_list):
+        trie, store = apply_ops(op_list)
+        assert len(trie) == len(store)
+        for key, value in store.items():
+            assert trie.get(*key) == value
+            assert key in trie
+        assert list(trie) == [(network, plen, store[(network, plen)])
+                              for network, plen in sorted(store)]
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_node_count_bound(self, op_list):
+        """Path compression: at most 2n - 1 prefix nodes (+ the root)."""
+        trie, store = apply_ops(op_list)
+        assert trie.node_count() <= max(1, 2 * len(store) + 1)
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_generation_counts_mutations(self, op_list):
+        trie: PrefixTrie[int] = PrefixTrie()
+        store = {}
+        mutations = 0
+        for op, key, value in op_list:
+            network, plen = key
+            if op == "insert":
+                trie.insert(network, plen, value)
+                store[key] = value
+                mutations += 1
+            else:
+                if trie.remove(network, plen) is not None:
+                    mutations += 1
+                store.pop(key, None)
+        assert trie.generation == mutations

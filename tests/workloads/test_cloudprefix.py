@@ -1,0 +1,133 @@
+"""Tests for the synthetic cloud-prefix workload generator."""
+
+import pytest
+
+from repro.core.registry import ServiceRegistry
+from repro.core.trie import prefix_mask
+from repro.workloads.cloudprefix import (
+    PROVIDER_SUPERNETS,
+    apply_churn_op,
+    bulk_register,
+    churn_schedule,
+    subnet_service,
+    synth_cloud_prefixes,
+    synth_service_ids,
+    synthetic_service,
+)
+
+
+def spans(prefixes):
+    return [(p.network.value, p.network.value + (1 << (32 - p.prefix_len)))
+            for p in prefixes]
+
+
+class TestSynthCloudPrefixes:
+    def test_deterministic_per_seed(self):
+        assert synth_cloud_prefixes(7, 200) == synth_cloud_prefixes(7, 200)
+        assert synth_cloud_prefixes(7, 200) != synth_cloud_prefixes(8, 200)
+
+    def test_prefixes_disjoint_and_aligned(self):
+        prefixes = synth_cloud_prefixes(7, 400)
+        assert len(prefixes) == 400
+        for prefix in prefixes:
+            assert prefix.network.value & ~prefix_mask(prefix.prefix_len) == 0
+        ordered = sorted(spans(prefixes))
+        for (_, end), (start, _) in zip(ordered, ordered[1:]):
+            assert end <= start  # no overlap
+
+    def test_prefixes_inside_provider_supernets(self):
+        from repro.netsim.addresses import ip
+
+        supernets = [(provider, ip(net).value, plen)
+                     for provider, nets in sorted(PROVIDER_SUPERNETS.items())
+                     for net, plen in nets]
+        for prefix in synth_cloud_prefixes(7, 300):
+            assert any(provider == prefix.provider
+                       and prefix.network.value & prefix_mask(plen) == base
+                       for provider, base, plen in supernets), prefix
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ValueError):
+            synth_cloud_prefixes(7, 10, providers=("dialup",))
+
+
+class TestSynthServiceIds:
+    def test_distinct_and_inside_prefixes(self):
+        prefixes = synth_cloud_prefixes(7, 50)
+        ids = synth_service_ids(8, 500, prefixes, udp_share=0.3)
+        assert len(ids) == 500
+        assert len({(s.addr, s.port, s.protocol) for s in ids}) == 500
+        ranges = spans(prefixes)
+        for sid in ids:
+            assert any(start <= sid.addr.value < end for start, end in ranges)
+        protocols = {s.protocol for s in ids}
+        assert protocols == {"TCP", "UDP"}
+
+    def test_deterministic_per_seed(self):
+        prefixes = synth_cloud_prefixes(7, 50)
+        assert synth_service_ids(8, 200, prefixes) == \
+            synth_service_ids(8, 200, prefixes)
+
+    def test_needs_prefixes(self):
+        with pytest.raises(ValueError):
+            synth_service_ids(8, 10, [])
+
+
+class TestSyntheticServices:
+    def test_shared_template_spec(self):
+        prefixes = synth_cloud_prefixes(7, 4)
+        a, b = synth_service_ids(8, 2, prefixes)
+        sa, sb = synthetic_service(a), synthetic_service(b)
+        assert sa.spec is sb.spec  # one template, million-service cheap
+        assert sa.name != sb.name
+        assert sa.service_id == a
+
+    def test_bulk_register_and_subnet_service(self):
+        registry = ServiceRegistry()
+        prefixes = synth_cloud_prefixes(7, 8)
+        ids = synth_service_ids(8, 64, prefixes)
+        services = bulk_register(registry, ids)
+        assert len(services) == len(registry) == 64
+        wide = registry.register_service(subnet_service(prefixes[0]))
+        inside = prefixes[0].network.value + 1
+        from repro.netsim.addresses import ip
+
+        assert registry.lookup_prefix(ip(inside), 443) in (wide,) + tuple(
+            s for s in services if s.service_id.addr.value == inside)
+
+
+class TestChurnSchedule:
+    def test_replayable_without_conflicts(self):
+        """Applying the whole schedule to a pre-loaded registry never
+        double-registers or deregisters an absent identity."""
+        prefixes = synth_cloud_prefixes(7, 16)
+        ids = synth_service_ids(8, 120, prefixes)
+        script = churn_schedule(9, ids, 300)
+        assert len(script) == 300
+        registry = ServiceRegistry()
+        bulk_register(registry, ids)
+        expected = set(ids)
+        for op, sid in script:
+            result = apply_churn_op(registry, op, sid)
+            assert result is not None
+            if op == "register":
+                assert sid not in expected
+                expected.add(sid)
+            else:
+                assert sid in expected
+                expected.discard(sid)
+        assert len(registry) == len(expected)
+        for sid in expected:
+            assert registry.lookup(sid.addr, sid.port, sid.protocol) is not None
+
+    def test_deterministic_per_seed(self):
+        prefixes = synth_cloud_prefixes(7, 16)
+        ids = synth_service_ids(8, 50, prefixes)
+        assert churn_schedule(9, ids, 100) == churn_schedule(9, ids, 100)
+
+    def test_unknown_op_rejected(self):
+        registry = ServiceRegistry()
+        prefixes = synth_cloud_prefixes(7, 4)
+        (sid,) = synth_service_ids(8, 1, prefixes)
+        with pytest.raises(ValueError):
+            apply_churn_op(registry, "flap", sid)
