@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 #: the two hash seeds the gate compares; distinct salts => distinct set order
 HASH_SEEDS = ("1", "2")
 
-SCENARIOS = ("parta", "hash-order-bug")
+SCENARIOS = ("parta", "hash-order-bug", "domains")
 
 
 class DeterminismHarnessError(RuntimeError):
@@ -51,12 +51,36 @@ def _client_order(n_clients: int, buggy: bool) -> List[int]:
     return ordered
 
 
+def _domains_fingerprint() -> str:
+    """Fingerprint of a small sharded-ingress run under lockstep: the
+    per-domain result rows plus the deterministically merged trace."""
+    from repro.experiments.domains import run_sharded_ingress
+
+    outcome = run_sharded_ingress(n_domains=2, seed=11, clients_local=6,
+                                  clients_remote=3, window=4,
+                                  trace_enabled=True)
+    lines: List[str] = ["== summary =="]
+    lines.append(f"domains={outcome.n_domains} epochs={outcome.epochs} "
+                 f"envelopes={outcome.envelopes_exchanged} "
+                 f"events={outcome.total_events}")
+    for domain in outcome.outcomes:
+        lines.append("== domain %d ==" % domain.domain_id)
+        row = domain.result["row"]
+        for key in sorted(row):
+            lines.append(f"{key}={row[key]}")
+    lines.append("== merged trace ==")
+    lines.append(outcome.merged_trace_dump())
+    return "\n".join(lines) + "\n"
+
+
 def scenario_fingerprint(scenario: str = "parta") -> str:
     """Run the scenario and return its full textual fingerprint."""
     from repro.analysis.sanitizer import sanitized
     from repro.experiments.topologies import build_testbed
     from repro.simcore.trace import TraceLog
 
+    if scenario == "domains":
+        return _domains_fingerprint()
     buggy = scenario == "hash-order-bug"
     n_clients = 8
     with sanitized() as sanitizer:

@@ -5,11 +5,12 @@ hot path (indexed flow-table lookup vs. the reference linear scan,
 microflow-cached forwarding, flow churn through the exact-match index, raw
 event-loop throughput, allocation-lean header rewrites, the memoized
 controller slow path, the prefix-trie service registry from 1k to 1M
-registered services, and the million-frame A6 scale scenario with peak
-memory) plus end-to-end experiment drivers, and writes a machine-readable
-record (``BENCH_6.json`` by default) so future PRs can compare against it
-(``python -m repro.bench --compare OLD.json``) instead of re-deriving a
-baseline.
+registered services, the million-frame A6 scale scenario with peak
+memory, and the domain-sharded lockstep scenario at 1/2/4 worker
+processes) plus end-to-end experiment drivers, and writes a
+machine-readable record (``BENCH_<series>.json``, see ``BENCH_SERIES``)
+so future PRs can compare against it (``python -m repro.bench --compare
+OLD.json``) instead of re-deriving a baseline.
 
 Every benchmark body is a deterministic simulation; only the *measurement*
 is host wall time / memory, which never feeds back into any simulated
@@ -39,12 +40,18 @@ __all__ = [
     "bench_a6_scale",
     "bench_verify",
     "bench_registry_lookup",
+    "bench_domain_scaling",
     "bench_end_to_end",
     "run_benchmarks",
     "write_record",
 ]
 
-DEFAULT_OUT = "BENCH_6.json"
+#: The single versioned stamp for benchmark records: the PR series this
+#: tree benchmarks as. Bump it (once, here) when a PR establishes a new
+#: baseline — the default output name and the record's ``pr`` field both
+#: derive from it, so they can never drift apart again.
+BENCH_SERIES = 7
+DEFAULT_OUT = f"BENCH_{BENCH_SERIES}.json"
 #: v2 adds the ``meta`` block (git commit, flow-table entry counts); the
 #: reader (`repro.bench.compare.load_record`) still accepts v1 records.
 SCHEMA = "repro-bench/2"
@@ -698,6 +705,60 @@ def bench_registry_lookup(
     return out
 
 
+def bench_domain_scaling(n_domains: int = 4, clients_local: int = 600,
+                         clients_remote: int = 150, window: int = 64,
+                         worker_counts: Tuple[int, ...] = (1, 2, 4),
+                         ) -> Dict[str, Any]:
+    """Aggregate event throughput of the sharded multi-ingress scenario
+    (A7's partition) at 1/2/4 domain worker processes.
+
+    Two things are measured: that the partition *scales* (wall-clock
+    speedup of the same logical run over more workers — bounded by the
+    host's core count, recorded as ``cpu_count``) and that it stays
+    *deterministic* (the rendered table is digest-identical at every
+    worker count — ``results_identical``). CI gates on both.
+    """
+    import hashlib
+    import os
+
+    from repro.experiments.domains import run_sharded_ingress, sharded_table
+    from repro.metrics import table_to_csv
+
+    out: Dict[str, Any] = {
+        "n_domains": n_domains,
+        "clients_local": clients_local,
+        "clients_remote": clients_remote,
+        "window": window,
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+    digests = set()
+    walls: Dict[int, float] = {}
+    for processes in worker_counts:
+        started = _now()
+        outcome = run_sharded_ingress(
+            n_domains=n_domains, clients_local=clients_local,
+            clients_remote=clients_remote, window=window,
+            processes=processes)
+        wall = _now() - started
+        csv = table_to_csv(sharded_table(outcome, clients_local,
+                                         clients_remote))
+        digests.add(hashlib.sha256(csv.encode("utf-8")).hexdigest())
+        walls[processes] = wall
+        out["runs"][str(processes)] = {
+            "wall_s": round(wall, 3),
+            "events": outcome.total_events,
+            "epochs": outcome.epochs,
+            "envelopes": outcome.envelopes_exchanged,
+            "events_per_s": round(outcome.total_events / wall),
+        }
+    base = walls[worker_counts[0]]
+    for processes in worker_counts[1:]:
+        out[f"speedup_{processes}_vs_1"] = round(base / walls[processes], 3)
+    out["results_identical"] = len(digests) == 1
+    return out
+
+
 def bench_end_to_end() -> Dict[str, Any]:
     """Wall time of representative experiment drivers (serial, in-process),
     with the hot-path work they cost (from :mod:`repro.metrics.perf`)."""
@@ -739,6 +800,20 @@ def _git_commit() -> Optional[str]:
     return out.stdout.strip()
 
 
+def _git_dirty() -> Optional[bool]:
+    """Whether the working tree had uncommitted changes when the record
+    was generated (None outside a git checkout) — a committed baseline
+    produced from a dirty tree is not reproducible from its commit."""
+    try:
+        out = subprocess.run(["git", "status", "--porcelain"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
+
+
 def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
     """Run the whole suite; ``smoke`` shrinks iteration counts for CI."""
     if smoke:
@@ -752,6 +827,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         verify = bench_verify(sizes=(500, 2_000))
         registry = bench_registry_lookup(sizes=(1_000, 10_000),
                                          lookups=20_000, churn_cycles=500)
+        domains = bench_domain_scaling()
     else:
         packet = bench_packet_path()
         microflow = bench_microflow_forwarding()
@@ -762,9 +838,10 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         a6 = bench_a6_scale()
         verify = bench_verify()
         registry = bench_registry_lookup()
+        domains = bench_domain_scaling(clients_local=1200, clients_remote=300)
     return {
         "schema": SCHEMA,
-        "pr": 6,
+        "pr": BENCH_SERIES,
         "smoke": smoke,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -773,6 +850,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         # flow-table population each table-driven benchmark ran against.
         "meta": {
             "git_commit": _git_commit(),
+            "git_dirty": _git_dirty(),
             "flow_table_entries": {
                 "packet_path": packet["entries"],
                 "microflow_forwarding": microflow["flows"],
@@ -789,6 +867,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
             "a6_scale": a6,
             "verify": verify,
             "registry_lookup": registry,
+            "domain_scaling": domains,
             "end_to_end": bench_end_to_end(),
         },
     }

@@ -1,0 +1,306 @@
+"""A7 — sharded multi-ingress scenario over parallel simulation domains.
+
+The scenario the tentpole refactor exists for: ``N`` per-ingress domains,
+each a full testbed slice — its own switch, controller, registry,
+dispatcher, FlowMemory, Docker cluster — serving a local
+:class:`~repro.workloads.scale.ClientBank` *plus* a smaller bank whose
+clients target the service homed in the **next** domain (a ring), so
+every domain both originates and serves cross-domain traffic.
+
+Cross-domain traffic is transparent at both ends, exactly like the
+single-loop scenarios:
+
+* the *originating* domain has no local registration for the remote
+  service address, so its controller falls back to plain routing — the
+  remote address is wired as a static host at the domain-gateway port
+  (the same mechanism ``add_cloud_origin`` uses for the cloud uplink);
+* the *serving* domain sees an ordinary packet-in from an unknown client
+  at its gateway port, learns it there, and dispatches transparently to
+  its local edge cluster — remote clients ride the identical slow/fast
+  path as local ones.
+
+State is sharded by construction: every domain owns its slice of
+FlowMemory, dispatcher load counters and registry view; the only shared
+channel is the envelope exchange at lockstep barriers. Per-domain rows
+(and the streaming-stats aggregate row, merged in domain-id order) are
+therefore byte-identical however many worker processes execute the
+domains — ``--domains N`` output equals ``--domains 1`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core import AttachmentPoint, ServiceID
+from repro.metrics import Table
+from repro.metrics.stats import StreamingStats
+from repro.netsim.addresses import IPv4
+from repro.netsim.packet import EthernetFrame
+from repro.simcore import Simulator, TraceLog
+from repro.simcore.domains import (
+    DomainGateway,
+    DomainPartition,
+    LockstepCoordinator,
+    LockstepOutcome,
+    active_domain_workers,
+)
+from repro.workloads.scale import BANK_NET, BANK_PREFIX_LEN, ClientBank, attach_client_bank
+
+#: logical partition width of the A7 scenario (fixed by the topology —
+#: ``--domains N`` only selects how many worker processes execute it)
+A7_N_DOMAINS = 4
+
+#: inter-domain link latency == conservative lookahead (one barrier epoch)
+CROSS_LATENCY_S = 0.002
+
+#: aligned lockstep start: every domain builds, warm-deploys its service
+#: and starts its banks by exactly this simulated time
+WARMUP_S = 60.0
+
+#: service addresses: domain ``d`` homes SERVICE_NET + SERVICE_BASE + d
+#: (offset keeps clear of ``Testbed.alloc_service_id`` suffixes)
+SERVICE_BASE = 200
+
+#: each (domain, bank) pair gets a disjoint 2^20-address client slice
+BANK_SLICE_BITS = 20
+
+
+def domain_service_id(domain_id: int) -> ServiceID:
+    """The service address homed in (owned and served by) ``domain_id``."""
+    from repro.experiments.topologies import SERVICE_NET
+
+    return ServiceID(IPv4(SERVICE_NET.value + SERVICE_BASE + domain_id), 80)
+
+
+def bank_client_base(domain_id: int, bank_no: int) -> int:
+    """Address-space base for bank ``bank_no`` (0=local, 1=remote) of
+    ``domain_id`` — disjoint slices, so client identities are unique
+    across the whole partition."""
+    return ((domain_id << 1) | bank_no) << BANK_SLICE_BITS
+
+
+def owning_domain(addr: IPv4, n_domains: int) -> Optional[int]:
+    """Which domain an address belongs to (service or bank client), or
+    ``None`` if it is not cross-domain routable."""
+    from repro.experiments.topologies import SERVICE_NET
+
+    service_index = addr.value - SERVICE_NET.value - SERVICE_BASE
+    if 0 <= service_index < n_domains:
+        return service_index
+    client_offset = addr.value - BANK_NET.value - 2
+    if 0 <= client_offset < (n_domains << (BANK_SLICE_BITS + 1)):
+        return client_offset >> (BANK_SLICE_BITS + 1)
+    return None
+
+
+class IngressDomainModel:
+    """One ingress domain: a testbed slice plus its two client banks."""
+
+    def __init__(self, domain_id: int, n_domains: int, seed: int,
+                 clients_local: int, clients_remote: int, window: int,
+                 cross_latency_s: float, trace_enabled: bool,
+                 stagger: int = 0) -> None:
+        from repro.experiments.topologies import build_testbed
+
+        self.domain_id = domain_id
+        # Stagger load across ingresses: identical per-domain rows would
+        # hide a domain-permutation bug from the identity tests.
+        clients_local = clients_local + stagger * domain_id
+        tb = build_testbed(seed=seed, n_clients=1, cluster_types=("docker",),
+                           switch_idle_timeout_s=0.5, memory_idle_timeout_s=2.0,
+                           trace=TraceLog(enabled=trace_enabled))
+        self.tb = tb
+
+        # The domain's own service, at its well-known sharded address.
+        svc = tb.register_catalog_service(
+            "nginx", service_id=domain_service_id(domain_id))
+        warm = tb.engine.ensure_available(tb.clusters["docker-egs"], svc)
+
+        # Cross-domain edge: a gateway device on the ingress switch.
+        def classify(frame: EthernetFrame) -> Optional[int]:
+            packet = frame.ipv4
+            if packet is None:
+                return None
+            owner = owning_domain(packet.dst, n_domains)
+            return None if owner == domain_id else owner
+
+        gateway = DomainGateway(tb.sim, f"domain-gw-{domain_id}", domain_id,
+                                classify, cross_latency_s,
+                                mac_addr=tb.net.alloc_mac())
+        gw_port = max(tb.switch.port_numbers, default=0) + 1
+        tb.net.connect(gateway, gateway.uplink_port, tb.switch, gw_port,
+                       latency_s=0.0001, bandwidth_bps=10e9)
+        self.gateway: Optional[DomainGateway] = gateway
+
+        # Remote service addresses resolve to the gateway port (static
+        # hosts — same wiring as the cloud uplink), so the controller's
+        # plain-routing path sends cross-domain frames out the gateway.
+        for other in range(n_domains):
+            if other == domain_id:
+                continue
+            remote = domain_service_id(other)
+            tb.controller.cfg.static_hosts[remote.addr] = AttachmentPoint(
+                dpid=tb.switch.dpid, port_no=gw_port,
+                mac=gateway.mac, ip=remote.addr)
+            tb.controller.hosts[remote.addr] = (
+                tb.switch.dpid, gw_port, gateway.mac)
+
+        # Local bank: the domain's own clients hitting its own service.
+        self.local_bank = attach_client_bank(
+            tb, svc, n_clients=clients_local, window=window,
+            client_base=bank_client_base(domain_id, 0),
+            name=f"bank-local-{domain_id}")
+        # Remote bank: clients of this ingress hitting the service homed
+        # in the next domain around the ring (pure cross-domain load).
+        remote_service = domain_service_id((domain_id + 1) % n_domains)
+        self.remote_bank = ClientBank(
+            tb.sim, f"bank-remote-{domain_id}", clients_remote,
+            service_addr=remote_service.addr,
+            service_port=remote_service.port,
+            vgw_mac=tb.controller.cfg.vgw_mac, window=window,
+            client_base=bank_client_base(domain_id, 1))
+        bank_port = max(tb.switch.port_numbers) + 1
+        tb.net.connect(self.remote_bank, self.remote_bank.uplink_port,
+                       tb.switch, bank_port,
+                       latency_s=0.00015, bandwidth_bps=1e9)
+        tb.zones.assign_subnet(BANK_NET, BANK_PREFIX_LEN, "access")
+        # Pre-register the remote-bank clients (5G attachment: the
+        # ingress knows its UEs). Local clients are learned from their
+        # per-client dispatch packet-ins, but remote-bound SYNs after the
+        # first match the service route flow and never reach the
+        # controller — without registration the returning SYN-ACKs would
+        # be unknown-destination drops.
+        for index in range(clients_remote):
+            client_addr = self.remote_bank.client_ip(index)
+            client_mac = self.remote_bank.client_mac(index)
+            tb.controller.cfg.static_hosts[client_addr] = AttachmentPoint(
+                dpid=tb.switch.dpid, port_no=bank_port,
+                mac=client_mac, ip=client_addr)
+            tb.controller.hosts[client_addr] = (
+                tb.switch.dpid, bank_port, client_mac)
+
+        # Align every domain at exactly t0 = WARMUP_S with a warm local
+        # service, then open both banks' windows (first frames at t0).
+        tb.run(until=WARMUP_S)
+        assert warm.done and warm.exception is None
+        self.local_bank.start()
+        self.remote_bank.start()
+
+    @property
+    def sim(self) -> Simulator:
+        return self.tb.sim
+
+    def done(self) -> bool:
+        return self.local_bank.done and self.remote_bank.done
+
+    def finalize(self) -> Dict[str, Any]:
+        tb = self.tb
+        gateway = self.gateway
+        assert gateway is not None
+        local, remote = self.local_bank.result, self.remote_bank.result
+        assert local.stream is not None and remote.stream is not None
+        # One per-domain latency aggregate across both banks (local then
+        # remote — fixed order keeps the merge deterministic).
+        stream = StreamingStats()
+        stream.merge(local.stream)
+        stream.merge(remote.stream)
+        summary = stream.summary()
+        row = {
+            "domain": f"ingress-{self.domain_id}",
+            "clients": self.local_bank.n_clients + self.remote_bank.n_clients,
+            "ok": local.ok_count + remote.ok_count,
+            "failed": local.failed + remote.failed,
+            "x_out": gateway.envelopes_captured,
+            "x_in": gateway.envelopes_injected,
+            "packet_ins": tb.switch.packet_ins,
+            "dispatches": tb.controller.stats["service_dispatches"],
+            "forwarded_frames": tb.switch.tx_frames,
+            "mean_ms": round(summary.mean * 1000, 3),
+            "p95_ms": round(summary.p95 * 1000, 3),
+        }
+        return {"row": row, "stream": stream}
+
+
+def build_ingress_domain(domain_id: int, n_domains: int, seed: int,
+                         clients_local: int, clients_remote: int,
+                         window: int = 32,
+                         cross_latency_s: float = CROSS_LATENCY_S,
+                         trace_enabled: bool = False,
+                         stagger: int = 0) -> IngressDomainModel:
+    """Top-level picklable builder (the :class:`DomainSpec` contract)."""
+    return IngressDomainModel(domain_id, n_domains, seed, clients_local,
+                              clients_remote, window, cross_latency_s,
+                              trace_enabled, stagger)
+
+
+def build_domain_partition(n_domains: int = A7_N_DOMAINS, seed: int = 2019,
+                           clients_local: int = 150, clients_remote: int = 50,
+                           window: int = 32, stagger: int = 10,
+                           trace_enabled: bool = False) -> DomainPartition:
+    """The A7 logical partition: one domain per ingress, ring-coupled."""
+    return DomainPartition.per_ingress(
+        build_ingress_domain, n_domains=n_domains, root_seed=seed,
+        lookahead_s=CROSS_LATENCY_S, t0=WARMUP_S,
+        common_kwargs={"clients_local": clients_local,
+                       "clients_remote": clients_remote,
+                       "window": window, "stagger": stagger,
+                       "trace_enabled": trace_enabled})
+
+
+def run_sharded_ingress(n_domains: int = A7_N_DOMAINS, seed: int = 2019,
+                        clients_local: int = 150, clients_remote: int = 50,
+                        window: int = 32, stagger: int = 10,
+                        processes: int = 1,
+                        trace_enabled: bool = False) -> LockstepOutcome:
+    """Build the partition and run it to completion under lockstep."""
+    partition = build_domain_partition(
+        n_domains=n_domains, seed=seed, clients_local=clients_local,
+        clients_remote=clients_remote, window=window, stagger=stagger,
+        trace_enabled=trace_enabled)
+    return LockstepCoordinator(partition, processes=processes).run()
+
+
+def sharded_table(outcome: LockstepOutcome, clients_local: int,
+                  clients_remote: int) -> Table:
+    """Render a lockstep outcome as the A7 table (rows in domain order,
+    plus a streaming-merged aggregate row)."""
+    table = Table(
+        title="A7 — Sharded multi-ingress domains under conservative lockstep",
+        columns=["domain", "clients", "ok", "failed", "x_out", "x_in",
+                 "packet_ins", "dispatches", "forwarded_frames",
+                 "mean_ms", "p95_ms"],
+        note=f"{outcome.n_domains} per-ingress domains, lookahead "
+             f"{outcome.lookahead_s * 1000:.0f} ms, {outcome.epochs} barrier "
+             f"epochs, {outcome.envelopes_exchanged} envelopes; "
+             f"{clients_local} local + {clients_remote} remote clients per "
+             f"domain; output is byte-identical across --domains N",
+    )
+    total = StreamingStats()
+    sums = {"clients": 0, "ok": 0, "failed": 0, "x_out": 0, "x_in": 0,
+            "packet_ins": 0, "dispatches": 0, "forwarded_frames": 0}
+    for domain in outcome.outcomes:  # domain-id order == seed order
+        row = domain.result["row"]
+        table.add(**row)
+        for key in sums:
+            sums[key] += row[key]
+        total.merge(domain.result["stream"])
+    summary = total.summary()
+    table.add(domain="total", **sums,
+              mean_ms=round(summary.mean * 1000, 3),
+              p95_ms=round(summary.p95 * 1000, 3))
+    return table
+
+
+def a7_sharded_domains(n_domains: int = A7_N_DOMAINS,
+                       clients_local: int = 150,
+                       clients_remote: int = 50) -> Table:
+    """The registered A7 artifact driver.
+
+    The worker count comes from the runner's ``--domains N`` context;
+    the logical partition (and therefore every number in the table) does
+    not depend on it.
+    """
+    outcome = run_sharded_ingress(
+        n_domains=n_domains, clients_local=clients_local,
+        clients_remote=clients_remote, processes=active_domain_workers())
+    return sharded_table(outcome, clients_local, clients_remote)

@@ -10,11 +10,15 @@ Usage::
     python -m repro.experiments --full         # paper-faithful 42 repeats
     python -m repro.experiments --out results.txt
     python -m repro.experiments --jobs 4       # fan cells over 4 workers
+    python -m repro.experiments --domains 4    # 4 domain workers (A7)
+    python -m repro.experiments --only A7      # one artifact by name
     python -m repro.experiments --no-cache     # always re-simulate
     python -m repro.experiments --profile      # cProfile per artifact → .pstats
 
 Parallelism never changes the numbers: cells are independently seeded and
-merged in seed order, so ``--jobs N`` output is byte-identical to serial.
+merged in seed order, so ``--jobs N`` output is byte-identical to serial,
+and domain-sharded scenarios merge deterministically, so ``--domains N``
+output is byte-identical to ``--domains 1`` (see docs/sharding.md).
 The on-disk cache (``--cache-dir``, default ``.repro-cache``) is keyed by a
 fingerprint of the ``repro`` source tree, so any code edit invalidates it.
 """
@@ -27,8 +31,10 @@ import time
 from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import ablations, churn, extensions, parta, partb, robustness
+from repro.experiments import domains as domains_exp
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ArtifactCache
 from repro.experiments.pool import pooled
+from repro.simcore.domains import domain_workers
 from repro.metrics import ArtifactTiming, RunReport, Series, Table, perf, render_series, render_table
 
 
@@ -66,6 +72,7 @@ def artifact_registry(full: bool) -> List[Tuple[str, str, Callable]]:
         ("a", "A4", parta.a4_flowtable_occupancy),
         ("a", "A5", parta.a5_multiswitch_overhead),
         ("a", "A6", parta.a6_scale),
+        ("a", "A7", domains_exp.a7_sharded_domains),
         ("ablations", "FlowMemory", ablations.ablation_flow_memory),
         ("ablations", "Waiting modes", ablations.ablation_waiting_modes),
         ("ablations", "Hybrid Docker→K8s", ablations.ablation_hybrid_docker_then_k8s),
@@ -119,12 +126,16 @@ def _csv_payload(artifact) -> str:
 def run(parts: Optional[List[str]] = None, full: bool = False,
         out=None, csv_dir: Optional[str] = None,
         jobs: int = 1, cache_dir: Optional[str] = None,
-        profile: bool = False) -> int:
+        profile: bool = False, domains: int = 1,
+        only: Optional[List[str]] = None) -> int:
     """Regenerate the selected artifacts; returns the number regenerated.
 
     With ``csv_dir``, every Table/Series is also written as raw CSV for
     downstream plotting. ``jobs > 1`` fans each driver's cells over that
     many worker processes (output stays byte-identical to serial).
+    ``domains > 1`` runs domain-sharded scenarios (A7) over that many
+    lockstep worker processes — also byte-identical to serial.
+    ``only`` restricts to artifacts by exact name (e.g. ``["A7"]``).
     ``cache_dir`` enables the content-addressed result cache there.
     ``profile`` wraps each regenerated (non-cached) artifact in cProfile
     and dumps ``<artifact>.pstats`` next to its CSV (or into the current
@@ -142,9 +153,11 @@ def run(parts: Optional[List[str]] = None, full: bool = False,
     report = RunReport(jobs=max(1, int(jobs)), cache_enabled=cache is not None)
     profiles: List[str] = []
     count = 0
-    with pooled(jobs) as pool:
+    with pooled(jobs) as pool, domain_workers(domains):
         for part, name, driver in artifact_registry(full):
             if parts and part not in parts:
+                continue
+            if only and name not in only:
                 continue
             # Real wall/CPU time of regenerating the artifact (reporting
             # only; never feeds back into any simulation).
@@ -222,6 +235,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan experiment cells over N worker processes "
                              "(output is byte-identical to serial)")
+    parser.add_argument("--domains", type=int, default=1, metavar="N",
+                        help="run domain-sharded scenarios (A7) over N "
+                             "lockstep worker processes (output is "
+                             "byte-identical to serial)")
+    parser.add_argument("--only", type=str, action="append", metavar="NAME",
+                        help="restrict to artifacts by exact name, e.g. "
+                             "--only A7 (repeatable)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and don't populate the result cache")
     parser.add_argument("--profile", action="store_true",
@@ -237,11 +257,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.out, "w", encoding="utf-8") as handle:
             count = run(args.parts, args.full, out=handle, csv_dir=args.csv_dir,
                         jobs=args.jobs, cache_dir=cache_dir,
-                        profile=args.profile)
+                        profile=args.profile, domains=args.domains,
+                        only=args.only)
         print(f"wrote {count} artifacts to {args.out}")
     else:
         count = run(args.parts, args.full, csv_dir=args.csv_dir,
-                    jobs=args.jobs, cache_dir=cache_dir, profile=args.profile)
+                    jobs=args.jobs, cache_dir=cache_dir, profile=args.profile,
+                    domains=args.domains, only=args.only)
     return 0 if count else 1
 
 

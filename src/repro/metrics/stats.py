@@ -112,6 +112,35 @@ class StreamingStats:
                 index = self.N_BINS - 1
             self._bins[index] += 1
 
+    def merge(self, other: "StreamingStats") -> None:
+        """Fold ``other`` into this accumulator (parallel Welford).
+
+        The moment combination is Chan et al.'s pairwise update — exact
+        up to float rounding — and the histograms/extremes add directly,
+        so quantiles answered after a merge are identical to streaming
+        the same samples through one accumulator. Deterministic for a
+        fixed merge order (the domain-sharded scale path merges
+        per-domain stats in domain-id order).
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            total, mean, m2 = other.count, other.mean, other._m2
+        else:
+            delta = other.mean - self.mean
+            total = self.count + other.count
+            mean = self.mean + delta * other.count / total
+            m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        self.count, self.mean, self._m2 = total, mean, m2
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        for index, hits in enumerate(other._bins):
+            self._bins[index] += hits
+        self._underflow += other._underflow
+        self._overflow += other._overflow
+
     @property
     def variance(self) -> float:
         """Sample variance (ddof=1); 0.0 below two samples."""

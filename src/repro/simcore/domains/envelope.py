@@ -1,0 +1,77 @@
+"""Time-stamped cross-domain frame envelopes and their wire codec.
+
+A frame leaving one simulation domain for another travels as an
+:class:`Envelope`: the frame itself plus the capture time, the
+conservatively-computed arrival time (capture + cross-domain link
+latency ≥ one lookahead), and a per-gateway sequence number. The
+``(arrival_at, src_domain, seq)`` triple is a *total* order over every
+envelope exchanged at a barrier — the lockstep coordinator sorts on it
+before routing, which is what makes the merge independent of worker
+count and completion order.
+
+The codec is the process-executor wire format (one blob per domain per
+epoch over a ``multiprocessing`` pipe). It is pickle-based — frames are
+plain frozen dataclasses and the interned-address machinery re-interns
+on unpickle — with a magic header so a framing bug fails loudly instead
+of deserializing garbage.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.netsim.packet import EthernetFrame
+
+__all__ = ["Envelope", "EnvelopeCodecError", "decode_envelopes",
+           "encode_envelopes", "envelope_order"]
+
+#: wire-format magic + version ("Repro Domain Envelope, v1")
+MAGIC = b"RDE1"
+
+
+class EnvelopeCodecError(ValueError):
+    """An envelope blob failed magic/shape validation on decode."""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One cross-domain frame in flight between barrier epochs."""
+
+    src_domain: int
+    dst_domain: int
+    #: per-source-gateway capture sequence (deterministic tiebreaker)
+    seq: int
+    #: simulated capture time at the source gateway
+    sent_at: float
+    #: simulated delivery time at the destination gateway
+    #: (``sent_at`` + cross-domain latency; always lands at least one
+    #: lookahead after the epoch the frame was captured in)
+    arrival_at: float
+    frame: EthernetFrame
+
+
+def envelope_order(envelope: Envelope) -> Tuple[float, int, int]:
+    """The total order the coordinator merges exchanged envelopes in."""
+    return (envelope.arrival_at, envelope.src_domain, envelope.seq)
+
+
+def encode_envelopes(envelopes: Sequence[Envelope]) -> bytes:
+    """Serialize envelopes for a pipe hop (order is preserved)."""
+    return MAGIC + pickle.dumps(list(envelopes), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_envelopes(blob: bytes) -> List[Envelope]:
+    """Inverse of :func:`encode_envelopes`, with loud validation."""
+    if blob[:len(MAGIC)] != MAGIC:
+        raise EnvelopeCodecError(
+            f"bad envelope blob magic {blob[:len(MAGIC)]!r} (want {MAGIC!r})")
+    try:
+        payload = pickle.loads(blob[len(MAGIC):])
+    except Exception as exc:  # pickle raises a zoo of error types
+        raise EnvelopeCodecError(f"undecodable envelope blob: {exc}") from exc
+    if not isinstance(payload, list) or not all(
+            isinstance(item, Envelope) for item in payload):
+        raise EnvelopeCodecError("envelope blob did not decode to [Envelope]")
+    return payload

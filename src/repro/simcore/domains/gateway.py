@@ -1,0 +1,108 @@
+"""The cross-domain edge of one simulation domain.
+
+A :class:`DomainGateway` is a one-port :class:`~repro.netsim.device.Device`
+wired to the domain's ingress switch. Frames the local control plane
+routes out of that port are *captured* into time-stamped
+:class:`~repro.simcore.domains.envelope.Envelope`\\ s instead of being
+delivered anywhere — the lockstep coordinator drains them at the next
+barrier and hands them to the destination domain, which *injects* them:
+schedules the frame's delivery back through the same port at exactly
+``arrival_at`` (capture time + cross-domain latency).
+
+Conservative correctness is enforced, not assumed: injecting an envelope
+whose arrival time is already in the domain's past raises
+:class:`CausalityError`. With epoch length == lookahead == the minimum
+cross-domain latency, a frame captured in epoch ``k`` arrives at or
+after the epoch-``k+1`` barrier, so the error is unreachable unless the
+coordinator (or a partition's latency math) is wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.netsim.addresses import MAC
+from repro.netsim.device import Device
+from repro.netsim.packet import EthernetFrame
+from repro.simcore.domains.envelope import Envelope
+from repro.simcore.loop import Simulator
+
+__all__ = ["CausalityError", "DomainGateway"]
+
+#: slack for float error on the arrival-time causality check
+_EPSILON = 1e-12
+
+
+class CausalityError(RuntimeError):
+    """An envelope arrived in a domain's simulated past — the lockstep
+    lookahead contract was violated."""
+
+
+class DomainGateway(Device):
+    """Captures egress frames into envelopes; replays inbound envelopes.
+
+    ``classify(frame)`` maps a frame to its destination domain id (or
+    ``None`` for "not routable across domains" — such frames are dropped
+    with a trace record, like a WAN edge with no route).
+    """
+
+    def __init__(self, sim: Simulator, name: str, domain_id: int,
+                 classify: Callable[[EthernetFrame], Optional[int]],
+                 cross_latency_s: float, mac_addr: MAC) -> None:
+        if cross_latency_s <= 0.0:
+            raise ValueError(f"cross-domain latency must be positive, "
+                             f"got {cross_latency_s!r}")
+        super().__init__(sim, name)
+        self.domain_id = domain_id
+        self.classify = classify
+        self.cross_latency_s = cross_latency_s
+        #: the MAC the local controller rewrites eth_dst to when routing
+        #: toward remote addresses registered as static hosts here
+        self.mac = mac_addr
+        #: single switch-facing port
+        self.uplink_port = 0
+        self._outbound: List[Envelope] = []
+        self._seq = 0
+        self.envelopes_captured = 0
+        self.envelopes_injected = 0
+        self.frames_unroutable = 0
+
+    # ------------------------------------------------------------- capture
+
+    def on_frame(self, port_no: int, frame: EthernetFrame) -> None:
+        dst_domain = self.classify(frame)
+        if dst_domain is None:
+            self.frames_unroutable += 1
+            self.sim.trace.emit(self.sim.now, "domain", "gw-unroutable",
+                                {"gateway": self.name, "frame": frame.describe()})
+            return
+        self._seq += 1
+        self.envelopes_captured += 1
+        self._outbound.append(Envelope(
+            src_domain=self.domain_id, dst_domain=dst_domain, seq=self._seq,
+            sent_at=self.sim.now, arrival_at=self.sim.now + self.cross_latency_s,
+            frame=frame))
+
+    def drain(self) -> List[Envelope]:
+        """Hand the captured envelopes to the coordinator (clears the
+        buffer); called once per barrier epoch."""
+        out = self._outbound
+        self._outbound = []
+        return out
+
+    # ------------------------------------------------------------ injection
+
+    def inject(self, envelope: Envelope) -> None:
+        """Schedule an inbound envelope's frame for delivery at its
+        arrival time (into the switch through the uplink port)."""
+        if envelope.arrival_at < self.sim.now - _EPSILON:
+            raise CausalityError(
+                f"{self.name}: envelope from domain {envelope.src_domain} "
+                f"arrives at {envelope.arrival_at:.9f} but local time is "
+                f"already {self.sim.now:.9f} (lookahead contract violated)")
+        self.sim.schedule(max(0.0, envelope.arrival_at - self.sim.now),
+                          self._deliver_inbound, envelope.frame)
+
+    def _deliver_inbound(self, frame: EthernetFrame) -> None:
+        self.envelopes_injected += 1
+        self.transmit(self.uplink_port, frame)

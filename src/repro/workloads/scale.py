@@ -116,13 +116,19 @@ class ClientBank(Device):
     def __init__(self, sim: "Simulator", name: str, n_clients: int,
                  service_addr: IPv4, service_port: int, vgw_mac: MAC,
                  window: int = 64, local_port: int = 40000,
-                 request: Optional[HTTPRequest] = None):
+                 request: Optional[HTTPRequest] = None,
+                 client_base: int = 0):
         if n_clients <= 0:
             raise ValueError("need at least one client")
         if window <= 0:
             raise ValueError("window must be positive")
+        if client_base < 0:
+            raise ValueError("client_base must be non-negative")
         super().__init__(sim, name)
         self.n_clients = n_clients
+        #: offset into the bank IP/MAC space — multiple banks (e.g. one
+        #: per simulation domain) stay address-disjoint by spacing bases
+        self.client_base = client_base
         self.service_addr = service_addr
         self.service_port = service_port
         self.vgw_mac = vgw_mac
@@ -144,10 +150,10 @@ class ClientBank(Device):
     # ------------------------------------------------------------ identity
 
     def client_ip(self, index: int) -> IPv4:
-        return IPv4(BANK_NET.value + 2 + index)
+        return IPv4(BANK_NET.value + 2 + self.client_base + index)
 
     def client_mac(self, index: int) -> MAC:
-        return MAC(BANK_MAC_BASE + 1 + index)
+        return MAC(BANK_MAC_BASE + 1 + self.client_base + index)
 
     @property
     def active_count(self) -> int:
@@ -280,7 +286,9 @@ class ClientBank(Device):
 def attach_client_bank(testbed, service, n_clients: int, window: int = 64,
                        link_latency_s: float = 0.00015,
                        bandwidth_bps: float = 1e9,
-                       zone: str = "access") -> ClientBank:
+                       zone: str = "access",
+                       client_base: int = 0,
+                       name: str = "client-bank") -> ClientBank:
     """Wire a :class:`ClientBank` for ``service`` onto the testbed switch.
 
     The whole bank subnet maps to ``zone`` with one
@@ -290,10 +298,10 @@ def attach_client_bank(testbed, service, n_clients: int, window: int = 64,
     """
     from repro.experiments.topologies import VGW_MAC
 
-    bank = ClientBank(testbed.sim, "client-bank", n_clients,
+    bank = ClientBank(testbed.sim, name, n_clients,
                       service_addr=service.service_id.addr,
                       service_port=service.service_id.port,
-                      vgw_mac=VGW_MAC, window=window)
+                      vgw_mac=VGW_MAC, window=window, client_base=client_base)
     port_no = max(testbed.switch.port_numbers, default=0) + 1
     testbed.net.connect(bank, 0, testbed.switch, port_no,
                         latency_s=link_latency_s, bandwidth_bps=bandwidth_bps)

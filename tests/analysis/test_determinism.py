@@ -60,6 +60,20 @@ def test_planted_hash_order_bug_is_caught():
     assert "+++" in report and "---" in report
 
 
+def test_domains_fingerprint_has_all_sections():
+    fp = scenario_fingerprint("domains")
+    assert "== summary ==" in fp
+    assert "== domain 0 ==" in fp and "== domain 1 ==" in fp
+    assert "== merged trace ==" in fp
+    assert scenario_fingerprint("domains") == fp
+
+
+def test_domains_scenario_is_hash_seed_invariant():
+    identical, report = compare("domains")
+    assert identical, report
+    assert "byte-identical" in report
+
+
 def test_main_exit_codes():
     assert main(["--scenario", "parta"]) == 0
     assert main(["--scenario", "hash-order-bug"]) == 1

@@ -52,6 +52,41 @@ class TestExactMoments:
         assert summary.median == pytest.approx(value, rel=BIN_REL_ERROR)
 
 
+class TestMerge:
+    """merge() is the domain-sharded scale path: per-domain accumulators
+    folded in domain-id order must be indistinguishable from one stream."""
+
+    @given(samples_lists, st.integers(min_value=1, max_value=5))
+    def test_sharded_merge_matches_single_stream(self, values, n_shards):
+        serial = _fill(values)
+        shards = [StreamingStats() for _ in range(n_shards)]
+        for index, value in enumerate(values):
+            shards[index % n_shards].add(value)
+        merged = StreamingStats()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.count == serial.count
+        assert math.isclose(merged.mean, serial.mean,
+                            rel_tol=1e-9, abs_tol=1e-15)
+        assert math.isclose(merged.std, serial.std,
+                            rel_tol=1e-6, abs_tol=1e-9)
+        assert merged.minimum == serial.minimum
+        assert merged.maximum == serial.maximum
+        # histograms add exactly, so quantiles agree exactly
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == serial.quantile(q)
+
+    def test_merge_empty_is_identity_both_ways(self):
+        values = [0.001, 0.01, 0.1]
+        stream = _fill(values)
+        stream.merge(StreamingStats())
+        assert stream.count == 3
+        empty = StreamingStats()
+        empty.merge(_fill(values))
+        assert empty.count == 3
+        assert empty.summary().mean == pytest.approx(sum(values) / 3)
+
+
 class TestQuantiles:
     @given(samples_lists)
     def test_quantiles_within_one_bin_of_exact(self, values):

@@ -38,6 +38,29 @@ class TestPerfCounters:
         assert total.events_executed == 6
         assert (total - b).flow_lookups == a.flow_lookups
 
+    def test_merge_is_associative_and_commutative_across_shards(self):
+        # Lockstep folds per-domain deltas into one total; any split of the
+        # same work across N domains must merge back to the serial total.
+        shards = [PerfCounters(events_executed=3 * i + 1,
+                               flow_lookups=2 * i,
+                               flow_hits=i,
+                               microflow_hits=5 * i,
+                               microflow_misses=i % 3)
+                  for i in range(6)]
+        serial = PerfCounters()
+        for shard in shards:
+            serial = serial + shard
+        left_fold = sum(shards, PerfCounters())
+        right_fold = shards[0]
+        for shard in reversed(shards[1:]):
+            right_fold = shard + right_fold
+        pairwise = ((shards[0] + shards[1]) + (shards[2] + shards[3])) \
+            + (shards[4] + shards[5])
+        reordered = sum(reversed(shards), PerfCounters())
+        assert serial == left_fold == right_fold == pairwise == reordered
+        # and the split really was a partition, not copies
+        assert serial.events_executed == sum(s.events_executed for s in shards)
+
     def test_hit_rate(self):
         c = PerfCounters(microflow_hits=3, microflow_misses=1)
         assert c.microflow_hit_rate == 0.75

@@ -9,6 +9,8 @@ directions. That is the contract scale results rest on: A6 numbers are
 about *many* clients, not *different* clients.
 """
 
+import pytest
+
 from repro.experiments import build_testbed
 from repro.netsim import ETH_TYPE_IP
 from repro.workloads.scale import (
@@ -125,6 +127,36 @@ class TestBankMechanics:
         assert bank.aborted == 0
         # every conversation hit the dispatch slow path (unique client IPs)
         assert tb.controller.stats["service_dispatches"] == 300
+
+    def test_client_base_offsets_address_slices(self):
+        """Two banks with disjoint ``client_base`` slices (the sharded
+        multi-ingress layout) must not collide on IP or MAC, and the
+        offset bank still completes against the same service."""
+        tb, svc = _warm_testbed()
+        low = attach_client_bank(tb, svc, n_clients=40, window=8,
+                                 name="bank-low")
+        high = attach_client_bank(tb, svc, n_clients=40, window=8,
+                                  client_base=1 << 20, name="bank-high")
+        assert high.client_ip(0).value - low.client_ip(0).value == 1 << 20
+        ips = {low.client_ip(i) for i in range(40)} \
+            | {high.client_ip(i) for i in range(40)}
+        macs = {low.client_mac(i) for i in range(40)} \
+            | {high.client_mac(i) for i in range(40)}
+        assert len(ips) == 80 and len(macs) == 80
+        low.start()
+        high.start()
+        tb.run(until=tb.sim.now + 120.0)
+        assert low.done and high.done
+        assert low.result.failed == 0 and high.result.failed == 0
+        assert low.result.ok_count == 40 and high.result.ok_count == 40
+
+    def test_client_base_rejects_negative(self):
+        tb, svc = _warm_testbed()
+        with pytest.raises(ValueError, match="client_base"):
+            ClientBank(tb.sim, "bad", n_clients=1,
+                       service_addr=svc.service_id.addr,
+                       service_port=svc.service_id.port,
+                       vgw_mac=tb.controller.cfg.vgw_mac, client_base=-1)
 
     def test_state_is_bounded_by_window_not_clients(self):
         tb, svc = _warm_testbed()
