@@ -1,4 +1,4 @@
-"""The determinism rule set (``REP001``..``REP008``).
+"""The determinism rule set (``REP001``..``REP009``).
 
 Each rule is a small AST visitor registered in :data:`RULES`. Rules are
 deliberately *repo-specific*: they encode the determinism contract of
@@ -463,6 +463,68 @@ class NoDirectSimulatorInExperiments(Rule):
                              "experiment driver — use "
                              "repro.simcore.domains.new_simulator so the "
                              "loop participates in domain accounting")
+
+
+# ---------------------------------------------------------------------------
+# REP009 — wholesale flushes of generation-keyed memos
+# ---------------------------------------------------------------------------
+
+
+@register
+class NoWholesaleMemoFlush(Rule):
+    """Generation-keyed memos revalidate per key; they are not ``.clear()``ed."""
+
+    code = "REP009"
+    name = "no-wholesale-memo-flush"
+    rationale = ("calling .clear() on a cache/memo/microflow mapping outside "
+                 "the revalidation layer reintroduces the wholesale-flush "
+                 "pathology the fine-grained revalidation work removed (one "
+                 "churn event colds every unrelated key); evict per key, or "
+                 "route the flush through repro.core.revalidation")
+
+    #: attribute-name markers of generation-keyed memo containers; matched
+    #: against whole underscore-separated segments of the name, so `memo`
+    #: flags `_service_memo` but not `memory` (FlowMemory is authoritative
+    #: state — clearing it is a semantic reset, not a memo flush)
+    MARKERS = frozenset({"cache", "caches", "memo", "memos", "microflow"})
+    #: the one module allowed to wholesale-flush (it IS the revalidation
+    #: layer: capacity bounds and explicit crash resets live there)
+    ALLOWED = "repro/core/revalidation.py"
+    #: only library code is restricted; tests exercise flushes on purpose
+    SCOPE = "src/repro/"
+
+    def _in_scope(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return self.SCOPE in normalized and self.ALLOWED not in normalized
+
+    def _memo_name(self, node: ast.AST) -> Optional[str]:
+        """Terminal attribute/name a ``.clear()`` was called on, if it
+        looks like a memo container."""
+        if isinstance(node, ast.Attribute):
+            terminal = node.attr
+        elif isinstance(node, ast.Name):
+            terminal = node.id
+        else:
+            return None
+        segments = terminal.lower().split("_")
+        if any(segment in self.MARKERS for segment in segments):
+            return terminal
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr != "clear":
+                continue
+            name = self._memo_name(func.value)
+            if name is not None:
+                yield node, (f"wholesale `.clear()` of memo container "
+                             f"`{name}` — evict per key (or go through the "
+                             f"revalidation layer in repro.core.revalidation)")
 
 
 def iter_rule_docs() -> Iterable[str]:

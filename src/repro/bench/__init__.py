@@ -4,9 +4,11 @@
 hot path (indexed flow-table lookup vs. the reference linear scan,
 microflow-cached forwarding, flow churn through the exact-match index, raw
 event-loop throughput, allocation-lean header rewrites, the memoized
-controller slow path, the prefix-trie service registry from 1k to 1M
-registered services, the million-frame A6 scale scenario with peak
-memory, and the domain-sharded lockstep scenario at 1/2/4 worker
+controller slow path, the warm-cache hit rates under unrelated churn —
+fine-grained revalidation vs. the coarse flush-everything oracle — the
+prefix-trie service registry from 1k to 1M registered services, the
+million-frame A6 scale scenario with peak memory, and the
+domain-sharded lockstep scenario at 1/2/4 worker
 processes) plus end-to-end experiment drivers, and writes a
 machine-readable record (``BENCH_<series>.json``, see ``BENCH_SERIES``)
 so future PRs can compare against it (``python -m repro.bench --compare
@@ -20,6 +22,7 @@ result.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import platform
 import subprocess
@@ -37,6 +40,7 @@ __all__ = [
     "bench_event_loop",
     "bench_packet_rewrite",
     "bench_controller_slow_path",
+    "bench_warm_churn",
     "bench_a6_scale",
     "bench_verify",
     "bench_registry_lookup",
@@ -50,7 +54,7 @@ __all__ = [
 #: tree benchmarks as. Bump it (once, here) when a PR establishes a new
 #: baseline — the default output name and the record's ``pr`` field both
 #: derive from it, so they can never drift apart again.
-BENCH_SERIES = 7
+BENCH_SERIES = 8
 DEFAULT_OUT = f"BENCH_{BENCH_SERIES}.json"
 #: v2 adds the ``meta`` block (git commit, flow-table entry counts); the
 #: reader (`repro.bench.compare.load_record`) still accepts v1 records.
@@ -433,6 +437,157 @@ def bench_controller_slow_path(packet_ins: int = 20_000,
     return out
 
 
+def bench_warm_churn(packet_ins: int = 20_000, drain_every: int = 1_000,
+                     repeats: int = 3, mf_flows: int = 256,
+                     mf_packets: int = 200_000,
+                     mf_churn_every: int = 64) -> Dict[str, Any]:
+    """Warm-cache hit rates under *unrelated* churn, fine vs. coarse.
+
+    The revalidation PR's headline benchmark. Both halves interleave hot
+    traffic with mutations that are irrelevant to it, and run each cache
+    discipline side by side:
+
+    * **Controller half** — the memoized slow path of
+      :func:`bench_controller_slow_path`, but between every timed
+      packet-in an unrelated cloud-prefix service registers/deregisters
+      and a foreign client's FlowMemory entry is remembered/forgotten.
+      Under fine-grained revalidation the install plan's per-key tokens
+      (registry token, FlowMemory version, host version, cluster
+      generation) are all untouched, so the plan stays warm; the coarse
+      epoch pins the global generations and re-misses on every packet.
+    * **Switch half** — :func:`bench_microflow_forwarding`'s loop, but an
+      unrelated exact-match rule installs+deletes every
+      ``mf_churn_every`` packets. Surgical eviction leaves the cached
+      microflows alone; the coarse oracle flushes the whole cache, and at
+      ``mf_churn_every < mf_flows`` it never rewarms.
+
+    Each timed half runs ``repeats`` times from a fresh testbed and reports
+    the best (timeit-style minimum — the work is deterministic, the spread
+    is scheduler noise); hit/miss counters are identical across repeats.
+    """
+    from repro.netsim.addresses import IPv4
+    from repro.workloads.cloudprefix import (
+        synth_cloud_prefixes, synth_service_ids, synthetic_service)
+
+    repeats = max(1, repeats)
+    out: Dict[str, Any] = {"packet_ins": packet_ins, "repeats": repeats}
+    # Churn identities live in the synthetic cloud supernets (52/10, 20.64/10,
+    # ...), disjoint from the testbed's TEST-NET-2 service and client ranges:
+    # the churn is *provably* unrelated to the hot flow.
+    churn_sid = synth_service_ids(12, 1, synth_cloud_prefixes(seed=11,
+                                                              count=16))[0]
+    for label, fine in (("fine", True), ("coarse", False)):
+        # Best-of-repeats (timeit-style min over fresh testbeds): the
+        # per-packet cost is deterministic work, so the minimum is the
+        # measurement and the spread is scheduler/allocator noise.
+        best = float("inf")
+        hits = misses = 0
+        for _rep in range(repeats):
+            tb, ev = _slow_path_testbed(memoize=True)
+            ctrl = tb.controller
+            ctrl.cfg.fine_grained_revalidation = fine
+            foreign_client = IPv4("198.18.0.1")  # RFC 2544 range: not a host
+            flow = next(iter(ctrl.memory._flows.values()))
+            hot_sid = flow.key[1]
+            # Seed the foreign FlowMemory entry once; the churn loop then
+            # *overwrites* it in place — every overwrite bumps the global
+            # generation and the foreign key's version (the mutation the
+            # coarse epoch trips over) without scheduling a fresh idle timer
+            # per op, which would grow the event heap and tax both modes
+            # equally.
+            ctrl.memory.remember(foreign_client, hot_sid, flow.cluster,
+                                 flow.endpoint)
+            hits0 = ctrl.stats["slow_path_plan_hits"]
+            misses0 = ctrl.stats["slow_path_plan_misses"]
+            handler = ctrl.on_packet_in
+            elapsed = 0.0
+            registered = False
+            # GC pauses land in whichever timed section they like; park
+            # collection during the bursts and catch up at the (untimed)
+            # drain points so both modes pay it identically.
+            gc.disable()
+            try:
+                for start in range(0, packet_ins, drain_every):
+                    burst = min(drain_every, packet_ins - start)
+                    for _ in range(burst):
+                        if registered:
+                            ctrl.registry.deregister(churn_sid)
+                        else:
+                            ctrl.registry.register_service(
+                                synthetic_service(churn_sid))
+                        registered = not registered
+                        ctrl.memory.remember(foreign_client, hot_sid,
+                                             flow.cluster, flow.endpoint)
+                        started = _now()
+                        handler(ev)
+                        elapsed += _now() - started
+                    tb.run(until=tb.sim.now + 5.0)
+                    gc.collect()
+            finally:
+                gc.enable()
+            best = min(best, elapsed)
+            # Hit/miss counts are deterministic across repeats.
+            hits = ctrl.stats["slow_path_plan_hits"] - hits0
+            misses = ctrl.stats["slow_path_plan_misses"] - misses0
+        out[f"us_per_packetin_{label}"] = round(best / packet_ins * 1e6, 3)
+        out[f"memo_hit_pct_{label}"] = round(
+            hits / max(1, hits + misses) * 100.0, 2)
+    out["packetin_speedup"] = round(out["us_per_packetin_coarse"]
+                                    / out["us_per_packetin_fine"], 2)
+
+    from repro.netsim import (
+        ETH_TYPE_IP, EthernetFrame, IPv4Packet, TCPSegment, ip, mac)
+    from repro.netsim.packet import IP_PROTO_TCP
+    from repro.openflow import FlowEntry, Match, OutputAction
+    from repro.openflow.switch import OpenFlowSwitch
+    from repro.simcore import Simulator
+
+    mf: Dict[str, Any] = {"flows": mf_flows, "packets": mf_packets,
+                          "churn_every": mf_churn_every}
+    for label, surgical in (("surgical", True), ("coarse", False)):
+        best = float("inf")
+        for _rep in range(repeats):
+            sim = Simulator()
+            switch = OpenFlowSwitch(sim, "bench-sw", dpid=1,
+                                    microflow_surgical=surgical)
+            frames = []
+            for i in range(mf_flows):
+                dst = f"172.16.{i // 256 % 256}.{i % 256}"
+                switch.table.install(FlowEntry(
+                    match=Match(eth_type=0x0800, ip_proto=6, ipv4_dst=dst,
+                                tcp_dst=80),
+                    priority=100, actions=[OutputAction(1)]))
+                seg = TCPSegment(src_port=40000, dst_port=80)
+                pkt = IPv4Packet(src=ip("10.0.0.1"), dst=ip(dst),
+                                 proto=IP_PROTO_TCP, payload=seg)
+                frames.append(EthernetFrame(src=mac(1), dst=mac(2),
+                                            ethertype=ETH_TYPE_IP,
+                                            payload=pkt))
+            churn_match = Match(eth_type=0x0800, ip_proto=6,
+                                ipv4_src="192.0.2.9", ipv4_dst="192.0.2.10",
+                                tcp_dst=443)
+            started = _now()
+            for i in range(mf_packets):
+                if i % mf_churn_every == 0:
+                    switch.table.install(FlowEntry(match=churn_match,
+                                                   priority=50,
+                                                   actions=[OutputAction(2)]))
+                    switch.table.delete(churn_match, strict=True, priority=50)
+                switch.on_frame(2, frames[i % mf_flows])
+                if i % 10_000 == 9_999:
+                    sim.run()
+            sim.run()
+            best = min(best, _now() - started)
+        mf[f"us_per_packet_{label}"] = round(best / mf_packets * 1e6, 3)
+        mf[f"hit_pct_{label}"] = round(switch.microflow_hit_rate * 100.0, 2)
+        mf[f"mf_evictions_{label}"] = switch.mf_evictions
+        mf[f"mf_flushes_{label}"] = switch.mf_flushes
+    mf["packet_speedup"] = round(mf["us_per_packet_coarse"]
+                                 / mf["us_per_packet_surgical"], 2)
+    out["microflow"] = mf
+    return out
+
+
 def bench_a6_scale(clients: int = 101_000, window: int = 64,
                    budget_mb: float = A6_FULL_BUDGET_MB) -> Dict[str, Any]:
     """The A6 scenario at acceptance scale, with peak-memory accounting.
@@ -803,7 +958,12 @@ def _git_commit() -> Optional[str]:
 def _git_dirty() -> Optional[bool]:
     """Whether the working tree had uncommitted changes when the record
     was generated (None outside a git checkout) — a committed baseline
-    produced from a dirty tree is not reproducible from its commit."""
+    produced from a dirty tree is not reproducible from its commit.
+
+    Bench records themselves (``BENCH_*.json``) are exempt: regenerating a
+    record into the checkout is the one mutation every baseline run makes,
+    and it cannot influence the numbers being recorded.
+    """
     try:
         out = subprocess.run(["git", "status", "--porcelain"],
                              capture_output=True, text=True, timeout=10)
@@ -811,7 +971,16 @@ def _git_dirty() -> Optional[bool]:
         return None
     if out.returncode != 0:
         return None
-    return bool(out.stdout.strip())
+    relevant = []
+    for line in out.stdout.splitlines():
+        # porcelain v1: two status columns, a space, then the path
+        path = line[3:].split(" -> ")[-1].strip().strip('"')
+        name = path.rsplit("/", 1)[-1]
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            continue
+        if line.strip():
+            relevant.append(line)
+    return bool(relevant)
 
 
 def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
@@ -823,6 +992,8 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         loop = bench_event_loop(events=20_000)
         rewrite = bench_packet_rewrite(packets=10_000, timing_rounds=20_000)
         slow_path = bench_controller_slow_path(packet_ins=2_000)
+        warm_churn = bench_warm_churn(packet_ins=2_000, repeats=2,
+                                      mf_packets=20_000)
         a6 = bench_a6_scale(clients=2_000, budget_mb=A6_SMOKE_BUDGET_MB)
         verify = bench_verify(sizes=(500, 2_000))
         registry = bench_registry_lookup(sizes=(1_000, 10_000),
@@ -835,6 +1006,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         loop = bench_event_loop()
         rewrite = bench_packet_rewrite()
         slow_path = bench_controller_slow_path()
+        warm_churn = bench_warm_churn()
         a6 = bench_a6_scale()
         verify = bench_verify()
         registry = bench_registry_lookup()
@@ -864,6 +1036,7 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
             "event_loop": loop,
             "packet_rewrite": rewrite,
             "controller_slow_path": slow_path,
+            "warm_churn": warm_churn,
             "a6_scale": a6,
             "verify": verify,
             "registry_lookup": registry,

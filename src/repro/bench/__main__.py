@@ -8,13 +8,30 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from repro.bench import DEFAULT_OUT, run_benchmarks, write_record
-from repro.bench.compare import compare, load_record, memory_budget_failures
+from repro.bench.compare import (
+    compare,
+    dirty_meta_failures,
+    load_record,
+    memory_budget_failures,
+)
 
 
 def _gate(record: Dict[str, Any], old_path: Optional[str],
-          max_regress_pct: float, enforce_memory_budget: bool) -> int:
+          max_regress_pct: float, enforce_memory_budget: bool,
+          enforce_clean_meta: bool = False) -> int:
     """Apply the comparison and budget gates; returns the exit code."""
     status = 0
+    if enforce_clean_meta:
+        failures = dirty_meta_failures(record, "record")
+        if old_path is not None:
+            failures += dirty_meta_failures(load_record(old_path), "baseline")
+        if failures:
+            print("\nFAIL: dirty-tree bench record:", file=sys.stderr)
+            for item in failures:
+                print(f"  {item}", file=sys.stderr)
+            status = 1
+        else:
+            print("bench meta is clean (git_dirty not set)")
     if old_path is not None:
         old = load_record(old_path)
         lines, regressions = compare(old, record, max_regress_pct)
@@ -68,6 +85,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--enforce-memory-budget", action="store_true",
                         help="exit non-zero if any benchmark reports "
                              "within_budget=false")
+    parser.add_argument("--enforce-clean-meta", action="store_true",
+                        help="exit non-zero if the record (or the --compare "
+                             "baseline) was generated from a dirty tree "
+                             "(meta.git_dirty=true)")
+    parser.add_argument("--series", type=int, default=None, metavar="N",
+                        help="stamp the record as PR series N instead of the "
+                             "tree's BENCH_SERIES (and default --out to "
+                             "BENCH_N.json): regenerates an older committed "
+                             "baseline from the current tree")
     args = parser.parse_args(argv)
 
     if args.against is not None:
@@ -75,9 +101,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--against NEW.json requires --compare OLD.json")
         record = load_record(args.against)
         return _gate(record, args.compare, args.max_regress_pct,
-                     args.enforce_memory_budget)
+                     args.enforce_memory_budget, args.enforce_clean_meta)
 
     record = run_benchmarks(smoke=args.smoke)
+    if args.series is not None:
+        record["pr"] = args.series
+        if args.out == DEFAULT_OUT:
+            args.out = f"BENCH_{args.series}.json"
     write_record(record, args.out)
     json.dump(record, sys.stdout, indent=2)
     print()
@@ -90,7 +120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{args.min_speedup}", file=sys.stderr)
             status = 1
     status = max(status, _gate(record, args.compare, args.max_regress_pct,
-                               args.enforce_memory_budget))
+                               args.enforce_memory_budget,
+                               args.enforce_clean_meta))
     return status
 
 

@@ -81,6 +81,10 @@ def compare(old: Dict[str, Any], new: Dict[str, Any],
     if old.get("smoke") != new.get("smoke"):
         lines.append("warning: comparing smoke and full records — iteration "
                      "counts differ, deltas are indicative only")
+    for which, record in (("old", old), ("new", new)):
+        if record.get("meta", {}).get("git_dirty"):
+            lines.append(f"warning: {which} record was generated from a dirty "
+                         "working tree — its commit does not reproduce it")
     lines.append("")
 
     shared = sorted(set(old_metrics) & set(new_metrics))
@@ -112,6 +116,18 @@ def compare(old: Dict[str, Any], new: Dict[str, Any],
         lines.append("")
         lines.append(f"only in old ({len(removed)}): " + ", ".join(removed))
     return lines, regressions
+
+
+def dirty_meta_failures(record: Dict[str, Any], label: str = "record") -> List[str]:
+    """Clean-meta gate: a record whose ``meta.git_dirty`` is true was
+    generated from a tree with uncommitted changes, so its ``git_commit``
+    does not reproduce its numbers. ``None`` (no meta / outside git) passes
+    — only a positive dirty stamp fails the gate."""
+    if record.get("meta", {}).get("git_dirty"):
+        commit = record.get("meta", {}).get("git_commit")
+        return [f"{label}: meta.git_dirty=true (commit={commit}) — "
+                "regenerate the record from a clean committed tree"]
+    return []
 
 
 def memory_budget_failures(record: Dict[str, Any]) -> List[str]:

@@ -41,9 +41,11 @@ from repro.core.cookies import (
 from repro.core.dispatcher import Dispatcher, DispatchResult
 from repro.core.fabric import FabricTopology
 from repro.core.flowmemory import FlowMemory, MemorizedFlow
-from repro.core.registry import EdgeService, ServiceRegistry
+from repro.core.registry import EdgeService, RegistryToken, ServiceRegistry
+from repro.core.revalidation import RevalidatingCache
 from repro.core.serviceid import ServiceID
 from repro.edge.cluster import EdgeCluster, Endpoint
+from repro.metrics.perf import PERF
 from repro.netsim.addresses import MAC, IPv4
 from repro.netsim.packet import ETH_TYPE_ARP, ETH_TYPE_IP, ArpOp, ArpPacket, EthernetFrame
 from repro.openflow.actions import SetFieldAction
@@ -76,38 +78,55 @@ class AttachmentPoint:
 
 
 class _HostTable(Dict[IPv4, Tuple[int, int, MAC]]):
-    """The learned-hosts dict plus a version counter.
+    """The learned-hosts dict plus version counters.
 
     Memoized install plans embed host locations; any write — including the
     direct writes testbed builders do (``controller.hosts[ip] = ...``) —
-    bumps ``version`` so those plans can be invalidated wholesale.
+    bumps the global ``version`` (the coarse revalidation token) and stamps
+    the written key, so :meth:`version_of` can revalidate a plan against
+    *that client's* location only (the fine-grained token).
     """
 
-    __slots__ = ("version",)
+    __slots__ = ("version", "_key_versions", "_clears")
 
     def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
         self.version = 0
+        self._key_versions: Dict[IPv4, int] = {}
+        self._clears = 0
+        super().__init__(*args, **kwargs)
 
     def __setitem__(self, key: IPv4, value: Tuple[int, int, MAC]) -> None:
         super().__setitem__(key, value)
         self.version += 1
+        self._key_versions[key] = self.version
 
     def __delitem__(self, key: IPv4) -> None:
         super().__delitem__(key)
         self.version += 1
+        self._key_versions[key] = self.version
 
     def pop(self, *args):
         self.version += 1
+        if args:
+            self._key_versions[args[0]] = self.version
         return super().pop(*args)
 
     def clear(self) -> None:
         super().clear()
         self.version += 1
+        self._clears += 1
+        self._key_versions.clear()
 
     def update(self, *args, **kwargs) -> None:
         super().update(*args, **kwargs)
         self.version += 1
+        for key in dict(*args, **kwargs):
+            self._key_versions[key] = self.version
+
+    def version_of(self, key: IPv4) -> Tuple[int, int]:
+        """Per-key revalidation token: unchanged iff this host's location
+        saw no write (and no wholesale clear) since the token was taken."""
+        return (self._clears, self._key_versions.get(key, 0))
 
 
 @dataclass
@@ -118,9 +137,16 @@ class _InstallPlan:
     are NOT part of the plan (every install draws a fresh one) and datapaths
     are fetched live at send time."""
 
-    #: generation snapshot (registry, flow-memory, hosts, cluster) the plan
-    #: was computed under; any mismatch discards the whole cache
-    epoch: Tuple[int, int, int, int]
+    #: validity token (registry, flow-memory, hosts, cluster) the plan was
+    #: computed under, compared per entry on reuse. Fine-grained mode uses
+    #: per-key tokens (see ``_plan_epoch``), coarse mode the four global
+    #: generation counters.
+    epoch: Tuple[object, ...]
+    #: the four *global* counters at compute/last-revalidation time — the
+    #: O(1) fast path on reuse: while no counter moved anywhere, the
+    #: per-key tokens cannot have moved either, so the epoch needn't be
+    #: recomputed. Re-stamped whenever a generation move revalidates.
+    global_epoch: Tuple[int, int, int, int]
     client_mac: MAC
     #: (dpid, first, down_match, down_actions, up_match, up_actions, flags)
     #: in install order (farthest-first, downstream-before-upstream)
@@ -178,6 +204,15 @@ class ControllerConfig:
     #: install plan) with generation-counter invalidation; behaviour-neutral
     #: (tests/core/test_controller_memoization.py proves it differentially)
     memoize_slow_path: bool = True
+    #: revalidate slow-path memos per key instead of flushing wholesale:
+    #: the service memo revalidates each entry against
+    #: ``ServiceRegistry.generation_of`` and install plans against per-key
+    #: epochs (registry token, per-(client, service) FlowMemory version,
+    #: per-client host version, per-cluster generation), so churn on
+    #: service X never colds the caches for service Y. ``False`` selects
+    #: the coarse global-generation path, kept as the differential oracle
+    #: (tests/core/test_fine_revalidation.py).
+    fine_grained_revalidation: bool = True
     #: inter-switch topology for multi-switch deployments (None: single
     #: switch, the fig. 8 testbed)
     fabric: Optional["FabricTopology"] = None
@@ -248,6 +283,15 @@ class TransparentEdgeController(RyuApp):
         self._service_cache: Dict[Tuple[IPv4, int, str],
                                   Optional[EdgeService]] = {}
         self._service_cache_gen = -1
+        #: the fine-grained replacement for ``_service_cache``: same keys,
+        #: but entries revalidate individually against the registry's
+        #: per-key token instead of being flushed on a generation mismatch
+        self._service_memo: RevalidatingCache[Tuple[IPv4, int, str],
+                                              Optional[EdgeService],
+                                              RegistryToken] = RevalidatingCache(
+            token_of=self._service_token,
+            generation_of=self._registry_generation,
+            capacity=PLAN_CACHE_CAPACITY)
         #: memoized install plans: (client, service_id, cluster name,
         #: endpoint) -> _InstallPlan, validated per entry by its epoch
         self._plan_cache: Dict[Tuple, _InstallPlan] = {}
@@ -381,25 +425,53 @@ class TransparentEdgeController(RyuApp):
         registry to prove the memo never leaks a stale answer under churn."""
         return self._lookup_service(dst, dst_port, protocol)
 
+    def service_memo_stats(self) -> Dict[str, int]:
+        """Diagnostics of the fine-grained service memo (hits, misses,
+        revalidations, invalidations, flushes) — what ``bench_warm_churn``
+        and the CI hit-rate gates read."""
+        return self._service_memo.stats()
+
+    def _service_token(self, key: Tuple[IPv4, int, str]) -> RegistryToken:
+        """The service memo's per-key revalidation token."""
+        dst, dst_port, protocol = key
+        return self.registry.generation_of(dst, dst_port, protocol)
+
+    def _registry_generation(self) -> int:
+        return self.registry.generation
+
     def _lookup_service(self, dst: IPv4, dst_port: int,
                         protocol: str = "TCP") -> Optional[EdgeService]:
-        """Registry lookup, memoized per (dst, port, protocol) while the
-        registry is unchanged. Negative answers are cached too — the common
-        miss is plain L3 traffic hammering the same non-service destination.
-        Prefix-aware: an address inside a subnet-registered prefix resolves
-        to that service (longest match wins)."""
+        """Registry lookup, memoized per (dst, port, protocol). Negative
+        answers are cached too — the common miss is plain L3 traffic
+        hammering the same non-service destination. Prefix-aware: an
+        address inside a subnet-registered prefix resolves to that service
+        (longest match wins).
+
+        Fine-grained mode (default) revalidates each memo entry against
+        the registry's per-key token, so churn on unrelated services keeps
+        the whole cache warm; the coarse path clears everything on any
+        registry mutation and is kept as the differential oracle."""
         if not self.cfg.memoize_slow_path:
             return self.registry.lookup_prefix(dst, dst_port, protocol)
-        if self._service_cache_gen != self.registry.generation:
-            self._service_cache.clear()
-            self._service_cache_gen = self.registry.generation
         key = (dst, dst_port, protocol)
+        if self.cfg.fine_grained_revalidation:
+            found, cached = self._service_memo.get(key)
+            if found:
+                return cached
+            service = self.registry.lookup_prefix(dst, dst_port, protocol)
+            self._service_memo.store(key, service)
+            return service
+        if self._service_cache_gen != self.registry.generation:
+            # Coarse differential oracle: any registry mutation colds the
+            # entire memo (the behaviour fine-grained revalidation replaces).
+            self._service_cache.clear()  # repro: noqa[REP009]
+            self._service_cache_gen = self.registry.generation
         try:
             return self._service_cache[key]
         except KeyError:
             service = self.registry.lookup_prefix(dst, dst_port, protocol)
             if len(self._service_cache) >= PLAN_CACHE_CAPACITY:
-                self._service_cache.clear()
+                self._service_cache.clear()  # repro: noqa[REP009]
             self._service_cache[key] = service
             return service
 
@@ -534,8 +606,29 @@ class TransparentEdgeController(RyuApp):
         for datapath, msg in pending:
             self._route_toward(datapath, msg, msg.frame.ipv4.dst)
 
-    def _plan_epoch(self, cluster: EdgeCluster) -> Tuple[int, int, int, int]:
-        """The generation snapshot an install plan is valid under."""
+    def _plan_epoch(self, service: EdgeService, client: IPv4,
+                    dst_addr: IPv4, cluster: EdgeCluster) -> Tuple[object, ...]:
+        """The validity token an install plan is compared against on reuse.
+
+        Fine-grained mode keys it on exactly what the plan depends on: the
+        registry token of the addressed identity, this (client, service)
+        pair's FlowMemory version, this client's host-table version, and
+        the chosen cluster's own generation — so churn on service X or
+        client Y never invalidates the plans of anyone else. Coarse mode
+        uses the four *global* counters (any churn anywhere invalidates
+        every plan) and is kept as the differential oracle.
+        """
+        if self.cfg.fine_grained_revalidation:
+            sid = service.service_id
+            return (self.registry.generation_of(dst_addr, sid.port, sid.protocol),
+                    self.memory.version_of(client, sid),
+                    self.hosts.version_of(client),
+                    cluster.generation)
+        return self._global_epoch(cluster)
+
+    def _global_epoch(self, cluster: EdgeCluster) -> Tuple[int, int, int, int]:
+        """The four global generation counters — unchanged iff *nothing*
+        (registry, FlowMemory, host table, this cluster) mutated at all."""
         return (self.registry.generation, self.memory.generation,
                 self.hosts.version, cluster.generation)
 
@@ -628,7 +721,8 @@ class TransparentEdgeController(RyuApp):
                          ofp.OFPFF_SEND_FLOW_REM if first else 0))
             release_actions[dpid] = up_actions
 
-        return _InstallPlan(epoch=self._plan_epoch(cluster),
+        return _InstallPlan(epoch=self._plan_epoch(service, client, dst_addr, cluster),
+                            global_epoch=self._global_epoch(cluster),
                             client_mac=client_mac, hops=hops,
                             release_actions=release_actions)
 
@@ -654,8 +748,20 @@ class TransparentEdgeController(RyuApp):
             plan_key = (client, dst_addr, service.service_id,
                         cluster.name, endpoint)
             cached = self._plan_cache.get(plan_key)
-            if cached is not None and cached.epoch == self._plan_epoch(cluster):
-                plan = cached
+            if cached is not None:
+                current_global = self._global_epoch(cluster)
+                if cached.global_epoch == current_global:
+                    # Nothing anywhere mutated: the per-key tokens cannot
+                    # have moved, so skip recomputing them entirely.
+                    plan = cached
+                elif cached.epoch == self._plan_epoch(service, client,
+                                                      dst_addr, cluster):
+                    # Something mutated somewhere, but everything THIS plan
+                    # depends on is untouched: revalidate and re-stamp.
+                    plan = cached
+                    cached.global_epoch = current_global
+                    PERF.memo_revalidations += 1
+            if plan is not None:
                 self.stats["slow_path_plan_hits"] += 1
         if plan is None:
             plan = self._build_install_plan(service, client, dst_addr,
@@ -664,7 +770,9 @@ class TransparentEdgeController(RyuApp):
                 self.stats["slow_path_plan_misses"] += 1
                 if plan is not None:
                     if len(self._plan_cache) >= PLAN_CACHE_CAPACITY:
-                        self._plan_cache.clear()
+                        # Capacity bound, not a generation shortcut: plans
+                        # revalidate per entry by their epoch either way.
+                        self._plan_cache.clear()  # repro: noqa[REP009]
                     self._plan_cache[plan_key] = plan
         if plan is None:
             # Cannot wire the redirection — degrade to the cloud path rather
@@ -864,9 +972,12 @@ class TransparentEdgeController(RyuApp):
         for addr, attachment in self.cfg.static_hosts.items():
             self.hosts[addr] = (attachment.dpid, attachment.port_no,
                                 attachment.mac)
-        self._service_cache.clear()
+        # Crash reset: a warm-restarted controller must forget every memo,
+        # fine-grained or not — this is the one legitimate wholesale wipe.
+        self._service_cache.clear()  # repro: noqa[REP009]
         self._service_cache_gen = -1
-        self._plan_cache.clear()
+        self._service_memo.flush()
+        self._plan_cache.clear()  # repro: noqa[REP009]
         self._cookie_cluster.clear()
         self._cookie_client.clear()
         for cluster in self.dispatcher.clusters:

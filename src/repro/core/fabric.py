@@ -50,7 +50,10 @@ class FabricTopology:
         self._graph.add_edge(dpid_a, dpid_b, weight=weight)
         self._ports[(dpid_a, dpid_b)] = port_a
         self._ports[(dpid_b, dpid_a)] = port_b
-        self._paths_cache.clear()
+        # A new link can shorten ANY path, so full-flush is already the
+        # finest correct granularity here (topology mutations are rare,
+        # build-time-only events).
+        self._paths_cache.clear()  # repro: noqa[REP009]
 
     # -------------------------------------------------------------- queries
 

@@ -65,9 +65,18 @@ class FlowMemory:
         self.on_idle = on_idle
         self._flows: Dict[FlowKey, MemorizedFlow] = {}
         #: bumped on every mutation (remember/forget/clear/expiry) — lookups
-        #: only *touch*; controller-side memoized decisions are valid only
-        #: while the generation is unchanged
+        #: only *touch*; coarse memoized consumers are valid only while the
+        #: generation is unchanged
         self.generation = 0
+        #: per-key stamps — the global generation's value at each flow key's
+        #: last mutation; :meth:`version_of` turns them into a revalidation
+        #: token so idle-expiry of one client's flow no longer invalidates
+        #: every other client's memoized install plan
+        self._versions: Dict[FlowKey, int] = {}
+        #: bumped by :meth:`clear`, which wipes the per-key stamps; folding
+        #: it into the token keeps a cleared key distinguishable from its
+        #: pre-clear self (no ABA through remember → clear)
+        self._clear_count = 0
         #: diagnostics
         self.hits = 0
         self.misses = 0
@@ -98,20 +107,25 @@ class FlowMemory:
         fresh = key not in self._flows
         self._flows[key] = flow
         self.generation += 1
+        self._versions[key] = self.generation
         if fresh:
             self.sim.schedule(self.idle_timeout_s, self._idle_check, key)
         return flow
 
     def forget(self, client: IPv4, service_id: ServiceID) -> Optional[MemorizedFlow]:
-        flow = self._flows.pop((client, service_id), None)
+        key = (client, service_id)
+        flow = self._flows.pop(key, None)
         if flow is not None:
             self.generation += 1
+            self._versions[key] = self.generation
         return flow
 
     def clear(self) -> None:
         """Drop every memorized flow (no on_idle callbacks fire)."""
         self._flows.clear()
         self.generation += 1
+        self._clear_count += 1
+        self._versions.clear()
 
     def forget_endpoint(self, endpoint: Endpoint) -> int:
         """Drop every flow pointing at ``endpoint`` (instance went away)."""
@@ -120,7 +134,20 @@ class FlowMemory:
             del self._flows[key]
         if victims:
             self.generation += 1
+            for key in victims:
+                self._versions[key] = self.generation
         return len(victims)
+
+    def version_of(self, client: IPv4, service_id: ServiceID) -> Tuple[int, int]:
+        """Per-key revalidation token for ``(client, service_id)``.
+
+        Unchanged iff this key saw no remember/forget/expiry (and no
+        global clear) since the token was taken — churn on every other
+        client/service leaves it untouched. This is what fixed the
+        idle-expiry invalidation storm: one client's flow expiring used to
+        bump the global generation and cold every memoized install plan.
+        """
+        return (self._clear_count, self._versions.get((client, service_id), 0))
 
     # -------------------------------------------------------------- timeouts
 
@@ -134,6 +161,7 @@ class FlowMemory:
             return
         del self._flows[key]
         self.generation += 1
+        self._versions[key] = self.generation
         self.expirations += 1
         if self.on_idle is not None:
             still_referenced = any(

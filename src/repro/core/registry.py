@@ -20,7 +20,10 @@ O(address bits) per decision) rather than a flat set:
 Churn contract: :attr:`ServiceRegistry.generation` bumps on **every**
 register/deregister.  Memoized consumers (the controller's slow-path caches,
 ``repro.verify`` incremental snapshots) must revalidate against it — see
-docs/registry.md.
+docs/registry.md.  :meth:`ServiceRegistry.generation_of` refines the global
+counter into a *per-key* revalidation token, so a memo entry for one
+service identity survives churn on every other one (docs/performance.md,
+"Revalidation").
 """
 
 from __future__ import annotations
@@ -36,6 +39,16 @@ from repro.netsim.addresses import IPv4
 
 #: key of a service within one trie node's per-address map
 _PortKey = Tuple[int, str]
+
+#: per-key revalidation token (see :meth:`ServiceRegistry.generation_of`):
+#: the exact identity's stamp plus the covering-prefix fingerprint
+RegistryToken = Tuple[int, Tuple[Tuple[int, int, int], ...]]
+
+#: bound on the per-identity token memo inside :meth:`generation_of` —
+#: large enough that the controller's revalidation traffic never overflows
+#: it in practice, small enough to cap worst-case growth from probing
+#: arbitrary (unregistered) destinations
+_TOKEN_CACHE_CAPACITY = 65_536
 
 
 @dataclass
@@ -77,6 +90,20 @@ class ServiceRegistry:
         #: bumped on every register/deregister; memoized lookup results
         #: (controller slow-path caches) are valid only while it is unchanged
         self.generation = 0
+        #: per-identity stamps — the global generation's value at each exact
+        #: ServiceID's last register/deregister; feeds :meth:`generation_of`
+        self._id_stamps: Dict[ServiceID, int] = {}
+        #: generation-gated memo over :meth:`generation_of`: a token is a
+        #: pure function of registry state and the global counter moves on
+        #: every mutation, so a cached token is valid exactly while the
+        #: generation it was computed under is still current. The controller
+        #: probes the same identity several times per packet-in (service
+        #: memo + install-plan epoch); this keeps that to one trie walk.
+        #: Keyed on the plain ``(addr_value, port, protocol)`` tuple rather
+        #: than a ServiceID: int/str tuple hashing is C-speed and skips a
+        #: dataclass construction on the packet-in hot path.
+        self._token_cache: Dict[Tuple[int, int, str],
+                                Tuple[int, RegistryToken]] = {}
 
     def register(
         self,
@@ -116,7 +143,11 @@ class ServiceRegistry:
             self._trie.insert(network, service.prefix_len, {key: service})
         else:
             ports[key] = service
+            # In-place port-map mutation bypasses the trie's insert path, so
+            # restamp the prefix explicitly (per-key revalidation contract).
+            self._trie.touch(network, service.prefix_len)
         self.generation += 1
+        self._id_stamps[service_id] = self.generation
         return service
 
     def deregister(self, service_id: ServiceID,
@@ -133,7 +164,10 @@ class ServiceRegistry:
             ports.pop((service_id.port, service_id.protocol), None)
             if not ports:
                 self._trie.remove(network, service.prefix_len)
+            else:
+                self._trie.touch(network, service.prefix_len)
         self.generation += 1
+        self._id_stamps[service_id] = self.generation
         return service
 
     # ------------------------------------------------------------- lookups
@@ -159,6 +193,35 @@ class ServiceRegistry:
             if service is not None:
                 return service
         return None
+
+    def generation_of(self, addr: IPv4, port: int,
+                      protocol: str = "TCP") -> RegistryToken:
+        """Per-key revalidation token for the ``lookup_prefix`` decision.
+
+        The token compares equal across two points in time iff every
+        registry mutation in between was irrelevant to this identity: the
+        exact ServiceID stamp changes on register/deregister of the host
+        identity, and the trie's covering fingerprint changes when a
+        covering prefix appears, disappears, or has its port map touched.
+        A memoized ``lookup_prefix(addr, port, protocol)`` answer —
+        positive *or* negative — is therefore still correct while the token
+        is unchanged, no matter how many unrelated services churned. An
+        identity with no registration and no covering prefixes yields
+        ``(0, ())``, the token a negative cache entry revalidates against.
+        """
+        key = (addr.value, port, protocol)
+        cached = self._token_cache.get(key)
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        sid = ServiceID(addr, port, protocol)
+        token: RegistryToken = (self._id_stamps.get(sid, 0),
+                                self._trie.covering_fingerprint(addr.value))
+        if len(self._token_cache) >= _TOKEN_CACHE_CAPACITY:
+            # Capacity bound, not a generation shortcut: entries revalidate
+            # per key against the generation they were computed under.
+            self._token_cache.clear()  # repro: noqa[REP009]
+        self._token_cache[key] = (self.generation, token)
+        return token
 
     def is_registered_address(self, addr: IPv4) -> bool:
         """Any service registered on this IP (for proxy-ARP)?  True for any

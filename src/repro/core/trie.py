@@ -64,7 +64,7 @@ def _common_prefix_len(a: int, b: int, limit: int) -> int:
 class _Node(Generic[V]):
     """One trie node: a (possibly value-less) prefix with ≤ 2 children."""
 
-    __slots__ = ("network", "plen", "left", "right", "value", "has_value")
+    __slots__ = ("network", "plen", "left", "right", "value", "has_value", "stamp")
 
     def __init__(self, network: int, plen: int) -> None:
         self.network = network
@@ -73,6 +73,9 @@ class _Node(Generic[V]):
         self.right: Optional[_Node[V]] = None
         self.value: Optional[V] = None
         self.has_value = False
+        #: per-prefix generation — the trie-global counter's value at this
+        #: prefix's last value mutation (insert/replace/:meth:`PrefixTrie.touch`)
+        self.stamp = 0
 
     def child(self, bit: int) -> "Optional[_Node[V]]":
         return self.right if bit else self.left
@@ -110,6 +113,7 @@ class PrefixTrie(Generic[V]):
                 if previous is None:
                     self._size += 1
                 self.generation += 1
+                node.stamp = self.generation
                 return previous
             bit = _bit_after(network, node.plen)
             child = node.child(bit)
@@ -120,6 +124,7 @@ class PrefixTrie(Generic[V]):
                 node.set_child(bit, leaf)
                 self._size += 1
                 self.generation += 1
+                leaf.stamp = self.generation
                 return None
             shared = _common_prefix_len(child.network, network,
                                         min(child.plen, prefix_len))
@@ -134,13 +139,16 @@ class PrefixTrie(Generic[V]):
             if shared == prefix_len:
                 mid.value = value
                 mid.has_value = True
+                valued = mid
             else:
                 leaf = _Node(network, prefix_len)
                 leaf.value = value
                 leaf.has_value = True
                 mid.set_child(_bit_after(network, shared), leaf)
+                valued = leaf
             self._size += 1
             self.generation += 1
+            valued.stamp = self.generation
             return None
 
     def remove(self, network: int, prefix_len: int) -> Optional[V]:
@@ -178,6 +186,29 @@ class PrefixTrie(Generic[V]):
             # Removed a leaf: the parent may have become redundant too.
             node = parent
         return value
+
+    def touch(self, network: int, prefix_len: int) -> bool:
+        """Restamp a stored prefix after an *in-place* mutation of its value.
+
+        Callers that mutate a stored container value directly (e.g. the
+        registry adding a port to a prefix's port map) bypass
+        :meth:`insert`, so the prefix's revalidation stamp would go stale.
+        ``touch`` bumps the trie generation and restamps the prefix — the
+        same memoization contract as a real insert. Returns False (and
+        changes nothing) if the prefix is not stored.
+        """
+        self._check_key(network, prefix_len)
+        node: Optional[_Node[V]] = self._root
+        while node is not None and node.plen < prefix_len:
+            if node.network != network & prefix_mask(node.plen):
+                return False
+            node = node.child(_bit_after(network, node.plen))
+        if (node is None or node.plen != prefix_len
+                or node.network != network or not node.has_value):
+            return False
+        self.generation += 1
+        node.stamp = self.generation
+        return True
 
     # ------------------------------------------------------------- lookups
 
@@ -223,6 +254,30 @@ class PrefixTrie(Generic[V]):
                 break
             node = node.child(_bit_after(addr, node.plen))
         return found
+
+    def covering_fingerprint(self, addr: int) -> Tuple[Tuple[int, int, int], ...]:
+        """Per-address revalidation token: ``(network, plen, stamp)`` for
+        every stored prefix covering ``addr``, shortest first.
+
+        The token changes exactly when the covering *set* changes (a
+        covering prefix appears or disappears) or when a covering prefix's
+        value is restamped — and never when unrelated prefixes churn. Exact
+        tuples (not a sum of stamps) so distinct histories can't collide.
+        An address no stored prefix covers yields ``()``, which stays valid
+        until a covering prefix is inserted — negative cache entries
+        revalidate on the same token.
+        """
+        found: List[Tuple[int, int, int]] = []
+        node: Optional[_Node[V]] = self._root
+        while node is not None:
+            if node.network != addr & prefix_mask(node.plen):
+                break
+            if node.has_value:
+                found.append((node.network, node.plen, node.stamp))
+            if node.plen == _BITS:
+                break
+            node = node.child(_bit_after(addr, node.plen))
+        return tuple(found)
 
     def covers(self, addr: int) -> bool:
         """Any stored prefix covering ``addr``? (LPM hit/miss without

@@ -142,7 +142,11 @@ class EdgeCluster:
                                     "scale_down": 0, "remove": 0}
         #: bumped on every lifecycle operation and up/down transition;
         #: controller-side memoized install plans are valid only while it is
-        #: unchanged (readiness itself is always re-probed live)
+        #: unchanged (readiness itself is always re-probed live). Because the
+        #: counter is *per cluster*, it doubles as this cluster's component of
+        #: the controller's fine-grained plan epoch: churn on one cluster
+        #: never invalidates plans pinned to another
+        #: (docs/performance.md, "Revalidation").
         self.generation = 0
 
     def _note_op(self, op: str) -> None:

@@ -15,7 +15,7 @@ ships the delta back to the parent with the cell result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["PerfCounters", "PERF", "snapshot", "delta"]
 
@@ -26,6 +26,12 @@ class PerfCounters:
 
     ``+``/``-`` compose snapshots: ``after - before`` is the cost of the
     work in between, and worker deltas sum into a run total with ``+``.
+
+    The ``microflow_evictions``/``microflow_flushes`` and ``memo_*``
+    fields account for the fine-grained revalidation layer: surgical
+    per-key evictions vs wholesale flushes on the switch caches, and
+    token revalidations vs invalidations/flushes on the controller memos
+    (see docs/performance.md, "Revalidation").
     """
 
     events_executed: int = 0
@@ -33,24 +39,23 @@ class PerfCounters:
     flow_hits: int = 0
     microflow_hits: int = 0
     microflow_misses: int = 0
+    microflow_evictions: int = 0
+    microflow_flushes: int = 0
+    memo_revalidations: int = 0
+    memo_invalidations: int = 0
+    memo_flushes: int = 0
 
     def __add__(self, other: "PerfCounters") -> "PerfCounters":
-        return PerfCounters(
-            events_executed=self.events_executed + other.events_executed,
-            flow_lookups=self.flow_lookups + other.flow_lookups,
-            flow_hits=self.flow_hits + other.flow_hits,
-            microflow_hits=self.microflow_hits + other.microflow_hits,
-            microflow_misses=self.microflow_misses + other.microflow_misses,
-        )
+        return PerfCounters(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
 
     def __sub__(self, other: "PerfCounters") -> "PerfCounters":
-        return PerfCounters(
-            events_executed=self.events_executed - other.events_executed,
-            flow_lookups=self.flow_lookups - other.flow_lookups,
-            flow_hits=self.flow_hits - other.flow_hits,
-            microflow_hits=self.microflow_hits - other.microflow_hits,
-            microflow_misses=self.microflow_misses - other.microflow_misses,
-        )
+        return PerfCounters(**{
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)
+        })
 
     @property
     def microflow_packets(self) -> int:
@@ -63,14 +68,9 @@ class PerfCounters:
         return self.microflow_hits / packets if packets else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "events_executed": self.events_executed,
-            "flow_lookups": self.flow_lookups,
-            "flow_hits": self.flow_hits,
-            "microflow_hits": self.microflow_hits,
-            "microflow_misses": self.microflow_misses,
-            "microflow_hit_rate": self.microflow_hit_rate,
-        }
+        record: dict = {f.name: getattr(self, f.name) for f in fields(self)}
+        record["microflow_hit_rate"] = self.microflow_hit_rate
+        return record
 
 
 #: the live counters for this process; hot paths increment fields directly
@@ -79,13 +79,7 @@ PERF = PerfCounters()
 
 def snapshot() -> PerfCounters:
     """Copy of the current process-global counters."""
-    return PerfCounters(
-        events_executed=PERF.events_executed,
-        flow_lookups=PERF.flow_lookups,
-        flow_hits=PERF.flow_hits,
-        microflow_hits=PERF.microflow_hits,
-        microflow_misses=PERF.microflow_misses,
-    )
+    return PerfCounters(**{f.name: getattr(PERF, f.name) for f in fields(PERF)})
 
 
 def delta(before: PerfCounters) -> PerfCounters:

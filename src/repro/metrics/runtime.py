@@ -84,7 +84,7 @@ class RunReport:
         table = Table(
             title="Runner summary — wall/CPU/hot-path work per artifact",
             columns=["part", "artifact", "wall_s", "cpu_s", "cells", "cache",
-                     "events", "lookups", "mf_hit_pct"],
+                     "events", "lookups", "mf_hit_pct", "mf_evict", "mf_flush"],
             time_columns={"wall_s", "cpu_s"},
         )
         for timing in self.timings:
@@ -94,7 +94,9 @@ class RunReport:
                       cache="hit" if timing.cache_hit else "miss",
                       events=timing.perf.events_executed,
                       lookups=timing.perf.flow_lookups,
-                      mf_hit_pct=round(100.0 * timing.perf.microflow_hit_rate, 1))
+                      mf_hit_pct=round(100.0 * timing.perf.microflow_hit_rate, 1),
+                      mf_evict=timing.perf.microflow_evictions,
+                      mf_flush=timing.perf.microflow_flushes)
         cache_note = (f"cache: {self.cache_hits} hits / {self.cache_misses} misses "
                       f"/ {self.cache_stores} stores" if self.cache_enabled
                       else "cache: disabled")
@@ -104,7 +106,12 @@ class RunReport:
                       f"{self.total_cells} cells; {cache_note}; "
                       f"{perf.events_executed} sim events, "
                       f"{perf.flow_lookups} table lookups, "
-                      f"microflow hit rate {100.0 * perf.microflow_hit_rate:.1f}%")
+                      f"microflow hit rate {100.0 * perf.microflow_hit_rate:.1f}% "
+                      f"({perf.microflow_evictions} surgical evictions, "
+                      f"{perf.microflow_flushes} flushes); "
+                      f"memo revalidation: {perf.memo_revalidations} kept, "
+                      f"{perf.memo_invalidations} invalidated, "
+                      f"{perf.memo_flushes} flushes")
         return table
 
     def render(self) -> str:

@@ -144,6 +144,14 @@ class FlowTable:
         self._by_match: Dict[Match, List[FlowEntry]] = {}
         #: bumped on every mutation; microflow caches key their validity on it
         self.generation = 0
+        #: mutation observers (set by the owning switch): invoked after an
+        #: entry joins/leaves the index, so a microflow cache can evict only
+        #: the cached flows the mutated rule could affect instead of flushing
+        #: wholesale on the generation bump. Replacement installs fire
+        #: ``on_entry_removed`` for the displaced entry, then
+        #: ``on_entry_installed`` for its successor.
+        self.on_entry_installed: Optional[Callable[[FlowEntry], None]] = None
+        self.on_entry_removed: Optional[Callable[[FlowEntry], None]] = None
         #: cumulative diagnostics
         self.lookups = 0
         self.hits = 0
@@ -166,6 +174,8 @@ class FlowTable:
         bisect.insort(self._entries, entry, key=_sort_key)
         self._index_add(entry)
         self.generation += 1
+        if self.on_entry_installed is not None:
+            self.on_entry_installed(entry)
         entry.installed_at = self.sim.now
         entry.last_used = self.sim.now
         if entry.hard_timeout > 0:
@@ -333,6 +343,8 @@ class FlowTable:
             del self._entries[index]
             self._index_remove(entry)
             self.generation += 1
+            if self.on_entry_removed is not None:
+                self.on_entry_removed(entry)
         if notify and self.on_removed is not None and (entry.flags & OFPFF_SEND_FLOW_REM):
             self.on_removed(entry, reason)
 

@@ -52,6 +52,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: cache-miss sentinel (``None`` is a legitimate cached answer: a known drop)
 _MISS: Any = object()
 
+#: canonical microflow cache key: the packet's field dict as an items tuple
+MicroflowKey = Tuple[Tuple[str, Any], ...]
+
 #: microflow cache capacity; on overflow the cache is flushed wholesale,
 #: OVS-style — simple, deterministic, and self-limiting
 MICROFLOW_CACHE_CAPACITY = 4096
@@ -69,6 +72,13 @@ class OpenFlowSwitch(Device):
     buffer_capacity:
         Max packets buffered awaiting controller decisions; overflow falls
         back to NO_BUFFER packet-ins carrying the full frame.
+    microflow_surgical:
+        ``True`` (default) revalidates the microflow cache surgically: a
+        table mutation evicts only the cached packets the mutated rule
+        could affect, keeping unrelated flows warm across churn. ``False``
+        selects the pre-revalidation coarse path — any table mutation
+        flushes the whole cache at the next packet — kept as the
+        differential oracle for the surgical mode.
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class OpenFlowSwitch(Device):
         channel: Optional[ControlChannel] = None,
         forwarding_delay_s: float = 5e-6,
         buffer_capacity: int = 1024,
+        microflow_surgical: bool = True,
     ) -> None:
         super().__init__(sim, name)
         self.dpid = dpid
@@ -103,14 +114,38 @@ class OpenFlowSwitch(Device):
         self._echo_outstanding = 0
         self._liveness_handle: Optional[Any] = None
         # ---- microflow cache: canonical packet field-tuple -> winning entry
-        # (or None for a known drop). Validity is keyed on the flow table's
-        # generation counter, so *any* table mutation — install, delete,
-        # idle/hard expiry, clear — invalidates the whole cache at the next
-        # packet. See docs/performance.md.
-        self._microflow: Dict[Tuple[Tuple[str, Any], ...], Optional[FlowEntry]] = {}
+        # (or None for a known drop). In surgical mode (the default) the
+        # cache is revalidated per entry: the flow table reports every
+        # install/remove through the ``on_entry_*`` hooks and only the
+        # cached packets the mutated rule could match are evicted — an
+        # install consults the src/dst groups its exact conditions select,
+        # a removal evicts exactly the packets whose cached winner it was.
+        # In coarse mode validity is keyed on the table's generation
+        # counter instead, so *any* mutation — install, delete, idle/hard
+        # expiry, clear — invalidates the whole cache at the next packet.
+        # See docs/performance.md ("Revalidation").
+        self.microflow_surgical = microflow_surgical
+        self._microflow: Dict[MicroflowKey, Optional[FlowEntry]] = {}
         self._microflow_generation = -1
         self.microflow_hits = 0
         self.microflow_misses = 0
+        #: surgical-eviction accounting (coarse generation flushes and
+        #: capacity flushes count as flushes in either mode)
+        self.mf_evictions = 0
+        self.mf_flushes = 0
+        # Secondary indices over the cache, maintained only in surgical
+        # mode: cache keys grouped by the packet's exact ipv4_src/ipv4_dst
+        # (mirroring the FlowTable's bucket keys, so a mutated rule's exact
+        # conditions select the candidate group directly), plus the reverse
+        # map from a winning entry to the keys it answers. Values are
+        # insertion-ordered key->None dicts so eviction order is
+        # deterministic.
+        self._mf_by_src: Dict[Any, Dict[MicroflowKey, None]] = {}
+        self._mf_by_dst: Dict[Any, Dict[MicroflowKey, None]] = {}
+        self._mf_by_entry: Dict[FlowEntry, Dict[MicroflowKey, None]] = {}
+        if microflow_surgical:
+            self.table.on_entry_installed = self._mf_rule_installed
+            self.table.on_entry_removed = self._mf_rule_removed
 
     # -------------------------------------------------------------- control
 
@@ -176,8 +211,12 @@ class OpenFlowSwitch(Device):
         # Microflow fast path: exact-packet memo of the table's answer.
         # ``extract_fields`` builds the dict in one deterministic key order
         # per packet shape, so the items tuple is a canonical cache key.
-        if self._microflow_generation != self.table.generation:
-            self._microflow.clear()
+        # Surgical mode keeps the cache valid incrementally (table hooks
+        # evict exactly the affected packets); coarse mode revalidates here
+        # against the table's generation counter.
+        if (not self.microflow_surgical
+                and self._microflow_generation != self.table.generation):
+            self._mf_flush()
             self._microflow_generation = self.table.generation
         key = tuple(fields.items())
         entry = self._microflow.get(key, _MISS)
@@ -186,8 +225,13 @@ class OpenFlowSwitch(Device):
             PERF.microflow_misses += 1
             entry = self.table.lookup(fields)
             if len(self._microflow) >= MICROFLOW_CACHE_CAPACITY:
-                self._microflow.clear()
+                self._mf_flush()
             self._microflow[key] = entry
+            if self.microflow_surgical:
+                self._mf_by_src.setdefault(fields.get("ipv4_src"), {})[key] = None
+                self._mf_by_dst.setdefault(fields.get("ipv4_dst"), {})[key] = None
+                if entry is not None:
+                    self._mf_by_entry.setdefault(entry, {})[key] = None
         else:
             self.microflow_hits += 1
             PERF.microflow_hits += 1
@@ -200,6 +244,93 @@ class OpenFlowSwitch(Device):
             return
         entry.touch(self.sim.now, frame.wire_bytes)
         self._execute(entry, frame, in_port, fields)
+
+    # ------------------------------------------- microflow cache revalidation
+
+    def _mf_flush(self) -> None:
+        """Drop every cached microflow (capacity overflow, coarse mode)."""
+        if self._microflow:
+            self.mf_flushes += 1
+            PERF.microflow_flushes += 1
+        # The flush *is* this layer's revalidation action (capacity bound /
+        # coarse differential oracle), not a generation-keyed shortcut.
+        self._microflow.clear()  # repro: noqa[REP009]
+        self._mf_by_src.clear()
+        self._mf_by_dst.clear()
+        self._mf_by_entry.clear()
+
+    def _mf_rule_installed(self, entry: FlowEntry) -> None:
+        """Table hook: a rule was added — evict the cached packets it matches.
+
+        A new rule can only change the cached answer for a packet it
+        matches (it may beat the cached winner, or turn a cached drop into
+        a hit), and its exact src/dst conditions — the table's bucket key —
+        select the candidate group directly. A rule exact in neither
+        dimension (e.g. the table-miss entry) can match any packet, so the
+        whole cache is flushed.
+        """
+        if not self._microflow:
+            return
+        src, dst = entry.bucket_key
+        group: Optional[Dict[MicroflowKey, None]]
+        if src is not None and dst is not None:
+            by_src = self._mf_by_src.get(src)
+            by_dst = self._mf_by_dst.get(dst)
+            if by_src is None or by_dst is None:
+                return
+            group = by_src if len(by_src) <= len(by_dst) else by_dst
+        elif src is not None:
+            group = self._mf_by_src.get(src)
+        elif dst is not None:
+            group = self._mf_by_dst.get(dst)
+        else:
+            self._mf_flush()
+            return
+        if not group:
+            return
+        match = entry.match
+        victims = [key for key in group if match.matches(dict(key))]
+        for key in victims:
+            self._mf_evict(key)
+
+    def _mf_rule_removed(self, entry: FlowEntry) -> None:
+        """Table hook: a rule was removed — evict the packets it answered.
+
+        A removal can only invalidate cached answers whose winner *is* the
+        removed entry: a cached drop stays a drop, and a different cached
+        winner (higher priority, or earlier at the same priority) still
+        wins without it.
+        """
+        keys = self._mf_by_entry.pop(entry, None)
+        if not keys:
+            return
+        for key in list(keys):
+            self._mf_evict(key)
+
+    def _mf_evict(self, key: MicroflowKey) -> None:
+        """Drop one cached microflow and unlink it from the indices."""
+        entry = self._microflow.pop(key, _MISS)
+        if entry is _MISS:
+            return
+        self.mf_evictions += 1
+        PERF.microflow_evictions += 1
+        fields = dict(key)
+        src_group = self._mf_by_src.get(fields.get("ipv4_src"))
+        if src_group is not None:
+            src_group.pop(key, None)
+            if not src_group:
+                del self._mf_by_src[fields.get("ipv4_src")]
+        dst_group = self._mf_by_dst.get(fields.get("ipv4_dst"))
+        if dst_group is not None:
+            dst_group.pop(key, None)
+            if not dst_group:
+                del self._mf_by_dst[fields.get("ipv4_dst")]
+        if entry is not None:
+            owned = self._mf_by_entry.get(entry)
+            if owned is not None:
+                owned.pop(key, None)
+                if not owned:
+                    del self._mf_by_entry[entry]
 
     def _execute(self, entry: FlowEntry, frame: EthernetFrame, in_port: int, fields: FieldDict) -> None:
         outputs = apply_actions_multi(frame, entry.actions)
@@ -365,6 +496,9 @@ class OpenFlowSwitch(Device):
             "flows": len(self.table),
             "shadowed_rules": self.table.shadowed_count(),
             "microflow_entries": len(self._microflow),
+            "microflow_surgical": self.microflow_surgical,
+            "mf_evictions": self.mf_evictions,
+            "mf_flushes": self.mf_flushes,
             "microflow_generation": self._microflow_generation,
             "table_generation": self.table.generation,
             "controller_alive": self.controller_alive,

@@ -218,6 +218,48 @@ def test_rep008_honours_noqa():
     assert report.suppressed == 1
 
 
+# ------------------------------------------------------------------- REP009
+
+
+LIB_PATH = "src/repro/core/controller.py"
+
+
+def test_rep009_flags_wholesale_memo_clears():
+    assert codes_at("self._service_cache.clear()\n", LIB_PATH) == ["REP009"]
+    assert codes_at("self._plan_cache.clear()\n", LIB_PATH) == ["REP009"]
+    assert codes_at("self._microflow.clear()\n", LIB_PATH) == ["REP009"]
+    assert codes_at("self._service_memo.clear()\n", LIB_PATH) == ["REP009"]
+    assert codes_at("memo.clear()\n", LIB_PATH) == ["REP009"]
+
+
+def test_rep009_matches_whole_name_segments_only():
+    # FlowMemory is authoritative state, not a memo — `memory` must not
+    # trip the `memo` marker.
+    assert codes_at("self.memory.clear()\n", LIB_PATH) == []
+    assert codes_at("self._host_memory.clear()\n", LIB_PATH) == []
+    # ...and unrelated containers stay untouched
+    assert codes_at("self._pending.clear()\n", LIB_PATH) == []
+
+
+def test_rep009_ignores_clears_with_arguments_and_other_methods():
+    # a .clear(x) call is some other API, not dict.clear
+    assert codes_at("self._plan_cache.clear(0)\n", LIB_PATH) == []
+    assert codes_at("self._plan_cache.pop(key)\n", LIB_PATH) == []
+
+
+def test_rep009_scope_excludes_revalidation_layer_and_tests():
+    source = "self._entries.clear()\nself._plan_cache.clear()\n"
+    assert codes_at(source, "src/repro/core/revalidation.py") == []
+    assert codes_at(source, "tests/core/test_fine_revalidation.py") == []
+
+
+def test_rep009_honours_noqa():
+    source = "self._plan_cache.clear()  # repro: noqa[REP009]\n"
+    report = check_source(source, LIB_PATH, AnalysisConfig())
+    assert report.violations == []
+    assert report.suppressed == 1
+
+
 # -------------------------------------------------------------- suppressions
 
 

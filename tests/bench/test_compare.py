@@ -7,6 +7,7 @@ import pytest
 from repro.bench.__main__ import main as bench_main
 from repro.bench.compare import (
     compare,
+    dirty_meta_failures,
     flatten_metrics,
     is_gated,
     load_record,
@@ -96,6 +97,36 @@ class TestCompare:
         lines, _ = compare(old, new)
         assert any("smoke" in line and "warning" in line for line in lines)
 
+    def test_dirty_meta_warns_but_does_not_gate(self):
+        old = _record(alpha={"us_per_op": 1.0})
+        new = _record(alpha={"us_per_op": 1.0})
+        new["meta"]["git_dirty"] = True
+        lines, regressions = compare(old, new)
+        assert regressions == []
+        assert any("dirty" in line and "warning" in line for line in lines)
+
+    def test_clean_meta_does_not_warn(self):
+        old = _record(alpha={"us_per_op": 1.0})
+        new = _record(alpha={"us_per_op": 1.0})
+        lines, _ = compare(old, new)
+        assert not any("dirty" in line for line in lines)
+
+
+class TestDirtyMeta:
+    def test_dirty_record_fails_the_gate(self):
+        record = _record(alpha={"us_per_op": 1.0})
+        record["meta"]["git_dirty"] = True
+        failures = dirty_meta_failures(record, "baseline")
+        assert len(failures) == 1 and failures[0].startswith("baseline:")
+
+    def test_clean_and_unknown_meta_pass(self):
+        assert dirty_meta_failures(_record(alpha={"us_per_op": 1.0})) == []
+        # git_dirty=None (outside a checkout) and v1 records (no meta) pass
+        record = _record(alpha={"us_per_op": 1.0})
+        record["meta"]["git_dirty"] = None
+        assert dirty_meta_failures(record) == []
+        assert dirty_meta_failures({"meta": {}, "benchmarks": {}}) == []
+
 
 class TestMemoryBudget:
     def test_overrun_flagged(self):
@@ -149,3 +180,23 @@ class TestCli:
         new = _write(tmp_path, "new.json", _record())
         with pytest.raises(SystemExit):
             bench_main(["--against", new])
+
+    def test_enforce_clean_meta_gate(self, tmp_path, capsys):
+        old = _write(tmp_path, "old.json", _record(alpha={"us_per_op": 5.0}))
+        dirty = _record(alpha={"us_per_op": 5.0})
+        dirty["meta"]["git_dirty"] = True
+        new = _write(tmp_path, "new.json", dirty)
+        assert bench_main(["--compare", old, "--against", new,
+                           "--enforce-clean-meta"]) == 1
+        assert "dirty-tree bench record" in capsys.readouterr().err
+        # the same comparison passes without the flag
+        assert bench_main(["--compare", old, "--against", new]) == 0
+
+    def test_enforce_clean_meta_checks_the_baseline_too(self, tmp_path, capsys):
+        dirty = _record(alpha={"us_per_op": 5.0})
+        dirty["meta"]["git_dirty"] = True
+        old = _write(tmp_path, "old.json", dirty)
+        new = _write(tmp_path, "new.json", _record(alpha={"us_per_op": 5.0}))
+        assert bench_main(["--compare", old, "--against", new,
+                           "--enforce-clean-meta"]) == 1
+        assert "baseline:" in capsys.readouterr().err

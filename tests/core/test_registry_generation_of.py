@@ -1,0 +1,166 @@
+"""Per-key registry revalidation tokens vs the whole-registry generation.
+
+``ServiceRegistry.generation_of`` refines the global churn counter into a
+per-identity token whose contract is: *token unchanged ⇒ the memoized
+``lookup_prefix`` answer is still exact*, no matter how many unrelated
+registrations churned in between. The hypothesis suite drives arbitrary
+cloudprefix register/deregister interleavings and checks the contract after
+every single mutation, for positive and negative cached answers alike.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.registry import ServiceRegistry
+from repro.core.serviceid import ServiceID
+from repro.core.trie import prefix_mask
+from repro.netsim.addresses import IPv4, ip
+from repro.workloads.cloudprefix import synthetic_service
+
+PORTS = (80, 443)
+
+#: a deliberately tiny address space so prefixes nest and collide a lot
+plens = st.sampled_from((8, 16, 24, 32))
+raw_addrs = st.integers(min_value=ip("52.0.0.0").value,
+                        max_value=ip("52.0.0.0").value + 0x01010101)
+
+
+@st.composite
+def identities(draw):
+    """(network IPv4, plen, port) with host bits masked off."""
+    plen = draw(plens)
+    network = draw(raw_addrs) & prefix_mask(plen)
+    return (IPv4(network), plen, draw(st.sampled_from(PORTS)))
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["register", "deregister"]), identities()),
+    min_size=1, max_size=50)
+
+probes = st.lists(st.tuples(raw_addrs, st.sampled_from(PORTS)),
+                  min_size=1, max_size=8)
+
+
+def apply_op(registry, op, identity):
+    network, plen, port = identity
+    sid = ServiceID(network, port)
+    if op == "register":
+        if registry.lookup(network, port) is not None:
+            return  # identity taken (any prefix length): not a mutation
+        try:
+            registry.register_service(synthetic_service(sid, prefix_len=plen))
+        except ValueError:
+            pass  # port already registered on the prefix by another identity
+    else:
+        registry.deregister(sid)
+
+
+class TestTokenContract:
+    @given(ops, probes)
+    @settings(max_examples=200, deadline=None)
+    def test_unchanged_token_means_unchanged_answer(self, op_list, probe_list):
+        """The revalidation contract, after every mutation: a memo entry
+        whose token still compares equal must still hold the exact
+        ``lookup_prefix`` answer — the fine-grained cache never serves
+        stale data no matter which prefixes churned around it."""
+        registry = ServiceRegistry()
+        memo = {}
+        for op, identity in op_list:
+            apply_op(registry, op, identity)
+            for raw, port in probe_list:
+                addr = IPv4(raw)
+                token = registry.generation_of(addr, port)
+                answer = registry.lookup_prefix(addr, port)
+                cached = memo.get((raw, port))
+                if cached is not None and cached[0] == token:
+                    assert cached[1] is answer, (
+                        f"stale memo for {addr}:{port} — token unchanged but "
+                        f"answer moved {cached[1]!r} -> {answer!r}")
+                memo[(raw, port)] = (token, answer)
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_token_is_strictly_finer_than_global_generation(self, op_list):
+        """Whenever the coarse discipline would keep a memo (global
+        generation unchanged), the fine token kept it too — per-key
+        revalidation is a refinement, never a loosening."""
+        registry = ServiceRegistry()
+        probe = (ip("52.0.99.7"), 443)
+        generation = registry.generation
+        token = registry.generation_of(*probe)
+        for op, identity in op_list:
+            apply_op(registry, op, identity)
+            if registry.generation == generation:
+                assert registry.generation_of(*probe) == token
+            generation = registry.generation
+            token = registry.generation_of(*probe)
+
+
+class TestTokenGranularity:
+    def prefix_service(self, dotted, plen, port=443):
+        sid = ServiceID(ip(dotted), port)
+        return synthetic_service(sid, prefix_len=plen)
+
+    def test_unrelated_churn_leaves_token_alone(self):
+        """The entire point: churn on other identities must not move the
+        token, where the global generation moves on every mutation."""
+        registry = ServiceRegistry()
+        registry.register_service(self.prefix_service("52.0.113.0", 24))
+        probe = (ip("52.0.113.9"), 443)
+        token = registry.generation_of(*probe)
+        generation = registry.generation
+        other = self.prefix_service("52.1.0.0", 16)
+        registry.register_service(other)
+        registry.deregister(other.service_id)
+        assert registry.generation == generation + 2  # coarse: 2 flushes
+        assert registry.generation_of(*probe) == token  # fine: still warm
+
+    def test_exact_identity_churn_moves_token(self):
+        registry = ServiceRegistry()
+        probe = (ip("52.0.113.9"), 443)
+        token0 = registry.generation_of(*probe)
+        service = registry.register_service(
+            synthetic_service(ServiceID(probe[0], 443)))
+        token1 = registry.generation_of(*probe)
+        assert token1 != token0
+        registry.deregister(service.service_id)
+        assert registry.generation_of(*probe) not in (token0, token1)
+
+    def test_covering_prefix_churn_moves_token(self):
+        """A covering prefix appearing or disappearing changes the LPM
+        answer for every address under it — the fingerprint must move."""
+        registry = ServiceRegistry()
+        probe = (ip("52.0.113.9"), 443)
+        assert registry.generation_of(*probe) == (0, ())  # negative token
+        wide = registry.register_service(self.prefix_service("52.0.0.0", 8))
+        token_wide = registry.generation_of(*probe)
+        assert token_wide != (0, ())
+        narrow = registry.register_service(self.prefix_service("52.0.113.0", 24))
+        token_narrow = registry.generation_of(*probe)
+        assert token_narrow != token_wide
+        registry.deregister(narrow.service_id)
+        # Removing the /24 restores the exact prior covering set — the token
+        # returns to its old value, and that ABA is *benign*: the memoized
+        # answer under token_wide (the /8 service) is correct again too.
+        assert registry.generation_of(*probe) == token_wide
+        assert registry.lookup_prefix(*probe) is wide
+        registry.deregister(wide.service_id)
+        assert registry.generation_of(*probe) == (0, ())
+
+    def test_in_place_port_map_mutation_moves_token(self):
+        """Registering a second port on an existing prefix mutates the port
+        map in place (no trie insert/remove) — ``PrefixTrie.touch`` must
+        still restamp the prefix so covered tokens move."""
+        registry = ServiceRegistry()
+        registry.register_service(self.prefix_service("52.0.113.0", 24, port=443))
+        probe = (ip("52.0.113.9"), 80)
+        token = registry.generation_of(*probe)
+        answer = registry.lookup_prefix(*probe)
+        assert answer is None  # port 80 not served yet
+        svc80 = registry.register_service(
+            self.prefix_service("52.0.113.0", 24, port=80))
+        assert registry.generation_of(*probe) != token  # negative memo drops
+        assert registry.lookup_prefix(*probe) is svc80
+        # ...and partial deregister (ports left behind) also restamps
+        token = registry.generation_of(*probe)
+        registry.deregister(svc80.service_id)
+        assert registry.generation_of(*probe) != token

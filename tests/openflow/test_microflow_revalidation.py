@@ -1,0 +1,259 @@
+"""Surgical microflow revalidation vs the coarse full-flush oracle.
+
+The surgical switch (the default) must be *behaviourally identical* to the
+coarse switch — same forwards, same drops, same per-rule counters — while
+keeping unrelated cached flows warm across table churn. The randomized
+differential below drives both switches through >10k identical
+mutation/packet interleavings and checks, after every single step, that the
+surgical cache never holds an answer the table's counter-free reference
+scan (``lookup_linear``) would not give.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim import ETH_TYPE_IP, EthernetFrame, IPv4Packet, Network, TCPSegment, ip, mac
+from repro.netsim.packet import IP_PROTO_TCP
+from repro.openflow import FlowEntry, Match, OpenFlowSwitch, OutputAction
+
+
+def tcp_frame(src="10.0.0.1", dst="1.2.3.4", dport=80):
+    seg = TCPSegment(src_port=40000, dst_port=dport)
+    pkt = IPv4Packet(src=ip(src), dst=ip(dst), proto=IP_PROTO_TCP, payload=seg)
+    return EthernetFrame(src=mac(1), dst=mac(2), ethertype=ETH_TYPE_IP, payload=pkt)
+
+
+def make_switch(surgical):
+    net = Network(seed=0)
+    sw = OpenFlowSwitch(net.sim, "sw", dpid=1, microflow_surgical=surgical)
+    net.add_device(sw)
+    return net, sw
+
+
+def make_match(dst=None, src=None):
+    conditions = {"eth_type": 0x0800}
+    if src is not None:
+        conditions["ipv4_src"] = src
+    if dst is not None:
+        conditions["ipv4_dst"] = dst
+    return Match(**conditions)
+
+
+def flow(dst=None, src=None, priority=10, port=1, **kwargs):
+    return FlowEntry(match=make_match(dst, src), priority=priority,
+                     actions=[OutputAction(port)], **kwargs)
+
+
+def pump(net, sw, frame, n=1):
+    for _ in range(n):
+        sw.on_frame(2, frame)
+    net.sim.run()
+
+
+def audit(sw):
+    """The surgical-cache invariant: every cached answer — positive or
+    negative — is exactly what the table's reference scan gives now."""
+    for key, entry in sw._microflow.items():
+        assert sw.table.lookup_linear(dict(key)) is entry, dict(key)
+
+
+# --------------------------------------------------------- directed behaviour
+
+
+class TestSurgicalEviction:
+    def test_unrelated_install_keeps_cache_warm(self):
+        net, sw = make_switch(surgical=True)
+        sw.table.install(flow(dst="1.2.3.4"))
+        frame = tcp_frame()
+        pump(net, sw, frame, n=2)  # miss + hit
+        sw.table.install(flow(dst="5.6.7.8"))  # unrelated churn
+        pump(net, sw, frame, n=2)
+        assert (sw.microflow_misses, sw.microflow_hits) == (1, 3)
+        assert sw.mf_evictions == 0
+        assert sw.mf_flushes == 0
+
+    def test_coarse_oracle_flushes_on_unrelated_install(self):
+        net, sw = make_switch(surgical=False)
+        sw.table.install(flow(dst="1.2.3.4"))
+        frame = tcp_frame()
+        pump(net, sw, frame, n=2)
+        sw.table.install(flow(dst="5.6.7.8"))
+        pump(net, sw, frame, n=2)
+        assert sw.microflow_misses == 2  # wholesale flush cost
+        assert sw.mf_flushes == 1
+
+    def test_delete_evicts_exactly_the_answered_packets(self):
+        net, sw = make_switch(surgical=True)
+        sw.table.install(flow(dst="1.2.3.4"))
+        sw.table.install(flow(dst="5.6.7.8"))
+        a, b = tcp_frame(dst="1.2.3.4"), tcp_frame(dst="5.6.7.8")
+        pump(net, sw, a, n=2)
+        pump(net, sw, b, n=2)
+        sw.table.delete(Match(eth_type=0x0800, ipv4_dst="1.2.3.4"))
+        assert sw.mf_evictions == 1
+        dropped_before = sw.packets_dropped
+        pump(net, sw, a)  # re-misses, now a drop
+        pump(net, sw, b)  # still warm
+        assert sw.packets_dropped == dropped_before + 1
+        assert (sw.microflow_misses, sw.microflow_hits) == (3, 3)
+
+    def test_delete_spares_cached_drops(self):
+        """A removal can only invalidate keys whose winner it was — a cached
+        negative answer survives any delete."""
+        net, sw = make_switch(surgical=True)
+        sw.table.install(flow(dst="1.2.3.4"))
+        hit, miss = tcp_frame(dst="1.2.3.4"), tcp_frame(dst="9.9.9.9")
+        pump(net, sw, hit)
+        pump(net, sw, miss)  # cached drop
+        sw.table.delete(Match(eth_type=0x0800, ipv4_dst="1.2.3.4"))
+        pump(net, sw, miss, n=2)
+        assert sw.mf_evictions == 1  # only the positive entry went
+        assert sw.microflow_hits == 2
+
+    def test_install_overrides_cached_drop(self):
+        net, sw = make_switch(surgical=True)
+        frame = tcp_frame(dst="1.2.3.4")
+        pump(net, sw, frame, n=2)  # cached negative
+        e = flow(dst="1.2.3.4")
+        sw.table.install(e)
+        assert sw.mf_evictions == 1
+        pump(net, sw, frame)
+        assert e.packet_count == 1
+
+    def test_src_exact_install_uses_src_group(self):
+        net, sw = make_switch(surgical=True)
+        sw.table.install(flow(priority=1))  # match-all fallback... flushes
+        # seed two flows from different sources
+        a = tcp_frame(src="10.0.0.1", dst="1.2.3.4")
+        b = tcp_frame(src="10.0.0.2", dst="1.2.3.4")
+        pump(net, sw, a)
+        pump(net, sw, b)
+        sw.table.install(flow(src="10.0.0.1", priority=50, port=3))
+        assert sw.mf_evictions == 1  # only 10.0.0.1's cached answer
+        pump(net, sw, b)
+        assert sw.microflow_hits == 1
+
+    def test_wildcard_install_flushes(self):
+        """A rule exact in neither src nor dst can match anything — the
+        only safe surgical answer is a full flush."""
+        net, sw = make_switch(surgical=True)
+        sw.table.install(flow(dst="1.2.3.4"))
+        pump(net, sw, tcp_frame(dst="1.2.3.4"))
+        sw.table.install(flow(priority=99, port=2))  # match-all
+        assert sw.mf_flushes == 1
+        assert len(sw._microflow) == 0
+
+    def test_idle_expiry_evicts_only_its_flow(self):
+        net, sw = make_switch(surgical=True)
+        sw.table.install(flow(dst="1.2.3.4", idle_timeout=1.0))
+        sw.table.install(flow(dst="5.6.7.8"))
+        a, b = tcp_frame(dst="1.2.3.4"), tcp_frame(dst="5.6.7.8")
+        pump(net, sw, a)
+        pump(net, sw, b)
+        net.sim.schedule(5.0, lambda: None)
+        net.sim.run()  # idle timer fired; hook evicted a's cached answer
+        assert sw.mf_evictions == 1
+        dropped_before = sw.packets_dropped
+        pump(net, sw, a)
+        pump(net, sw, b)
+        assert sw.packets_dropped == dropped_before + 1
+        assert sw.microflow_hits == 1  # b stayed warm across the expiry
+
+    def test_replacement_install_repoints_the_cache(self):
+        """Same (match, priority) reinstall fires removed-then-installed;
+        the cache must answer with the new entry afterwards."""
+        net, sw = make_switch(surgical=True)
+        old = flow(dst="1.2.3.4", port=1)
+        sw.table.install(old)
+        frame = tcp_frame(dst="1.2.3.4")
+        pump(net, sw, frame, n=2)
+        new = flow(dst="1.2.3.4", port=7)
+        sw.table.install(new)
+        pump(net, sw, frame)
+        assert new.packet_count == 1
+        assert old.packet_count == 2
+        audit(sw)
+
+    def test_stats_expose_surgical_counters(self):
+        net, sw = make_switch(surgical=True)
+        stats = sw.stats()
+        assert stats["microflow_surgical"] is True
+        assert stats["mf_evictions"] == 0
+        assert stats["mf_flushes"] == 0
+
+
+# ------------------------------------------------------ randomized differential
+
+
+DSTS = [f"1.2.3.{i}" for i in range(1, 7)]
+SRCS = [f"10.0.0.{i}" for i in range(1, 5)]
+PORTS = (80, 443)
+
+
+def _random_match(rng):
+    shape = rng.random()
+    if shape < 0.40:
+        return dict(dst=rng.choice(DSTS))
+    if shape < 0.70:
+        return dict(src=rng.choice(SRCS), dst=rng.choice(DSTS))
+    if shape < 0.90:
+        return dict(src=rng.choice(SRCS))
+    return {}
+
+
+def _drive_differential(seed, steps):
+    """Feed one identical op sequence to a surgical and a coarse switch."""
+    rng = random.Random(seed)
+    net_s, sw_s = make_switch(surgical=True)
+    net_c, sw_c = make_switch(surgical=False)
+    pairs = ((net_s, sw_s), (net_c, sw_c))
+    for step in range(steps):
+        op = rng.random()
+        if op < 0.68:
+            frame_args = dict(src=rng.choice(SRCS), dst=rng.choice(DSTS),
+                              dport=rng.choice(PORTS))
+            for net, sw in pairs:
+                pump(net, sw, tcp_frame(**frame_args))
+        elif op < 0.84:
+            spec = _random_match(rng)
+            priority = rng.randint(1, 40)
+            out_port = rng.randint(1, 4)
+            timeout = rng.choice((0.0, 0.0, 0.0, 2.0))
+            for net, sw in pairs:
+                sw.table.install(flow(priority=priority, port=out_port,
+                                      hard_timeout=timeout, **spec))
+                net.sim.run()
+        elif op < 0.96:
+            spec = _random_match(rng)
+            for net, sw in pairs:
+                sw.table.delete(make_match(dst=spec.get("dst"),
+                                           src=spec.get("src")))
+                net.sim.run()
+        else:
+            for net, _sw in pairs:  # advance time: hard timeouts fire
+                net.sim.schedule(1.0, lambda: None)
+                net.sim.run()
+        # dispositions must agree after every step...
+        assert (sw_s.packets_forwarded, sw_s.packets_dropped) == \
+               (sw_c.packets_forwarded, sw_c.packets_dropped), f"step {step}"
+        # ...and the surgical cache must match the reference scan exactly
+        audit(sw_s)
+    # per-rule counters agree: same packets hit the same winners
+    for (match, priority), entry_s in sw_s.table._match_index.items():
+        entry_c = sw_c.table._match_index.get((match, priority))
+        assert entry_c is not None
+        assert (entry_s.packet_count, entry_s.byte_count) == \
+               (entry_c.packet_count, entry_c.byte_count)
+    return sw_s, sw_c
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_differential_surgical_vs_coarse(seed):
+    sw_s, sw_c = _drive_differential(seed, steps=3500)
+    # sanity: the sequences actually exercised both cache disciplines
+    assert sw_s.microflow_packets == sw_c.microflow_packets > 1000
+    assert sw_s.mf_evictions > 0
+    assert sw_c.mf_flushes > 0
+    # the entire point: surgical keeps the cache dramatically warmer
+    assert sw_s.microflow_hits > sw_c.microflow_hits

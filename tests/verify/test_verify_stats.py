@@ -66,8 +66,13 @@ class TestSwitchStats:
         assert stats["microflow_entries"] > 0  # traffic warmed the cache
 
     def test_stale_cache_entry_is_flagged_v5(self):
-        """Remove a cached entry's rule, then force the cache to claim it
-        is current — the snapshot-time audit must flag it."""
+        """Plant a cached answer the table no longer gives — the
+        snapshot-time audit must flag it.
+
+        Surgical eviction removes the cached microflow the instant its
+        rule is deleted, so to model the corruption (a buggy eviction that
+        missed the key) the stale answer is re-planted after the delete.
+        """
         tb, _svc = make_parta_testbed(rounds=2)
         switch = tb.switch
         cached = [(key, entry) for key, entry in switch._microflow.items()
@@ -75,11 +80,23 @@ class TestSwitchStats:
         assert cached
         key, entry = cached[0]
         switch.table.delete(entry.match, strict=True, priority=entry.priority)
-        # the lazy flush would normally notice the generation bump; forge it
-        switch._microflow_generation = switch.table.generation
+        switch._microflow[key] = entry  # simulate an eviction bug
         snapshot = snapshot_testbed(tb)
         view = snapshot.switch(switch.dpid)
         assert view.stale_cache
         report = verify_snapshot(snapshot, invariants=(V5_SHADOWING,))
         assert any(v.invariant == V5_SHADOWING and "cache[" in v.subject
                    for v in report.violations), report.to_text()
+
+    def test_stale_cache_clean_after_surgical_delete(self):
+        """The surgical hook itself must leave no staleness behind."""
+        tb, _svc = make_parta_testbed(rounds=2)
+        switch = tb.switch
+        cached = [(key, entry) for key, entry in switch._microflow.items()
+                  if entry is not None]
+        assert cached
+        _key, entry = cached[0]
+        switch.table.delete(entry.match, strict=True, priority=entry.priority)
+        snapshot = snapshot_testbed(tb)
+        view = snapshot.switch(switch.dpid)
+        assert view.stale_cache == ()
